@@ -1,0 +1,63 @@
+"""Experiments E3/E4 — the Bluetooth driver walkthroughs of §2.2, §2.3
+and §6:
+
+* the ``stoppingFlag`` race is exposed with ``ts`` bound 0 (§2.2);
+* the reference-counting assertion violation is missed at bound 0 and
+  found at bound 1 (§2.3);
+* after the fix suggested by the driver quality team, KISS reports no
+  errors (§6);
+* fakemodem's reference counting (already the fixed pattern) is clean.
+"""
+
+import pytest
+
+from repro.core.checker import Kiss
+from repro.core.race import RaceTarget
+from repro.drivers import (
+    DEVICE_EXTENSION,
+    bluetooth_fixed_program,
+    bluetooth_program,
+    fakemodem_refcount_program,
+)
+from repro.reporting import render_table
+
+
+def _run():
+    rows = []
+
+    race = Kiss(max_ts=0).check_race(
+        bluetooth_program(), RaceTarget.field_of(DEVICE_EXTENSION, "stoppingFlag")
+    )
+    rows.append(["§2.2 stoppingFlag race, ts=0", "race", race.error_kind or race.verdict])
+
+    miss = Kiss(max_ts=0).check_assertions(bluetooth_program())
+    rows.append(["§2.3 stopped assertion, ts=0", "safe (missed)", miss.verdict])
+
+    found = Kiss(max_ts=1).check_assertions(bluetooth_program())
+    rows.append(["§2.3 stopped assertion, ts=1", "assertion", found.error_kind or found.verdict])
+
+    fixed = Kiss(max_ts=1).check_assertions(bluetooth_fixed_program())
+    rows.append(["§6 fixed driver, ts=1", "safe", fixed.verdict])
+
+    fake = Kiss(max_ts=1).check_assertions(fakemodem_refcount_program())
+    rows.append(["§6 fakemodem refcount, ts=1", "safe", fake.verdict])
+
+    print()
+    print(render_table(["Experiment", "Paper", "Ours"], rows, title="Bluetooth / fakemodem walkthroughs"))
+    ok = (
+        race.is_race
+        and miss.is_safe
+        and found.is_error
+        and found.error_kind == "assertion"
+        and fixed.is_safe
+        and fake.is_safe
+    )
+    if found.concurrent_trace is not None:
+        print("\nMapped concurrent error trace for the ts=1 assertion violation:")
+        print(found.concurrent_trace.format())
+    return ok
+
+
+def bench_bluetooth(benchmark):
+    ok = benchmark.pedantic(_run, rounds=1, iterations=1)
+    assert ok, "Bluetooth walkthrough outcomes diverge from the paper"

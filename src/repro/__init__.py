@@ -1,0 +1,38 @@
+"""kiss-repro — reproduction of "KISS: Keep It Simple and Sequential"
+(Qadeer & Wu, PLDI 2004).
+
+The package implements the paper's sequentialization of concurrent
+programs, two sequential checking backends (explicit-state, and a
+SLAM-lite boolean-program tier), a full-interleaving concurrent checker
+used as the baseline, and a synthetic Windows-driver corpus used to
+regenerate the paper's evaluation tables.
+
+Typical use::
+
+    from repro import parse, Kiss
+
+    prog = parse(source_text)
+    result = Kiss(max_ts=1).check_assertions(prog)
+    if result.is_error:
+        print(result.concurrent_trace)
+"""
+
+from repro.lang import parse, parse_core
+
+__version__ = "1.0.0"
+
+__all__ = ["parse", "parse_core", "Kiss", "KissResult", "RaceTarget", "sweep_ts", "__version__"]
+
+
+def __getattr__(name):
+    # Kiss and friends are imported lazily: repro.core pulls in the whole
+    # checker stack, which the front-end-only uses don't need.
+    if name in ("Kiss", "KissResult", "sweep_ts"):
+        from repro.core import checker
+
+        return getattr(checker, name)
+    if name == "RaceTarget":
+        from repro.core.race import RaceTarget
+
+        return RaceTarget
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")

@@ -1,0 +1,40 @@
+"""Static analyses: points-to (check pruning), lockset (baseline),
+atomicity (Lipton reduction — §6.1 future work).
+
+``lockset`` and ``atomicity`` import :mod:`repro.core.race` (for access
+extraction) which itself imports :mod:`repro.analysis.alias`, so they
+are exposed lazily to keep the package initialization acyclic.
+"""
+
+from .alias import AliasAnalysis
+
+__all__ = [
+    "AliasAnalysis",
+    "AtomicityAnalyzer",
+    "Mover",
+    "infer_atomicity",
+    "LocksetAnalyzer",
+    "LocksetReport",
+    "lockset_check",
+]
+
+_LAZY = {
+    "AtomicityAnalyzer": "atomicity",
+    "Mover": "atomicity",
+    "infer_atomicity": "atomicity",
+    "LocksetAnalyzer": "lockset",
+    "LocksetReport": "lockset",
+    "lockset_check": "lockset",
+}
+
+
+def __getattr__(name):
+    module_name = _LAZY.get(name)
+    if module_name is None:
+        raise AttributeError(f"module 'repro.analysis' has no attribute {name!r}")
+    import importlib
+
+    module = importlib.import_module(f".{module_name}", __name__)
+    value = getattr(module, name)
+    globals()[name] = value
+    return value

@@ -1,0 +1,234 @@
+"""Atomicity inference via Lipton's theory of reduction.
+
+Section 6.1 of the paper: "We are also planning to use the ideas behind
+the type system for atomicity [Flanagan & Qadeer, PLDI 2003] to
+automatically prune such benign race conditions."  This module implements
+the core of that machinery — mover classification and sequential
+composition — for the parallel language:
+
+* ``R`` (right mover): commutes to the right of any other thread's step —
+  lock *acquires* (an ``atomic`` block that blocks until free then takes);
+* ``L`` (left mover): commutes left — lock *releases*;
+* ``B`` (both mover): thread-local steps, and accesses to locations that
+  are consistently lock-protected (race-free, per the lockset analysis);
+* ``A`` (atomic, non-mover): everything else — in particular accesses
+  that may race.
+
+A sequence is atomic iff it matches ``R* (A|B)? L*`` modulo ``B`` steps
+(Lipton's reduction); composition is computed with the standard
+five-point lattice ``B < R, L < A < N`` where ``N`` (non-atomic) is the
+error element produced by e.g. ``A`` followed by ``R`` (two
+non-reducible transactions) — we track the regular pattern directly.
+
+Procedure atomicity is inferred bottom-up over the call graph (recursive
+cycles conservatively get ``N`` unless every body is call-free).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Dict, List, Optional, Set
+
+from repro.analysis.lockset import LocksetAnalyzer, _classify_lock_function
+from repro.lang.ast import (
+    Assert,
+    Assign,
+    Assume,
+    AsyncCall,
+    Atomic,
+    Block,
+    Call,
+    Choice,
+    FuncDecl,
+    Iter,
+    Malloc,
+    Program,
+    Return,
+    Skip,
+    Stmt,
+)
+from repro.core.race import statement_accesses
+
+
+class Mover(Enum):
+    B = "both"
+    R = "right"
+    L = "left"
+    A = "atomic"  # single non-mover action
+    N = "non-atomic"  # irreducible composite
+
+    def __str__(self) -> str:
+        return self.value
+
+
+# Sequential composition over atomicity *phases*.  We track where a
+# transaction stands: in its R-prefix, at/after its commit action, or in
+# its L-suffix.  N is absorbing.
+@dataclass
+class _Phase:
+    state: str = "pre"  # "pre" (R*) | "post" ((A|B) L*) | "broken"
+
+    def step(self, m: Mover) -> None:
+        if self.state == "broken":
+            return
+        if m is Mover.B:
+            return
+        if m is Mover.N:
+            self.state = "broken"
+            return
+        if self.state == "pre":
+            if m is Mover.R:
+                return
+            # A or L commits the transaction
+            self.state = "post"
+            return
+        # post: only left movers keep the transaction reducible
+        if m in (Mover.L,):
+            return
+        self.state = "broken"
+
+    def result(self) -> Mover:
+        # summarize the whole sequence as a single mover for callers:
+        # a reducible sequence acts as an atomic action
+        return Mover.A if self.state != "broken" else Mover.N
+
+
+class AtomicityAnalyzer:
+    """Mover classification + procedure atomicity inference."""
+
+    def __init__(self, prog: Program):
+        self.prog = prog
+        lockset = LocksetAnalyzer(prog)
+        self._lockset_report = lockset.analyze()
+        self._racy_locations: Set[str] = {w.location for w in self._lockset_report.warnings}
+        self.acquires = set(lockset.acquires)
+        self.releases = set(lockset.releases)
+        self._proc_cache: Dict[str, Mover] = {}
+        self._in_progress: Set[str] = set()
+        self._lockset = lockset
+
+    # -- statement movers ------------------------------------------------------------
+
+    def stmt_mover(self, func: FuncDecl, s: Stmt) -> Mover:
+        if isinstance(s, (Skip,)):
+            return Mover.B
+        if isinstance(s, Atomic):
+            # a synchronization primitive's body: acquire-shaped blocks are
+            # right movers, release-shaped left movers, other atomic blocks
+            # single non-mover actions
+            shape = self._atomic_shape(s)
+            return shape if shape is not None else Mover.A
+        if isinstance(s, (Assign, Malloc, Assert, Assume, Return)):
+            return self._access_mover(func, s)
+        if isinstance(s, Call):
+            name = s.func.name
+            if name in self.acquires:
+                return Mover.R
+            if name in self.releases:
+                return Mover.L
+            if name in self.prog.functions:
+                return self.proc_mover(name)
+            return Mover.A  # indirect call: unknown, treat as non-mover action
+        if isinstance(s, AsyncCall):
+            # forking is a local action (the child's steps are its own)
+            return Mover.B
+        if isinstance(s, Block):
+            return self.sequence_mover(func, s.stmts)
+        if isinstance(s, Choice):
+            movers = [self.sequence_mover(func, b.stmts) for b in s.branches]
+            return _join_all(movers)
+        if isinstance(s, Iter):
+            body = self.sequence_mover(func, s.body.stmts)
+            # a loop of both-movers is a both-mover; a loop of atomic
+            # bodies is not reducible to one action in general
+            if body is Mover.B:
+                return Mover.B
+            return Mover.N if body in (Mover.A, Mover.R, Mover.L, Mover.N) else body
+        return Mover.A
+
+    def _atomic_shape(self, s: Atomic) -> Optional[Mover]:
+        # reuse the lock-function classifier on a synthetic wrapper
+        from repro.lang.ast import Assume as _Assume
+
+        inner = s.body.stmts
+        has_assume = any(isinstance(x, _Assume) for x in inner)
+        stores = [
+            x
+            for x in inner
+            if isinstance(x, Assign) and not isinstance(x.lhs, type(None))
+        ]
+        if has_assume and stores:
+            return Mover.R  # blocking test-and-set: acquire-like
+        return None
+
+    def _access_mover(self, func: FuncDecl, s: Stmt) -> Mover:
+        worst = Mover.B
+        for _, shape, payload in statement_accesses(s):
+            keys = self._lockset._location_keys(func, shape, payload)
+            if not keys:
+                continue  # thread-local
+            if any(k in self._racy_locations for k in keys):
+                return Mover.A  # potentially racy access: non-mover
+            # shared but consistently protected (or read-only): both mover
+        return worst
+
+    # -- sequences and procedures ------------------------------------------------------
+
+    def sequence_mover(self, func: FuncDecl, stmts: List[Stmt]) -> Mover:
+        movers = [self.stmt_mover(func, s) for s in stmts]
+        effective = [m for m in movers if m is not Mover.B]
+        if not effective:
+            return Mover.B
+        phase = _Phase()
+        for m in effective:
+            phase.step(m)
+        if phase.state == "broken":
+            return Mover.N
+        # reducible: keep the most precise composite classification
+        if all(m is Mover.R for m in effective):
+            return Mover.R
+        if all(m is Mover.L for m in effective):
+            return Mover.L
+        return Mover.A
+
+    def proc_mover(self, name: str) -> Mover:
+        if name in self.acquires:
+            return Mover.R
+        if name in self.releases:
+            return Mover.L
+        if name in self._proc_cache:
+            return self._proc_cache[name]
+        if name in self._in_progress:
+            return Mover.N  # recursion: conservatively non-atomic
+        self._in_progress.add(name)
+        func = self.prog.function(name)
+        result = self.sequence_mover(func, func.body.stmts)
+        self._in_progress.discard(name)
+        self._proc_cache[name] = result
+        return result
+
+    def is_atomic(self, name: str) -> bool:
+        """Is every execution of procedure ``name`` reducible to a single
+        indivisible action?"""
+        return self.proc_mover(name) in (Mover.B, Mover.R, Mover.L, Mover.A)
+
+    def report(self) -> Dict[str, bool]:
+        return {name: self.is_atomic(name) for name in self.prog.functions}
+
+
+def _join_all(movers: List[Mover]) -> Mover:
+    if any(m is Mover.N for m in movers):
+        return Mover.N
+    if all(m is Mover.B for m in movers):
+        return Mover.B
+    if all(m in (Mover.B, Mover.R) for m in movers):
+        return Mover.R
+    if all(m in (Mover.B, Mover.L) for m in movers):
+        return Mover.L
+    return Mover.A
+
+
+def infer_atomicity(prog: Program) -> Dict[str, bool]:
+    """Per-procedure atomicity verdicts for a core program."""
+    return AtomicityAnalyzer(prog).report()

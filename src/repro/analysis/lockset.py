@@ -1,0 +1,314 @@
+"""A static lockset race detector (the Eraser algorithm, static flavour).
+
+Section 7 of the paper: "Most existing race-detection tools, both static
+and dynamic, are based on the lockset algorithm which can handle only
+the simplest synchronization mechanism of locks."  This module implements
+that baseline so the claim can be *measured* (see
+``benchmarks/bench_lockset_comparison.py``): on lock-protected state it
+agrees with KISS, but on event-, interlocked-, or flag-based
+synchronization it produces the false positives (and occasionally false
+negatives) that motivate the KISS approach.
+
+Algorithm
+---------
+1. *Lock-function discovery*: a function whose body is exactly
+   ``atomic { assume(*l == 0); *l = 1 }`` over a pointer parameter is an
+   acquire; ``atomic { *l = 0 }`` is a release (the paper's §3 encoding,
+   which the OS model's ``KeAcquireSpinLock``/``KeReleaseSpinLock``
+   follow).
+2. *Held-lock dataflow*: forward must-analysis over each function's CFG
+   (meet = intersection), interprocedural over (function, entry lockset)
+   contexts.  Lock identities are the actual argument expressions'
+   alias-analysis classes.
+3. *Candidate locksets*: every access (read/write) to every shared
+   location is recorded with the locks held; a location's candidate set
+   is the intersection.  A location with a write access and an empty
+   candidate set — and accesses from more than one thread context — is
+   reported as a potential race.
+
+Thread contexts are approximated syntactically: the entry function is
+one context, each ``async`` start function (transitively) is another.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from repro.analysis.alias import AliasAnalysis
+from repro.cfg.build import build_program_cfg
+from repro.cfg.graph import Node, ProgramCfg
+from repro.core.race import statement_accesses
+from repro.lang.ast import (
+    Assign,
+    Assume,
+    AsyncCall,
+    Atomic,
+    Call,
+    FuncDecl,
+    IntLit,
+    Program,
+    PtrType,
+    StructType,
+    Unary,
+    Var,
+    walk_stmts,
+)
+
+Lock = object  # an alias-analysis class representative
+Lockset = FrozenSet
+
+
+@dataclass
+class LocksetWarning:
+    location: str  # "g" or "S.field"
+    kind: str  # "race" (empty candidate set with a write)
+    accesses: int
+    contexts: List[str] = field(default_factory=list)
+
+    def __str__(self) -> str:
+        return f"lockset: possible race on {self.location} ({self.accesses} accesses, threads: {', '.join(self.contexts)})"
+
+
+@dataclass
+class LocksetReport:
+    warnings: List[LocksetWarning]
+    locations_checked: int
+    acquire_functions: List[str]
+    release_functions: List[str]
+
+    def warned(self, location: str) -> bool:
+        return any(w.location == location for w in self.warnings)
+
+
+def _classify_lock_function(func: FuncDecl) -> Optional[str]:
+    """"acquire" / "release" / None, by body shape (the §3 lock encoding)."""
+    if len(func.params) != 1 or not isinstance(func.params[0].type, PtrType):
+        return None
+    body = [s for s in func.body.stmts]
+    atomics = [s for s in body if isinstance(s, Atomic)]
+    if len(atomics) != 1:
+        return None
+    inner = atomics[0].body.stmts
+    pname = func.params[0].name
+
+    def is_deref_of_param(e) -> bool:
+        return isinstance(e, Unary) and e.op == "*" and isinstance(e.operand, Var)
+
+    # release: a single `*l = 0`
+    stores = [
+        s
+        for s in inner
+        if isinstance(s, Assign) and isinstance(s.lhs, Unary) and s.lhs.op == "*"
+    ]
+    assumes = [s for s in inner if isinstance(s, Assume)]
+    if stores and not assumes:
+        s = stores[-1]
+        if isinstance(s.rhs, IntLit) and s.rhs.value == 0:
+            return "release"
+    # acquire: an assume on the loaded lock followed by `*l = 1`
+    if stores and assumes:
+        s = stores[-1]
+        if isinstance(s.rhs, IntLit) and s.rhs.value == 1:
+            return "acquire"
+    return None
+
+
+class LocksetAnalyzer:
+    """Whole-program lockset inference and race reporting (see module doc)."""
+    def __init__(self, prog: Program):
+        self.prog = prog
+        self.pcfg: ProgramCfg = build_program_cfg(prog)
+        self.alias = AliasAnalysis(prog)
+        self.acquires: Dict[str, int] = {}  # fn -> lock param index
+        self.releases: Dict[str, int] = {}
+        for f in prog.functions.values():
+            kind = _classify_lock_function(f)
+            if kind == "acquire":
+                self.acquires[f.name] = 0
+            elif kind == "release":
+                self.releases[f.name] = 0
+        # access log: location key -> list of (lockset, mode, context)
+        self._accesses: Dict[str, List[Tuple[Lockset, str, str]]] = {}
+
+    # -- lock identity -------------------------------------------------------------
+
+    def _lock_of_arg(self, func: FuncDecl, arg) -> Optional[Lock]:
+        """The identity of the lock a call argument denotes.
+
+        Unification merges every lock that ever flows into the shared
+        acquire function's parameter, so the alias class alone cannot
+        tell locks apart.  Idiomatic code passes ``&lock`` directly
+        (lowered to a uniquely-assigned temp), so when the argument
+        variable has exactly one definition in the function and it is an
+        address-of, the lock is identified syntactically; otherwise fall
+        back to the (coarse but sound-for-reporting) alias class.
+        """
+        if not isinstance(arg, Var):
+            return None
+        defs = [
+            s
+            for s in walk_stmts(func.body)
+            if isinstance(s, Assign) and isinstance(s.lhs, Var) and s.lhs.name == arg.name
+        ]
+        if len(defs) == 1 and isinstance(defs[0].rhs, Unary) and defs[0].rhs.op == "&":
+            target = defs[0].rhs.operand
+            if isinstance(target, Var):
+                return ("lock-var", target.name)
+            # &p->f : identify by (struct, field)
+            from repro.lang.ast import Field as _Field
+
+            if isinstance(target, _Field):
+                base = target.base
+                t = func.locals.get(base.name)
+                for p in func.params:
+                    if p.name == base.name:
+                        t = p.type
+                if isinstance(t, PtrType) and isinstance(t.elem, StructType):
+                    return ("lock-field", t.elem.name, target.name)
+        loc = self.alias._var_loc(func, arg.name)
+        if loc is None:
+            return None
+        return ("lock-class", self.alias.nodes.pointee(loc))
+
+    # -- location keys -----------------------------------------------------------------
+
+    def _location_keys(self, func: FuncDecl, shape: str, payload) -> List[str]:
+        if shape == "var":
+            name = payload
+            if name in self.prog.globals:
+                return [name]
+            return []
+        if shape == "field":
+            base, fld = payload
+            t = None
+            if base in func.locals:
+                t = func.locals[base]
+            else:
+                for p in func.params:
+                    if p.name == base:
+                        t = p.type
+                g = self.prog.globals.get(base)
+                if g is not None:
+                    t = g.type
+            if isinstance(t, PtrType) and isinstance(t.elem, StructType):
+                return [f"{t.elem.name}.{fld}"]
+            return []
+        # deref: attribute to every global/field the pointer may reach —
+        # approximate with globals only (enough for the lock/flag idioms)
+        keys = []
+        for gname in self.prog.globals:
+            if self.alias.may_point_to(func, payload, self.alias.global_loc(gname)):
+                keys.append(gname)
+        for sname, struct in self.prog.structs.items():
+            for fld in struct.fields:
+                if self.alias.may_point_to(func, payload, self.alias.field_loc(sname, fld)):
+                    keys.append(f"{sname}.{fld}")
+        return keys
+
+    # -- interprocedural held-lock analysis ------------------------------------------------
+
+    def analyze(self) -> LocksetReport:
+        contexts = self._thread_contexts()
+        visited: Set[Tuple[str, Lockset, str]] = set()
+        work: List[Tuple[str, Lockset, str]] = [
+            (fn, frozenset(), ctx) for ctx, fn in contexts
+        ]
+        while work:
+            fn, entry_locks, ctx = work.pop()
+            key = (fn, entry_locks, ctx)
+            if key in visited or fn not in self.prog.functions:
+                continue
+            visited.add(key)
+            callees = self._scan_function(self.prog.functions[fn], entry_locks, ctx)
+            for callee, locks in callees:
+                work.append((callee, locks, ctx))
+        return self._report(contexts)
+
+    def _thread_contexts(self) -> List[Tuple[str, str]]:
+        out = [("main-thread", self.prog.entry)]
+        for func in self.prog.functions.values():
+            for s in walk_stmts(func.body):
+                if isinstance(s, AsyncCall):
+                    out.append((f"spawned:{s.func.name}", s.func.name))
+        return out
+
+    def _scan_function(
+        self, func: FuncDecl, entry_locks: Lockset, ctx: str
+    ) -> List[Tuple[str, Lockset]]:
+        """Forward must-held analysis over the function's CFG."""
+        cfg = self.pcfg.cfg(func.name)
+        held: Dict[int, Lockset] = {cfg.entry: entry_locks}
+        order = [cfg.entry]
+        seen = {cfg.entry}
+        callees: List[Tuple[str, Lockset]] = []
+        i = 0
+        while i < len(order):
+            nid = order[i]
+            i += 1
+            node = cfg.node(nid)
+            locks = held[nid]
+            out_locks = locks
+            if node.kind == "call":
+                callee = node.stmt.func.name
+                if callee in self.acquires:
+                    lock = self._lock_of_arg(func, node.stmt.args[0]) if node.stmt.args else None
+                    if lock is not None:
+                        out_locks = locks | {lock}
+                elif callee in self.releases:
+                    lock = self._lock_of_arg(func, node.stmt.args[0]) if node.stmt.args else None
+                    if lock is not None:
+                        out_locks = locks - {lock}
+                elif callee in self.prog.functions:
+                    callees.append((callee, locks))
+            if node.stmt is not None and node.kind not in ("call",):
+                self._record_accesses(func, node, locks, ctx)
+            elif node.kind == "call":
+                self._record_accesses(func, node, locks, ctx)
+            for succ in node.succs:
+                if succ not in seen:
+                    seen.add(succ)
+                    held[succ] = out_locks
+                    order.append(succ)
+                else:
+                    merged = held[succ] & out_locks  # must-analysis meet
+                    if merged != held[succ]:
+                        held[succ] = merged
+                        if succ not in order[i:]:
+                            order.append(succ)
+        return callees
+
+    def _record_accesses(self, func: FuncDecl, node: Node, locks: Lockset, ctx: str) -> None:
+        if node.kind == "atomic":
+            return  # synchronization internals (the lockset tools' blind spot)
+        if node.stmt is None:
+            return
+        for mode, shape, payload in statement_accesses(node.stmt):
+            for key in self._location_keys(func, shape, payload):
+                self._accesses.setdefault(key, []).append((frozenset(locks), mode, ctx))
+
+    def _report(self, contexts) -> LocksetReport:
+        warnings: List[LocksetWarning] = []
+        for location, accesses in sorted(self._accesses.items()):
+            ctxs = sorted({c for _, _, c in accesses})
+            if len(ctxs) < 2:
+                continue  # single-threaded access
+            if not any(mode == "w" for _, mode, _ in accesses):
+                continue  # read-only sharing is fine
+            candidate = None
+            for locks, _, _ in accesses:
+                candidate = locks if candidate is None else (candidate & locks)
+            if candidate:
+                continue  # consistently protected
+            warnings.append(LocksetWarning(location, "race", len(accesses), ctxs))
+        return LocksetReport(
+            warnings=warnings,
+            locations_checked=len(self._accesses),
+            acquire_functions=sorted(self.acquires),
+            release_functions=sorted(self.releases),
+        )
+
+
+def lockset_check(prog: Program) -> LocksetReport:
+    """Run the static lockset baseline over a core program."""
+    return LocksetAnalyzer(prog).analyze()

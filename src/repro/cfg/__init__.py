@@ -1,0 +1,16 @@
+"""Control-flow graphs over core programs."""
+
+from .build import build_cfg, build_program_cfg
+from .dot import cfg_to_dot, program_to_dot
+from .graph import Cfg, Node, Origin, ProgramCfg
+
+__all__ = [
+    "Cfg",
+    "Node",
+    "Origin",
+    "ProgramCfg",
+    "build_cfg",
+    "build_program_cfg",
+    "cfg_to_dot",
+    "program_to_dot",
+]

@@ -1,0 +1,164 @@
+"""Construction of CFGs from core programs."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.lang.ast import (
+    Assert,
+    Assign,
+    Assume,
+    AsyncCall,
+    Atomic,
+    Block,
+    Call,
+    Choice,
+    FuncDecl,
+    Iter,
+    Malloc,
+    Program,
+    Return,
+    Skip,
+    Stmt,
+)
+from repro.lang.lower import is_core_stmt
+
+from .graph import Cfg, Node, Origin, ProgramCfg
+
+
+class CfgBuildError(Exception):
+    pass
+
+
+def _origin_of(stmt: Stmt, func_name: str) -> Origin:
+    tag = getattr(stmt, "kiss_tag", None) or "user"
+    text = str(stmt)
+    if len(text) > 60:
+        text = text[:57] + "..."
+    return Origin(sid=stmt.sid, tag=tag, func=func_name, text=text)
+
+
+def _build_seq(cfg: Cfg, stmts: List[Stmt], func_name: str) -> Tuple[Optional[int], List[Node]]:
+    """Build nodes for a statement sequence.
+
+    Returns ``(entry_id, dangling)`` where ``dangling`` are nodes whose
+    successor should be wired to whatever follows the sequence.  ``entry_id``
+    is None for an empty sequence (caller wires around it).
+    """
+    entry: Optional[int] = None
+    dangling: List[Node] = []
+    for idx, s in enumerate(stmts):
+        s_entry, s_dangling = _build_stmt(cfg, s, func_name)
+        if s_entry is None:
+            continue
+        for d in dangling:
+            d.succs.append(s_entry)
+        if entry is None:
+            entry = s_entry
+        dangling = s_dangling
+        if not dangling:
+            # The rest of the sequence is unreachable (e.g. after return).
+            # We still build it so node counts reflect program size, but
+            # nothing is wired to it.
+            for unreachable in stmts[idx + 1 :]:
+                _build_stmt(cfg, unreachable, func_name)
+            break
+    return entry, dangling
+
+
+def _build_stmt(cfg: Cfg, s: Stmt, func_name: str) -> Tuple[Optional[int], List[Node]]:
+    if not is_core_stmt(s):
+        raise CfgBuildError(f"statement is not in core form: {s}")
+    if isinstance(s, Block):
+        return _build_seq(cfg, s.stmts, func_name)
+    if isinstance(s, Skip):
+        n = cfg.new_node("skip", s, _origin_of(s, func_name))
+        return n.id, [n]
+    if isinstance(s, Assign):
+        n = cfg.new_node("assign", s, _origin_of(s, func_name))
+        return n.id, [n]
+    if isinstance(s, Malloc):
+        n = cfg.new_node("malloc", s, _origin_of(s, func_name))
+        return n.id, [n]
+    if isinstance(s, Assert):
+        n = cfg.new_node("assert", s, _origin_of(s, func_name))
+        return n.id, [n]
+    if isinstance(s, Assume):
+        n = cfg.new_node("assume", s, _origin_of(s, func_name))
+        return n.id, [n]
+    if isinstance(s, Call):
+        n = cfg.new_node("call", s, _origin_of(s, func_name))
+        return n.id, [n]
+    if isinstance(s, AsyncCall):
+        n = cfg.new_node("async", s, _origin_of(s, func_name))
+        return n.id, [n]
+    if isinstance(s, Return):
+        n = cfg.new_node("return", s, _origin_of(s, func_name))
+        return n.id, []  # no fallthrough
+    if isinstance(s, Atomic):
+        sub = Cfg(f"{func_name}.atomic")
+        sub_entry, sub_dangling = _build_seq(sub, s.body.stmts, func_name)
+        if sub_entry is None:
+            empty = sub.new_node("skip", None, Origin(tag="instr", func=func_name, text="atomic{}"))
+            sub_entry = empty.id
+            sub_dangling = [empty]
+        sub.entry = sub_entry
+        # Dangling sub nodes mark atomic-region exit by having no successors.
+        n = cfg.new_node("atomic", s, _origin_of(s, func_name))
+        n.sub = sub
+        return n.id, [n]
+    if isinstance(s, Choice):
+        head = cfg.new_node("skip", None, Origin(sid=s.sid, tag="instr", func=func_name, text="choice"))
+        dangling: List[Node] = []
+        for branch in s.branches:
+            b_entry, b_dangling = _build_seq(cfg, branch.stmts, func_name)
+            if b_entry is None:
+                # Empty branch falls straight through.
+                dangling.append(_passthrough(cfg, head, func_name))
+            else:
+                head.succs.append(b_entry)
+                dangling.extend(b_dangling)
+        return head.id, dangling
+    if isinstance(s, Iter):
+        head = cfg.new_node("skip", None, Origin(sid=s.sid, tag="instr", func=func_name, text="iter"))
+        b_entry, b_dangling = _build_seq(cfg, s.body.stmts, func_name)
+        if b_entry is not None:
+            head.succs.append(b_entry)
+            for d in b_dangling:
+                d.succs.append(head.id)
+        # Exiting the loop: head also falls through.
+        return head.id, [head]
+    raise CfgBuildError(f"cannot build CFG for {type(s).__name__}")
+
+
+def _passthrough(cfg: Cfg, head: Node, func_name: str) -> Node:
+    n = cfg.new_node("skip", None, Origin(tag="instr", func=func_name, text="empty-branch"))
+    head.succs.append(n.id)
+    return n
+
+
+def build_cfg(func: FuncDecl) -> Cfg:
+    """Build the CFG of one core-form function.
+
+    Falling off the end of the body returns (with the return type's default
+    value when one is expected; see the interpreter).
+    """
+    cfg = Cfg(func.name)
+    entry, dangling = _build_seq(cfg, func.body.stmts, func.name)
+    exit_node = cfg.new_node(
+        "return",
+        Return(None),
+        Origin(tag="instr", func=func.name, text="implicit return"),
+    )
+    if entry is None:
+        entry = exit_node.id
+    for d in dangling:
+        d.succs.append(exit_node.id)
+    cfg.entry = entry
+    return cfg
+
+
+def build_program_cfg(prog: Program) -> ProgramCfg:
+    """Build CFGs for every function of a core program."""
+    cfgs = {name: build_cfg(f) for name, f in prog.functions.items()}
+    return ProgramCfg(prog, cfgs, prog.entry)

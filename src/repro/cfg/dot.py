@@ -1,0 +1,43 @@
+"""Graphviz (DOT) export of CFGs — for debugging and documentation."""
+
+from __future__ import annotations
+
+from typing import List
+
+from .graph import Cfg, ProgramCfg
+
+
+def _escape(text: str) -> str:
+    return text.replace("\\", "\\\\").replace('"', '\\"')
+
+
+def cfg_to_dot(cfg: Cfg, cluster_index: int = 0) -> str:
+    """One function's CFG as a DOT subgraph cluster."""
+    lines: List[str] = [f'subgraph cluster_{cluster_index} {{']
+    lines.append(f'  label="{_escape(cfg.func_name)}";')
+    prefix = f"c{cluster_index}_"
+    for node in cfg:
+        shape = {
+            "assert": "octagon",
+            "assume": "diamond",
+            "call": "box",
+            "async": "box3d",
+            "return": "invhouse",
+            "atomic": "component",
+        }.get(node.kind, "ellipse")
+        label = _escape(f"{node.id}: {node.origin.text or node.kind}")
+        style = ' style=bold' if node.id == cfg.entry else ""
+        lines.append(f'  {prefix}{node.id} [shape={shape} label="{label}"{style}];')
+        for succ in node.succs:
+            lines.append(f"  {prefix}{node.id} -> {prefix}{succ};")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def program_to_dot(pcfg: ProgramCfg) -> str:
+    """A whole program's CFGs as one DOT digraph (one cluster per function)."""
+    lines = ["digraph program {", "  node [fontname=monospace];"]
+    for i, (name, cfg) in enumerate(sorted(pcfg.cfgs.items())):
+        lines.append(cfg_to_dot(cfg, i))
+    lines.append("}")
+    return "\n".join(lines)

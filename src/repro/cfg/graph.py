@@ -1,0 +1,117 @@
+"""Control-flow graphs over core statements.
+
+Each function gets one :class:`Cfg`.  Nodes execute a single core primitive
+(assignment, malloc, assert, assume, skip, call, async, return) or an
+``atomic`` region, which carries its own sub-CFG executed indivisibly.
+``choice`` and ``iter`` contribute ``skip`` nodes with multiple successors.
+
+Nodes carry an *origin*: the surface statement id (``sid``) they were
+lowered/instrumented from, plus an instrumentation tag used by the KISS
+error-trace mapper (:mod:`repro.core.tracemap`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.lang.ast import Expr, Stmt, Var
+
+# Instrumentation tags (see repro.core.transform / repro.core.tracemap).
+TAG_USER = "user"  # a statement of the original program
+TAG_INSTR = "instr"  # synthesized scheduling/raise plumbing
+TAG_DISPATCH = "dispatch"  # schedule()'s call of a parked thread
+TAG_INLINE_ASYNC = "inline-async"  # async executed synchronously (ts full)
+TAG_CHECK = "check"  # race check_r/check_w body
+
+
+@dataclass
+class Origin:
+    """Provenance of a CFG node."""
+
+    sid: int = 0  # surface statement id (0 = synthesized)
+    tag: str = TAG_USER
+    func: str = ""  # original function name, if any
+    text: str = ""  # short human-readable rendering
+
+    def __str__(self) -> str:
+        where = f"{self.func}:" if self.func else ""
+        return f"{where}{self.text or self.tag}"
+
+
+@dataclass
+class Node:
+    """A CFG node.
+
+    ``kind`` is one of: ``skip``, ``assign``, ``malloc``, ``assert``,
+    ``assume``, ``call``, ``async``, ``return``, ``atomic``.
+    ``stmt`` is the core statement payload (None for pure ``skip`` nodes).
+    ``succs`` are node ids within the same function's CFG.
+    ``sub`` is the sub-CFG of an ``atomic`` node.
+    """
+
+    id: int
+    kind: str
+    stmt: Optional[Stmt] = None
+    succs: List[int] = field(default_factory=list)
+    sub: Optional["Cfg"] = None
+    origin: Origin = field(default_factory=Origin)
+
+    def __str__(self) -> str:
+        return f"n{self.id}:{self.kind}"
+
+
+class Cfg:
+    """A single function's control-flow graph."""
+
+    def __init__(self, func_name: str):
+        self.func_name = func_name
+        self.nodes: Dict[int, Node] = {}
+        self.entry: int = -1
+        self._next_id = 0
+
+    def new_node(self, kind: str, stmt: Optional[Stmt] = None, origin: Optional[Origin] = None) -> Node:
+        node = Node(self._next_id, kind, stmt, origin=origin or Origin())
+        self.nodes[node.id] = node
+        self._next_id += 1
+        return node
+
+    def node(self, node_id: int) -> Node:
+        return self.nodes[node_id]
+
+    def succs(self, node_id: int) -> List[int]:
+        return self.nodes[node_id].succs
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    def __iter__(self):
+        return iter(self.nodes.values())
+
+
+@dataclass
+class ProgramCfg:
+    """CFGs for every function of a program, plus the program itself."""
+
+    program: "object"
+    cfgs: Dict[str, Cfg]
+    entry: str
+
+    def cfg(self, func_name: str) -> Cfg:
+        try:
+            return self.cfgs[func_name]
+        except KeyError:
+            raise KeyError(f"no CFG for function '{func_name}'") from None
+
+    def size(self) -> int:
+        """Total node count, including atomic sub-CFGs."""
+
+        def cfg_size(c: Cfg) -> int:
+            total = 0
+            for n in c:
+                total += 1
+                if n.sub is not None:
+                    total += cfg_size(n.sub)
+            return total
+
+        return sum(cfg_size(c) for c in self.cfgs.values())

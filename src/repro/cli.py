@@ -1,0 +1,188 @@
+"""Command-line interface.
+
+Usage (after ``pip install -e .``)::
+
+    python -m repro check file.kp                 # assertion checking
+    python -m repro check file.kp --max-ts 1
+    python -m repro race file.kp --target g       # race on global g
+    python -m repro race file.kp --target S.field # race on a struct field
+    python -m repro race file.kp --all-fields S   # the per-field loop
+    python -m repro sequentialize file.kp         # print Figure 4 output
+    python -m repro interleavings file.kp         # baseline model checker
+
+The input language is the paper's parallel language with C-like syntax
+(see README).  Exit status: 0 = safe, 1 = error found, 2 = resource
+bound, 3 = usage/parse error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.concheck import check_concurrent
+from repro.core.checker import Kiss
+from repro.core.race import RaceTarget
+from repro.lang import parse_core
+from repro.lang.lexer import LexError
+from repro.lang.parser import ParseError
+from repro.lang.pretty import pretty_program
+from repro.lang.types import KissTypeError
+
+EXIT_SAFE = 0
+EXIT_ERROR = 1
+EXIT_BOUND = 2
+EXIT_USAGE = 3
+
+
+def _load(path: str):
+    with open(path) as f:
+        return parse_core(f.read())
+
+
+def _kiss(args) -> Kiss:
+    return Kiss(
+        max_ts=args.max_ts,
+        max_states=args.max_states,
+        use_alias_analysis=not getattr(args, "no_alias", False),
+        validate_traces=getattr(args, "validate", False),
+        backend=getattr(args, "backend", "explicit"),
+        inline=getattr(args, "inline", False),
+    )
+
+
+def _report(result) -> int:
+    print(f"verdict: {result.summary()}")
+    if result.is_error and result.concurrent_trace is not None:
+        print("concurrent error trace:")
+        print(result.concurrent_trace.format())
+        if result.trace_validated is not None:
+            print(f"trace replayed against concurrent semantics: "
+                  f"{'ok' if result.trace_validated else 'FAILED'}")
+    stats = result.backend_result.stats
+    print(f"[backend: {stats.states} states, {stats.transitions} transitions]")
+    if result.is_error:
+        return EXIT_ERROR
+    if result.exhausted:
+        return EXIT_BOUND
+    return EXIT_SAFE
+
+
+def _parse_target(text: str) -> RaceTarget:
+    if "." in text:
+        struct, field = text.split(".", 1)
+        return RaceTarget.field_of(struct, field)
+    return RaceTarget.global_var(text)
+
+
+def cmd_check(args) -> int:
+    """The `check` subcommand: assertion checking (Figure 4)."""
+    prog = _load(args.file)
+    return _report(_kiss(args).check_assertions(prog))
+
+
+def cmd_race(args) -> int:
+    """The `race` subcommand: race checking (Figure 5), one target or per-field."""
+    prog = _load(args.file)
+    kiss = _kiss(args)
+    if args.all_fields:
+        results = kiss.check_races_on_struct(prog, args.all_fields)
+        worst = EXIT_SAFE
+        for field, r in results.items():
+            print(f"{args.all_fields}.{field}: {r.summary()}")
+            if r.is_error:
+                worst = EXIT_ERROR
+            elif r.exhausted and worst == EXIT_SAFE:
+                worst = EXIT_BOUND
+        return worst
+    if not args.target:
+        print("race: provide --target NAME or --all-fields STRUCT", file=sys.stderr)
+        return EXIT_USAGE
+    return _report(kiss.check_race(prog, _parse_target(args.target)))
+
+
+def cmd_sequentialize(args) -> int:
+    """The `sequentialize` subcommand: print the transformed program."""
+    prog = _load(args.file)
+    kiss = _kiss(args)
+    if args.target:
+        out = kiss.sequentialize_for_race(prog, _parse_target(args.target))
+    else:
+        out = kiss.sequentialize(prog)
+    print(pretty_program(out))
+    return EXIT_SAFE
+
+
+def cmd_interleavings(args) -> int:
+    """The `interleavings` subcommand: the full-interleaving baseline checker."""
+    prog = _load(args.file)
+    result = check_concurrent(prog, max_states=args.max_states, context_bound=args.context_bound)
+    print(f"verdict: {result.status}")
+    if result.is_error:
+        print(result.format_trace())
+        return EXIT_ERROR
+    if result.exhausted:
+        return EXIT_BOUND
+    print(f"[{result.stats.states} states explored]")
+    return EXIT_SAFE
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the argument parser (exposed for shell-completion tooling)."""
+    p = argparse.ArgumentParser(prog="repro", description=__doc__.split("\n")[0])
+    sub = p.add_subparsers(dest="command", required=True)
+
+    def common(sp, race=False):
+        sp.add_argument("file", help="source file in the parallel language")
+        sp.add_argument("--max-ts", type=int, default=0, help="ts bound (default 0)")
+        sp.add_argument("--max-states", type=int, default=500_000, help="state budget")
+        sp.add_argument("--validate", action="store_true",
+                        help="replay error traces against concurrent semantics")
+        sp.add_argument("--backend", choices=("explicit", "cegar"), default="explicit",
+                        help="sequential backend (cegar = SLAM-lite, scalar fragment)")
+        sp.add_argument("--inline", action="store_true",
+                        help="inline small leaf functions before instrumenting")
+        if race:
+            sp.add_argument("--no-alias", action="store_true",
+                            help="disable alias-analysis check pruning")
+
+    sp = sub.add_parser("check", help="check assertions (Figure 4)")
+    common(sp)
+    sp.set_defaults(func=cmd_check)
+
+    sp = sub.add_parser("race", help="check for races (Figure 5)")
+    common(sp, race=True)
+    sp.add_argument("--target", help="global name or Struct.field")
+    sp.add_argument("--all-fields", metavar="STRUCT", help="check every field of STRUCT")
+    sp.set_defaults(func=cmd_race)
+
+    sp = sub.add_parser("sequentialize", help="print the transformed sequential program")
+    common(sp, race=True)
+    sp.add_argument("--target", help="also apply race instrumentation for this target")
+    sp.set_defaults(func=cmd_sequentialize)
+
+    sp = sub.add_parser("interleavings", help="baseline: explore all interleavings")
+    sp.add_argument("file")
+    sp.add_argument("--max-states", type=int, default=500_000)
+    sp.add_argument("--context-bound", type=int, default=None)
+    sp.set_defaults(func=cmd_interleavings)
+    return p
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit status."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_USAGE
+    except (LexError, ParseError, KissTypeError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_USAGE
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,14 @@
+"""Concurrent explicit-state model checking (the paper's baseline) and
+execution-string analysis (Section 4.1)."""
+
+from .executions import balanced_prefix_feasible, context_switches, is_balanced, thread_string
+from .interleave import ConcurrentChecker, check_concurrent
+
+__all__ = [
+    "ConcurrentChecker",
+    "check_concurrent",
+    "is_balanced",
+    "balanced_prefix_feasible",
+    "context_switches",
+    "thread_string",
+]

@@ -1,0 +1,126 @@
+"""Execution-string analysis (Section 4.1 of the paper).
+
+An execution of a concurrent program induces a string over thread
+identifiers (one symbol per transition).  The paper defines the *balanced*
+strings: for a finite set of thread ids ``X`` the language ``L_X``
+contains the executions schedulable by KISS's stack-discipline scheduler —
+the root thread ``i`` runs, and at suspension points complete balanced
+executions of disjoint groups of other threads run contiguously, after
+which ``i`` may resume.  Theorem 1: with unbounded ``ts``, the KISS
+sequential program goes wrong iff some balanced execution of the
+concurrent program goes wrong.
+
+This module implements the balanced-string recognizer, context-switch
+counting, and helpers used by the Theorem 1 tests and the coverage
+benchmarks.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.seqcheck.trace import TraceStep
+
+
+def thread_string(trace: Sequence[TraceStep]) -> Tuple[int, ...]:
+    """The string of thread ids induced by an execution trace."""
+    return tuple(step.tid for step in trace)
+
+
+def context_switches(s: Sequence[int]) -> int:
+    """Number of adjacent positions executed by different threads."""
+    return sum(1 for a, b in zip(s, s[1:]) if a != b)
+
+
+def _segments_without(s: Sequence[int], root: int) -> List[List[int]]:
+    """Maximal contiguous runs of ``s`` that do not mention ``root``."""
+    segments: List[List[int]] = []
+    current: List[int] = []
+    for sym in s:
+        if sym == root:
+            if current:
+                segments.append(current)
+                current = []
+        else:
+            current.append(sym)
+    if current:
+        segments.append(current)
+    return segments
+
+
+def _split_first_block(s: Sequence[int]) -> int:
+    """Length of the shortest prefix of ``s`` whose alphabet is disjoint
+    from the rest (the forced boundary of the first balanced block)."""
+    end = 0
+    last = {}
+    for i, sym in enumerate(s):
+        last[sym] = i
+    end = last[s[0]]
+    i = 0
+    while i <= end:
+        end = max(end, last[s[i]])
+        i += 1
+    return end + 1
+
+
+def _is_balanced_concat(s: Sequence[int]) -> bool:
+    """True if ``s`` is a concatenation of balanced strings over pairwise
+    disjoint thread-id alphabets."""
+    s = list(s)
+    while s:
+        n = _split_first_block(s)
+        if not is_balanced(s[:n]):
+            return False
+        s = s[n:]
+    return True
+
+
+def is_balanced(s: Sequence[int]) -> bool:
+    """Membership in ``L_X`` where ``X`` is the alphabet of ``s``.
+
+    The empty string is balanced.  Otherwise the first symbol is the root
+    thread; every maximal root-free segment must itself be a concatenation
+    of balanced strings over disjoint alphabets, and distinct segments
+    must use disjoint alphabets (each dispatched thread runs exactly once,
+    contiguously).
+    """
+    s = list(s)
+    if not s:
+        return True
+    root = s[0]
+    segments = _segments_without(s, root)
+    seen: set = set()
+    for seg in segments:
+        alphabet = set(seg)
+        if alphabet & seen:
+            return False
+        seen |= alphabet
+        if not _is_balanced_concat(seg):
+            return False
+    return True
+
+
+def balanced_prefix_feasible(s: Sequence[int]) -> bool:
+    """True if ``s`` is a prefix of *some* balanced string.
+
+    Used to prune concurrent exploration to balanced executions only: a
+    prefix is feasible iff treating every currently-"open" thread block as
+    extendable keeps the stack discipline intact.  Equivalently: maintain
+    a stack of active thread ids; a symbol may only be (a) the top of the
+    stack, (b) a previously-unseen id (a new block pushes), or (c) an id
+    deeper in the stack — but only if everything above it has *completed*,
+    which for a prefix means we pop those ids and they may never recur.
+    """
+    stack: List[int] = []
+    closed: set = set()
+    for sym in s:
+        if sym in closed:
+            return False
+        if stack and stack[-1] == sym:
+            continue
+        if sym in stack:
+            while stack[-1] != sym:
+                closed.add(stack.pop())
+            continue
+        stack.append(sym)
+    return True

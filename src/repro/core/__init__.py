@@ -1,0 +1,5 @@
+"""The KISS sequentialization and its high-level checking API."""
+
+from .transform import KissTransformer, kiss_transform
+
+__all__ = ["KissTransformer", "kiss_transform"]

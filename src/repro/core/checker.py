@@ -1,0 +1,270 @@
+"""High-level KISS checking API (the full Figure 1 pipeline).
+
+``Kiss`` wraps: core lowering (if needed) → Figure 4/5 instrumentation →
+sequential backend → error-trace mapping.  One call checks one property;
+``check_races_on_struct`` runs the paper's per-field loop over a device
+extension.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.cfg.build import build_program_cfg
+from repro.cfg.graph import ProgramCfg
+from repro.lang.ast import Program
+from repro.lang.lower import is_core_program, lower_program
+from repro.seqcheck.explicit import SequentialChecker
+from repro.seqcheck.trace import CheckResult, CheckStatus
+
+from .race import RaceTarget, RaceTransformer
+from .tracemap import ConcurrentTrace, map_result
+from .transform import TAG_CHECK, KissTransformer
+
+
+@dataclass
+class KissResult:
+    """The outcome of one KISS run.
+
+    ``verdict``: ``"safe"`` (no error found among the simulated
+    executions — NOT a proof of correctness, per the paper's unsoundness),
+    ``"error"`` (a real error: an assertion violation or a race), or
+    ``"resource-bound"`` (the backend exhausted its budget).
+
+    ``error_kind``: ``"race"`` when the failing assertion sits inside a
+    ``check_r``/``check_w`` (Figure 5), ``"assertion"`` for an original
+    assertion, or the backend's violation kind for memory errors.
+    """
+
+    verdict: str
+    error_kind: Optional[str] = None
+    target: Optional[RaceTarget] = None
+    backend_result: Optional[CheckResult] = None
+    transformed: Optional[Program] = None
+    concurrent_trace: Optional[ConcurrentTrace] = None
+    checks_emitted: int = 0
+    checks_pruned: int = 0
+    #: None = not validated; True/False = replay verdict (see
+    #: repro.concheck.replay) when ``Kiss(validate_traces=True)``.
+    trace_validated: Optional[bool] = None
+
+    @property
+    def is_error(self) -> bool:
+        return self.verdict == "error"
+
+    @property
+    def is_safe(self) -> bool:
+        return self.verdict == "safe"
+
+    @property
+    def exhausted(self) -> bool:
+        return self.verdict == "resource-bound"
+
+    @property
+    def is_race(self) -> bool:
+        return self.error_kind == "race"
+
+    def summary(self) -> str:
+        what = f" on {self.target.describe()}" if self.target else ""
+        if self.is_error:
+            return f"{self.error_kind}{what}: {self.backend_result.message}"
+        return f"{self.verdict}{what}"
+
+
+class Kiss:
+    """The KISS checker (Figure 1): instrument, then run a sequential
+    backend, then map the error trace back.
+
+    Parameters
+    ----------
+    max_ts:
+        Bound on the ``ts`` multiset (the paper's coverage/cost knob).
+        0 replaces every ``async`` with a synchronous call — the
+        configuration the paper uses for race detection; 1 suffices for
+        the Bluetooth reference-counting bug.
+    max_states:
+        Backend state budget; exceeding it yields ``"resource-bound"``
+        (the paper's 20-minute/800 MB bound per driver/field run).
+    use_alias_analysis:
+        Prune race checks with the Steensgaard analysis (Section 5).
+    map_traces:
+        Reconstruct concurrent error traces (Figure 1's back arrow).
+    validate_traces:
+        Additionally *replay* every mapped error trace against the
+        original concurrent semantics (guided search) and record the
+        verdict in ``KissResult.trace_validated`` — a per-trace check of
+        the paper's "never reports false errors" guarantee.
+    backend:
+        ``"explicit"`` (default) — the explicit-state checker, complete
+        for finite data and the backend used for the driver corpus; or
+        ``"cegar"`` — the SLAM-lite predicate-abstraction stack (the
+        paper's actual architecture), for programs whose sequentialized
+        form stays in the scalar fragment.  CEGAR divergence and
+        unsupported fragments surface as ``"resource-bound"``; error
+        traces are not mapped for this backend (its counterexamples are
+        abstract).
+    """
+
+    def __init__(
+        self,
+        max_ts: int = 0,
+        max_states: int = 500_000,
+        use_alias_analysis: bool = True,
+        map_traces: bool = True,
+        validate_traces: bool = False,
+        backend: str = "explicit",
+        cegar_rounds: int = 16,
+        inline: bool = False,
+    ):
+        if backend not in ("explicit", "cegar"):
+            raise ValueError(f"unknown backend {backend!r}")
+        self.max_ts = max_ts
+        self.max_states = max_states
+        self.use_alias_analysis = use_alias_analysis
+        self.map_traces = (map_traces or validate_traces) and backend == "explicit"
+        self.validate_traces = validate_traces and backend == "explicit"
+        self.backend = backend
+        self.cegar_rounds = cegar_rounds
+        #: pre-pass: inline small leaf functions (lock wrappers etc.)
+        #: before instrumenting — shrinks the explored state space
+        self.inline = inline
+
+    # -- pipeline pieces --------------------------------------------------------
+
+    def _as_core(self, prog: Program) -> Program:
+        core = prog if is_core_program(prog) else lower_program(prog)
+        if self.inline:
+            from repro.lang.inline import inline_program
+            from repro.lang.lower import clone_program
+
+            core = inline_program(clone_program(core))
+        return core
+
+    def sequentialize(self, prog: Program) -> Program:
+        """Figure 4 only: the sequential program, for inspection."""
+        return KissTransformer(max_ts=self.max_ts).transform(self._as_core(prog))
+
+    def sequentialize_for_race(self, prog: Program, target: RaceTarget) -> Program:
+        """Figure 5 only: the race-instrumented sequential program."""
+        t = RaceTransformer(target, max_ts=self.max_ts, use_alias_analysis=self.use_alias_analysis)
+        return t.transform(self._as_core(prog))
+
+    def _run_backend(self, transformed: Program) -> (CheckResult, ProgramCfg):
+        pcfg = build_program_cfg(transformed)
+        if self.backend == "cegar":
+            return self._run_cegar(transformed), pcfg
+        checker = SequentialChecker(pcfg, max_states=self.max_states)
+        return checker.check(), pcfg
+
+    def _run_cegar(self, transformed: Program) -> CheckResult:
+        from repro.seqcheck.cegar import CegarChecker
+
+        r = CegarChecker(transformed, max_rounds=self.cegar_rounds).check()
+        if r.status == "safe":
+            return CheckResult(CheckStatus.SAFE, message=f"CEGAR: {r.rounds} rounds")
+        if r.status == "error":
+            return CheckResult(
+                CheckStatus.ERROR,
+                violation_kind="assert",
+                message=f"CEGAR: error after {r.rounds} rounds ({r.predicates} predicates)",
+            )
+        return CheckResult(CheckStatus.EXHAUSTED, message=f"CEGAR {r.status}: {r.message}")
+
+    def _classify(self, result: CheckResult, pcfg: ProgramCfg) -> Optional[str]:
+        if not result.is_error:
+            return None
+        last = result.trace[-1] if result.trace else None
+        if last is not None:
+            node = pcfg.cfg(last.func).node(last.node_id)
+            if node.origin.tag == TAG_CHECK:
+                return "race"
+        if result.violation_kind == "assert":
+            return "assertion"
+        return result.violation_kind
+
+    def _finish(
+        self,
+        result: CheckResult,
+        pcfg: ProgramCfg,
+        transformed: Program,
+        core: Optional[Program] = None,
+        target: Optional[RaceTarget] = None,
+        transformer: Optional[KissTransformer] = None,
+    ) -> KissResult:
+        verdict = {
+            CheckStatus.SAFE: "safe",
+            CheckStatus.ERROR: "error",
+            CheckStatus.EXHAUSTED: "resource-bound",
+        }[result.status]
+        error_kind = self._classify(result, pcfg)
+        ctrace = map_result(pcfg, result) if (self.map_traces and result.is_error) else None
+        validated: Optional[bool] = None
+        if self.validate_traces and ctrace is not None and core is not None:
+            from repro.concheck.replay import replay_trace
+
+            expect = "feasible" if error_kind == "race" else "error"
+            validated = replay_trace(core, ctrace, expect=expect).ok
+        return KissResult(
+            verdict=verdict,
+            error_kind=error_kind,
+            target=target,
+            backend_result=result,
+            transformed=transformed,
+            concurrent_trace=ctrace,
+            checks_emitted=getattr(transformer, "checks_emitted", 0),
+            checks_pruned=getattr(transformer, "checks_pruned", 0),
+            trace_validated=validated,
+        )
+
+    # -- public checks --------------------------------------------------------------
+
+    def check_assertions(self, prog: Program) -> KissResult:
+        """Check the program's own assertions (Figure 4 + backend)."""
+        core = self._as_core(prog)
+        transformed = KissTransformer(max_ts=self.max_ts).transform(core)
+        result, pcfg = self._run_backend(transformed)
+        return self._finish(result, pcfg, transformed, core=core)
+
+    def check_race(self, prog: Program, target: RaceTarget) -> KissResult:
+        """Check for races on one location (Figure 5 + backend)."""
+        core = self._as_core(prog)
+        transformer = RaceTransformer(
+            target, max_ts=self.max_ts, use_alias_analysis=self.use_alias_analysis
+        )
+        transformed = transformer.transform(core)
+        result, pcfg = self._run_backend(transformed)
+        return self._finish(
+            result, pcfg, transformed, core=core, target=target, transformer=transformer
+        )
+
+    def check_races_on_struct(self, prog: Program, struct_name: str) -> Dict[str, KissResult]:
+        """The paper's per-field loop: one run per field of ``struct_name``
+        (the device extension).  Returns ``{field: result}``."""
+        core = self._as_core(prog)
+        struct = core.struct(struct_name)
+        return {
+            fname: self.check_race(core, RaceTarget.field_of(struct_name, fname))
+            for fname in struct.fields
+        }
+
+
+def sweep_ts(
+    prog: Program,
+    max_bound: int = 3,
+    stop_on_error: bool = True,
+    **kiss_kwargs,
+) -> List["KissResult"]:
+    """The paper's §2 usage pattern: "start KISS with a small size for ts
+    and then increase it as permitted by the computational resources".
+
+    Runs assertion checking at ts bounds 0..max_bound, returning one
+    result per bound (stopping early at the first error by default).
+    """
+    results: List[KissResult] = []
+    for bound in range(max_bound + 1):
+        r = Kiss(max_ts=bound, **kiss_kwargs).check_assertions(prog)
+        results.append(r)
+        if stop_on_error and r.is_error:
+            break
+    return results

@@ -1,0 +1,40 @@
+"""Reserved names introduced by the KISS instrumentation.
+
+All synthesized globals, functions, and temporaries share the ``__kiss_``
+prefix; input programs must not use it (checked by the transformer).
+"""
+
+PREFIX = "__kiss_"
+
+RAISE_VAR = PREFIX + "raise"  # the paper's `raise` flag
+TS_SIZE = PREFIX + "ts_size"  # total elements parked in `ts`
+ACCESS_VAR = PREFIX + "access"  # race checking: 0=none, 1=read, 2=write
+TARGET_VAR = PREFIX + "target"  # race checking: address of the location r
+ALLOC_SEEN = PREFIX + "alloc_seen"  # race checking: allocation counter
+
+SCHEDULE_FN = PREFIX + "schedule"
+CHECK_FN = PREFIX + "check"  # entry wrapper implementing Check(s)
+CHECK_R_FN = PREFIX + "check_r"
+CHECK_W_FN = PREFIX + "check_w"
+
+INDIRECT_FAMILY = PREFIX + "indirect"  # ts family for `async v()` (func var)
+
+
+def ts_count(family: str) -> str:
+    """Per-family element count (`|{parked threads with start fn family}|`)."""
+    return f"{PREFIX}ts_{family}_n"
+
+
+def ts_slot_arg(family: str, slot: int, arg: int) -> str:
+    """Storage for argument ``arg`` of the thread parked in ``slot``."""
+    return f"{PREFIX}ts_{family}_{slot}_a{arg}"
+
+
+def ts_slot_fn(slot: int) -> str:
+    """Storage for the function value of an indirectly-spawned thread."""
+    return f"{PREFIX}ts_fn_{slot}"
+
+
+def transformed_temp(n: int) -> str:
+    """The n-th instrumentation temporary of a function."""
+    return f"{PREFIX}t{n}"

@@ -1,0 +1,521 @@
+"""The KISS sequentialization (Figure 4 of the paper).
+
+Transforms a *concurrent* core program ``P`` into a *sequential* core
+program ``Check(P)`` whose executions simulate the balanced executions of
+``P`` with at most ``max_ts`` threads parked at any time:
+
+* a fresh global ``raise`` lets any thread terminate nondeterministically:
+  before every statement we insert ``choice{skip [] RAISE}`` with
+  ``RAISE = raise := true; return``, and after every call we insert
+  ``if (raise) return`` to propagate the unwinding;
+* a fresh bounded multiset ``ts`` (compiled into ordinary globals — one
+  slot family per spawnable start function, plus element counts) parks
+  forked threads; ``async f(a)`` becomes "park ``f(a)`` if there is room,
+  else call it synchronously";
+* a synthesized ``__kiss_schedule()`` — called before every statement —
+  dispatches a nondeterministically chosen set of parked threads, running
+  each to (possibly ``raise``-induced) completion: the stack-discipline
+  scheduler of Section 2;
+* the new entry point ``__kiss_check()`` implements
+  ``Check(s) = raise := false; ts := ∅; [[s]]; schedule()``.
+
+With ``max_ts = 0`` every ``async`` becomes a synchronous call and
+``schedule()`` would be a no-op, so its calls are omitted (the paper's
+race-detection configuration).
+
+The transformation never mutates its input: the program is deep-copied
+and function bodies are rewritten in place under their *original* names,
+so function values stored in variables keep working for indirect calls.
+Original statements keep their ids and carry no ``kiss_tag``; synthesized
+statements are tagged for the error-trace mapper
+(:mod:`repro.core.tracemap`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.lang.ast import (
+    BOOL,
+    FUNC,
+    INT,
+    Assert,
+    Assign,
+    Assume,
+    AsyncCall,
+    Atomic,
+    Binary,
+    Block,
+    BoolLit,
+    BoolType,
+    Call,
+    Choice,
+    Expr,
+    FuncDecl,
+    FuncType,
+    GlobalDecl,
+    IntLit,
+    IntType,
+    Iter,
+    Malloc,
+    NullLit,
+    Param,
+    Program,
+    PtrType,
+    Return,
+    Skip,
+    Stmt,
+    Type,
+    Unary,
+    Var,
+    walk_stmts,
+)
+from repro.lang.lower import clone_program, is_core_program
+
+from . import names
+
+TAG_INSTR = "instr"
+TAG_PUT = "put"
+TAG_DISPATCH = "dispatch"
+TAG_INLINE_ASYNC = "inline-async"
+TAG_CHECK = "check"
+TAG_ROOT = "root"  # __kiss_check's call into the original entry (thread 0)
+
+
+class TransformError(Exception):
+    pass
+
+
+@dataclass
+class SpawnFamily:
+    """One ``ts`` slot family: threads whose start function is ``name``
+    (or any function value, for the indirect family)."""
+
+    name: str
+    params: List[Param]
+    indirect: bool = False
+
+
+def _tag(s: Stmt, tag: str = TAG_INSTR, spawn: Optional[str] = None, sid: int = 0) -> Stmt:
+    s.kiss_tag = tag
+    s.kiss_spawn = spawn
+    if sid:
+        s.sid = sid
+    return s
+
+
+def default_return_atom(decl: FuncDecl) -> Optional[Expr]:
+    """A constant atom of the function's return type (None for void)."""
+    ret = decl.ret
+    if ret is None:
+        return None
+    if isinstance(ret, IntType):
+        return IntLit(0)
+    if isinstance(ret, BoolType):
+        return BoolLit(False)
+    if isinstance(ret, PtrType):
+        return NullLit()
+    if isinstance(ret, FuncType):
+        # there is no "null function" literal; the function's own name is a
+        # well-typed atom and the value is garbage anyway (raise unwinding)
+        return Var(decl.name)
+    raise TransformError(f"unsupported return type {ret}")
+
+
+def default_const_for(typ: Type, any_function: str) -> Expr:
+    """A constant atom of ``typ`` for resetting vacated ts slots."""
+    if isinstance(typ, IntType):
+        return IntLit(0)
+    if isinstance(typ, BoolType):
+        return BoolLit(False)
+    if isinstance(typ, PtrType):
+        return NullLit()
+    if isinstance(typ, FuncType):
+        return Var(any_function)
+    raise TransformError(f"unsupported slot type {typ}")
+
+
+def spawn_families(prog: Program) -> List[SpawnFamily]:
+    """All slot families needed by ``prog``'s async statements."""
+    families: Dict[str, SpawnFamily] = {}
+    for func in prog.functions.values():
+        local_names = set(func.locals) | {p.name for p in func.params}
+        for s in walk_stmts(func.body):
+            if not isinstance(s, AsyncCall):
+                continue
+            name = s.func.name
+            direct = name in prog.functions and name not in local_names and name not in prog.globals
+            if direct:
+                decl = prog.functions[name]
+                families.setdefault(name, SpawnFamily(name, list(decl.params)))
+            else:
+                families.setdefault(
+                    names.INDIRECT_FAMILY, SpawnFamily(names.INDIRECT_FAMILY, [], indirect=True)
+                )
+    return sorted(families.values(), key=lambda f: f.name)
+
+
+class _FnCtx:
+    """Per-function transformation context (temporaries, return default)."""
+
+    def __init__(self, decl: FuncDecl):
+        self.decl = decl
+        self._counter = 0
+        self._tneg: Optional[Var] = None
+
+    def tneg(self) -> Var:
+        """A shared bool temp for negated guards (used immediately, so one
+        per function suffices — keeps instrumented frames narrow)."""
+        if self._tneg is None:
+            self._tneg = self.fresh(BOOL)
+        return self._tneg
+
+    def fresh(self, typ: Type) -> Var:
+        while True:
+            self._counter += 1
+            name = names.transformed_temp(self._counter)
+            if name not in self.decl.locals:
+                break
+        self.decl.locals[name] = typ
+        return Var(name)
+
+    def return_atom(self) -> Optional[Expr]:
+        return default_return_atom(self.decl)
+
+
+class KissTransformer:
+    """Figure 4: assertion-checking instrumentation.
+
+    Subclassed by :class:`repro.core.race.RaceTransformer` (Figure 5),
+    which overrides the two hook methods.
+    """
+
+    def __init__(self, max_ts: int = 0):
+        if max_ts < 0:
+            raise ValueError("max_ts must be >= 0")
+        self.max_ts = max_ts
+        # Populated by transform():
+        self.prog: Optional[Program] = None
+        self.families: List[SpawnFamily] = []
+        self.emit_schedule = False
+
+    # -- hooks for the race subclass ----------------------------------------------
+
+    def access_check_branches(self, fctx: _FnCtx, stmt: Stmt, out_pre: List[Stmt]) -> List[Block]:
+        """Extra ``choice`` branches inserted before ``stmt`` (Figure 5's
+        ``check_r``/``check_w``).  ``out_pre`` receives statements that must
+        run before the choice (address computations).  Base: none."""
+        return []
+
+    def post_malloc(self, fctx: _FnCtx, stmt: Malloc) -> List[Stmt]:
+        """Statements inserted after a ``malloc`` (race-target registration).
+        Base: none."""
+        return []
+
+    def extra_globals(self) -> List[GlobalDecl]:
+        return []
+
+    def extra_functions(self) -> List[FuncDecl]:
+        return []
+
+    def extra_check_prologue(self) -> List[Stmt]:
+        """Statements at the start of ``__kiss_check`` (target setup)."""
+        return []
+
+    # -- public API -------------------------------------------------------------------
+
+    def transform(self, prog: Program) -> Program:
+        if not is_core_program(prog):
+            raise TransformError("input must be a core program (run repro.lang.lower first)")
+        self._check_no_reserved(prog)
+        out = clone_program(prog)
+        self.prog = out
+        self.families = spawn_families(out)
+        self.emit_schedule = self.max_ts > 0 and bool(self.families)
+
+        for func in list(out.functions.values()):
+            self._transform_function(func)
+
+        self._add_globals(out)
+        for g in self.extra_globals():
+            out.globals[g.name] = g
+        if self.emit_schedule:
+            out.functions[names.SCHEDULE_FN] = self._make_schedule(out)
+        for f in self.extra_functions():
+            out.functions[f.name] = f
+        out.functions[names.CHECK_FN] = self._make_check_entry(out)
+        out.entry = names.CHECK_FN
+        return out
+
+    # -- pieces ---------------------------------------------------------------------------
+
+    @staticmethod
+    def _check_no_reserved(prog: Program) -> None:
+        reserved = [n for n in list(prog.globals) + list(prog.functions) if n.startswith(names.PREFIX)]
+        for func in prog.functions.values():
+            reserved += [n for n in func.locals if n.startswith(names.PREFIX)]
+        if reserved:
+            raise TransformError(f"input uses reserved __kiss_ names: {sorted(set(reserved))}")
+
+    def _add_globals(self, out: Program) -> None:
+        out.globals[names.RAISE_VAR] = GlobalDecl(names.RAISE_VAR, BOOL, BoolLit(False))
+        if not self.emit_schedule:
+            return
+        out.globals[names.TS_SIZE] = GlobalDecl(names.TS_SIZE, INT, IntLit(0))
+        for fam in self.families:
+            out.globals[names.ts_count(fam.name)] = GlobalDecl(names.ts_count(fam.name), INT, IntLit(0))
+            for slot in range(self.max_ts):
+                if fam.indirect:
+                    gname = names.ts_slot_fn(slot)
+                    out.globals[gname] = GlobalDecl(gname, FUNC)
+                else:
+                    for j, p in enumerate(fam.params):
+                        gname = names.ts_slot_arg(fam.name, slot, j)
+                        out.globals[gname] = GlobalDecl(gname, p.type)
+
+    # -- instrumentation of one function -----------------------------------------------------
+
+    def _transform_function(self, decl: FuncDecl) -> None:
+        fctx = _FnCtx(decl)
+        decl.body = Block(self._transform_stmts(fctx, decl.body.stmts))
+
+    def _transform_stmts(self, fctx: _FnCtx, stmts: Sequence[Stmt]) -> List[Stmt]:
+        out: List[Stmt] = []
+        for s in stmts:
+            out.extend(self._transform_stmt(fctx, s))
+        return out
+
+    def _transform_stmt(self, fctx: _FnCtx, s: Stmt) -> List[Stmt]:
+        if isinstance(s, Block):
+            inner = Block(self._transform_stmts(fctx, s.stmts))
+            inner.sid = s.sid
+            return [inner]
+        if isinstance(s, Choice):
+            branches = []
+            for b in s.branches:
+                nb = Block(self._transform_stmts(fctx, b.stmts))
+                nb.sid = b.sid
+                branches.append(nb)
+            c = Choice(branches, s.pos, sid=s.sid)
+            c.kiss_tag = s.kiss_tag
+            return [c]
+        if isinstance(s, Iter):
+            body = Block(self._transform_stmts(fctx, s.body.stmts))
+            body.sid = s.body.sid
+            it = Iter(body, s.pos, sid=s.sid)
+            it.kiss_tag = s.kiss_tag
+            return [it]
+        if isinstance(s, Return):
+            return self._schedule_prefix() + [s]
+        if isinstance(s, Call):
+            out = self._full_prefix(fctx, s)
+            out.append(s)
+            out.extend(self._if_raise_return(fctx))
+            return out
+        if isinstance(s, AsyncCall):
+            out = self._full_prefix(fctx, s)
+            out.extend(self._lower_async(fctx, s))
+            return out
+        if isinstance(s, Malloc):
+            out = self._full_prefix(fctx, s)
+            out.append(s)
+            out.extend(self.post_malloc(fctx, s))
+            return out
+        # simple statements: skip/assign/assert/assume/atomic
+        if isinstance(s, (Skip, Assign, Assert, Assume, Atomic)):
+            out = self._full_prefix(fctx, s)
+            out.append(s)
+            return out
+        raise TransformError(f"cannot transform statement {type(s).__name__}")
+
+    # -- prefix pieces -------------------------------------------------------------------------
+
+    def _schedule_prefix(self) -> List[Stmt]:
+        if not self.emit_schedule:
+            return []
+        return [_tag(Call(None, Var(names.SCHEDULE_FN), []))]
+
+    def _full_prefix(self, fctx: _FnCtx, stmt: Stmt) -> List[Stmt]:
+        """``schedule(); choice{skip [] <checks> [] RAISE}``."""
+        out = self._schedule_prefix()
+        pre: List[Stmt] = []
+        check_branches = self.access_check_branches(fctx, stmt, pre)
+        out.extend(pre)
+        branches = [Block([_tag(Skip())])]
+        branches.extend(check_branches)
+        branches.append(Block(self._raise_stmts(fctx)))
+        out.append(_tag(Choice(branches)))
+        return out
+
+    def _raise_stmts(self, fctx: _FnCtx) -> List[Stmt]:
+        return [
+            _tag(Assign(Var(names.RAISE_VAR), BoolLit(True))),
+            _tag(Return(fctx.return_atom())),
+        ]
+
+    def _if_raise_return(self, fctx: _FnCtx) -> List[Stmt]:
+        tneg = fctx.tneg()
+        return [
+            _tag(
+                Choice(
+                    [
+                        Block([_tag(Assume(Var(names.RAISE_VAR))), _tag(Return(fctx.return_atom()))]),
+                        Block(
+                            [
+                                _tag(Assign(tneg, Unary("!", Var(names.RAISE_VAR)))),
+                                _tag(Assume(tneg)),
+                            ]
+                        ),
+                    ]
+                )
+            )
+        ]
+
+    # -- async lowering ---------------------------------------------------------------------------
+
+    def _family_for(self, fctx: _FnCtx, s: AsyncCall) -> SpawnFamily:
+        name = s.func.name
+        local_names = set(fctx.decl.locals) | {p.name for p in fctx.decl.params}
+        direct = (
+            name in self.prog.functions and name not in local_names and name not in self.prog.globals
+        )
+        if direct:
+            return next(f for f in self.families if f.name == name and not f.indirect)
+        return next(f for f in self.families if f.indirect)
+
+    def _inline_call(self, fctx: _FnCtx, s: AsyncCall, fam: SpawnFamily) -> List[Stmt]:
+        call = Call(None, s.func, list(s.args))
+        _tag(call, TAG_INLINE_ASYNC, spawn=fam.name, sid=s.sid)
+        return [call, _tag(Assign(Var(names.RAISE_VAR), BoolLit(False)))]
+
+    def _lower_async(self, fctx: _FnCtx, s: AsyncCall) -> List[Stmt]:
+        fam = self._family_for(fctx, s)
+        if not self.emit_schedule:
+            return self._inline_call(fctx, s, fam)
+        has_room = fctx.fresh(BOOL)
+        room = _tag(Assign(has_room, Binary("<", Var(names.TS_SIZE), IntLit(self.max_ts))))
+        put_branch = [_tag(Assume(has_room))] + self._put_stmts(fctx, s, fam)
+        tneg = fctx.tneg()
+        full_branch = [
+            _tag(Assign(tneg, Unary("!", has_room))),
+            _tag(Assume(tneg)),
+        ] + self._inline_call(fctx, s, fam)
+        return [room, _tag(Choice([Block(put_branch), Block(full_branch)]))]
+
+    def _put_stmts(self, fctx: _FnCtx, s: AsyncCall, fam: SpawnFamily) -> List[Stmt]:
+        count = Var(names.ts_count(fam.name))
+        slot_branches: List[Block] = []
+        for slot in range(self.max_ts):
+            guard = fctx.fresh(BOOL)
+            stmts: List[Stmt] = [
+                _tag(Assign(guard, Binary("==", count, IntLit(slot)))),
+                _tag(Assume(guard)),
+            ]
+            if fam.indirect:
+                stmts.append(_tag(Assign(Var(names.ts_slot_fn(slot)), s.func)))
+            else:
+                for j, arg in enumerate(s.args):
+                    stmts.append(_tag(Assign(Var(names.ts_slot_arg(fam.name, slot, j)), arg)))
+            slot_branches.append(Block(stmts))
+        put_marker = _tag(Skip(), TAG_PUT, spawn=fam.name, sid=s.sid)
+        return [
+            _tag(Choice(slot_branches)),
+            _tag(Assign(count, Binary("+", count, IntLit(1)))),
+            _tag(Assign(Var(names.TS_SIZE), Binary("+", Var(names.TS_SIZE), IntLit(1)))),
+            put_marker,
+        ]
+
+    # -- schedule() synthesis -----------------------------------------------------------------------
+
+    def _make_schedule(self, out: Program) -> FuncDecl:
+        decl = FuncDecl(names.SCHEDULE_FN, [], None, Block([]))
+        fctx = _FnCtx(decl)
+        branches: List[Block] = []
+        for fam in self.families:
+            for slot in range(self.max_ts):
+                branches.append(self._dispatch_branch(out, fctx, fam, slot))
+        body: List[Stmt] = []
+        if branches:
+            body.append(_tag(Iter(Block([_tag(Choice(branches))]))))
+        decl.body = Block(body)
+        return decl
+
+    def _dispatch_branch(self, out: Program, fctx: _FnCtx, fam: SpawnFamily, slot: int) -> Block:
+        """Dispatch the thread parked in ``slot`` of family ``fam``:
+        guard occupancy, copy out the arguments, compact the remaining
+        slots down (keeping unoccupied slots at default values so states
+        stay canonical), decrement the counts, call the start function,
+        and reset ``raise``."""
+        count = Var(names.ts_count(fam.name))
+        any_fn = next(iter(out.functions))
+        stmts: List[Stmt] = []
+        occupied = fctx.fresh(BOOL)
+        stmts.append(_tag(Assign(occupied, Binary("<", IntLit(slot), count))))
+        stmts.append(_tag(Assume(occupied)))
+
+        arg_atoms: List[Expr] = []
+        if fam.indirect:
+            fvar = fctx.fresh(FUNC)
+            stmts.append(_tag(Assign(fvar, Var(names.ts_slot_fn(slot)))))
+            callee: Var = fvar
+        else:
+            callee = Var(fam.name)
+            for j, p in enumerate(fam.params):
+                tmp = fctx.fresh(p.type)
+                stmts.append(_tag(Assign(tmp, Var(names.ts_slot_arg(fam.name, slot, j)))))
+                arg_atoms.append(tmp)
+
+        # Compact: slots (slot+1 ..) shift down, last slot resets to defaults.
+        for j in range(slot, self.max_ts - 1):
+            if fam.indirect:
+                stmts.append(_tag(Assign(Var(names.ts_slot_fn(j)), Var(names.ts_slot_fn(j + 1)))))
+            else:
+                for a, p in enumerate(fam.params):
+                    stmts.append(
+                        _tag(
+                            Assign(
+                                Var(names.ts_slot_arg(fam.name, j, a)),
+                                Var(names.ts_slot_arg(fam.name, j + 1, a)),
+                            )
+                        )
+                    )
+        last = self.max_ts - 1
+        if fam.indirect:
+            stmts.append(_tag(Assign(Var(names.ts_slot_fn(last)), default_const_for(FUNC, any_fn))))
+        else:
+            for a, p in enumerate(fam.params):
+                stmts.append(
+                    _tag(
+                        Assign(
+                            Var(names.ts_slot_arg(fam.name, last, a)),
+                            default_const_for(p.type, any_fn),
+                        )
+                    )
+                )
+        stmts.append(_tag(Assign(count, Binary("-", count, IntLit(1)))))
+        stmts.append(_tag(Assign(Var(names.TS_SIZE), Binary("-", Var(names.TS_SIZE), IntLit(1)))))
+        call = Call(None, callee, arg_atoms)
+        _tag(call, TAG_DISPATCH, spawn=fam.name)
+        stmts.append(call)
+        stmts.append(_tag(Assign(Var(names.RAISE_VAR), BoolLit(False))))
+        return Block(stmts)
+
+    # -- Check(s) entry -----------------------------------------------------------------------------
+
+    def _make_check_entry(self, out: Program) -> FuncDecl:
+        orig_entry = out.entry
+        stmts: List[Stmt] = [_tag(Assign(Var(names.RAISE_VAR), BoolLit(False)))]
+        stmts.extend(self.extra_check_prologue())
+        root_call = Call(None, Var(orig_entry), [])
+        _tag(root_call, TAG_ROOT, spawn=orig_entry)
+        stmts.append(root_call)
+        stmts.append(_tag(Assign(Var(names.RAISE_VAR), BoolLit(False))))
+        if self.emit_schedule:
+            stmts.append(_tag(Call(None, Var(names.SCHEDULE_FN), [])))
+        return FuncDecl(names.CHECK_FN, [], None, Block(stmts))
+
+
+def kiss_transform(prog: Program, max_ts: int = 0) -> Program:
+    """Sequentialize a concurrent core program for assertion checking."""
+    return KissTransformer(max_ts=max_ts).transform(prog)

@@ -1,0 +1,41 @@
+"""Driver models and the synthetic Windows-driver corpus (Section 6)."""
+
+from .bluetooth import DEVICE_EXTENSION, bluetooth_fixed_program, bluetooth_program
+from .corpus import (
+    DRIVER_SPECS,
+    PAPER_TABLE1,
+    PAPER_TABLE2,
+    check_driver,
+    run_table1,
+    run_table2,
+    spec_by_name,
+)
+from .fakemodem import fakemodem_program, fakemodem_refcount_program
+from .generator import generate_driver, generate_source
+from .moufiltr import moufiltr_permissive_program, moufiltr_refined_program
+from .spec import DriverSpec, FieldKind, FieldSpec, Routine
+from .toastmon import toastmon_program
+
+__all__ = [
+    "DEVICE_EXTENSION",
+    "bluetooth_program",
+    "bluetooth_fixed_program",
+    "toastmon_program",
+    "fakemodem_program",
+    "fakemodem_refcount_program",
+    "moufiltr_permissive_program",
+    "moufiltr_refined_program",
+    "DRIVER_SPECS",
+    "PAPER_TABLE1",
+    "PAPER_TABLE2",
+    "DriverSpec",
+    "FieldSpec",
+    "FieldKind",
+    "Routine",
+    "check_driver",
+    "run_table1",
+    "run_table2",
+    "spec_by_name",
+    "generate_driver",
+    "generate_source",
+]

@@ -1,0 +1,122 @@
+"""The simplified Bluetooth driver model of Figure 2, plus the fixed
+variant the paper describes in Section 6.
+
+The model has four pieces of shared state: the device extension fields
+``pendingIo``, ``stoppingFlag``, ``stoppingEvent``, and the auxiliary
+global ``stopped`` used to state the safety property.  ``main`` allocates
+the extension, forks ``BCSP_PnpStop``, and calls ``BCSP_PnpAdd``.
+
+Known defects (both found by KISS in the paper):
+
+* a read/write race on ``stoppingFlag`` (unprotected write in
+  ``BCSP_PnpStop`` vs. the read in ``BCSP_IoIncrement``), detectable with
+  ``ts`` bound 0;
+* the reference-counting assertion violation in ``BCSP_PnpAdd``
+  (``BCSP_IoIncrement`` checks ``stoppingFlag`` *before* atomically
+  incrementing ``pendingIo``, so the stop path can see the count reach
+  zero while an add is still entering), detectable with ``ts`` bound 1.
+
+The fixed variant makes ``BCSP_IoIncrement`` check the flag and bump the
+count in one atomic action (the interlocked pattern the driver quality
+team suggested), which removes the assertion violation.
+"""
+
+from __future__ import annotations
+
+from repro.lang import parse_core
+from repro.lang.ast import Program
+
+DEVICE_EXTENSION = "DEVICE_EXTENSION"
+
+BLUETOOTH_SRC = """
+struct DEVICE_EXTENSION {
+  int pendingIo;
+  bool stoppingFlag;
+  bool stoppingEvent;
+}
+
+bool stopped;
+
+void main() {
+  DEVICE_EXTENSION *e;
+  e = malloc(DEVICE_EXTENSION);
+  e->pendingIo = 1;
+  e->stoppingFlag = false;
+  e->stoppingEvent = false;
+  stopped = false;
+  async BCSP_PnpStop(e);
+  BCSP_PnpAdd(e);
+}
+
+void BCSP_PnpAdd(DEVICE_EXTENSION *e) {
+  int status;
+  status = BCSP_IoIncrement(e);
+  if (status == 0) {
+    // do work here
+    assert(!stopped);
+  }
+  BCSP_IoDecrement(e);
+}
+
+void BCSP_PnpStop(DEVICE_EXTENSION *e) {
+  e->stoppingFlag = true;
+  BCSP_IoDecrement(e);
+  assume(e->stoppingEvent);
+  // release allocated resources
+  stopped = true;
+}
+
+int BCSP_IoIncrement(DEVICE_EXTENSION *e) {
+  if (e->stoppingFlag) {
+    return -1;
+  }
+  atomic { e->pendingIo = e->pendingIo + 1; }
+  return 0;
+}
+
+void BCSP_IoDecrement(DEVICE_EXTENSION *e) {
+  int pendingIo;
+  atomic {
+    e->pendingIo = e->pendingIo - 1;
+    pendingIo = e->pendingIo;
+  }
+  if (pendingIo == 0) {
+    e->stoppingEvent = true;
+  }
+}
+"""
+
+# The fix: test the flag and increment in one indivisible step, failing
+# the increment if stopping has begun (InterlockedIncrement-style).
+BLUETOOTH_FIXED_SRC = BLUETOOTH_SRC.replace(
+    """int BCSP_IoIncrement(DEVICE_EXTENSION *e) {
+  if (e->stoppingFlag) {
+    return -1;
+  }
+  atomic { e->pendingIo = e->pendingIo + 1; }
+  return 0;
+}""",
+    """int BCSP_IoIncrement(DEVICE_EXTENSION *e) {
+  bool stopping;
+  atomic {
+    stopping = e->stoppingFlag;
+    if (!stopping) {
+      e->pendingIo = e->pendingIo + 1;
+    }
+  }
+  if (stopping) {
+    return -1;
+  }
+  return 0;
+}""",
+)
+
+
+def bluetooth_program() -> Program:
+    """The Figure 2 model as a core program."""
+    return parse_core(BLUETOOTH_SRC)
+
+
+def bluetooth_fixed_program() -> Program:
+    """The repaired model (no assertion violation)."""
+    return parse_core(BLUETOOTH_FIXED_SRC)

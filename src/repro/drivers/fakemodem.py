@@ -1,0 +1,165 @@
+"""The fakemodem driver models from Section 6.
+
+Two aspects of fakemodem appear in the paper:
+
+* **Benign race on OpenCount**: the field counts threads executing in
+  the driver and is incremented under a spin lock everywhere *except*
+  one unprotected read that only tests for zero — the read is atomic
+  anyway, so the programmer skipped the lock.  KISS (correctly) reports
+  it; the paper discusses it as the motivating example for benign-race
+  annotations (future work, implemented here as
+  ``RaceTarget``-level suppression in the corpus runner).
+
+* **Correct reference counting**: the paper introduced a ``stopped``
+  auxiliary variable and assertions (as in the Bluetooth driver) and
+  KISS reported no errors — fakemodem's increment routine tests the
+  stopping flag and bumps the count in one interlocked action, i.e. it
+  already implements the *fixed* Bluetooth pattern.
+"""
+
+from __future__ import annotations
+
+from repro.lang import parse_core
+from repro.lang.ast import Program
+
+from .osmodel import OS_MODEL_SRC
+
+FAKEMODEM_SRC = (
+    OS_MODEL_SRC
+    + """
+struct DEVICE_EXTENSION {
+  int OpenCount;
+  bool Started;
+  bool RemovePending;
+  bool StopEvent;
+}
+
+int SpinLock;
+bool stopped;
+
+void FakeModem_Open(DEVICE_EXTENSION *e) {
+  KeAcquireSpinLock(&SpinLock);
+  e->OpenCount = e->OpenCount + 1;
+  KeReleaseSpinLock(&SpinLock);
+}
+
+void FakeModem_Close(DEVICE_EXTENSION *e) {
+  KeAcquireSpinLock(&SpinLock);
+  e->OpenCount = e->OpenCount - 1;
+  KeReleaseSpinLock(&SpinLock);
+}
+
+void FakeModem_CheckIdle(DEVICE_EXTENSION *e) {
+  int count;
+  // Benign race: a single unprotected read, only compared with 0;
+  // the read is atomic already so the lock overhead was skipped.
+  count = e->OpenCount;
+  if (count == 0) {
+    e->StopEvent = true;
+  }
+}
+
+void main() {
+  DEVICE_EXTENSION *e;
+  e = malloc(DEVICE_EXTENSION);
+  e->OpenCount = 0;
+  e->Started = true;
+  e->RemovePending = false;
+  e->StopEvent = false;
+  async FakeModem_Open(e);
+  async FakeModem_Close(e);
+  FakeModem_CheckIdle(e);
+}
+"""
+)
+
+# Reference counting done right: the interlocked test-and-increment
+# (the fixed Bluetooth pattern) with the paper's auxiliary `stopped`
+# variable and assertion.
+FAKEMODEM_REFCOUNT_SRC = """
+struct DEVICE_EXTENSION {
+  int PendingIo;
+  bool Stopping;
+  bool StopEvent;
+}
+
+bool stopped;
+
+int Fake_IoIncrement(DEVICE_EXTENSION *e) {
+  bool stopping;
+  atomic {
+    stopping = e->Stopping;
+    if (!stopping) {
+      e->PendingIo = e->PendingIo + 1;
+    }
+  }
+  if (stopping) {
+    return -1;
+  }
+  return 0;
+}
+
+void Fake_IoDecrement(DEVICE_EXTENSION *e) {
+  int pending;
+  atomic {
+    e->PendingIo = e->PendingIo - 1;
+    pending = e->PendingIo;
+  }
+  if (pending == 0) {
+    e->StopEvent = true;
+  }
+}
+
+void Fake_DispatchIo(DEVICE_EXTENSION *e) {
+  int status;
+  status = Fake_IoIncrement(e);
+  if (status == 0) {
+    assert(!stopped);
+    Fake_IoDecrement(e);
+  }
+}
+
+void Fake_Stop(DEVICE_EXTENSION *e) {
+  e->Stopping = true;
+  Fake_IoDecrement(e);
+  assume(e->StopEvent);
+  stopped = true;
+}
+
+void main() {
+  DEVICE_EXTENSION *e;
+  e = malloc(DEVICE_EXTENSION);
+  e->PendingIo = 1;
+  e->Stopping = false;
+  e->StopEvent = false;
+  stopped = false;
+  async Fake_Stop(e);
+  Fake_DispatchIo(e);
+}
+"""
+
+
+def fakemodem_program() -> Program:
+    """The OpenCount (benign race) model."""
+    return parse_core(FAKEMODEM_SRC)
+
+
+def fakemodem_refcount_program() -> Program:
+    """The reference-counting model (no assertion violation expected)."""
+    return parse_core(FAKEMODEM_REFCOUNT_SRC)
+
+
+# The same model with the §6.1 benign-race annotation applied: the
+# programmer marks the deliberate unprotected read, and KISS skips it.
+FAKEMODEM_ANNOTATED_SRC = FAKEMODEM_SRC.replace(
+    """  // Benign race: a single unprotected read, only compared with 0;
+  // the read is atomic already so the lock overhead was skipped.
+  count = e->OpenCount;""",
+    """  // Benign race: annotated, so check_r/check_w are not inserted.
+  benign { count = e->OpenCount; }""",
+)
+
+
+def fakemodem_annotated_program() -> Program:
+    """The OpenCount model with the benign annotation (no race reported)."""
+    return parse_core(FAKEMODEM_ANNOTATED_SRC)

@@ -1,0 +1,191 @@
+"""Synthesis of driver models from :class:`~repro.drivers.spec.DriverSpec`.
+
+Each generated driver follows the shape the paper describes: a device
+extension allocated once in ``main``, a library of dispatch routines the
+OS may call, a spin lock protecting the "clean" fields, and a two-thread
+harness that nondeterministically picks a pair of dispatch routines
+(``async`` one, call the other) — see :mod:`repro.drivers.harness`.
+
+Field kinds map to access patterns:
+
+* ``CLEAN`` — increment under ``KeAcquireSpinLock`` in one routine, read
+  under the lock in another: race-free under every harness.
+* ``RACY_REAL`` — the Figure 6 toastmon pattern: an unprotected write in
+  the Pnp query-stop path races a read in the device-Power path, a pair
+  every harness allows.
+* ``RACY_A1``/``RACY_A2``/``RACY_A3``/``RACY_IOCTL`` — the same
+  unprotected conflict, but placed in a routine pair that only the
+  permissive harness runs concurrently (see ``SPURIOUS_PAIRS``).
+* ``UNRESOLVED`` — lock-protected accesses inside the ``HeavyWork``
+  helper; the corpus runner gives these fields the resource-bound
+  outcome (see the substitution note in :mod:`repro.drivers.spec`).
+
+``loc_scale`` adds filler helper code proportional to the paper's KLOC
+figure so relative driver sizes are preserved (filler is never called —
+it models code volume, not behavior).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.lang import parse_core
+from repro.lang.ast import Program
+
+from .osmodel import OS_MODEL_SRC
+from .spec import (
+    REAL_PAIR,
+    SPURIOUS_PAIRS,
+    DriverSpec,
+    FieldKind,
+    FieldSpec,
+    Routine,
+)
+from .harness import harness_pairs
+
+EXTENSION = "DEVICE_EXTENSION"
+
+#: Routines every generated driver defines (the harness picks pairs).
+ALL_ROUTINES: List[Routine] = list(Routine)
+
+
+def _writer_reader(kind: FieldKind):
+    if kind is FieldKind.RACY_REAL:
+        return REAL_PAIR
+    return SPURIOUS_PAIRS[kind]
+
+
+class DriverGenerator:
+    """Assembles one driver model from a spec (see module doc)."""
+    def __init__(self, spec: DriverSpec, refined_harness: bool = False, loc_scale: int = 6):
+        self.spec = spec
+        self.refined = refined_harness
+        self.loc_scale = loc_scale
+        # routine -> list of body statements (source lines)
+        self._bodies: Dict[Routine, List[str]] = {r: [] for r in ALL_ROUTINES}
+
+    # -- source assembly -----------------------------------------------------------
+
+    def source(self) -> str:
+        self._place_field_accesses()
+        parts = [self._header(), OS_MODEL_SRC, self._heavy_work()]
+        parts.extend(self._routine(r) for r in ALL_ROUTINES)
+        parts.append(self._main())
+        parts.append(self._filler())
+        return "\n".join(parts)
+
+    def program(self) -> Program:
+        """The generated driver as a core program."""
+        return parse_core(self.source())
+
+    def _header(self) -> str:
+        fields = "\n".join(f"  int {f.name};" for f in self.spec.fields)
+        return (
+            f"// synthetic driver model: {self.spec.name} "
+            f"({self.spec.kloc} KLOC in the paper)\n"
+            f"struct {EXTENSION} {{\n{fields}\n}}\n"
+            "int SpinLock;\n"
+        )
+
+    def _place_field_accesses(self) -> None:
+        heavy: List[FieldSpec] = []
+        clean: List[FieldSpec] = []
+        for f in self.spec.fields:
+            if f.kind is FieldKind.CLEAN:
+                clean.append(f)
+            elif f.kind is FieldKind.UNRESOLVED:
+                heavy.append(f)
+            else:
+                self._add_racy(f)
+        self._add_clean(clean)
+        self._heavy_fields = heavy
+
+    def _add_clean(self, fields: Sequence[FieldSpec]) -> None:
+        # one locked section per routine covering all clean fields:
+        # increments in WRITE, reads in READ (race-free under any harness)
+        if not fields:
+            return
+        self._bodies[Routine.WRITE] += (
+            ["KeAcquireSpinLock(&SpinLock);"]
+            + [f"e->{f.name} = e->{f.name} + 1;" for f in fields]
+            + ["KeReleaseSpinLock(&SpinLock);"]
+        )
+        reads: List[str] = ["KeAcquireSpinLock(&SpinLock);"]
+        for f in fields:
+            reads.append(f"tmp = e->{f.name};")
+        reads += ["tmp = 0;", "KeReleaseSpinLock(&SpinLock);"]
+        self._bodies[Routine.READ] += reads
+
+    def _add_racy(self, f: FieldSpec) -> None:
+        writer, reader = _writer_reader(f.kind)
+        if writer == reader:
+            # same-routine conflict (A3 / Ioctl pattern): an unprotected
+            # read-modify-write — two concurrent instances race
+            self._bodies[writer] += [
+                f"tmp = e->{f.name};",
+                f"e->{f.name} = tmp + 1;",
+                "tmp = 0;",
+            ]
+        else:
+            self._bodies[writer].append(f"e->{f.name} = 1;")
+            self._bodies[reader] += [f"tmp = e->{f.name};", "tmp = 0;"]
+
+    def _heavy_work(self) -> str:
+        body = ["  KeAcquireSpinLock(&SpinLock);"]
+        for f in getattr(self, "_heavy_fields", []):
+            body.append(f"  e->{f.name} = e->{f.name} + 1;")
+        body.append("  KeReleaseSpinLock(&SpinLock);")
+        return f"void HeavyWork({EXTENSION} *e) {{\n" + "\n".join(body) + "\n}\n"
+
+    def _routine(self, r: Routine) -> str:
+        lines = ["  int tmp;"]
+        lines += [f"  {line}" for line in self._bodies[r]]
+        if r in (Routine.READ, Routine.WRITE):
+            lines.append("  HeavyWork(e);")
+        return f"void {r.value}({EXTENSION} *e) {{\n" + "\n".join(lines) + "\n}\n"
+
+    def _main(self) -> str:
+        pairs = harness_pairs(self.spec, ALL_ROUTINES, refined=self.refined)
+        branches = []
+        for a, b in pairs:
+            branches.append(f"{{ async {b.value}(e); {a.value}(e); }}")
+        init = "\n".join(f"  e->{f.name} = 0;" for f in self.spec.fields)
+        choice = "  choice " + " or ".join(branches) if branches else "  skip;"
+        return (
+            "void main() {\n"
+            f"  {EXTENSION} *e;\n"
+            f"  e = malloc({EXTENSION});\n"
+            f"{init}\n"
+            f"{choice}\n"
+            "}\n"
+        )
+
+    def _filler(self) -> str:
+        """Uncalled helper functions scaling source volume with the paper's
+        KLOC figure (code volume only — never executed)."""
+        n = max(0, int(self.spec.kloc * self.loc_scale))
+        funcs = []
+        for i in range(n):
+            funcs.append(
+                f"int {self.spec_safe_name()}_helper{i}(int x) {{\n"
+                "  int a; int b;\n"
+                "  a = x + 1;\n"
+                "  b = a * 2;\n"
+                "  if (b > 10) { b = b - x; } else { b = b + x; }\n"
+                "  return b;\n"
+                "}\n"
+            )
+        return "\n".join(funcs)
+
+    def spec_safe_name(self) -> str:
+        return self.spec.name.replace("/", "_").replace("-", "_")
+
+
+def generate_driver(spec: DriverSpec, refined_harness: bool = False, loc_scale: int = 6) -> Program:
+    """Generate the driver model for ``spec`` as a core program."""
+    return DriverGenerator(spec, refined_harness=refined_harness, loc_scale=loc_scale).program()
+
+
+def generate_source(spec: DriverSpec, refined_harness: bool = False, loc_scale: int = 6) -> str:
+    """Generate the driver model as source text."""
+    return DriverGenerator(spec, refined_harness=refined_harness, loc_scale=loc_scale).source()

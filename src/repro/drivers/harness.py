@@ -1,0 +1,80 @@
+"""Concurrent harnesses for driver checking (Section 6).
+
+"For each device driver, we created a concurrent program with two
+threads, each of which nondeterministically calls a dispatch routine."
+The *permissive* harness allows every pair of dispatch routines.  After
+feedback from the driver quality team, the *refined* harness drops the
+pairs the OS never issues concurrently:
+
+* A1 — two Pnp IRPs are never concurrent;
+* A2 — no IRP is concurrent with a Pnp IRP that starts or removes the
+  device;
+* A3 — two concurrently-sent Power IRPs belong to different categories;
+* (driver-specific) — kbfiltr/moufiltr never receive two concurrent
+  Ioctl IRPs (their position in the driver stack serializes them).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Tuple
+
+from .spec import DriverSpec, Routine
+
+Pair = Tuple[Routine, Routine]
+
+
+def all_pairs(routines: Sequence[Routine]) -> List[Pair]:
+    """Every unordered pair, including a routine with itself."""
+    out: List[Pair] = []
+    for i, a in enumerate(routines):
+        for b in routines[i:]:
+            out.append((a, b))
+    return out
+
+
+def rule_a1(pair: Pair) -> bool:
+    """True if the pair violates A1 (two concurrent Pnp IRPs)."""
+    a, b = pair
+    return a.is_pnp and b.is_pnp
+
+
+def rule_a2(pair: Pair) -> bool:
+    """True if the pair violates A2 (anything concurrent with start/remove)."""
+    return Routine.PNP_START in pair
+
+
+def rule_a3(pair: Pair) -> bool:
+    """True if the pair violates A3 (two same-category Power IRPs)."""
+    a, b = pair
+    return (a == b == Routine.POWER_SYS) or (a == b == Routine.POWER_DEV)
+
+
+def rule_ioctl(pair: Pair) -> bool:
+    """True if the pair is two concurrent Ioctls (driver-specific rule)."""
+    a, b = pair
+    return a == b == Routine.IOCTL
+
+
+def permissive_pairs(routines: Sequence[Routine]) -> List[Pair]:
+    """The first-run harness: everything goes."""
+    return all_pairs(routines)
+
+
+def refined_pairs(routines: Sequence[Routine], ioctl_serialized: bool = False) -> List[Pair]:
+    """The second-run harness: drop pairs forbidden by A1–A3 (and the
+    serialized-Ioctl rule where it applies)."""
+    out = []
+    for pair in all_pairs(routines):
+        if rule_a1(pair) or rule_a2(pair) or rule_a3(pair):
+            continue
+        if ioctl_serialized and rule_ioctl(pair):
+            continue
+        out.append(pair)
+    return out
+
+
+def harness_pairs(spec: DriverSpec, routines: Sequence[Routine], refined: bool) -> List[Pair]:
+    """The dispatch-routine pairs the chosen harness allows for this driver."""
+    if refined:
+        return refined_pairs(routines, ioctl_serialized=spec.ioctl_serialized)
+    return permissive_pairs(routines)

@@ -1,0 +1,107 @@
+"""A hand-written moufiltr-style filter driver model.
+
+The paper (§6): all seven races KISS reported on moufiltr (and all eight
+on kbfiltr) had error traces involving *two concurrent Ioctl IRPs* — but
+"the position of these two drivers in the driver stack ensures that they
+will never receive two concurrent Ioctl IRPs; consequently, the race
+conditions reported by KISS were spurious."
+
+This model shows the pattern concretely: the Ioctl dispatch routine does
+an unprotected read-modify-write of connection state (safe if Ioctls are
+serialized, racy if not).  The two harnesses correspond to the paper's
+first and second experiments:
+
+* ``moufiltr_permissive_program`` — the OS may send any pair of IRPs,
+  including two Ioctls: KISS reports the race (Table 1's seven reports);
+* ``moufiltr_refined_program`` — the driver-specific rule is encoded in
+  the harness (no concurrent Ioctls): no race (Table 2's zero).
+"""
+
+from __future__ import annotations
+
+from repro.lang import parse_core
+from repro.lang.ast import Program
+
+from .osmodel import OS_MODEL_SRC
+
+_BODY = (
+    OS_MODEL_SRC
+    + """
+struct DEVICE_EXTENSION {
+  int ConnectCount;
+  int InputCount;
+}
+
+int SpinLock;
+
+// Ioctl handler: internal-device-control connect/disconnect requests.
+// The RMW of ConnectCount is unprotected — harmless when the driver
+// stack serializes Ioctls, a race if two run concurrently.
+void MouFilter_DispatchIoctl(DEVICE_EXTENSION *e) {
+  int count;
+  count = e->ConnectCount;
+  e->ConnectCount = count + 1;
+}
+
+// The read path takes the spin lock properly.
+void MouFilter_ReadNotification(DEVICE_EXTENSION *e) {
+  KeAcquireSpinLock(&SpinLock);
+  e->InputCount = e->InputCount + 1;
+  KeReleaseSpinLock(&SpinLock);
+}
+"""
+)
+
+MOUFILTR_PERMISSIVE_SRC = (
+    _BODY
+    + """
+void main() {
+  DEVICE_EXTENSION *e;
+  e = malloc(DEVICE_EXTENSION);
+  e->ConnectCount = 0;
+  e->InputCount = 0;
+  // first-run harness: the OS may send any pair, including two Ioctls
+  choice {
+    async MouFilter_DispatchIoctl(e);
+    MouFilter_DispatchIoctl(e);
+  } or {
+    async MouFilter_DispatchIoctl(e);
+    MouFilter_ReadNotification(e);
+  } or {
+    async MouFilter_ReadNotification(e);
+    MouFilter_ReadNotification(e);
+  }
+}
+"""
+)
+
+MOUFILTR_REFINED_SRC = (
+    _BODY
+    + """
+void main() {
+  DEVICE_EXTENSION *e;
+  e = malloc(DEVICE_EXTENSION);
+  e->ConnectCount = 0;
+  e->InputCount = 0;
+  // refined harness: the driver stack serializes Ioctls, so two
+  // concurrent Ioctls are impossible — drop that pair
+  choice {
+    async MouFilter_DispatchIoctl(e);
+    MouFilter_ReadNotification(e);
+  } or {
+    async MouFilter_ReadNotification(e);
+    MouFilter_ReadNotification(e);
+  }
+}
+"""
+)
+
+
+def moufiltr_permissive_program() -> Program:
+    """The model under the first-run harness (concurrent Ioctls allowed)."""
+    return parse_core(MOUFILTR_PERMISSIVE_SRC)
+
+
+def moufiltr_refined_program() -> Program:
+    """The model under the refined harness (Ioctls serialized)."""
+    return parse_core(MOUFILTR_REFINED_SRC)

@@ -1,0 +1,94 @@
+"""Models of the Windows kernel routines the drivers use.
+
+The paper: "SLAM already provided stubs for these calls; we augmented
+them to model the synchronization operations accurately.  Some of the
+synchronization routines we modeled were KeAcquireSpinLock,
+KeWaitForSingleObject, InterlockedCompareExchange, InterlockedIncrement,
+etc."  These are the same encodings, written in the parallel language —
+each primitive is an ``atomic``/``assume`` combination exactly as
+Section 3 prescribes (``lock_acquire = atomic{assume(*l == 0); *l = 1}``).
+
+``OS_MODEL_SRC`` is concatenated into every generated driver program.
+Locks are plain ``int`` cells: 0 = free, 1 = held.  Events are ``bool``
+cells: ``KeWaitForSingleObject`` blocks until true.
+"""
+
+OS_MODEL_SRC = """
+// ---- Windows kernel synchronization models (see repro.drivers.osmodel) ----
+
+void KeAcquireSpinLock(int *lock) {
+  atomic { assume(*lock == 0); *lock = 1; }
+}
+
+void KeReleaseSpinLock(int *lock) {
+  atomic { *lock = 0; }
+}
+
+int InterlockedIncrement(int *cell) {
+  int v;
+  atomic { *cell = *cell + 1; v = *cell; }
+  return v;
+}
+
+int InterlockedDecrement(int *cell) {
+  int v;
+  atomic { *cell = *cell - 1; v = *cell; }
+  return v;
+}
+
+int InterlockedCompareExchange(int *dest, int exchange, int comparand) {
+  int old;
+  atomic {
+    old = *dest;
+    if (old == comparand) { *dest = exchange; }
+  }
+  return old;
+}
+
+int InterlockedExchange(int *dest, int value) {
+  int old;
+  atomic { old = *dest; *dest = value; }
+  return old;
+}
+
+void KeWaitForSingleObject(bool *event) {
+  assume(*event);
+}
+
+void KeSetEvent(bool *event) {
+  *event = true;
+}
+
+void KeClearEvent(bool *event) {
+  *event = false;
+}
+
+// IoAcquireRemoveLock / IoReleaseRemoveLock: reference counting on an
+// int cell; the paper's remove-lock idiom (toaster/toastmon, Figure 6).
+int IoAcquireRemoveLock(int *count) {
+  int v;
+  v = InterlockedIncrement(count);
+  return v;
+}
+
+void IoReleaseRemoveLock(int *count) {
+  int v;
+  v = InterlockedDecrement(count);
+}
+"""
+
+#: Function names defined by the OS model (used by generators to avoid
+#: accidental redefinition).
+OS_MODEL_FUNCTIONS = (
+    "KeAcquireSpinLock",
+    "KeReleaseSpinLock",
+    "InterlockedIncrement",
+    "InterlockedDecrement",
+    "InterlockedCompareExchange",
+    "InterlockedExchange",
+    "KeWaitForSingleObject",
+    "KeSetEvent",
+    "KeClearEvent",
+    "IoAcquireRemoveLock",
+    "IoReleaseRemoveLock",
+)

@@ -1,0 +1,64 @@
+"""The toaster/toastmon race of Figure 6 — a confirmed bug in the paper.
+
+``ToastMon_DispatchPnp`` writes ``DevicePnPState`` (to ``StopPending``)
+while holding the remove lock, but the remove lock is a *reference
+count*, not a mutex — it does not serialize the write against
+``ToastMon_DispatchPower``'s unprotected read of the same field.  The
+read/write race survives the refined harness because a Pnp query-stop
+IRP and a Power IRP may legitimately run concurrently.
+
+State encoding: ``DevicePnPState`` values 0 = Started, 1 = StopPending,
+2 = Deleted (the constants of the real driver's enum).
+"""
+
+from __future__ import annotations
+
+from repro.lang import parse_core
+from repro.lang.ast import Program
+
+from .osmodel import OS_MODEL_SRC
+
+TOASTMON_SRC = (
+    OS_MODEL_SRC
+    + """
+struct DEVICE_EXTENSION {
+  int DevicePnPState;
+  int RemoveLock;
+  int OutstandingIO;
+}
+
+void ToastMon_DispatchPnp(DEVICE_EXTENSION *e) {
+  int status;
+  status = IoAcquireRemoveLock(&e->RemoveLock);
+  // IRP_MN_QUERY_STOP_DEVICE: Race: write access
+  e->DevicePnPState = 1;
+  IoReleaseRemoveLock(&e->RemoveLock);
+}
+
+void ToastMon_DispatchPower(DEVICE_EXTENSION *e) {
+  int state;
+  // Race: read access (unprotected test against Deleted)
+  state = e->DevicePnPState;
+  if (state == 2) {
+    return;
+  }
+  state = 0;
+}
+
+void main() {
+  DEVICE_EXTENSION *e;
+  e = malloc(DEVICE_EXTENSION);
+  e->DevicePnPState = 0;
+  e->RemoveLock = 0;
+  e->OutstandingIO = 0;
+  // the refined harness still allows a (query-stop Pnp, Power) pair
+  async ToastMon_DispatchPower(e);
+  ToastMon_DispatchPnp(e);
+}
+"""
+)
+
+
+def toastmon_program() -> Program:
+    """The Figure 6 model as a core program."""
+    return parse_core(TOASTMON_SRC)

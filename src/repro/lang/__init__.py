@@ -1,0 +1,39 @@
+"""Front-end for the KISS parallel language (Figure 3 of the paper).
+
+Public surface:
+
+* :func:`repro.lang.parse` — source text → type-checked surface program
+* :func:`repro.lang.parse_core` — source text → type-checked *core* program
+* :mod:`repro.lang.ast` — AST node classes
+* :class:`repro.lang.builder.ProgramBuilder` — programmatic construction
+"""
+
+from __future__ import annotations
+
+from .ast import Program
+from .inline import inline_program
+from .lower import is_core_program, lower_program
+from .parser import parse_program
+from .types import KissTypeError, check_program
+
+
+def parse(src: str) -> Program:
+    """Parse and type-check a surface program."""
+    return check_program(parse_program(src))
+
+
+def parse_core(src: str) -> Program:
+    """Parse, type-check, and lower a program to core form."""
+    return lower_program(parse(src))
+
+
+__all__ = [
+    "Program",
+    "KissTypeError",
+    "parse",
+    "parse_core",
+    "check_program",
+    "lower_program",
+    "is_core_program",
+    "inline_program",
+]

@@ -1,0 +1,145 @@
+"""A small DSL for constructing programs without writing concrete syntax.
+
+Used by the driver-model generator and by tests that need many structurally
+similar programs.  Example::
+
+    b = ProgramBuilder()
+    b.global_var("stopped", BOOL, BoolLit(False))
+    f = b.function("main")
+    f.stmt(Assign(Var("stopped"), BoolLit(True)))
+    f.assert_(Unary("!", Var("stopped")))
+    prog = b.build()          # type-checked surface program
+    core = b.build_core()     # type-checked and lowered
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from .ast import (
+    Assert,
+    Assign,
+    Assume,
+    AsyncCall,
+    Atomic,
+    Block,
+    Call,
+    Choice,
+    Expr,
+    FuncDecl,
+    GlobalDecl,
+    If,
+    Iter,
+    Malloc,
+    Param,
+    Program,
+    Return,
+    Stmt,
+    StructDecl,
+    Type,
+    Var,
+    VarDecl,
+    While,
+)
+from .lower import lower_program
+from .types import check_program
+
+
+class FunctionBuilder:
+    """Accumulates statements for one function."""
+
+    def __init__(self, name: str, params: Sequence[Param] = (), ret: Optional[Type] = None):
+        self.name = name
+        self.params = list(params)
+        self.ret_type = ret  # not `self.ret`: that's the statement method
+        self._stmts: List[Stmt] = []
+
+    # -- raw ------------------------------------------------------------------
+
+    def stmt(self, s: Stmt) -> "FunctionBuilder":
+        self._stmts.append(s)
+        return self
+
+    def stmts(self, ss: Sequence[Stmt]) -> "FunctionBuilder":
+        self._stmts.extend(ss)
+        return self
+
+    # -- sugar ----------------------------------------------------------------
+
+    def local(self, name: str, typ: Type) -> "FunctionBuilder":
+        return self.stmt(VarDecl(name, typ))
+
+    def assign(self, lhs: Expr, rhs: Expr) -> "FunctionBuilder":
+        return self.stmt(Assign(lhs, rhs))
+
+    def malloc(self, lhs: Expr, struct_name: str) -> "FunctionBuilder":
+        return self.stmt(Malloc(lhs, struct_name))
+
+    def assert_(self, cond: Expr) -> "FunctionBuilder":
+        return self.stmt(Assert(cond))
+
+    def assume(self, cond: Expr) -> "FunctionBuilder":
+        return self.stmt(Assume(cond))
+
+    def atomic(self, stmts: Sequence[Stmt]) -> "FunctionBuilder":
+        return self.stmt(Atomic(Block(list(stmts))))
+
+    def call(self, func: str, args: Sequence[Expr] = (), lhs: Optional[Expr] = None) -> "FunctionBuilder":
+        return self.stmt(Call(lhs, Var(func), args))
+
+    def async_call(self, func: str, args: Sequence[Expr] = ()) -> "FunctionBuilder":
+        return self.stmt(AsyncCall(Var(func), args))
+
+    def ret(self, value: Optional[Expr] = None) -> "FunctionBuilder":
+        return self.stmt(Return(value))
+
+    def if_(self, cond: Expr, then: Sequence[Stmt], els: Optional[Sequence[Stmt]] = None) -> "FunctionBuilder":
+        els_block = Block(list(els)) if els is not None else None
+        return self.stmt(If(cond, Block(list(then)), els_block))
+
+    def while_(self, cond: Expr, body: Sequence[Stmt]) -> "FunctionBuilder":
+        return self.stmt(While(cond, Block(list(body))))
+
+    def choice(self, *branches: Sequence[Stmt]) -> "FunctionBuilder":
+        return self.stmt(Choice([Block(list(b)) for b in branches]))
+
+    def iter_(self, body: Sequence[Stmt]) -> "FunctionBuilder":
+        return self.stmt(Iter(Block(list(body))))
+
+    def build(self) -> FuncDecl:
+        return FuncDecl(self.name, self.params, self.ret_type, Block(self._stmts))
+
+
+class ProgramBuilder:
+    """Accumulates structs, globals, and functions; ``build()`` type-checks."""
+    def __init__(self, entry: str = "main"):
+        self._prog = Program(entry=entry)
+        self._funcs: List[FunctionBuilder] = []
+
+    def struct(self, name: str, fields: dict) -> "ProgramBuilder":
+        self._prog.structs[name] = StructDecl(name, dict(fields))
+        return self
+
+    def global_var(self, name: str, typ: Type, init: Optional[Expr] = None) -> "ProgramBuilder":
+        self._prog.globals[name] = GlobalDecl(name, typ, init)
+        return self
+
+    def function(
+        self, name: str, params: Sequence[Param] = (), ret: Optional[Type] = None
+    ) -> FunctionBuilder:
+        fb = FunctionBuilder(name, params, ret)
+        self._funcs.append(fb)
+        return fb
+
+    def add_function(self, decl: FuncDecl) -> "ProgramBuilder":
+        self._prog.functions[decl.name] = decl
+        return self
+
+    def build(self) -> Program:
+        for fb in self._funcs:
+            self._prog.functions[fb.name] = fb.build()
+        self._funcs = []
+        return check_program(self._prog)
+
+    def build_core(self) -> Program:
+        return lower_program(self.build())

@@ -1,0 +1,272 @@
+"""A conservative function inliner for core programs.
+
+Driver models call tiny synchronization wrappers (lock acquire/release,
+interlocked ops) constantly; each call costs the checkers a frame push,
+a frame pop, and the instrumentation's ``if (raise) return`` plumbing.
+Inlining them shrinks the explored state space without changing
+behaviour.
+
+A function is inlinable when ALL hold:
+
+* it is not the entry point, not spawned by any ``async``, and its name
+  is never used as a *value* (indirect-call targets must stay);
+* it is not (mutually) recursive;
+* its body contains no ``return`` except, optionally, one as the final
+  statement (arbitrary early returns would need a goto construct the
+  language deliberately lacks);
+* its body is small (``max_stmts`` core statements).
+
+Inlined bodies are deep-copied with locals/parameters renamed fresh per
+call site; statement ids are preserved, so error traces still point at
+the original source statements.  RAISE-style ``return`` semantics are
+unaffected: a ``return`` synthesized later by the KISS instrumentation
+inside an inlined body exits the *caller*, which is exactly where the
+original callee's unwinding would have ended up anyway.
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Dict, List, Optional, Set
+
+from .ast import (
+    Assign,
+    AsyncCall,
+    Atomic,
+    Binary,
+    Block,
+    Call,
+    Choice,
+    Expr,
+    Field,
+    FuncDecl,
+    Iter,
+    Malloc,
+    Program,
+    Return,
+    Skip,
+    Stmt,
+    Unary,
+    Var,
+    walk_exprs,
+    walk_stmts,
+)
+
+
+def _spawned_functions(prog: Program) -> Set[str]:
+    out: Set[str] = set()
+    for f in prog.functions.values():
+        for s in walk_stmts(f.body):
+            if isinstance(s, AsyncCall):
+                out.add(s.func.name)
+    return out
+
+
+def _address_taken_functions(prog: Program) -> Set[str]:
+    """Function names used as values (anywhere but a direct call/async)."""
+    out: Set[str] = set()
+    fnames = set(prog.functions)
+    for f in prog.functions.values():
+        local_names = set(f.locals) | {p.name for p in f.params}
+        for s in walk_stmts(f.body):
+            exprs: List[Expr] = []
+            if isinstance(s, (Call, AsyncCall)):
+                exprs.extend(s.args)
+                if isinstance(s, Call) and s.lhs is not None:
+                    exprs.append(s.lhs)
+            elif isinstance(s, Assign):
+                exprs.extend([s.lhs, s.rhs])
+            elif isinstance(s, Return) and s.value is not None:
+                exprs.append(s.value)
+            for e in exprs:
+                for sub in walk_exprs(e):
+                    if isinstance(sub, Var) and sub.name in fnames and sub.name not in local_names:
+                        out.add(sub.name)
+    return out
+
+
+def _calls_in(func: FuncDecl) -> Set[str]:
+    return {
+        s.func.name
+        for s in walk_stmts(func.body)
+        if isinstance(s, (Call, AsyncCall))
+    }
+
+
+def _body_size(func: FuncDecl) -> int:
+    return sum(1 for s in walk_stmts(func.body) if not isinstance(s, Block))
+
+
+def _returns_ok(func: FuncDecl) -> bool:
+    """No return statements except possibly one as the final statement;
+    value-returning functions must end with an explicit return (callers
+    of fall-off-the-end functions rely on the checker's default-value
+    semantics, which inlining cannot reproduce with an assignment)."""
+    stmts = func.body.stmts
+    final = stmts[-1] if stmts else None
+    for s in walk_stmts(func.body):
+        if isinstance(s, Return) and s is not final:
+            return False
+    if func.ret is not None and not isinstance(final, Return):
+        return False
+    return True
+
+
+class _Renamer:
+    """Clone a statement tree, renaming a set of variables."""
+
+    def __init__(self, mapping: Dict[str, str]):
+        self.mapping = mapping
+
+    def expr(self, e: Expr) -> Expr:
+        if isinstance(e, Var):
+            return Var(self.mapping.get(e.name, e.name))
+        if isinstance(e, Unary):
+            return Unary(e.op, self.expr(e.operand))
+        if isinstance(e, Binary):
+            return Binary(e.op, self.expr(e.left), self.expr(e.right))
+        if isinstance(e, Field):
+            return Field(self.expr(e.base), e.name, e.arrow)
+        return e
+
+    def stmt(self, s: Stmt) -> Stmt:
+        new = copy.copy(s)
+        new.sid = s.sid  # traces keep pointing at the original statement
+        if isinstance(s, Assign):
+            new.lhs = self.expr(s.lhs)
+            new.rhs = self.expr(s.rhs)
+        elif isinstance(s, Malloc):
+            new.lhs = self.expr(s.lhs)
+        elif isinstance(s, (Call,)):
+            new.lhs = self.expr(s.lhs) if s.lhs is not None else None
+            new.func = self.expr(s.func)
+            new.args = [self.expr(a) for a in s.args]
+        elif isinstance(s, AsyncCall):
+            new.func = self.expr(s.func)
+            new.args = [self.expr(a) for a in s.args]
+        elif isinstance(s, Return):
+            new.value = self.expr(s.value) if s.value is not None else None
+        elif isinstance(s, Block):
+            new.stmts = [self.stmt(x) for x in s.stmts]
+        elif isinstance(s, Atomic):
+            new.body = self.stmt(s.body)
+        elif isinstance(s, Choice):
+            new.branches = [self.stmt(b) for b in s.branches]
+        elif isinstance(s, Iter):
+            new.body = self.stmt(s.body)
+        elif hasattr(s, "cond"):
+            new.cond = self.expr(s.cond)
+        return new
+
+
+class Inliner:
+    """The inlining pass; see the module docstring for the eligibility rules."""
+    def __init__(self, prog: Program, max_stmts: int = 12):
+        self.prog = prog
+        self.max_stmts = max_stmts
+        self._fresh = 0
+        self.inlined_calls = 0
+
+    def _inlinable(self) -> Set[str]:
+        spawned = _spawned_functions(self.prog)
+        taken = _address_taken_functions(self.prog)
+        out: Set[str] = set()
+        for name, f in self.prog.functions.items():
+            if name == self.prog.entry or name in spawned or name in taken:
+                continue
+            if not _returns_ok(f) or _body_size(f) > self.max_stmts:
+                continue
+            if name in _calls_in(f):
+                continue  # direct recursion
+            out.add(name)
+        return out
+
+    def run(self) -> Program:
+        """Inline in place (call on a clone if the original must survive)."""
+        candidates = self._inlinable()
+        # bottom-up: repeat until no eligible call sites remain (bounded
+        # by the call-graph depth; mutual recursion among candidates is
+        # broken by the no-progress check)
+        for _ in range(len(self.prog.functions) + 1):
+            changed = False
+            for func in self.prog.functions.values():
+                changed |= self._inline_in(func, candidates)
+            if not changed:
+                break
+        return self.prog
+
+    def _inline_in(self, func: FuncDecl, candidates: Set[str]) -> bool:
+        local_names = set(func.locals) | {p.name for p in func.params}
+        changed = self._inline_block(func, func.body, candidates, local_names)
+        return changed
+
+    def _inline_block(self, func: FuncDecl, block: Block, candidates: Set[str], local_names: Set[str]) -> bool:
+        changed = False
+        out: List[Stmt] = []
+        for s in block.stmts:
+            if isinstance(s, (Choice,)):
+                for b in s.branches:
+                    changed |= self._inline_block(func, b, candidates, local_names)
+                out.append(s)
+                continue
+            if isinstance(s, Iter):
+                changed |= self._inline_block(func, s.body, candidates, local_names)
+                out.append(s)
+                continue
+            if isinstance(s, Block):
+                changed |= self._inline_block(func, s, candidates, local_names)
+                out.append(s)
+                continue
+            if (
+                isinstance(s, Call)
+                and s.func.name in candidates
+                and s.func.name not in local_names
+                # a callee inlining into itself is excluded by _inlinable,
+                # but mutual candidates could ping-pong; only inline calls
+                # to *other* functions
+                and s.func.name != func.name
+            ):
+                out.extend(self._expand(func, s))
+                self.inlined_calls += 1
+                changed = True
+                continue
+            out.append(s)
+        block.stmts = out
+        return changed
+
+    def _expand(self, caller: FuncDecl, call: Call) -> List[Stmt]:
+        callee = self.prog.function(call.func.name)
+        mapping: Dict[str, str] = {}
+        for name in list(callee.locals) + [p.name for p in callee.params]:
+            self._fresh += 1
+            fresh = f"__inl{self._fresh}_{name}"
+            mapping[name] = fresh
+        for p in callee.params:
+            caller.locals[mapping[p.name]] = p.type
+        for lname, ltype in callee.locals.items():
+            caller.locals[mapping[lname]] = ltype
+
+        renamer = _Renamer(mapping)
+        out: List[Stmt] = []
+        for p, a in zip(callee.params, call.args):
+            bind = Assign(Var(mapping[p.name]), a)
+            bind.sid = call.sid
+            out.append(bind)
+        body = [renamer.stmt(s) for s in callee.body.stmts]
+        ret_value: Optional[Expr] = None
+        if body and isinstance(body[-1], Return):
+            ret = body.pop()
+            ret_value = ret.value
+        out.extend(body)
+        if call.lhs is not None:
+            # _inlinable guarantees value-returning candidates end with an
+            # explicit return, so ret_value is present here
+            assign = Assign(call.lhs, ret_value)
+            assign.sid = call.sid
+            out.append(assign)
+        return out
+
+
+def inline_program(prog: Program, max_stmts: int = 12) -> Program:
+    """Inline small leaf functions in place; returns the same object."""
+    return Inliner(prog, max_stmts=max_stmts).run()

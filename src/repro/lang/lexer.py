@@ -1,0 +1,144 @@
+"""Hand-written lexer for the KISS parallel language's C-like syntax."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List
+
+KEYWORDS = {
+    "int",
+    "bool",
+    "func",
+    "void",
+    "struct",
+    "true",
+    "false",
+    "null",
+    "nondet",
+    "if",
+    "else",
+    "while",
+    "return",
+    "assert",
+    "assume",
+    "atomic",
+    "async",
+    "choice",
+    "or",
+    "iter",
+    "skip",
+    "malloc",
+    "benign",
+}
+
+# Multi-character operators must precede their prefixes.
+OPERATORS = [
+    "->",
+    "==",
+    "!=",
+    "<=",
+    ">=",
+    "&&",
+    "||",
+    "=",
+    "<",
+    ">",
+    "+",
+    "-",
+    "*",
+    "/",
+    "%",
+    "!",
+    "&",
+    "(",
+    ")",
+    "{",
+    "}",
+    ";",
+    ",",
+    ".",
+]
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str  # 'ID', 'INT', 'KW', 'OP', 'EOF'
+    text: str
+    line: int
+    col: int
+
+    def __str__(self) -> str:
+        return f"{self.kind}({self.text!r})@{self.line}:{self.col}"
+
+
+class LexError(Exception):
+    def __init__(self, message: str, line: int, col: int):
+        super().__init__(f"{line}:{col}: {message}")
+        self.line = line
+        self.col = col
+
+
+def tokenize(src: str) -> List[Token]:
+    """Tokenize ``src``; raises :class:`LexError` on illegal input."""
+    return list(_tokens(src))
+
+
+def _tokens(src: str) -> Iterator[Token]:
+    i = 0
+    line = 1
+    col = 1
+    n = len(src)
+    while i < n:
+        c = src[i]
+        if c == "\n":
+            i += 1
+            line += 1
+            col = 1
+            continue
+        if c in " \t\r":
+            i += 1
+            col += 1
+            continue
+        if src.startswith("//", i):
+            while i < n and src[i] != "\n":
+                i += 1
+            continue
+        if src.startswith("/*", i):
+            end = src.find("*/", i + 2)
+            if end < 0:
+                raise LexError("unterminated block comment", line, col)
+            skipped = src[i : end + 2]
+            newlines = skipped.count("\n")
+            if newlines:
+                line += newlines
+                col = len(skipped) - skipped.rfind("\n") - 1 + 1
+            else:
+                col += len(skipped)
+            i = end + 2
+            continue
+        if c.isdigit():
+            j = i
+            while j < n and src[j].isdigit():
+                j += 1
+            yield Token("INT", src[i:j], line, col)
+            col += j - i
+            i = j
+            continue
+        if c.isalpha() or c == "_":
+            j = i
+            while j < n and (src[j].isalnum() or src[j] == "_"):
+                j += 1
+            text = src[i:j]
+            yield Token("KW" if text in KEYWORDS else "ID", text, line, col)
+            col += j - i
+            i = j
+            continue
+        for op in OPERATORS:
+            if src.startswith(op, i):
+                yield Token("OP", op, line, col)
+                col += len(op)
+                i += len(op)
+                break
+        else:
+            raise LexError(f"illegal character {c!r}", line, col)
+    yield Token("EOF", "", line, col)

@@ -1,0 +1,440 @@
+"""Lowering surface programs to the paper's core statement forms.
+
+Figure 3 of the paper gives a language where decisions are made on
+variables and statements are in three-address form.  Section 3 shows the
+standard encodings::
+
+    if (v) s1 else s2  =  choice{assume(v); s1 [] assume(!v); s2}
+    while (v) s        =  iter{assume(v); s}; assume(!v)
+
+This pass applies those encodings, flattens nested expressions by
+introducing fresh temporaries, splits declarations out of bodies (locals
+become function-scoped, recorded in ``FuncDecl.locals``), and rewrites
+``(*p).f`` to ``p->f``.  ``&&``/``||`` are lowered with C short-circuit
+semantics so that instrumented programs perform exactly the memory reads
+the original C program would.
+
+The result is a *core program*: every statement satisfies
+:func:`is_core_stmt`.  Core statements are what the KISS instrumentation
+(Figures 4 and 5) is defined over.
+
+Evaluation-order note: for an assignment through a complex lvalue, the
+lvalue address is evaluated before the right-hand side (C leaves this
+unspecified; we fix one order).
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import List, Optional, Tuple
+
+from .ast import (
+    BOOL,
+    INT,
+    Assert,
+    Assign,
+    Assume,
+    AsyncCall,
+    Atomic,
+    Binary,
+    Block,
+    BoolLit,
+    Call,
+    Choice,
+    Expr,
+    Field,
+    FuncDecl,
+    If,
+    IntLit,
+    Iter,
+    Malloc,
+    Nondet,
+    NullLit,
+    Pos,
+    Program,
+    PtrType,
+    Return,
+    Skip,
+    Stmt,
+    Type,
+    Unary,
+    Var,
+    VarDecl,
+    While,
+    is_atom,
+    is_const,
+)
+from .types import Env, KissTypeError, typeof
+
+TEMP_PREFIX = "__t"
+
+
+class _FunctionLowerer:
+    def __init__(self, prog: Program, func: FuncDecl):
+        self.prog = prog
+        self.func = func
+        self.env = Env(prog, func)
+        self._temp_counter = 0
+
+    def _fresh(self, typ: Type) -> Var:
+        while True:
+            self._temp_counter += 1
+            name = f"{TEMP_PREFIX}{self._temp_counter}"
+            if not self.env.is_local(name):
+                break
+        self.env.declare_local(name, typ)
+        return Var(name)
+
+    # -- expressions --------------------------------------------------------
+
+    def eval_expr(self, e: Expr, out: List[Stmt]) -> Expr:
+        """Flatten ``e``; append evaluation statements to ``out`` and return
+        an atom (variable or constant) holding its value."""
+        if is_atom(e):
+            return e
+        v = self.eval_complex(e, out, target=None)
+        return v
+
+    def eval_complex(self, e: Expr, out: List[Stmt], target: Optional[Var]) -> Var:
+        """Evaluate a non-atomic expression into ``target`` (or a fresh temp).
+
+        Returns the variable holding the result.
+        """
+        if isinstance(e, Nondet):
+            t = target if target is not None else self._fresh(BOOL)
+            out.append(
+                Choice(
+                    [
+                        Block([Assign(t, BoolLit(True))]),
+                        Block([Assign(t, BoolLit(False))]),
+                    ]
+                )
+            )
+            return t
+        if isinstance(e, Unary) and e.op in ("-", "!"):
+            a = self.eval_expr(e.operand, out)
+            t = target if target is not None else self._fresh(typeof(self.env, e))
+            out.append(Assign(t, Unary(e.op, a)))
+            return t
+        if isinstance(e, Unary) and e.op == "*":
+            p = self.eval_expr(e.operand, out)
+            p = self._force_var(p, out)
+            t = target if target is not None else self._fresh(typeof(self.env, e))
+            out.append(Assign(t, Unary("*", p)))
+            return t
+        if isinstance(e, Unary) and e.op == "&":
+            return self.eval_addr(e.operand, out, target)
+        if isinstance(e, Binary) and e.op in ("&&", "||"):
+            return self._short_circuit(e, out, target)
+        if isinstance(e, Binary):
+            a = self.eval_expr(e.left, out)
+            b = self.eval_expr(e.right, out)
+            t = target if target is not None else self._fresh(typeof(self.env, e))
+            out.append(Assign(t, Binary(e.op, a, b)))
+            return t
+        if isinstance(e, Field):
+            e = self._normalize_field(e)
+            base = self.eval_expr(e.base, out)
+            base = self._force_var(base, out)
+            t = target if target is not None else self._fresh(typeof(self.env, e))
+            out.append(Assign(t, Field(base, e.name)))
+            return t
+        raise KissTypeError(f"cannot lower expression {e}")
+
+    def eval_addr(self, lv: Expr, out: List[Stmt], target: Optional[Var]) -> Var:
+        """Evaluate ``&lv`` into a variable."""
+        if isinstance(lv, Var):
+            t = target if target is not None else self._fresh(PtrType(typeof(self.env, lv)))
+            out.append(Assign(t, Unary("&", lv)))
+            return t
+        if isinstance(lv, Unary) and lv.op == "*":
+            # &*e == e
+            a = self.eval_expr(lv.operand, out)
+            a = self._force_var(a, out)
+            if target is not None:
+                out.append(Assign(target, a))
+                return target
+            return a
+        if isinstance(lv, Field):
+            lv = self._normalize_field(lv)
+            base = self.eval_expr(lv.base, out)
+            base = self._force_var(base, out)
+            t = target if target is not None else self._fresh(PtrType(typeof(self.env, lv)))
+            out.append(Assign(t, Unary("&", Field(base, lv.name))))
+            return t
+        raise KissTypeError(f"'&' applied to non-lvalue {lv}")
+
+    def _normalize_field(self, e: Field) -> Field:
+        """Rewrite ``(*p).f`` to ``p->f``."""
+        if e.arrow:
+            return e
+        base = e.base
+        if isinstance(base, Unary) and base.op == "*":
+            return Field(base.operand, e.name, arrow=True)
+        raise KissTypeError(f"'.' field access on non-dereference {e}")
+
+    def _force_var(self, atom: Expr, out: List[Stmt]) -> Var:
+        """Core loads/stores need a *variable* base; copy constants in."""
+        if isinstance(atom, Var):
+            return atom
+        t = self._fresh(self._const_type(atom))
+        out.append(Assign(t, atom))
+        return t
+
+    def _const_type(self, c: Expr) -> Type:
+        return typeof(self.env, c)
+
+    def _short_circuit(self, e: Binary, out: List[Stmt], target: Optional[Var]) -> Var:
+        t = target if target is not None else self._fresh(BOOL)
+        left = self.eval_expr(e.left, out)
+        tneg = self._fresh(BOOL)
+
+        def branch(stmts: List[Stmt]) -> Block:
+            return Block(stmts)
+
+        if e.op == "&&":
+            take: List[Stmt] = []
+            self.eval_into(t, e.right, take)
+            skip: List[Stmt] = [Assign(t, BoolLit(False))]
+            guard_take = [Assume(left)] if isinstance(left, Var) else [Assume(left)]
+            guard_skip = self._negated_guard(left, tneg)
+            out.append(Choice([branch(guard_take + take), branch(guard_skip + skip)]))
+        else:  # '||'
+            take = [Assign(t, BoolLit(True))]
+            skip = []
+            self.eval_into(t, e.right, skip)
+            guard_take = [Assume(left)]
+            guard_skip = self._negated_guard(left, tneg)
+            out.append(Choice([branch(guard_take + take), branch(guard_skip + skip)]))
+        return t
+
+    def _negated_guard(self, atom: Expr, tneg: Var) -> List[Stmt]:
+        return [Assign(tneg, Unary("!", atom)), Assume(tneg)]
+
+    def eval_into(self, target: Var, e: Expr, out: List[Stmt]) -> None:
+        """Evaluate ``e`` and leave the result in ``target``."""
+        if is_atom(e):
+            out.append(Assign(target, e))
+        else:
+            self.eval_complex(e, out, target=target)
+
+    # -- statements -----------------------------------------------------------
+
+    def lower_block(self, b: Block) -> Block:
+        out: List[Stmt] = []
+        for s in b.stmts:
+            self.lower_stmt(s, out)
+        blk = Block(out, b.pos)
+        blk.sid = b.sid
+        return blk
+
+    def lower_stmt(self, s: Stmt, out: List[Stmt]) -> None:
+        start = len(out)
+        self._lower_stmt(s, out)
+        if getattr(s, "kiss_benign", False):
+            from .ast import walk_stmts
+
+            for emitted in out[start:]:
+                for sub in walk_stmts(emitted):
+                    sub.kiss_benign = True
+
+    def _lower_stmt(self, s: Stmt, out: List[Stmt]) -> None:
+        if isinstance(s, Block):
+            for sub in s.stmts:
+                self.lower_stmt(sub, out)
+        elif isinstance(s, VarDecl):
+            if not self.env.is_local(s.name):
+                self.env.declare_local(s.name, s.type)
+            if s.init is not None:
+                self._lower_assign(Var(s.name), s.init, s, out)
+        elif isinstance(s, Skip):
+            out.append(self._tag(Skip(s.pos), s))
+        elif isinstance(s, Assign):
+            self._lower_assign(s.lhs, s.rhs, s, out)
+        elif isinstance(s, Malloc):
+            self._lower_malloc(s, out)
+        elif isinstance(s, Assert):
+            a = self.eval_expr(s.cond, out)
+            out.append(self._tag(Assert(a, s.pos), s))
+        elif isinstance(s, Assume):
+            a = self.eval_expr(s.cond, out)
+            out.append(self._tag(Assume(a, s.pos), s))
+        elif isinstance(s, Atomic):
+            body = self.lower_block(s.body)
+            out.append(self._tag(Atomic(body, s.pos), s))
+        elif isinstance(s, Call):
+            self._lower_call(s, out)
+        elif isinstance(s, AsyncCall):
+            args = [self.eval_expr(a, out) for a in s.args]
+            out.append(self._tag(AsyncCall(s.func, args, s.pos), s))
+        elif isinstance(s, Return):
+            if s.value is None:
+                out.append(self._tag(Return(None, s.pos), s))
+            else:
+                a = self.eval_expr(s.value, out)
+                out.append(self._tag(Return(a, s.pos), s))
+        elif isinstance(s, If):
+            self._lower_if(s, out)
+        elif isinstance(s, While):
+            self._lower_while(s, out)
+        elif isinstance(s, Choice):
+            branches = [self.lower_block(b) for b in s.branches]
+            out.append(self._tag(Choice(branches, s.pos), s))
+        elif isinstance(s, Iter):
+            out.append(self._tag(Iter(self.lower_block(s.body), s.pos), s))
+        else:
+            raise KissTypeError(f"cannot lower statement {type(s).__name__}")
+
+    @staticmethod
+    def _tag(new: Stmt, orig: Stmt) -> Stmt:
+        new.sid = orig.sid
+        return new
+
+    def _lower_assign(self, lhs: Expr, rhs: Expr, orig: Stmt, out: List[Stmt]) -> None:
+        if isinstance(lhs, Var):
+            stmts: List[Stmt] = []
+            self.eval_into(lhs, rhs, stmts)
+            self._tag_last(stmts, orig)
+            out.extend(stmts)
+            return
+        if isinstance(lhs, Unary) and lhs.op == "*":
+            p = self.eval_expr(lhs.operand, out)
+            p = self._force_var(p, out)
+            a = self.eval_expr(rhs, out)
+            out.append(self._tag(Assign(Unary("*", p), a), orig))
+            return
+        if isinstance(lhs, Field):
+            lhs = self._normalize_field(lhs)
+            base = self.eval_expr(lhs.base, out)
+            base = self._force_var(base, out)
+            a = self.eval_expr(rhs, out)
+            out.append(self._tag(Assign(Field(base, lhs.name), a), orig))
+            return
+        raise KissTypeError(f"assignment to non-lvalue {lhs}")
+
+    def _tag_last(self, stmts: List[Stmt], orig: Stmt) -> None:
+        if stmts:
+            stmts[-1].sid = orig.sid
+
+    def _lower_malloc(self, s: Malloc, out: List[Stmt]) -> None:
+        if isinstance(s.lhs, Var):
+            out.append(self._tag(Malloc(s.lhs, s.struct_name, s.pos), s))
+            return
+        t = self._fresh(PtrType(typeof(self.env, s.lhs)))
+        out.append(self._tag(Malloc(t, s.struct_name, s.pos), s))
+        self._lower_assign(s.lhs, t, s, out)
+
+    def _lower_call(self, s: Call, out: List[Stmt]) -> None:
+        args = [self.eval_expr(a, out) for a in s.args]
+        if s.lhs is None or isinstance(s.lhs, Var):
+            out.append(self._tag(Call(s.lhs, s.func, args, s.pos), s))
+            return
+        ret_t = typeof(self.env, s.lhs)
+        t = self._fresh(ret_t)
+        out.append(self._tag(Call(t, s.func, args, s.pos), s))
+        self._lower_assign(s.lhs, t, s, out)
+
+    def _lower_if(self, s: If, out: List[Stmt]) -> None:
+        cond = self.eval_expr(s.cond, out)
+        tneg = self._fresh(BOOL)
+        then_body: List[Stmt] = [Assume(cond)]
+        then_block = self.lower_block(s.then)
+        then_body.extend(then_block.stmts)
+        else_body: List[Stmt] = self._negated_guard(cond, tneg)
+        if s.els is not None:
+            else_body.extend(self.lower_block(s.els).stmts)
+        out.append(self._tag(Choice([Block(then_body), Block(else_body)], s.pos), s))
+
+    def _lower_while(self, s: While, out: List[Stmt]) -> None:
+        body: List[Stmt] = []
+        cond = self.eval_expr(s.cond, body)
+        body.append(Assume(cond))
+        body.extend(self.lower_block(s.body).stmts)
+        out.append(self._tag(Iter(Block(body), s.pos), s))
+        tail: List[Stmt] = []
+        cond2 = self.eval_expr(s.cond, tail)
+        tneg = self._fresh(BOOL)
+        tail.extend(self._negated_guard(cond2, tneg))
+        out.extend(tail)
+
+
+def lower_function(prog: Program, func: FuncDecl) -> FuncDecl:
+    """Lower one function in place; returns the same object."""
+    lowerer = _FunctionLowerer(prog, func)
+    func.body = lowerer.lower_block(func.body)
+    return func
+
+
+def lower_program(prog: Program) -> Program:
+    """Lower a type-checked surface program to core form, in place."""
+    for f in prog.functions.values():
+        lower_function(prog, f)
+    return prog
+
+
+# ---------------------------------------------------------------------------
+# Core-form validation
+# ---------------------------------------------------------------------------
+
+
+def _is_core_assign(s: Assign) -> bool:
+    lhs, rhs = s.lhs, s.rhs
+    if isinstance(lhs, Var):
+        if is_atom(rhs):
+            return True
+        if isinstance(rhs, Unary) and rhs.op in ("-", "!") and is_atom(rhs.operand):
+            return True
+        if isinstance(rhs, Unary) and rhs.op == "*" and isinstance(rhs.operand, Var):
+            return True
+        if isinstance(rhs, Unary) and rhs.op == "&":
+            lv = rhs.operand
+            if isinstance(lv, Var):
+                return True
+            return isinstance(lv, Field) and lv.arrow and isinstance(lv.base, Var)
+        if isinstance(rhs, Binary) and rhs.op not in ("&&", "||"):
+            return is_atom(rhs.left) and is_atom(rhs.right)
+        if isinstance(rhs, Field):
+            return rhs.arrow and isinstance(rhs.base, Var)
+        return False
+    if isinstance(lhs, Unary) and lhs.op == "*" and isinstance(lhs.operand, Var):
+        return is_atom(rhs)
+    if isinstance(lhs, Field) and lhs.arrow and isinstance(lhs.base, Var):
+        return is_atom(rhs)
+    return False
+
+
+def is_core_stmt(s: Stmt) -> bool:
+    """True if ``s`` (recursively) is in core form."""
+    if isinstance(s, Skip):
+        return True
+    if isinstance(s, Assign):
+        return _is_core_assign(s)
+    if isinstance(s, Malloc):
+        return isinstance(s.lhs, Var)
+    if isinstance(s, (Assert, Assume)):
+        return is_atom(s.cond)
+    if isinstance(s, Atomic):
+        return all(is_core_stmt(x) for x in s.body.stmts)
+    if isinstance(s, Call):
+        return (s.lhs is None or isinstance(s.lhs, Var)) and all(is_atom(a) for a in s.args)
+    if isinstance(s, AsyncCall):
+        return all(is_atom(a) for a in s.args)
+    if isinstance(s, Return):
+        return s.value is None or is_atom(s.value)
+    if isinstance(s, Block):
+        return all(is_core_stmt(x) for x in s.stmts)
+    if isinstance(s, Choice):
+        return all(is_core_stmt(b) for b in s.branches)
+    if isinstance(s, Iter):
+        return is_core_stmt(s.body)
+    return False
+
+
+def is_core_program(prog: Program) -> bool:
+    """True if every function body of ``prog`` is in core form."""
+    return all(is_core_stmt(f.body) for f in prog.functions.values())
+
+
+def clone_program(prog: Program) -> Program:
+    """Deep-copy a program (transformations never mutate their input)."""
+    return copy.deepcopy(prog)

@@ -1,0 +1,474 @@
+"""Recursive-descent parser for the KISS parallel language.
+
+Grammar sketch (C-like):
+
+.. code-block:: none
+
+    program     ::= (struct | global | function)*
+    struct      ::= 'struct' ID '{' (type ID ';')* '}' ';'?
+    global      ::= type ID ('=' expr)? ';'
+    function    ::= ('void' | type) ID '(' params? ')' block
+    stmt        ::= block | decl | assign | call | 'skip' ';'
+                  | 'if' '(' expr ')' stmt ('else' stmt)?
+                  | 'while' '(' expr ')' stmt
+                  | 'assert' '(' expr ')' ';' | 'assume' '(' expr ')' ';'
+                  | 'atomic' block | 'async' ID '(' args? ')' ';'
+                  | 'return' expr? ';'
+                  | 'choice' block ('or' block)* | 'iter' block
+
+Expressions have the usual C precedence; ``nondet`` is a nondeterministic
+boolean; ``malloc(Struct)`` may appear only as the right-hand side of an
+assignment.  Calls are statements, not expressions (the paper's language).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from .ast import (
+    BOOL,
+    FUNC,
+    INT,
+    Assert,
+    Assign,
+    Assume,
+    AsyncCall,
+    Atomic,
+    Binary,
+    Block,
+    BoolLit,
+    Call,
+    Choice,
+    Expr,
+    Field,
+    FuncDecl,
+    GlobalDecl,
+    If,
+    IntLit,
+    Iter,
+    Malloc,
+    Nondet,
+    NullLit,
+    Param,
+    Pos,
+    Program,
+    PtrType,
+    Return,
+    Skip,
+    StructDecl,
+    StructType,
+    Type,
+    Unary,
+    Var,
+    VarDecl,
+    While,
+)
+from .lexer import Token, tokenize
+
+
+class ParseError(Exception):
+    def __init__(self, message: str, token: Token):
+        super().__init__(f"{token.line}:{token.col}: {message} (got {token.kind} {token.text!r})")
+        self.token = token
+
+
+class Parser:
+    """Recursive-descent parser over the token stream (see module doc)."""
+    def __init__(self, src: str):
+        self._toks = tokenize(src)
+        self._i = 0
+
+    # -- token plumbing ----------------------------------------------------
+
+    def _peek(self, ahead: int = 0) -> Token:
+        return self._toks[min(self._i + ahead, len(self._toks) - 1)]
+
+    def _next(self) -> Token:
+        t = self._toks[self._i]
+        if t.kind != "EOF":
+            self._i += 1
+        return t
+
+    def _at(self, kind: str, text: Optional[str] = None, ahead: int = 0) -> bool:
+        t = self._peek(ahead)
+        return t.kind == kind and (text is None or t.text == text)
+
+    def _expect(self, kind: str, text: Optional[str] = None) -> Token:
+        if not self._at(kind, text):
+            want = text if text is not None else kind
+            raise ParseError(f"expected {want!r}", self._peek())
+        return self._next()
+
+    def _pos(self) -> Pos:
+        t = self._peek()
+        return Pos(t.line, t.col)
+
+    # -- program -----------------------------------------------------------
+
+    def parse_program(self) -> Program:
+        prog = Program()
+        while not self._at("EOF"):
+            if self._at("KW", "struct"):
+                s = self._struct()
+                prog.structs[s.name] = s
+            else:
+                self._top_level(prog)
+        return prog
+
+    def _struct(self) -> StructDecl:
+        pos = self._pos()
+        self._expect("KW", "struct")
+        name = self._expect("ID").text
+        self._expect("OP", "{")
+        fields = {}
+        while not self._at("OP", "}"):
+            ftype = self._type()
+            fname = self._expect("ID").text
+            self._expect("OP", ";")
+            fields[fname] = ftype
+        self._expect("OP", "}")
+        if self._at("OP", ";"):
+            self._next()
+        return StructDecl(name, fields, pos)
+
+    def _top_level(self, prog: Program) -> None:
+        pos = self._pos()
+        if self._at("KW", "void"):
+            self._next()
+            ret: Optional[Type] = None
+        else:
+            ret = self._type()
+        name = self._expect("ID").text
+        if self._at("OP", "("):
+            self._next()
+            params: List[Param] = []
+            while not self._at("OP", ")"):
+                ptype = self._type()
+                pname = self._expect("ID").text
+                params.append(Param(pname, ptype))
+                if self._at("OP", ","):
+                    self._next()
+            self._expect("OP", ")")
+            body = self._block()
+            prog.functions[name] = FuncDecl(name, params, ret, body, pos=pos)
+        else:
+            if ret is None:
+                raise ParseError("global variables cannot be void", self._peek())
+            init = None
+            if self._at("OP", "="):
+                self._next()
+                init = self._expr()
+            self._expect("OP", ";")
+            prog.globals[name] = GlobalDecl(name, ret, init, pos)
+
+    # -- types -------------------------------------------------------------
+
+    def _type(self) -> Type:
+        t = self._peek()
+        if t.kind == "KW" and t.text in ("int", "bool", "func"):
+            self._next()
+            base: Type = {"int": INT, "bool": BOOL, "func": FUNC}[t.text]
+        elif t.kind == "ID":
+            self._next()
+            base = StructType(t.text)
+        else:
+            raise ParseError("expected a type", t)
+        while self._at("OP", "*"):
+            self._next()
+            base = PtrType(base)
+        return base
+
+    def _looks_like_type(self) -> bool:
+        """Decide declaration vs. statement when a line starts with ID."""
+        if self._at("KW") and self._peek().text in ("int", "bool", "func"):
+            return True
+        if not self._at("ID"):
+            return False
+        # 'Struct * x' or 'Struct x' is a declaration; 'x = ...' is not.
+        j = 1
+        while self._at("OP", "*", ahead=j):
+            j += 1
+        return self._at("ID", ahead=j)
+
+    # -- statements ----------------------------------------------------------
+
+    def _block(self) -> Block:
+        pos = self._pos()
+        self._expect("OP", "{")
+        stmts: List = []
+        while not self._at("OP", "}"):
+            stmts.append(self._stmt())
+        self._expect("OP", "}")
+        return Block(stmts, pos)
+
+    def _stmt(self):
+        pos = self._pos()
+        t = self._peek()
+        if t.kind == "OP" and t.text == "{":
+            return self._block()
+        if t.kind == "KW":
+            handler = {
+                "skip": self._skip_stmt,
+                "if": self._if_stmt,
+                "while": self._while_stmt,
+                "assert": self._assert_stmt,
+                "assume": self._assume_stmt,
+                "atomic": self._atomic_stmt,
+                "async": self._async_stmt,
+                "return": self._return_stmt,
+                "choice": self._choice_stmt,
+                "iter": self._iter_stmt,
+                "benign": self._benign_stmt,
+            }.get(t.text)
+            if handler is not None:
+                return handler(pos)
+        if self._looks_like_type():
+            return self._decl_stmt(pos)
+        return self._assign_or_call(pos)
+
+    def _skip_stmt(self, pos: Pos) -> Skip:
+        self._next()
+        self._expect("OP", ";")
+        return Skip(pos)
+
+    def _if_stmt(self, pos: Pos) -> If:
+        self._next()
+        self._expect("OP", "(")
+        cond = self._expr()
+        self._expect("OP", ")")
+        then = self._as_block(self._stmt())
+        els = None
+        if self._at("KW", "else"):
+            self._next()
+            els = self._as_block(self._stmt())
+        return If(cond, then, els, pos)
+
+    def _while_stmt(self, pos: Pos) -> While:
+        self._next()
+        self._expect("OP", "(")
+        cond = self._expr()
+        self._expect("OP", ")")
+        return While(cond, self._as_block(self._stmt()), pos)
+
+    def _assert_stmt(self, pos: Pos) -> Assert:
+        self._next()
+        self._expect("OP", "(")
+        cond = self._expr()
+        self._expect("OP", ")")
+        self._expect("OP", ";")
+        return Assert(cond, pos)
+
+    def _assume_stmt(self, pos: Pos) -> Assume:
+        self._next()
+        self._expect("OP", "(")
+        cond = self._expr()
+        self._expect("OP", ")")
+        self._expect("OP", ";")
+        return Assume(cond, pos)
+
+    def _atomic_stmt(self, pos: Pos) -> Atomic:
+        self._next()
+        return Atomic(self._block(), pos)
+
+    def _async_stmt(self, pos: Pos) -> AsyncCall:
+        self._next()
+        fname = self._expect("ID").text
+        self._expect("OP", "(")
+        args = self._args()
+        self._expect("OP", ")")
+        self._expect("OP", ";")
+        return AsyncCall(Var(fname), args, pos)
+
+    def _return_stmt(self, pos: Pos) -> Return:
+        self._next()
+        value = None
+        if not self._at("OP", ";"):
+            value = self._expr()
+        self._expect("OP", ";")
+        return Return(value, pos)
+
+    def _choice_stmt(self, pos: Pos) -> Choice:
+        self._next()
+        branches = [self._block()]
+        while self._at("KW", "or"):
+            self._next()
+            branches.append(self._block())
+        return Choice(branches, pos)
+
+    def _iter_stmt(self, pos: Pos) -> Iter:
+        self._next()
+        return Iter(self._block(), pos)
+
+    def _benign_stmt(self, pos: Pos) -> Block:
+        """``benign { ... }`` — mark the accesses inside as benign (§6.1):
+        the race instrumentation will not check them."""
+        self._next()
+        block = self._block()
+        from .ast import walk_stmts
+
+        for s in walk_stmts(block):
+            s.kiss_benign = True
+        return block
+
+    def _decl_stmt(self, pos: Pos) -> VarDecl:
+        typ = self._type()
+        name = self._expect("ID").text
+        init = None
+        if self._at("OP", "="):
+            self._next()
+            init = self._rhs()
+        self._expect("OP", ";")
+        decl = VarDecl(name, typ, None, pos)
+        if init is not None:
+            # Keep declarations initializer-free; the parser splits
+            # 'T x = e;' into a declaration plus an assignment so lowering
+            # sees a uniform statement stream.
+            return Block([decl, Assign(Var(name), init, pos)], pos)  # type: ignore[return-value]
+        return decl
+
+    def _assign_or_call(self, pos: Pos):
+        # call statement: ID '(' ... ')' ';'
+        if self._at("ID") and self._at("OP", "(", ahead=1):
+            fname = self._next().text
+            self._expect("OP", "(")
+            args = self._args()
+            self._expect("OP", ")")
+            self._expect("OP", ";")
+            return Call(None, Var(fname), args, pos)
+        lhs = self._unary()
+        self._expect("OP", "=")
+        rhs = self._rhs()
+        self._expect("OP", ";")
+        if isinstance(rhs, Call):
+            rhs.lhs = lhs
+            return rhs
+        if isinstance(rhs, Malloc):
+            rhs.lhs = lhs
+            return rhs
+        return Assign(lhs, rhs, pos)
+
+    def _rhs(self):
+        """Assignment right-hand side: expr, call, or malloc."""
+        pos = self._pos()
+        if self._at("KW", "malloc"):
+            self._next()
+            self._expect("OP", "(")
+            sname = self._expect("ID").text
+            self._expect("OP", ")")
+            return Malloc(Var("_"), sname, pos)
+        if self._at("ID") and self._at("OP", "(", ahead=1):
+            fname = self._next().text
+            self._expect("OP", "(")
+            args = self._args()
+            self._expect("OP", ")")
+            return Call(Var("_"), Var(fname), args, pos)
+        return self._expr()
+
+    def _args(self) -> List[Expr]:
+        args: List[Expr] = []
+        while not self._at("OP", ")"):
+            args.append(self._expr())
+            if self._at("OP", ","):
+                self._next()
+        return args
+
+    @staticmethod
+    def _as_block(stmt) -> Block:
+        return stmt if isinstance(stmt, Block) else Block([stmt], stmt.pos)
+
+    # -- expressions ---------------------------------------------------------
+
+    def _expr(self) -> Expr:
+        return self._or()
+
+    def _binary_level(self, sub, ops) -> Expr:
+        left = sub()
+        while self._at("OP") and self._peek().text in ops:
+            op = self._next().text
+            left = Binary(op, left, sub())
+        return left
+
+    def _or(self) -> Expr:
+        return self._binary_level(self._and, ("||",))
+
+    def _and(self) -> Expr:
+        return self._binary_level(self._equality, ("&&",))
+
+    def _equality(self) -> Expr:
+        return self._binary_level(self._relational, ("==", "!="))
+
+    def _relational(self) -> Expr:
+        return self._binary_level(self._additive, ("<", "<=", ">", ">="))
+
+    def _additive(self) -> Expr:
+        return self._binary_level(self._multiplicative, ("+", "-"))
+
+    def _multiplicative(self) -> Expr:
+        return self._binary_level(self._unary, ("*", "/", "%"))
+
+    def _unary(self) -> Expr:
+        t = self._peek()
+        if t.kind == "OP" and t.text in ("-", "!", "*", "&"):
+            self._next()
+            return Unary(t.text, self._unary())
+        return self._postfix()
+
+    def _postfix(self) -> Expr:
+        e = self._primary()
+        while True:
+            if self._at("OP", "->"):
+                self._next()
+                e = Field(e, self._expect("ID").text, arrow=True)
+            elif self._at("OP", "."):
+                self._next()
+                e = Field(e, self._expect("ID").text, arrow=False)
+            else:
+                return e
+
+    def _primary(self) -> Expr:
+        t = self._peek()
+        if t.kind == "INT":
+            self._next()
+            return IntLit(int(t.text))
+        if t.kind == "KW" and t.text == "true":
+            self._next()
+            return BoolLit(True)
+        if t.kind == "KW" and t.text == "false":
+            self._next()
+            return BoolLit(False)
+        if t.kind == "KW" and t.text == "null":
+            self._next()
+            return NullLit()
+        if t.kind == "KW" and t.text == "nondet":
+            self._next()
+            return Nondet()
+        if t.kind == "ID":
+            self._next()
+            return Var(t.text)
+        if t.kind == "OP" and t.text == "(":
+            self._next()
+            e = self._expr()
+            self._expect("OP", ")")
+            return e
+        raise ParseError("expected an expression", t)
+
+
+def parse_program(src: str) -> Program:
+    """Parse a whole program from source text."""
+    return Parser(src).parse_program()
+
+
+def parse_stmt(src: str):
+    """Parse a single statement (used by tests)."""
+    p = Parser(src)
+    s = p._stmt()
+    p._expect("EOF")
+    return s
+
+
+def parse_expr(src: str) -> Expr:
+    """Parse a single expression (used by tests)."""
+    p = Parser(src)
+    e = p._expr()
+    p._expect("EOF")
+    return e

@@ -1,0 +1,388 @@
+"""Type and well-formedness checking for the KISS parallel language.
+
+Beyond ordinary typing, this module enforces the paper's side conditions
+(Section 3): the body of ``atomic{s}`` is free of function calls (synchronous
+and asynchronous), ``return`` statements, and nested ``atomic`` statements.
+
+Structs are heap-only: variables of struct type are rejected; structs are
+reached through pointers obtained from ``malloc``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from .ast import (
+    BOOL,
+    FUNC,
+    INT,
+    Assert,
+    Assign,
+    Assume,
+    AsyncCall,
+    Atomic,
+    Binary,
+    Block,
+    BoolLit,
+    BoolType,
+    Call,
+    Choice,
+    Expr,
+    Field,
+    FuncDecl,
+    FuncType,
+    If,
+    IntLit,
+    IntType,
+    Iter,
+    Malloc,
+    Nondet,
+    NullLit,
+    Program,
+    PtrType,
+    Return,
+    Skip,
+    Stmt,
+    StructType,
+    Type,
+    Unary,
+    Var,
+    VarDecl,
+    While,
+)
+
+
+class KissTypeError(Exception):
+    """Raised on any typing or well-formedness violation."""
+
+
+class NullPtrType(Type):
+    """The type of the ``null`` literal; compatible with every pointer."""
+
+    def __str__(self) -> str:
+        return "null_t"
+
+
+NULL_T = NullPtrType()
+
+
+def compatible(expected: Type, actual: Type) -> bool:
+    """Assignment/argument compatibility."""
+    if expected == actual:
+        return True
+    if isinstance(expected, PtrType) and isinstance(actual, NullPtrType):
+        return True
+    return False
+
+
+class Env:
+    """A typing environment: globals, plus one function's params and locals."""
+
+    def __init__(self, prog: Program, func: Optional[FuncDecl] = None):
+        self.prog = prog
+        self.func = func
+        self._locals: Dict[str, Type] = {}
+        if func is not None:
+            for p in func.params:
+                self._locals[p.name] = p.type
+            self._locals.update(func.locals)
+
+    def declare_local(self, name: str, typ: Type) -> None:
+        if name in self._locals:
+            raise KissTypeError(f"duplicate local '{name}' in {self._fname()}")
+        if name in self.prog.functions:
+            raise KissTypeError(f"local '{name}' shadows a function in {self._fname()}")
+        self._locals[name] = typ
+        if self.func is not None:
+            self.func.locals[name] = typ
+
+    def lookup(self, name: str) -> Type:
+        if name in self._locals:
+            return self._locals[name]
+        if name in self.prog.globals:
+            return self.prog.globals[name].type
+        if name in self.prog.functions:
+            return FUNC
+        raise KissTypeError(f"undefined variable '{name}' in {self._fname()}")
+
+    def is_local(self, name: str) -> bool:
+        return name in self._locals
+
+    def _fname(self) -> str:
+        return self.func.name if self.func is not None else "<global>"
+
+
+def typeof(env: Env, e: Expr) -> Type:
+    """Compute the type of ``e``, raising :class:`KissTypeError` if ill-typed."""
+    if isinstance(e, IntLit):
+        return INT
+    if isinstance(e, BoolLit):
+        return BOOL
+    if isinstance(e, NullLit):
+        return NULL_T
+    if isinstance(e, Nondet):
+        return BOOL
+    if isinstance(e, Var):
+        return env.lookup(e.name)
+    if isinstance(e, Unary):
+        t = typeof(env, e.operand)
+        if e.op == "-":
+            _require(isinstance(t, IntType), f"unary '-' on {t}")
+            return INT
+        if e.op == "!":
+            _require(isinstance(t, BoolType), f"'!' on {t}")
+            return BOOL
+        if e.op == "*":
+            _require(isinstance(t, PtrType), f"dereference of non-pointer {t}")
+            return t.elem  # type: ignore[union-attr]
+        if e.op == "&":
+            _check_addressable(env, e.operand)
+            return PtrType(t)
+        raise KissTypeError(f"unknown unary operator {e.op!r}")
+    if isinstance(e, Binary):
+        lt = typeof(env, e.left)
+        rt = typeof(env, e.right)
+        if e.op in ("+", "-", "*", "/", "%"):
+            _require(
+                isinstance(lt, IntType) and isinstance(rt, IntType),
+                f"arithmetic '{e.op}' on {lt}, {rt}",
+            )
+            return INT
+        if e.op in ("<", "<=", ">", ">="):
+            _require(
+                isinstance(lt, IntType) and isinstance(rt, IntType),
+                f"comparison '{e.op}' on {lt}, {rt}",
+            )
+            return BOOL
+        if e.op in ("==", "!="):
+            _require(_eq_comparable(lt, rt), f"'{e.op}' on incompatible {lt}, {rt}")
+            return BOOL
+        if e.op in ("&&", "||"):
+            _require(
+                isinstance(lt, BoolType) and isinstance(rt, BoolType),
+                f"'{e.op}' on {lt}, {rt}",
+            )
+            return BOOL
+        raise KissTypeError(f"unknown binary operator {e.op!r}")
+    if isinstance(e, Field):
+        base_t = typeof(env, e.base)
+        if e.arrow:
+            _require(
+                isinstance(base_t, PtrType) and isinstance(base_t.elem, StructType),
+                f"'->' on {base_t}",
+            )
+            struct = env.prog.struct(base_t.elem.name)  # type: ignore[union-attr]
+        else:
+            _require(isinstance(base_t, StructType), f"'.' on {base_t}")
+            struct = env.prog.struct(base_t.name)  # type: ignore[union-attr]
+        if e.name not in struct.fields:
+            raise KissTypeError(f"struct {struct.name} has no field '{e.name}'")
+        return struct.fields[e.name]
+    raise KissTypeError(f"cannot type expression {e!r}")
+
+
+def _eq_comparable(lt: Type, rt: Type) -> bool:
+    if lt == rt and not isinstance(lt, StructType):
+        return True
+    if isinstance(lt, (PtrType, NullPtrType)) and isinstance(rt, (PtrType, NullPtrType)):
+        return True
+    return False
+
+
+def _require(ok: bool, message: str) -> None:
+    if not ok:
+        raise KissTypeError(message)
+
+
+def is_lvalue(e: Expr) -> bool:
+    """Is ``e`` a legal assignment target (variable, dereference, field)?"""
+    return isinstance(e, (Var, Field)) or (isinstance(e, Unary) and e.op == "*")
+
+
+def _check_addressable(env: Env, e: Expr) -> None:
+    if not is_lvalue(e):
+        raise KissTypeError(f"'&' applied to non-lvalue {e}")
+
+
+def _no_struct_var(typ: Type, what: str) -> None:
+    if isinstance(typ, StructType):
+        raise KissTypeError(f"{what} has struct type {typ}; structs are heap-only (use a pointer)")
+
+
+class TypeChecker:
+    """Checks a whole surface (or core) program."""
+
+    def __init__(self, prog: Program):
+        self.prog = prog
+
+    def check(self) -> None:
+        self._check_structs()
+        for g in self.prog.globals.values():
+            _no_struct_var(g.type, f"global '{g.name}'")
+            self._check_named_type(g.type)
+            if g.init is not None:
+                env = Env(self.prog)
+                t = typeof(env, g.init)
+                if not compatible(g.type, t):
+                    raise KissTypeError(f"global '{g.name}': initializer type {t} != {g.type}")
+        if self.prog.entry not in self.prog.functions:
+            raise KissTypeError(f"missing entry function '{self.prog.entry}'")
+        for f in self.prog.functions.values():
+            self._check_function(f)
+
+    # -- pieces --------------------------------------------------------------
+
+    def _check_structs(self) -> None:
+        for s in self.prog.structs.values():
+            for fname, ftype in s.fields.items():
+                _no_struct_var(ftype, f"field '{s.name}.{fname}'")
+                self._check_named_type(ftype)
+
+    def _check_named_type(self, typ: Type) -> None:
+        if isinstance(typ, PtrType):
+            self._check_named_type(typ.elem)
+        elif isinstance(typ, StructType) and typ.name not in self.prog.structs:
+            raise KissTypeError(f"unknown struct '{typ.name}'")
+
+    def _check_function(self, f: FuncDecl) -> None:
+        env = Env(self.prog, f)
+        for p in f.params:
+            _no_struct_var(p.type, f"parameter '{p.name}' of {f.name}")
+            self._check_named_type(p.type)
+        if f.ret is not None:
+            self._check_named_type(f.ret)
+        self._check_stmt(env, f, f.body, in_atomic=False)
+
+    def _check_stmt(self, env: Env, f: FuncDecl, s: Stmt, in_atomic: bool) -> None:
+        if isinstance(s, Block):
+            for sub in s.stmts:
+                self._check_stmt(env, f, sub, in_atomic)
+        elif isinstance(s, VarDecl):
+            _no_struct_var(s.type, f"local '{s.name}'")
+            self._check_named_type(s.type)
+            if env.is_local(s.name):
+                # Re-checking a program whose locals table is already
+                # populated (e.g. a core program) is fine; a genuine
+                # redeclaration at a different type is not.
+                if env.lookup(s.name) != s.type:
+                    raise KissTypeError(f"local '{s.name}' redeclared at a different type")
+            else:
+                env.declare_local(s.name, s.type)
+        elif isinstance(s, Assign):
+            self._check_assign(env, s)
+        elif isinstance(s, Malloc):
+            if s.struct_name not in self.prog.structs:
+                raise KissTypeError(f"malloc of unknown struct '{s.struct_name}'")
+            lt = self._lvalue_type(env, s.lhs)
+            want = PtrType(StructType(s.struct_name))
+            if lt != want:
+                raise KissTypeError(f"malloc({s.struct_name}) assigned to {lt}")
+        elif isinstance(s, (Assert, Assume)):
+            t = typeof(env, s.cond)
+            _require(isinstance(t, BoolType), f"{type(s).__name__.lower()} condition has type {t}")
+        elif isinstance(s, Atomic):
+            if in_atomic:
+                raise KissTypeError("nested atomic statement")
+            self._check_stmt(env, f, s.body, in_atomic=True)
+        elif isinstance(s, Call):
+            if in_atomic:
+                raise KissTypeError("function call inside atomic")
+            self._check_call(env, s)
+        elif isinstance(s, AsyncCall):
+            if in_atomic:
+                raise KissTypeError("async call inside atomic")
+            self._check_async(env, s)
+        elif isinstance(s, Return):
+            if in_atomic:
+                raise KissTypeError("return inside atomic")
+            if f.ret is None:
+                if s.value is not None:
+                    raise KissTypeError(f"{f.name}: void function returns a value")
+            else:
+                if s.value is None:
+                    raise KissTypeError(f"{f.name}: missing return value")
+                t = typeof(env, s.value)
+                if not compatible(f.ret, t):
+                    raise KissTypeError(f"{f.name}: return type {t} != {f.ret}")
+        elif isinstance(s, If):
+            _require(isinstance(typeof(env, s.cond), BoolType), "if condition must be bool")
+            self._check_stmt(env, f, s.then, in_atomic)
+            if s.els is not None:
+                self._check_stmt(env, f, s.els, in_atomic)
+        elif isinstance(s, While):
+            _require(isinstance(typeof(env, s.cond), BoolType), "while condition must be bool")
+            self._check_stmt(env, f, s.body, in_atomic)
+        elif isinstance(s, Choice):
+            for b in s.branches:
+                self._check_stmt(env, f, b, in_atomic)
+        elif isinstance(s, Iter):
+            self._check_stmt(env, f, s.body, in_atomic)
+        elif isinstance(s, Skip):
+            pass
+        else:
+            raise KissTypeError(f"unknown statement {type(s).__name__}")
+
+    def _lvalue_type(self, env: Env, lv: Expr) -> Type:
+        if not is_lvalue(lv):
+            raise KissTypeError(f"{lv} is not an lvalue")
+        return typeof(env, lv)
+
+    def _check_assign(self, env: Env, s: Assign) -> None:
+        lt = self._lvalue_type(env, s.lhs)
+        rt = typeof(env, s.rhs)
+        if not compatible(lt, rt):
+            raise KissTypeError(f"assignment of {rt} to {lt} in '{s}'")
+        _no_struct_var(lt, f"assignment target '{s.lhs}'")
+
+    def _check_call(self, env: Env, s: Call) -> None:
+        name = s.func.name
+        if name in self.prog.functions and not env.is_local(name):
+            decl = self.prog.functions[name]
+            if len(s.args) != len(decl.params):
+                raise KissTypeError(
+                    f"call to {name}: {len(s.args)} args, expected {len(decl.params)}"
+                )
+            for arg, p in zip(s.args, decl.params):
+                at = typeof(env, arg)
+                if not compatible(p.type, at):
+                    raise KissTypeError(f"call to {name}: arg '{p.name}' has type {at}, expected {p.type}")
+            if s.lhs is not None:
+                if decl.ret is None:
+                    raise KissTypeError(f"call to void function {name} used as a value")
+                lt = self._lvalue_type(env, s.lhs)
+                if not compatible(lt, decl.ret):
+                    raise KissTypeError(f"call to {name}: result {decl.ret} assigned to {lt}")
+        else:
+            # Indirect call through a func-typed variable; the callee's
+            # signature is unknown statically, so only zero-argument calls
+            # are allowed (the paper's `v = v0()` form).
+            t = env.lookup(name)
+            if not isinstance(t, FuncType):
+                raise KissTypeError(f"call target '{name}' has type {t}, not func")
+            if s.args:
+                raise KissTypeError("indirect calls take no arguments")
+
+    def _check_async(self, env: Env, s: AsyncCall) -> None:
+        name = s.func.name
+        if name in self.prog.functions and not env.is_local(name):
+            decl = self.prog.functions[name]
+            if len(s.args) != len(decl.params):
+                raise KissTypeError(
+                    f"async {name}: {len(s.args)} args, expected {len(decl.params)}"
+                )
+            for arg, p in zip(s.args, decl.params):
+                at = typeof(env, arg)
+                if not compatible(p.type, at):
+                    raise KissTypeError(f"async {name}: arg '{p.name}' has type {at}")
+        else:
+            t = env.lookup(name)
+            if not isinstance(t, FuncType):
+                raise KissTypeError(f"async target '{name}' has type {t}, not func")
+            if s.args:
+                raise KissTypeError("indirect async calls take no arguments")
+
+
+def check_program(prog: Program) -> Program:
+    """Type-check ``prog`` in place (populating ``FuncDecl.locals``)."""
+    TypeChecker(prog).check()
+    return prog

@@ -1,0 +1,5 @@
+"""Reporting helpers for the benchmark harnesses."""
+
+from .tables import agreement_note, render_table
+
+__all__ = ["render_table", "agreement_note"]

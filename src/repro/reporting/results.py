@@ -1,0 +1,97 @@
+"""Persistent experiment records (paper vs. measured), JSON round-trip.
+
+The benchmark harnesses print human-readable tables; these records are
+the machine-readable form used to regenerate EXPERIMENTS.md and to diff
+runs over time.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+
+@dataclass
+class RowRecord:
+    key: str  # e.g. driver name
+    paper: Dict[str, object]
+    measured: Dict[str, object]
+
+    @property
+    def matches(self) -> bool:
+        return all(self.measured.get(k) == v for k, v in self.paper.items())
+
+
+@dataclass
+class ExperimentRecord:
+    experiment: str  # "table1", "table2", ...
+    rows: List[RowRecord] = field(default_factory=list)
+    notes: str = ""
+
+    @property
+    def matches(self) -> int:
+        return sum(1 for r in self.rows if r.matches)
+
+    @property
+    def total(self) -> int:
+        return len(self.rows)
+
+    def add(self, key: str, paper: Dict[str, object], measured: Dict[str, object]) -> None:
+        self.rows.append(RowRecord(key, dict(paper), dict(measured)))
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "experiment": self.experiment,
+                "notes": self.notes,
+                "rows": [asdict(r) for r in self.rows],
+            },
+            indent=2,
+            sort_keys=True,
+        )
+
+    @staticmethod
+    def from_json(text: str) -> "ExperimentRecord":
+        data = json.loads(text)
+        rec = ExperimentRecord(data["experiment"], notes=data.get("notes", ""))
+        for r in data["rows"]:
+            rec.add(r["key"], r["paper"], r["measured"])
+        return rec
+
+    def save(self, path: str) -> None:
+        with open(path, "w") as f:
+            f.write(self.to_json())
+
+    @staticmethod
+    def load(path: str) -> "ExperimentRecord":
+        with open(path) as f:
+            return ExperimentRecord.from_json(f.read())
+
+
+def table1_record(driver_runs, paper_table1) -> ExperimentRecord:
+    """Build the E1 record from corpus run results."""
+    rec = ExperimentRecord("table1")
+    for run in driver_runs:
+        kloc, fields, races, noraces = paper_table1[run.name]
+        rec.add(
+            run.name,
+            {"races": races, "no_races": noraces},
+            {
+                "races": run.races,
+                "no_races": run.no_races,
+                "unresolved": run.unresolved,
+                "fields": len(run.outcomes),
+            },
+        )
+    return rec
+
+
+def table2_record(driver_runs, paper_table2) -> ExperimentRecord:
+    """Build the E2 record from the refined-harness re-runs."""
+    rec = ExperimentRecord("table2")
+    by_name = {r.name: r for r in driver_runs}
+    for name, races in paper_table2.items():
+        measured = by_name[name].races if name in by_name else 0
+        rec.add(name, {"races": races}, {"races": measured})
+    return rec

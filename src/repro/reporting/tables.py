@@ -1,0 +1,28 @@
+"""Plain-text table rendering for the experiment harnesses."""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+
+def render_table(headers: Sequence[str], rows: Sequence[Sequence[object]], title: str = "") -> str:
+    """Render an aligned text table (paper-style, for bench output)."""
+    cells = [[str(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        for i, c in enumerate(row):
+            widths[i] = max(widths[i], len(c))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def agreement_note(matches: int, total: int, what: str) -> str:
+    """One-line paper-agreement summary for bench output."""
+    pct = 100.0 * matches / total if total else 100.0
+    return f"{what}: {matches}/{total} rows match the paper ({pct:.0f}%)"

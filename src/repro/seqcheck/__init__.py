@@ -1,0 +1,23 @@
+"""Sequential checking backends (the SLAM role in Figure 1).
+
+* :mod:`~repro.seqcheck.explicit` — explicit-state BFS model checker,
+  complete for finite-data programs (the default backend);
+* the SLAM-lite tier: :mod:`~repro.seqcheck.sat` (DPLL),
+  :mod:`~repro.seqcheck.decide` (bit-blasting),
+  :mod:`~repro.seqcheck.boolprog` / :mod:`~repro.seqcheck.bebop`
+  (boolean programs + RHS summaries),
+  :mod:`~repro.seqcheck.abstraction` (predicate abstraction), and
+  :mod:`~repro.seqcheck.cegar` (the refinement loop).
+"""
+
+from .explicit import SequentialChecker, check_sequential
+from .trace import CheckResult, CheckStats, CheckStatus, TraceStep
+
+__all__ = [
+    "SequentialChecker",
+    "check_sequential",
+    "CheckResult",
+    "CheckStats",
+    "CheckStatus",
+    "TraceStep",
+]

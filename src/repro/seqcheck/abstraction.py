@@ -1,0 +1,430 @@
+"""Predicate abstraction: core programs → boolean programs (SLAM's C2BP).
+
+Given a set of predicates, each scalar core program statement becomes a
+parallel assignment over predicate-valued boolean variables, computed
+with weakest preconditions and cube search through the bit-blasting
+decision procedure:
+
+* ``x := e`` updates every predicate ``p`` to
+  ``F(wp) ? T : (F(!wp) ? F : *)`` where ``wp = p[x := e]`` and ``F(φ)``
+  is the weakest disjunction of cubes (size ≤ ``max_cube``) over the
+  current predicates that implies ``φ``;
+* ``assume(c)`` becomes ``assume(!F(!c))`` (an over-approximation);
+* ``assert(c)`` becomes ``assert(F(c))`` (an under-approximation, so an
+  abstract failure over-approximates the concrete failures — the CEGAR
+  loop then validates).
+
+Scope: the *scalar fragment* — ``int``/``bool`` variables, no pointers,
+fields, or ``malloc`` (SLAM's pointer support is out of scope for this
+tier; the explicit backend covers heap-manipulating programs).  Calls
+are supported conservatively: global predicates flow through; predicates
+mentioning a call's result are havocked.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.lang.ast import (
+    Assert,
+    Assign,
+    Assume,
+    Atomic,
+    Binary,
+    Block,
+    BoolLit,
+    BoolType,
+    Call,
+    Choice,
+    Expr,
+    Field,
+    FuncDecl,
+    IntLit,
+    IntType,
+    Iter,
+    Malloc,
+    NullLit,
+    Program,
+    Return,
+    Skip,
+    Stmt,
+    Type,
+    Unary,
+    Var,
+    walk_exprs,
+)
+
+from .boolprog import (
+    BAnd,
+    BAssert,
+    BAssign,
+    BAssume,
+    BCall,
+    BConst,
+    BExpr,
+    BGoto,
+    BNondet,
+    BNot,
+    BOr,
+    BProc,
+    BProgram,
+    BReturn,
+    BSkip,
+    BStmt,
+    bor_many,
+)
+from .decide import DecideError, entails
+
+
+class AbstractionError(Exception):
+    pass
+
+
+# -- expression utilities -------------------------------------------------------
+
+
+def subst(e: Expr, name: str, replacement: Expr) -> Expr:
+    """Capture-free substitution of a variable in an expression."""
+    if isinstance(e, Var):
+        return replacement if e.name == name else e
+    if isinstance(e, Unary):
+        return Unary(e.op, subst(e.operand, name, replacement))
+    if isinstance(e, Binary):
+        return Binary(e.op, subst(e.left, name, replacement), subst(e.right, name, replacement))
+    return e
+
+
+def expr_vars(e: Expr) -> Set[str]:
+    """The variable names occurring in ``e``."""
+    return {x.name for x in walk_exprs(e) if isinstance(x, Var)}
+
+
+def atoms_of(e: Expr) -> List[Expr]:
+    """Atomic predicates of a boolean expression (comparisons, bool vars)."""
+    if isinstance(e, Binary) and e.op in ("&&", "||"):
+        return atoms_of(e.left) + atoms_of(e.right)
+    if isinstance(e, Unary) and e.op == "!":
+        return atoms_of(e.operand)
+    if isinstance(e, BoolLit):
+        return []
+    return [e]
+
+
+@dataclass
+class PredicateSet:
+    """Predicates in scope: globals-only ones plus per-function ones."""
+
+    global_preds: List[Expr] = field(default_factory=list)
+    local_preds: Dict[str, List[Expr]] = field(default_factory=dict)
+
+    def for_function(self, fname: str) -> List[Expr]:
+        return self.global_preds + self.local_preds.get(fname, [])
+
+    def add(self, prog: Program, fname: str, pred: Expr) -> bool:
+        """Add ``pred`` to the right scope; returns False if already known."""
+        key = str(pred)
+        names = expr_vars(pred)
+        is_global = names <= set(prog.globals)
+        bucket = self.global_preds if is_global else self.local_preds.setdefault(fname, [])
+        scope = self.for_function(fname)
+        if any(str(p) == key for p in scope):
+            return False
+        bucket.append(pred)
+        return True
+
+    def count(self) -> int:
+        return len(self.global_preds) + sum(len(v) for v in self.local_preds.values())
+
+
+class Abstractor:
+    """One abstraction pass over a program with a fixed predicate set."""
+
+    def __init__(self, prog: Program, preds: PredicateSet, width: int = 8, max_cube: int = 3):
+        self.prog = prog
+        self.preds = preds
+        self.width = width
+        self.max_cube = max_cube
+        self._entail_cache: Dict[Tuple, bool] = {}
+        # provenance: (proc name, body index) -> original core Stmt or None
+        self.provenance: Dict[Tuple[str, int], Optional[Stmt]] = {}
+
+    # -- types ------------------------------------------------------------------
+
+    def _types_for(self, func: FuncDecl) -> Dict[str, Type]:
+        types: Dict[str, Type] = {g.name: g.type for g in self.prog.globals.values()}
+        for p in func.params:
+            types[p.name] = p.type
+        types.update(func.locals)
+        for t in types.values():
+            if not isinstance(t, (IntType, BoolType)):
+                raise AbstractionError(
+                    "predicate abstraction supports the scalar fragment only "
+                    f"(found a {t} variable); use the explicit backend"
+                )
+        return types
+
+    # -- cube search ----------------------------------------------------------------
+
+    def _entails(self, ants: Tuple[Expr, ...], goal: Expr, types: Dict[str, Type]) -> bool:
+        key = (tuple(str(a) for a in ants), str(goal))
+        if key not in self._entail_cache:
+            try:
+                self._entail_cache[key] = entails(list(ants), goal, types, self.width)
+            except DecideError:
+                self._entail_cache[key] = False  # unknown -> not provable
+        return self._entail_cache[key]
+
+    def weakest_cover(
+        self, goal: Expr, scope: List[Expr], bvars: List[str], types: Dict[str, Type]
+    ) -> BExpr:
+        """``F(goal)``: disjunction of cubes over ``scope`` implying ``goal``."""
+        if self._entails((), goal, types):
+            return BConst(True)
+        found: List[Tuple[Tuple[int, ...], Tuple[bool, ...]]] = []
+        disjuncts: List[BExpr] = []
+        indices = range(len(scope))
+        for size in range(1, min(self.max_cube, len(scope)) + 1):
+            for combo in itertools.combinations(indices, size):
+                for signs in itertools.product((True, False), repeat=size):
+                    if self._subsumed(combo, signs, found):
+                        continue
+                    ants = tuple(
+                        scope[i] if pos else Unary("!", scope[i])
+                        for i, pos in zip(combo, signs)
+                    )
+                    if self._entails(ants, goal, types):
+                        found.append((combo, signs))
+                        lits = [
+                            BVarOrNot(bvars[i], pos) for i, pos in zip(combo, signs)
+                        ]
+                        cube: BExpr = lits[0]
+                        for l in lits[1:]:
+                            cube = BAnd(cube, l)
+                        disjuncts.append(cube)
+        return bor_many(disjuncts)
+
+    @staticmethod
+    def _subsumed(combo, signs, found) -> bool:
+        cube = dict(zip(combo, signs))
+        for fc, fs in found:
+            if all(i in cube and cube[i] == s for i, s in zip(fc, fs)):
+                return True
+        return False
+
+    # -- statement abstraction ----------------------------------------------------------
+
+    def abstract(self) -> BProgram:
+        bprog = BProgram(entry=self.prog.entry)
+        bprog.globals = [f"G{i}" for i in range(len(self.preds.global_preds))]
+        for func in self.prog.functions.values():
+            bprog.procs[func.name] = self._abstract_function(func)
+        bprog.validate()
+        return bprog
+
+    def _abstract_function(self, func: FuncDecl) -> BProc:
+        types = self._types_for(func)
+        scope = self.preds.for_function(func.name)
+        nglobal = len(self.preds.global_preds)
+        bvars = [f"G{i}" for i in range(nglobal)] + [
+            f"P{i}" for i in range(len(scope) - nglobal)
+        ]
+        proc = BProc(func.name, params=[], locals=[b for b in bvars if b.startswith("P")])
+        ctx = _FnAbs(self, func, types, scope, bvars)
+        body: List[BStmt] = []
+        self._emit_init_prologue(func, scope, bvars, nglobal, types, body)
+        ctx.emit_block(func.body, body)
+        proc.body = body
+        for i, s in enumerate(body):
+            self.provenance[(func.name, i)] = getattr(s, "origin_stmt", None)
+        return proc
+
+    def _emit_init_prologue(
+        self, func: FuncDecl, scope, bvars, nglobal: int, types, body: List[BStmt]
+    ) -> None:
+        """Set each predicate variable to its truth in the initial concrete
+        state (Bebop seeds everything False, which would otherwise exclude
+        the real initial state — an unsound abstraction).
+
+        Local predicates are initialized in every procedure (our concrete
+        semantics default-initializes locals); predicates mentioning
+        parameters get ``*``.  Global predicates are initialized in the
+        entry procedure only — elsewhere their values flow in from the
+        caller.
+        """
+        param_names = {p.name for p in func.params}
+        targets: List[str] = []
+        exprs: List[BExpr] = []
+        for i, p in enumerate(scope):
+            is_global_pred = i < nglobal
+            if is_global_pred and func.name != self.prog.entry:
+                continue
+            names = expr_vars(p)
+            if names & param_names:
+                val: BExpr = BNondet()
+            else:
+                truth = self._initial_truth(func, p, types)
+                val = BNondet() if truth is None else BConst(truth)
+            targets.append(bvars[i])
+            exprs.append(val)
+        if targets:
+            body.append(BAssign(targets=targets, exprs=exprs))
+
+    def _initial_truth(self, func: FuncDecl, pred: Expr, types) -> Optional[bool]:
+        """Evaluate ``pred`` under the initial values of its variables."""
+        ants: List[Expr] = []
+        for name in expr_vars(pred):
+            init = self._initial_value_expr(func, name)
+            if init is None:
+                return None
+            ants.append(Binary("==", Var(name), init))
+        if self._entails(tuple(ants), pred, types):
+            return True
+        if self._entails(tuple(ants), Unary("!", pred), types):
+            return False
+        return None
+
+    def _initial_value_expr(self, func: FuncDecl, name: str) -> Optional[Expr]:
+        if name in self.prog.globals:
+            g = self.prog.globals[name]
+            if g.init is not None:
+                return g.init if isinstance(g.init, (IntLit, BoolLit, Unary)) else None
+            return IntLit(0) if isinstance(g.type, IntType) else BoolLit(False)
+        t = func.locals.get(name)
+        if t is None:
+            return None
+        return IntLit(0) if isinstance(t, IntType) else BoolLit(False)
+
+
+def BVarOrNot(name: str, positive: bool) -> BExpr:
+    """A boolean-program literal: the variable or its negation."""
+    from .boolprog import BVar
+
+    return BVar(name) if positive else BNot(BVar(name))
+
+
+class _FnAbs:
+    """Per-function emission context (labels, predicate update synthesis)."""
+
+    def __init__(self, outer: Abstractor, func: FuncDecl, types, scope, bvars):
+        self.outer = outer
+        self.func = func
+        self.types = types
+        self.scope = scope  # predicate expressions, index-aligned with bvars
+        self.bvars = bvars
+        self._label = 0
+
+    def fresh_label(self) -> str:
+        self._label += 1
+        return f"L{self._label}"
+
+    def _tagged(self, b: BStmt, origin: Optional[Stmt]) -> BStmt:
+        b.origin_stmt = origin  # type: ignore[attr-defined]
+        return b
+
+    # -- emission --------------------------------------------------------------------
+
+    def emit_block(self, block: Block, out: List[BStmt]) -> None:
+        for s in block.stmts:
+            self.emit_stmt(s, out)
+
+    def emit_stmt(self, s: Stmt, out: List[BStmt]) -> None:
+        outer = self.outer
+        if isinstance(s, Block):
+            self.emit_block(s, out)
+            return
+        if isinstance(s, Skip):
+            out.append(self._tagged(BSkip(), s))
+            return
+        if isinstance(s, (Malloc,)):
+            raise AbstractionError("malloc is outside the scalar fragment")
+        if isinstance(s, Assign):
+            self._emit_assign(s, out)
+            return
+        if isinstance(s, Assume):
+            cond = self._as_bool(s.cond)
+            neg_cover = outer.weakest_cover(Unary("!", cond), self.scope, self.bvars, self.types)
+            out.append(self._tagged(BAssume(cond=BNot(neg_cover)), s))
+            return
+        if isinstance(s, Assert):
+            cond = self._as_bool(s.cond)
+            cover = outer.weakest_cover(cond, self.scope, self.bvars, self.types)
+            out.append(self._tagged(BAssert(cond=cover), s))
+            return
+        if isinstance(s, Atomic):
+            # sequential program: atomicity is transparent
+            self.emit_block(s.body, out)
+            return
+        if isinstance(s, Call):
+            out.append(self._tagged(BCall(proc=s.func.name, args=[], rets=[]), s))
+            if s.lhs is not None:
+                self._havoc_mentioning(s.lhs.name, s, out)
+            return
+        if isinstance(s, Return):
+            out.append(self._tagged(BReturn([]), s))
+            return
+        if isinstance(s, Choice):
+            end = self.fresh_label()
+            labels = [self.fresh_label() for _ in s.branches]
+            out.append(self._tagged(BGoto(labels=list(labels)), None))
+            for lbl, branch in zip(labels, s.branches):
+                anchor = BSkip(label=lbl)
+                out.append(self._tagged(anchor, None))
+                self.emit_block(branch, out)
+                out.append(self._tagged(BGoto(labels=[end]), None))
+            out.append(self._tagged(BSkip(label=end), None))
+            return
+        if isinstance(s, Iter):
+            head = self.fresh_label()
+            body_lbl = self.fresh_label()
+            end = self.fresh_label()
+            out.append(self._tagged(BGoto(label=head, labels=[body_lbl, end]), None))
+            out.append(self._tagged(BSkip(label=body_lbl), None))
+            self.emit_block(s.body, out)
+            out.append(self._tagged(BGoto(labels=[head]), None))
+            out.append(self._tagged(BSkip(label=end), None))
+            return
+        raise AbstractionError(f"cannot abstract {type(s).__name__}")
+
+    def _as_bool(self, e: Expr) -> Expr:
+        t = self.types.get(e.name) if isinstance(e, Var) else None
+        if isinstance(e, Var) and not isinstance(t, BoolType):
+            raise AbstractionError(f"non-bool condition {e}")
+        return e
+
+    def _emit_assign(self, s: Assign, out: List[BStmt]) -> None:
+        if not isinstance(s.lhs, Var):
+            raise AbstractionError("pointer/field stores are outside the scalar fragment")
+        if isinstance(s.rhs, (Field, NullLit)) or (
+            isinstance(s.rhs, Unary) and s.rhs.op in ("*", "&")
+        ):
+            raise AbstractionError("pointer operations are outside the scalar fragment")
+        name = s.lhs.name
+        targets: List[str] = []
+        exprs: List[BExpr] = []
+        for i, p in enumerate(self.scope):
+            if name not in expr_vars(p):
+                continue
+            wp = subst(p, name, s.rhs)
+            pos = self.outer.weakest_cover(wp, self.scope, self.bvars, self.types)
+            neg = self.outer.weakest_cover(Unary("!", wp), self.scope, self.bvars, self.types)
+            # F(wp) ? T : (F(!wp) ? F : *)
+            update: BExpr = BOr(pos, BAnd(BNot(neg), BNondet()))
+            targets.append(self.bvars[i])
+            exprs.append(update)
+        if targets:
+            out.append(self._tagged(BAssign(targets=targets, exprs=exprs), s))
+        else:
+            out.append(self._tagged(BSkip(), s))
+
+    def _havoc_mentioning(self, name: str, origin: Stmt, out: List[BStmt]) -> None:
+        targets = [
+            self.bvars[i] for i, p in enumerate(self.scope) if name in expr_vars(p)
+        ]
+        if targets:
+            out.append(
+                self._tagged(
+                    BAssign(targets=targets, exprs=[BNondet() for _ in targets]), origin
+                )
+            )

@@ -1,0 +1,279 @@
+"""Counterexample-guided abstraction refinement (SLAM's outer loop).
+
+``abstract → check (Bebop) → concretize (Newton's role) → refine``:
+
+1. abstract the program with the current predicates
+   (:mod:`repro.seqcheck.abstraction`);
+2. check the boolean program (:mod:`repro.seqcheck.bebop`); if safe, the
+   concrete program is safe (the abstraction over-approximates);
+3. otherwise extract an abstract error trace, replay it *concretely* as
+   an SSA path condition, and decide it with the bit-blaster: satisfiable
+   means a real error (with a model as witness);
+4. an unsatisfiable trace is a false alarm: refine by adding the atomic
+   predicates of the weakest preconditions along the trace, and repeat.
+
+When the refinement fails to converge within ``max_rounds``, the run
+reports *divergence* — the property-dependent resource-bound behaviour
+the paper's Table 1 attributes to some (driver, field) runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.lang.ast import (
+    Assert,
+    Assign,
+    Assume,
+    Binary,
+    BoolLit,
+    Call,
+    IntLit,
+    Expr,
+    Program,
+    Return,
+    Stmt,
+    Unary,
+    Var,
+)
+
+from .abstraction import AbstractionError, Abstractor, PredicateSet, atoms_of, expr_vars, subst
+from .bebop import check_boolean_program, find_error_trace
+from .decide import DecideError, check_sat
+
+
+@dataclass
+class CegarResult:
+    status: str  # "safe" | "error" | "diverged" | "unsupported"
+    rounds: int = 0
+    predicates: int = 0
+    message: str = ""
+    witness: Optional[Dict[str, object]] = None
+    trace: List[str] = field(default_factory=list)
+
+    @property
+    def is_error(self) -> bool:
+        return self.status == "error"
+
+    @property
+    def is_safe(self) -> bool:
+        return self.status == "safe"
+
+
+class CegarChecker:
+    """SLAM-lite for scalar sequential core programs."""
+
+    def __init__(
+        self,
+        prog: Program,
+        max_rounds: int = 16,
+        width: int = 8,
+        max_cube: int = 3,
+        seed_predicates: Optional[List[Expr]] = None,
+    ):
+        self.prog = prog
+        self.max_rounds = max_rounds
+        self.width = width
+        self.max_cube = max_cube
+        self.seed_predicates = seed_predicates or []
+
+    def check(self) -> CegarResult:
+        preds = PredicateSet()
+        for p in self.seed_predicates:
+            preds.add(self.prog, self.prog.entry, p)
+        for round_no in range(1, self.max_rounds + 1):
+            try:
+                abstractor = Abstractor(self.prog, preds, self.width, self.max_cube)
+                bprog = abstractor.abstract()
+            except AbstractionError as exc:
+                return CegarResult("unsupported", rounds=round_no, message=str(exc))
+            result = check_boolean_program(bprog)
+            if result.safe:
+                return CegarResult("safe", rounds=round_no, predicates=preds.count())
+            trace = find_error_trace(bprog)
+            if trace is None:
+                return CegarResult(
+                    "diverged", rounds=round_no, predicates=preds.count(),
+                    message="abstract error not reproducible explicitly",
+                )
+            concrete = [
+                (proc, abstractor.provenance.get((proc, pc)))
+                for proc, pc, _ in trace
+            ]
+            feasible, witness, new_preds = self._concretize(concrete)
+            if feasible:
+                return CegarResult(
+                    "error",
+                    rounds=round_no,
+                    predicates=preds.count(),
+                    witness=witness,
+                    trace=[str(s) for _, s in concrete if s is not None],
+                )
+            added = False
+            for fname, p in new_preds:
+                added |= preds.add(self.prog, fname, p)
+            if not added:
+                return CegarResult(
+                    "diverged",
+                    rounds=round_no,
+                    predicates=preds.count(),
+                    message="refinement produced no new predicates",
+                )
+        return CegarResult(
+            "diverged",
+            rounds=self.max_rounds,
+            predicates=preds.count(),
+            message=f"no convergence within {self.max_rounds} refinement rounds",
+        )
+
+    # -- concrete trace simulation --------------------------------------------------
+
+    def _concretize(
+        self, steps: List[Tuple[str, Optional[Stmt]]]
+    ) -> Tuple[bool, Optional[Dict[str, object]], List[Tuple[str, Expr]]]:
+        """Replay the abstract trace concretely.
+
+        Returns (feasible, model, refinement predicates).  Variables are
+        SSA-versioned per (function, name); the final step must be the
+        failing assertion, contributing its negation.
+        """
+        versions: Dict[str, int] = {}
+        types: Dict[str, object] = {}
+
+        def v(fname: str, name: str) -> str:
+            base = name if name in self.prog.globals else f"{fname}.{name}"
+            return f"{base}#{versions.get(base, 0)}"
+
+        def bump(fname: str, name: str) -> str:
+            base = name if name in self.prog.globals else f"{fname}.{name}"
+            versions[base] = versions.get(base, 0) + 1
+            return f"{base}#{versions[base]}"
+
+        def rename(fname: str, e: Expr) -> Expr:
+            if isinstance(e, Var):
+                nm = v(fname, e.name)
+                types[nm] = self._type_of(fname, e.name)
+                return Var(nm)
+            if isinstance(e, Unary):
+                return Unary(e.op, rename(fname, e.operand))
+            if isinstance(e, Binary):
+                return Binary(e.op, rename(fname, e.left), rename(fname, e.right))
+            return e
+
+        constraints: List[Expr] = []
+        wp_targets: List[Tuple[str, Expr]] = []  # (fname, predicate source)
+
+        # version-0 variables carry the initial concrete values: globals
+        # from their declared initializers (or defaults), entry locals
+        # from their type defaults.  (Locals of other functions are left
+        # unconstrained — sound, since fewer constraints over-approximate
+        # feasibility and real errors are confirmed by the model.)
+        from repro.lang.ast import BoolType as _BT, IntType as _IT
+
+        def init_expr_of(typ, declared):
+            if declared is not None and isinstance(declared, (IntLit, BoolLit, Unary)):
+                return declared
+            if isinstance(typ, _IT):
+                return IntLit(0)
+            if isinstance(typ, _BT):
+                return BoolLit(False)
+            return None
+
+        for gname, g in self.prog.globals.items():
+            init = init_expr_of(g.type, g.init)
+            if init is not None:
+                nm = f"{gname}#0"
+                types[nm] = g.type
+                constraints.append(Binary("==", Var(nm), init))
+        entry_fn = self.prog.functions[self.prog.entry]
+        for lname, ltype in entry_fn.locals.items():
+            init = init_expr_of(ltype, None)
+            if init is not None:
+                nm = f"{self.prog.entry}.{lname}#0"
+                types[nm] = ltype
+                constraints.append(Binary("==", Var(nm), init))
+
+        for i, (fname, stmt) in enumerate(steps):
+            if stmt is None:
+                continue
+            last = i == len(steps) - 1
+            if isinstance(stmt, Assign):
+                rhs = rename(fname, stmt.rhs)
+                lhs = bump(fname, stmt.lhs.name)
+                types[lhs] = self._type_of(fname, stmt.lhs.name)
+                constraints.append(Binary("==", Var(lhs), rhs))
+                types[lhs] = self._type_of(fname, stmt.lhs.name)
+            elif isinstance(stmt, Assume):
+                constraints.append(rename(fname, stmt.cond))
+                wp_targets.append((fname, stmt.cond))
+            elif isinstance(stmt, Assert):
+                if last:
+                    constraints.append(Unary("!", rename(fname, stmt.cond)))
+                    wp_targets.append((fname, stmt.cond))
+                else:
+                    constraints.append(rename(fname, stmt.cond))
+            elif isinstance(stmt, (Call, Return)):
+                # calls/returns only shuffle control here; assignments of
+                # return values were havocked in the abstraction and are
+                # not constrained concretely (sound: fewer constraints
+                # keeps feasibility over-approximate, and real errors are
+                # confirmed by the model)
+                continue
+
+        try:
+            model = check_sat(constraints, types, self.width)
+        except DecideError as exc:
+            return False, None, self._refinement_preds(steps, wp_targets)
+        if model is not None:
+            return True, model, []
+        return False, None, self._refinement_preds(steps, wp_targets)
+
+    def _type_of(self, fname: str, name: str):
+        if name in self.prog.globals:
+            return self.prog.globals[name].type
+        func = self.prog.functions[fname]
+        if name in func.locals:
+            return func.locals[name]
+        for p in func.params:
+            if p.name == name:
+                return p.type
+        raise KeyError(f"unknown variable {name} in {fname}")
+
+    def _refinement_preds(
+        self, steps: List[Tuple[str, Optional[Stmt]]], wp_targets: List[Tuple[str, Expr]]
+    ) -> List[Tuple[str, Expr]]:
+        """Predicates from weakest preconditions along the infeasible trace.
+
+        For every branch/assertion condition on the trace, push it
+        backwards through the preceding assignments, collecting the atoms
+        of every intermediate formula (Newton's role, heuristically)."""
+        out: List[Tuple[str, Expr]] = []
+        seen = set()
+
+        def add(fname: str, e: Expr) -> None:
+            for atom in atoms_of(e):
+                if isinstance(atom, BoolLit):
+                    continue
+                key = (fname, str(atom))
+                if key not in seen:
+                    seen.add(key)
+                    out.append((fname, atom))
+
+        for target_fname, cond in wp_targets:
+            phi = cond
+            add(target_fname, phi)
+            # walk the trace backwards from the end, applying assignments
+            for fname, stmt in reversed(steps):
+                if stmt is None or fname != target_fname:
+                    continue
+                if isinstance(stmt, Assign) and isinstance(stmt.lhs, Var):
+                    if stmt.lhs.name in expr_vars(phi):
+                        phi = subst(phi, stmt.lhs.name, stmt.rhs)
+                        add(fname, phi)
+        return out
+
+
+def check_cegar(prog: Program, **kw) -> CegarResult:
+    """Run the SLAM-lite CEGAR loop on a scalar sequential core program."""
+    return CegarChecker(prog, **kw).check()

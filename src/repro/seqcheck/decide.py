@@ -1,0 +1,216 @@
+"""A bit-blasting decision procedure for program predicates.
+
+Predicate abstraction (:mod:`repro.seqcheck.abstraction`) needs to answer
+entailment questions between boolean combinations of program predicates —
+expressions over ``int`` and ``bool`` program variables.  This module
+decides them by bit-blasting integers to fixed-width two's-complement
+vectors (default 8 bits) and calling the DPLL solver.
+
+The width is a soundness *parameter*: driver models use tiny constants,
+and the CEGAR loop validates abstract counterexamples concretely before
+reporting, so a too-small width can cost precision but never produces a
+false error.  Division/modulo are not supported in predicates.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.lang.ast import (
+    Binary,
+    BoolLit,
+    BoolType,
+    Expr,
+    IntLit,
+    IntType,
+    Type,
+    Unary,
+    Var,
+)
+
+from .sat import CnfBuilder, Literal, solve
+
+
+class DecideError(Exception):
+    pass
+
+
+class BitBlaster:
+    """One query context: variables shared across all expressions."""
+
+    def __init__(self, width: int = 8):
+        self.width = width
+        self.cnf = CnfBuilder()
+        self._int_vars: Dict[str, List[Literal]] = {}
+        self._bool_vars: Dict[str, Literal] = {}
+
+    # -- variable management -------------------------------------------------
+
+    def int_var(self, name: str) -> List[Literal]:
+        if name not in self._int_vars:
+            self._int_vars[name] = [self.cnf.fresh() for _ in range(self.width)]
+        return self._int_vars[name]
+
+    def bool_var(self, name: str) -> Literal:
+        if name not in self._bool_vars:
+            self._bool_vars[name] = self.cnf.fresh()
+        return self._bool_vars[name]
+
+    # -- vectors ------------------------------------------------------------------
+
+    def const_vec(self, value: int) -> List[Literal]:
+        mask = (1 << self.width) - 1
+        bits = value & mask
+        return [self.cnf.const(bool((bits >> i) & 1)) for i in range(self.width)]
+
+    def add_vec(self, a: List[Literal], b: List[Literal]) -> List[Literal]:
+        out: List[Literal] = []
+        carry = self.cnf.const(False)
+        for x, y in zip(a, b):
+            s = self.cnf.xor_(self.cnf.xor_(x, y), carry)
+            carry = self.cnf.or_(
+                self.cnf.and_(x, y), self.cnf.and_(carry, self.cnf.xor_(x, y))
+            )
+            out.append(s)
+        return out
+
+    def neg_vec(self, a: List[Literal]) -> List[Literal]:
+        inverted = [-x for x in a]
+        return self.add_vec(inverted, self.const_vec(1))
+
+    def sub_vec(self, a: List[Literal], b: List[Literal]) -> List[Literal]:
+        return self.add_vec(a, self.neg_vec(b))
+
+    def mul_vec(self, a: List[Literal], b: List[Literal]) -> List[Literal]:
+        acc = self.const_vec(0)
+        for i, bit in enumerate(b):
+            shifted = [self.cnf.const(False)] * i + a[: self.width - i]
+            masked = [self.cnf.and_(bit, s) for s in shifted]
+            acc = self.add_vec(acc, masked)
+        return acc
+
+    def eq_vec(self, a: List[Literal], b: List[Literal]) -> Literal:
+        eqs = [self.cnf.iff(x, y) for x, y in zip(a, b)]
+        return self.cnf.and_many(eqs)
+
+    def lt_vec(self, a: List[Literal], b: List[Literal]) -> Literal:
+        """Signed a < b: compare with flipped sign bits, unsigned."""
+        a2 = list(a)
+        b2 = list(b)
+        a2[-1] = -a2[-1]
+        b2[-1] = -b2[-1]
+        # unsigned less-than, MSB downward
+        lt = self.cnf.const(False)
+        eq_so_far = self.cnf.const(True)
+        for x, y in reversed(list(zip(a2, b2))):
+            bit_lt = self.cnf.and_(-x, y)
+            lt = self.cnf.or_(lt, self.cnf.and_(eq_so_far, bit_lt))
+            eq_so_far = self.cnf.and_(eq_so_far, self.cnf.iff(x, y))
+        return lt
+
+    # -- expressions ----------------------------------------------------------------
+
+    def blast_int(self, e: Expr, types: Dict[str, Type]) -> List[Literal]:
+        if isinstance(e, IntLit):
+            return self.const_vec(e.value)
+        if isinstance(e, Var):
+            t = types.get(e.name)
+            if not isinstance(t, IntType):
+                raise DecideError(f"variable {e.name} is not int in predicate")
+            return self.int_var(e.name)
+        if isinstance(e, Unary) and e.op == "-":
+            return self.neg_vec(self.blast_int(e.operand, types))
+        if isinstance(e, Binary):
+            if e.op == "+":
+                return self.add_vec(self.blast_int(e.left, types), self.blast_int(e.right, types))
+            if e.op == "-":
+                return self.sub_vec(self.blast_int(e.left, types), self.blast_int(e.right, types))
+            if e.op == "*":
+                return self.mul_vec(self.blast_int(e.left, types), self.blast_int(e.right, types))
+        raise DecideError(f"unsupported integer expression in predicate: {e}")
+
+    def blast_bool(self, e: Expr, types: Dict[str, Type]) -> Literal:
+        if isinstance(e, BoolLit):
+            return self.cnf.const(e.value)
+        if isinstance(e, Var):
+            t = types.get(e.name)
+            if not isinstance(t, BoolType):
+                raise DecideError(f"variable {e.name} is not bool in predicate")
+            return self.bool_var(e.name)
+        if isinstance(e, Unary) and e.op == "!":
+            return -self.blast_bool(e.operand, types)
+        if isinstance(e, Binary):
+            if e.op == "&&":
+                return self.cnf.and_(self.blast_bool(e.left, types), self.blast_bool(e.right, types))
+            if e.op == "||":
+                return self.cnf.or_(self.blast_bool(e.left, types), self.blast_bool(e.right, types))
+            if e.op in ("==", "!="):
+                lt = self._operand_type(e.left, types)
+                if isinstance(lt, BoolType):
+                    out = self.cnf.iff(self.blast_bool(e.left, types), self.blast_bool(e.right, types))
+                else:
+                    out = self.eq_vec(self.blast_int(e.left, types), self.blast_int(e.right, types))
+                return out if e.op == "==" else -out
+            if e.op in ("<", "<=", ">", ">="):
+                a = self.blast_int(e.left, types)
+                b = self.blast_int(e.right, types)
+                if e.op == "<":
+                    return self.lt_vec(a, b)
+                if e.op == ">":
+                    return self.lt_vec(b, a)
+                if e.op == "<=":
+                    return -self.lt_vec(b, a)
+                return -self.lt_vec(a, b)
+        raise DecideError(f"unsupported boolean expression in predicate: {e}")
+
+    def _operand_type(self, e: Expr, types: Dict[str, Type]) -> Type:
+        if isinstance(e, BoolLit):
+            return BoolType()
+        if isinstance(e, IntLit):
+            return IntType()
+        if isinstance(e, Var):
+            t = types.get(e.name)
+            if t is None:
+                raise DecideError(f"untyped variable {e.name}")
+            return t
+        if isinstance(e, Unary) and e.op == "!":
+            return BoolType()
+        if isinstance(e, Unary) and e.op == "-":
+            return IntType()
+        if isinstance(e, Binary):
+            return BoolType() if e.op in ("&&", "||", "==", "!=", "<", "<=", ">", ">=") else IntType()
+        raise DecideError(f"cannot type predicate operand {e}")
+
+
+def check_sat(
+    exprs: Sequence[Expr], types: Dict[str, Type], width: int = 8
+) -> Optional[Dict[str, object]]:
+    """Is the conjunction of ``exprs`` satisfiable?  Returns a model
+    (variable -> int/bool) or ``None``."""
+    bb = BitBlaster(width)
+    for e in exprs:
+        bb.cnf.add(bb.blast_bool(e, types))
+    model = solve(bb.cnf.clauses, bb.cnf.num_vars)
+    if model is None:
+        return None
+    out: Dict[str, object] = {}
+    for name, lit in bb._bool_vars.items():
+        out[name] = model[abs(lit)] if lit > 0 else not model[abs(lit)]
+    for name, bits in bb._int_vars.items():
+        value = 0
+        for i, lit in enumerate(bits):
+            bit = model[abs(lit)] if lit > 0 else not model[abs(lit)]
+            if bit:
+                value |= 1 << i
+        if value >= 1 << (width - 1):
+            value -= 1 << width
+        out[name] = value
+    return out
+
+
+def entails(
+    antecedents: Sequence[Expr], consequent: Expr, types: Dict[str, Type], width: int = 8
+) -> bool:
+    """Does ``/\\ antecedents`` imply ``consequent`` (modulo the width)?"""
+    negated = Unary("!", consequent)
+    return check_sat(list(antecedents) + [negated], types, width) is None

@@ -1,0 +1,71 @@
+"""Error-trace data structures shared by the checkers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import List, Optional
+
+from repro.cfg.graph import Origin
+
+
+class CheckStatus(Enum):
+    SAFE = "safe"
+    ERROR = "error"
+    EXHAUSTED = "resource-bound"  # the paper's "did not terminate within bound"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+@dataclass
+class TraceStep:
+    """One executed CFG node in an error trace.
+
+    ``tid`` is the executing thread: always 0 for sequential programs;
+    meaningful for concurrent traces and for sequential traces that have
+    been mapped back to the concurrent program.
+    """
+
+    func: str
+    node_id: int
+    origin: Origin
+    tid: int = 0
+
+    def __str__(self) -> str:
+        return f"[t{self.tid}] {self.origin}"
+
+
+@dataclass
+class CheckStats:
+    states: int = 0
+    transitions: int = 0
+    max_depth: int = 0
+
+
+@dataclass
+class CheckResult:
+    """Outcome of a model-checking run."""
+
+    status: CheckStatus
+    violation_kind: Optional[str] = None
+    message: str = ""
+    trace: List[TraceStep] = field(default_factory=list)
+    stats: CheckStats = field(default_factory=CheckStats)
+
+    @property
+    def is_error(self) -> bool:
+        return self.status is CheckStatus.ERROR
+
+    @property
+    def is_safe(self) -> bool:
+        return self.status is CheckStatus.SAFE
+
+    @property
+    def exhausted(self) -> bool:
+        return self.status is CheckStatus.EXHAUSTED
+
+    def format_trace(self) -> str:
+        lines = [f"{self.status} ({self.violation_kind or 'no violation'}): {self.message}"]
+        lines += [f"  {i:3d}. {step}" for i, step in enumerate(self.trace)]
+        return "\n".join(lines)

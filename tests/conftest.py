@@ -1,0 +1,16 @@
+"""Test-suite configuration: a hypothesis profile without deadlines.
+
+Model-checking calls inside property tests have heavy-tailed latency
+(state-space size depends on the drawn program), so wall-clock deadlines
+would be flaky; example counts are kept low in the tests themselves.
+"""
+
+from hypothesis import HealthCheck, settings
+
+settings.register_profile(
+    "kiss-repro",
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+    print_blob=True,
+)
+settings.load_profile("kiss-repro")

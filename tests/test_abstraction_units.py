@@ -1,0 +1,108 @@
+"""Fine-grained unit tests for the predicate-abstraction machinery."""
+
+import pytest
+
+from repro.lang import parse_core
+from repro.lang.parser import parse_expr
+from repro.seqcheck.abstraction import Abstractor, PredicateSet
+from repro.seqcheck.boolprog import BAnd, BConst, BNot, BOr, BVar, eval_bexpr
+
+
+def make_abstractor(src, global_preds):
+    prog = parse_core(src)
+    preds = PredicateSet(global_preds=[parse_expr(p) for p in global_preds])
+    return prog, preds, Abstractor(prog, preds)
+
+
+def cover(a, prog, goal, scope_texts, bvars=None):
+    scope = [parse_expr(t) for t in scope_texts]
+    bvars = bvars or [f"G{i}" for i in range(len(scope))]
+    types = {g.name: g.type for g in prog.globals.values()}
+    return a.weakest_cover(parse_expr(goal), scope, bvars, types)
+
+
+def models_of(bexpr, names):
+    """All assignments over `names` making `bexpr` true."""
+    out = []
+    for bits in range(1 << len(names)):
+        env = {n: bool((bits >> i) & 1) for i, n in enumerate(names)}
+        if True in eval_bexpr(bexpr, env):
+            out.append(tuple(sorted(env.items())))
+    return out
+
+
+SRC = "int x; int y; bool b; void main() { }"
+
+
+def test_tautology_covered_by_true():
+    prog, preds, a = make_abstractor(SRC, [])
+    c = cover(a, prog, "x == x", ["x == 0"])
+    assert models_of(c, ["G0"]) == models_of(BConst(True), ["G0"])
+
+
+def test_direct_predicate_covered_by_itself():
+    prog, preds, a = make_abstractor(SRC, [])
+    c = cover(a, prog, "x == 1", ["x == 1", "y == 2"])
+    # exactly the G0-true assignments
+    assert set(models_of(c, ["G0", "G1"])) == {
+        (("G0", True), ("G1", False)),
+        (("G0", True), ("G1", True)),
+    }
+
+
+def test_implied_predicate_covered():
+    prog, preds, a = make_abstractor(SRC, [])
+    # x == 1 implies x > 0
+    c = cover(a, prog, "x > 0", ["x == 1"])
+    assert (("G0", True),) in models_of(c, ["G0"])
+
+
+def test_negation_covers():
+    prog, preds, a = make_abstractor(SRC, [])
+    # !(x == 1) does NOT imply x != 1... it does. check cube with negative literal
+    c = cover(a, prog, "x != 1", ["x == 1"])
+    assert (("G0", False),) in models_of(c, ["G0"])
+    assert (("G0", True),) not in models_of(c, ["G0"])
+
+
+def test_conjunction_needs_two_predicates():
+    prog, preds, a = make_abstractor(SRC, [])
+    # x > 0 && x < 2 implies x == 1 (8-bit ints)
+    c = cover(a, prog, "x == 1", ["x > 0", "x < 2"])
+    ms = models_of(c, ["G0", "G1"])
+    assert (("G0", True), ("G1", True)) in ms
+    assert (("G0", True), ("G1", False)) not in ms
+
+
+def test_uncoverable_goal_yields_false():
+    prog, preds, a = make_abstractor(SRC, [])
+    c = cover(a, prog, "x == 5", ["b"])  # unrelated predicate
+    assert models_of(c, ["G0"]) == []
+
+
+def test_subsumed_cubes_skipped():
+    prog, preds, a = make_abstractor(SRC, [])
+    # G0 alone implies the goal; cubes containing G0 must not be re-added
+    c = cover(a, prog, "x >= 1", ["x == 1", "y == 0"])
+    # semantics: true exactly when G0 true (G1 irrelevant)
+    ms = set(models_of(c, ["G0", "G1"]))
+    assert (("G0", True), ("G1", False)) in ms
+    assert (("G0", True), ("G1", True)) in ms
+    assert (("G0", False), ("G1", True)) not in ms
+
+
+def test_provenance_links_bool_stmts_to_core_stmts():
+    prog, preds, a = make_abstractor("int g; void main() { g = 1; assert(g == 1); }", ["g == 1"])
+    a.abstract()
+    stmts = [s for s in a.provenance.values() if s is not None]
+    texts = {str(s) for s in stmts}
+    assert any("g = 1" in t for t in texts)
+    assert any("assert" in t for t in texts)
+
+
+def test_entailment_cache_reused():
+    prog, preds, a = make_abstractor(SRC, [])
+    cover(a, prog, "x == 1", ["x == 1"])
+    hits_before = len(a._entail_cache)
+    cover(a, prog, "x == 1", ["x == 1"])
+    assert len(a._entail_cache) == hits_before  # all queries cached

@@ -1,0 +1,140 @@
+"""Unit tests for the Steensgaard points-to analysis."""
+
+import pytest
+
+from repro.analysis.alias import AliasAnalysis
+from repro.lang import parse_core
+
+
+def analysis(src):
+    prog = parse_core(src)
+    return prog, AliasAnalysis(prog)
+
+
+def may(aa, prog, fn, var, loc):
+    return aa.may_point_to(prog.functions[fn], var, loc)
+
+
+def test_address_of_global_points_to_it():
+    prog, aa = analysis("int g; void main() { int *p; p = &g; }")
+    assert may(aa, prog, "main", "p", aa.global_loc("g"))
+
+
+def test_unrelated_global_not_pointed():
+    prog, aa = analysis("int g; int h; void main() { int *p; p = &g; }")
+    assert not may(aa, prog, "main", "p", aa.global_loc("h"))
+
+
+def test_copy_propagates_points_to():
+    prog, aa = analysis("int g; void main() { int *p; int *q; p = &g; q = p; }")
+    assert may(aa, prog, "main", "q", aa.global_loc("g"))
+
+
+def test_call_binds_arguments():
+    prog, aa = analysis(
+        "int g; void f(int *x) { *x = 1; } void main() { int *p; p = &g; f(p); }"
+    )
+    assert may(aa, prog, "f", "x", aa.global_loc("g"))
+
+
+def test_call_does_not_invent_aliases():
+    prog, aa = analysis(
+        "int g; int h; void f(int *x) { } void main() { int *p; int *q; p = &g; q = &h; f(p); }"
+    )
+    assert not may(aa, prog, "f", "x", aa.global_loc("h"))
+
+
+def test_return_value_flows_to_caller():
+    prog, aa = analysis(
+        "int g; int* mk() { int *r; r = &g; return r; } void main() { int *p; p = mk(); }"
+    )
+    assert may(aa, prog, "main", "p", aa.global_loc("g"))
+
+
+def test_field_address_points_to_field_location():
+    prog, aa = analysis(
+        "struct S { int a; int b; } void main() { S *e; int *p; e = malloc(S); p = &e->a; }"
+    )
+    assert may(aa, prog, "main", "p", aa.field_loc("S", "a"))
+    assert not may(aa, prog, "main", "p", aa.field_loc("S", "b"))
+
+
+def test_field_store_and_load_of_pointers():
+    prog, aa = analysis(
+        """
+        struct S { int *ptr; }
+        int g;
+        void main() {
+          S *e; int *p; int *q;
+          e = malloc(S);
+          p = &g;
+          e->ptr = p;
+          q = e->ptr;
+        }
+        """
+    )
+    assert may(aa, prog, "main", "q", aa.global_loc("g"))
+
+
+def test_store_through_pointer_to_pointer():
+    prog, aa = analysis(
+        """
+        int g;
+        void main() {
+          int *p; int **pp; int *q;
+          p = &g;
+          pp = &p;
+          *pp = p;
+          q = *pp;
+        }
+        """
+    )
+    assert may(aa, prog, "main", "q", aa.global_loc("g"))
+
+
+def test_unification_merges_both_targets():
+    # Steensgaard is unification-based: assigning both &g and &h to p
+    # merges g and h into one class — p may point to both (imprecision,
+    # never unsoundness)
+    prog, aa = analysis(
+        "int g; int h; void main() { int *p; p = &g; p = &h; }"
+    )
+    assert may(aa, prog, "main", "p", aa.global_loc("g"))
+    assert may(aa, prog, "main", "p", aa.global_loc("h"))
+
+
+def test_unknown_variable_is_conservative():
+    prog, aa = analysis("int g; void main() { }")
+    assert may(aa, prog, "main", "not_a_var", aa.global_loc("g"))
+
+
+def test_locals_of_different_functions_distinct():
+    prog, aa = analysis(
+        """
+        int g; int h;
+        void f() { int *p; p = &g; }
+        void main() { int *p; p = &h; f(); }
+        """
+    )
+    assert may(aa, prog, "f", "p", aa.global_loc("g"))
+    assert not may(aa, prog, "f", "p", aa.global_loc("h"))
+    assert not may(aa, prog, "main", "p", aa.global_loc("g"))
+
+
+def test_async_arguments_bound_like_calls():
+    prog, aa = analysis(
+        "int g; void worker(int *x) { *x = 1; } void main() { int *p; p = &g; async worker(p); }"
+    )
+    assert may(aa, prog, "worker", "x", aa.global_loc("g"))
+
+
+def test_indirect_call_result_conservative():
+    prog, aa = analysis(
+        """
+        int g;
+        int* mk() { int *r; r = &g; return r; }
+        void main() { func v; int *p; v = mk; p = v(); }
+        """
+    )
+    # the indirect call may target mk, so p may point to g
+    assert may(aa, prog, "main", "p", aa.global_loc("g"))

@@ -1,0 +1,153 @@
+"""Tests for Lipton-reduction atomicity inference (§6.1 future work)."""
+
+import pytest
+
+from repro.analysis.atomicity import AtomicityAnalyzer, Mover, infer_atomicity
+from repro.drivers.osmodel import OS_MODEL_SRC
+from repro.lang import parse_core
+
+
+def analyzer(src):
+    return AtomicityAnalyzer(parse_core(OS_MODEL_SRC + src))
+
+
+def test_lock_acquire_is_right_mover():
+    a = analyzer("void main() { }")
+    assert a.proc_mover("KeAcquireSpinLock") is Mover.R
+
+
+def test_lock_release_is_left_mover():
+    a = analyzer("void main() { }")
+    assert a.proc_mover("KeReleaseSpinLock") is Mover.L
+
+
+def test_locked_increment_is_atomic():
+    a = analyzer(
+        """
+        int SpinLock; int g;
+        void locked_inc() {
+          KeAcquireSpinLock(&SpinLock);
+          g = g + 1;
+          KeReleaseSpinLock(&SpinLock);
+        }
+        void other() { KeAcquireSpinLock(&SpinLock); g = 0; KeReleaseSpinLock(&SpinLock); }
+        void main() { async other(); locked_inc(); }
+        """
+    )
+    # R ; B(protected access) ; L — the canonical reducible pattern
+    assert a.is_atomic("locked_inc")
+
+
+def test_two_lock_sections_not_atomic():
+    a = analyzer(
+        """
+        int SpinLock; int g;
+        void double_section() {
+          KeAcquireSpinLock(&SpinLock);
+          g = g + 1;
+          KeReleaseSpinLock(&SpinLock);
+          KeAcquireSpinLock(&SpinLock);
+          g = g + 1;
+          KeReleaseSpinLock(&SpinLock);
+        }
+        void other() { KeAcquireSpinLock(&SpinLock); g = 0; KeReleaseSpinLock(&SpinLock); }
+        void main() { async other(); double_section(); }
+        """
+    )
+    # R B L R B L: another thread can interleave between the sections
+    assert not a.is_atomic("double_section")
+
+
+def test_racy_access_breaks_atomicity_of_locked_section():
+    a = analyzer(
+        """
+        int SpinLock; int g; int unprotected;
+        void mixed() {
+          KeAcquireSpinLock(&SpinLock);
+          g = g + 1;
+          KeReleaseSpinLock(&SpinLock);
+          unprotected = unprotected + 1;
+          KeAcquireSpinLock(&SpinLock);
+          g = g + 1;
+          KeReleaseSpinLock(&SpinLock);
+        }
+        void other() { unprotected = 5; }
+        void main() { async other(); mixed(); }
+        """
+    )
+    assert not a.is_atomic("mixed")
+
+
+def test_thread_local_function_is_both_mover():
+    a = analyzer(
+        """
+        void pure(int x) { int y; y = x + 1; y = y * 2; }
+        void main() { pure(3); }
+        """
+    )
+    assert a.proc_mover("pure") is Mover.B
+
+
+def test_interlocked_ops_atomic():
+    a = analyzer("void main() { }")
+    assert a.is_atomic("InterlockedIncrement")
+    assert a.is_atomic("InterlockedCompareExchange")
+
+
+def test_single_racy_access_is_atomic_but_not_mover():
+    a = analyzer(
+        """
+        int g;
+        void writer() { g = 1; }
+        void main() { async writer(); g = 2; }
+        """
+    )
+    # one racy action is still a single atomic action...
+    assert a.proc_mover("writer") is Mover.A
+    assert a.is_atomic("writer")
+
+
+def test_racy_access_after_commit_breaks_reduction():
+    a = analyzer(
+        """
+        int g; int h;
+        void two_races() { g = 1; h = 1; }
+        void other() { g = 2; h = 2; }
+        void main() { async other(); two_races(); }
+        """
+    )
+    # two independent racy actions cannot reduce to one
+    assert not a.is_atomic("two_races")
+
+
+def test_report_covers_all_functions():
+    src = OS_MODEL_SRC + """
+    int SpinLock; int g;
+    void f() { KeAcquireSpinLock(&SpinLock); g = 1; KeReleaseSpinLock(&SpinLock); }
+    void other() { KeAcquireSpinLock(&SpinLock); g = 0; KeReleaseSpinLock(&SpinLock); }
+    void main() { async other(); f(); }
+    """
+    verdicts = infer_atomicity(parse_core(src))
+    assert verdicts["f"] is True
+    assert set(verdicts) == set(parse_core(src).functions)
+
+
+def test_recursion_conservatively_non_atomic():
+    a = analyzer(
+        """
+        int g;
+        void rec() { g = g + 1; rec(); }
+        void other() { g = 5; }
+        void main() { async other(); rec(); }
+        """
+    )
+    assert not a.is_atomic("rec")
+
+
+def test_bluetooth_iodecrement_not_atomic():
+    """BCSP_IoDecrement: atomic decrement THEN an unprotected event write
+    that races — not reducible.  This is why the stop path misbehaves."""
+    from repro.drivers.bluetooth import BLUETOOTH_SRC
+
+    a = AtomicityAnalyzer(parse_core(BLUETOOTH_SRC))
+    assert not a.is_atomic("BCSP_IoDecrement")

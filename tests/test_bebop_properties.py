@@ -1,0 +1,117 @@
+"""Differential property tests: the Bebop tabulation engine against the
+explicit boolean-program executor on random programs.
+
+The two implementations share nothing but the IR, so agreement on random
+inputs is strong evidence for both — in particular for the summary
+tabulation, whose reuse logic is the subtle part.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.seqcheck.bebop import check_boolean_program, find_error_trace
+from repro.seqcheck.boolprog import (
+    BAnd,
+    BAssert,
+    BAssign,
+    BAssume,
+    BCall,
+    BConst,
+    BGoto,
+    BNondet,
+    BNot,
+    BOr,
+    BProc,
+    BProgram,
+    BReturn,
+    BSkip,
+    BVar,
+)
+
+GLOBALS = ["g0", "g1"]
+
+
+@st.composite
+def bexpr(draw, depth=0):
+    if depth >= 2 or draw(st.booleans()):
+        choice = draw(st.integers(0, 3))
+        if choice == 0:
+            return BConst(draw(st.booleans()))
+        if choice == 1:
+            return BVar(draw(st.sampled_from(GLOBALS)))
+        if choice == 2:
+            return BNondet()
+        return BNot(BVar(draw(st.sampled_from(GLOBALS))))
+    op = draw(st.sampled_from(["and", "or", "not"]))
+    if op == "not":
+        return BNot(draw(bexpr(depth + 1)))
+    a = draw(bexpr(depth + 1))
+    b = draw(bexpr(depth + 1))
+    return BAnd(a, b) if op == "and" else BOr(a, b)
+
+
+@st.composite
+def bstmt(draw, labels, procs):
+    choice = draw(st.integers(0, 4))
+    if choice == 0:
+        return BSkip()
+    if choice == 1:
+        target = draw(st.sampled_from(GLOBALS))
+        return BAssign(targets=[target], exprs=[draw(bexpr())])
+    if choice == 2:
+        return BAssume(cond=draw(bexpr()))
+    if choice == 3:
+        return BAssert(cond=draw(bexpr()))
+    if not procs:
+        return BSkip()
+    return BCall(proc=draw(st.sampled_from(procs)), args=[], rets=[])
+
+
+@st.composite
+def bprogram(draw):
+    helper_body = draw(st.lists(bstmt([], ["leaf"]), min_size=1, max_size=3))
+    helper_body.append(BReturn([]))
+    leaf_body = draw(st.lists(bstmt([], []), min_size=1, max_size=2))
+    # leaves must not call anyone
+    leaf_body = [s for s in leaf_body if not isinstance(s, BCall)] or [BSkip()]
+    leaf_body.append(BReturn([]))
+    main_body = draw(st.lists(bstmt([], ["helper", "leaf"]), min_size=1, max_size=4))
+    # optional nondeterministic goto for branch shape
+    if draw(st.booleans()):
+        main_body = (
+            [BGoto(labels=["a", "b"]), BSkip(label="a")]
+            + main_body
+            + [BGoto(labels=["end"]), BSkip(label="b"), BSkip(label="end")]
+        )
+    prog = BProgram(globals=list(GLOBALS))
+    prog.procs["main"] = BProc("main", body=main_body)
+    prog.procs["helper"] = BProc("helper", body=helper_body)
+    prog.procs["leaf"] = BProc("leaf", body=leaf_body)
+    return prog
+
+
+@settings(max_examples=60, deadline=None)
+@given(bprogram())
+def test_bebop_agrees_with_explicit_executor(prog):
+    prog.validate()
+    tabulated = check_boolean_program(prog)
+    explicit_trace = find_error_trace(prog, max_states=200_000)
+    assert tabulated.safe == (explicit_trace is None), str(prog)
+
+
+@settings(max_examples=40, deadline=None)
+@given(bprogram())
+def test_bebop_is_deterministic(prog):
+    r1 = check_boolean_program(prog)
+    r2 = check_boolean_program(prog)
+    assert r1.safe == r2.safe
+    assert r1.path_edges == r2.path_edges
+
+
+@settings(max_examples=40, deadline=None)
+@given(bprogram())
+def test_explicit_trace_ends_at_failing_assert(prog):
+    trace = find_error_trace(prog)
+    if trace is None:
+        return
+    proc, pc, stmt = trace[-1]
+    assert isinstance(stmt, BAssert)

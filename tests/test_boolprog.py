@@ -1,0 +1,246 @@
+"""Tests for the boolean-program IR and the Bebop engine."""
+
+import pytest
+
+from repro.seqcheck.boolprog import (
+    BAnd,
+    BAssert,
+    BAssign,
+    BAssume,
+    BCall,
+    BConst,
+    BGoto,
+    BNondet,
+    BNot,
+    BOr,
+    BProc,
+    BProgram,
+    BReturn,
+    BSkip,
+    BVar,
+    eval_bexpr,
+)
+from repro.seqcheck.bebop import check_boolean_program, find_error_trace
+
+
+# -- expression evaluation -------------------------------------------------------
+
+
+def test_eval_const_and_var():
+    assert eval_bexpr(BConst(True), {}) == [True]
+    assert eval_bexpr(BVar("x"), {"x": False}) == [False]
+
+
+def test_eval_nondet_both_values():
+    assert set(eval_bexpr(BNondet(), {})) == {True, False}
+
+
+def test_eval_not_and_or():
+    env = {"a": True, "b": False}
+    assert eval_bexpr(BNot(BVar("a")), env) == [False]
+    assert eval_bexpr(BAnd(BVar("a"), BVar("b")), env) == [False]
+    assert eval_bexpr(BOr(BVar("a"), BVar("b")), env) == [True]
+
+
+def test_eval_nondet_under_and():
+    vals = eval_bexpr(BAnd(BNondet(), BConst(True)), {})
+    assert set(vals) == {True, False}
+
+
+# -- program validation --------------------------------------------------------------
+
+
+def prog_with(body, globals_=("g",), locals_=(), entry_extra=None):
+    p = BProgram(globals=list(globals_))
+    p.procs["main"] = BProc("main", locals=list(locals_), body=body)
+    if entry_extra:
+        p.procs.update(entry_extra)
+    return p
+
+
+def test_validate_rejects_unknown_label():
+    p = prog_with([BGoto(labels=["nope"])])
+    with pytest.raises(ValueError):
+        p.validate()
+
+
+def test_validate_rejects_bad_assignment():
+    p = prog_with([BAssign(targets=["zz"], exprs=[BConst(True)])])
+    with pytest.raises(ValueError):
+        p.validate()
+
+
+def test_validate_rejects_call_arity():
+    callee = BProc("f", params=["a"], body=[BReturn([])])
+    p = prog_with([BCall(proc="f", args=[], rets=[])], entry_extra={"f": callee})
+    with pytest.raises(ValueError):
+        p.validate()
+
+
+# -- bebop reachability -----------------------------------------------------------------
+
+
+def test_assert_true_safe():
+    p = prog_with([BAssert(cond=BConst(True))])
+    assert check_boolean_program(p).safe
+
+
+def test_assert_false_unsafe():
+    p = prog_with([BAssert(cond=BConst(False))])
+    r = check_boolean_program(p)
+    assert not r.safe
+    assert r.error_proc == "main"
+
+
+def test_assume_blocks_assert():
+    p = prog_with([BAssume(cond=BConst(False)), BAssert(cond=BConst(False))])
+    assert check_boolean_program(p).safe
+
+
+def test_assignment_flows():
+    p = prog_with(
+        [
+            BAssign(targets=["g"], exprs=[BConst(True)]),
+            BAssert(cond=BVar("g")),
+        ]
+    )
+    assert check_boolean_program(p).safe
+
+
+def test_nondet_assignment_both_branches():
+    p = prog_with(
+        [
+            BAssign(targets=["g"], exprs=[BNondet()]),
+            BAssert(cond=BVar("g")),
+        ]
+    )
+    r = check_boolean_program(p)
+    assert not r.safe
+
+
+def test_parallel_assignment_swaps():
+    p = BProgram(globals=["a", "b"])
+    p.procs["main"] = BProc(
+        "main",
+        body=[
+            BAssign(targets=["a"], exprs=[BConst(True)]),
+            BAssign(targets=["a", "b"], exprs=[BVar("b"), BVar("a")]),  # swap
+            BAssert(cond=BAnd(BVar("b"), BNot(BVar("a")))),
+        ],
+    )
+    assert check_boolean_program(p).safe
+
+
+def test_goto_nondeterminism():
+    p = prog_with(
+        [
+            BGoto(labels=["yes", "no"]),
+            BAssign(label="yes", targets=["g"], exprs=[BConst(True)]),
+            BGoto(labels=["end"]),
+            BAssign(label="no", targets=["g"], exprs=[BConst(False)]),
+            BSkip(label="end"),
+            BAssert(cond=BVar("g")),
+        ]
+    )
+    assert not check_boolean_program(p).safe
+
+
+def test_loop_terminates_via_tabulation():
+    # infinite loop flipping g: tabulation converges, assert inside holds
+    p = prog_with(
+        [
+            BSkip(label="head"),
+            BAssign(targets=["g"], exprs=[BNot(BVar("g"))]),
+            BAssert(cond=BOr(BVar("g"), BNot(BVar("g")))),
+            BGoto(labels=["head", "end"]),
+            BSkip(label="end"),
+        ]
+    )
+    assert check_boolean_program(p).safe
+
+
+def test_call_and_summary():
+    setg = BProc("setg", body=[BAssign(targets=["g"], exprs=[BConst(True)]), BReturn([])])
+    p = prog_with(
+        [BCall(proc="setg", args=[], rets=[]), BAssert(cond=BVar("g"))],
+        entry_extra={"setg": setg},
+    )
+    assert check_boolean_program(p).safe
+
+
+def test_call_with_params_and_returns():
+    ident = BProc("ident", params=["x"], nrets=1, body=[BReturn([BVar("x")])])
+    p = BProgram(globals=[])
+    p.procs["ident"] = ident
+    p.procs["main"] = BProc(
+        "main",
+        locals=["r"],
+        body=[
+            BCall(proc="ident", args=[BConst(True)], rets=["r"]),
+            BAssert(cond=BVar("r")),
+        ],
+    )
+    assert check_boolean_program(p).safe
+
+
+def test_recursion_converges():
+    # f flips g then calls itself nondeterministically; assert can fail
+    f = BProc(
+        "f",
+        body=[
+            BAssign(targets=["g"], exprs=[BNot(BVar("g"))]),
+            BGoto(labels=["again", "done"]),
+            BSkip(label="again"),
+            BCall(proc="f", args=[], rets=[]),
+            BSkip(label="done"),
+            BReturn([]),
+        ],
+    )
+    p = prog_with(
+        [BCall(proc="f", args=[], rets=[]), BAssert(cond=BVar("g"))],
+        entry_extra={"f": f},
+    )
+    r = check_boolean_program(p)
+    assert not r.safe  # two flips restore g=False
+
+
+def test_summary_reuse_counts():
+    f = BProc("f", body=[BReturn([])])
+    body = [BCall(proc="f", args=[], rets=[]) for _ in range(3)]
+    p = prog_with(body, entry_extra={"f": f})
+    r = check_boolean_program(p)
+    assert r.safe
+    assert r.summaries >= 1
+
+
+# -- explicit trace extraction -------------------------------------------------------------
+
+
+def test_find_error_trace_simple():
+    p = prog_with(
+        [
+            BAssign(targets=["g"], exprs=[BConst(True)]),
+            BAssert(cond=BNot(BVar("g"))),
+        ]
+    )
+    trace = find_error_trace(p)
+    assert trace is not None
+    assert trace[-1][0] == "main"
+    assert "assert" in str(trace[-1][2])
+
+
+def test_find_error_trace_none_when_safe():
+    p = prog_with([BAssert(cond=BConst(True))])
+    assert find_error_trace(p) is None
+
+
+def test_find_error_trace_through_call():
+    setg = BProc("setg", body=[BAssign(targets=["g"], exprs=[BConst(True)]), BReturn([])])
+    p = prog_with(
+        [BCall(proc="setg", args=[], rets=[]), BAssert(cond=BNot(BVar("g")))],
+        entry_extra={"setg": setg},
+    )
+    trace = find_error_trace(p)
+    assert trace is not None
+    procs = [t[0] for t in trace]
+    assert "setg" in procs and "main" in procs

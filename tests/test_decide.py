@@ -1,0 +1,130 @@
+"""Tests for the bit-blasting decision procedure."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.lang.ast import BOOL, INT, Binary, BoolLit, IntLit, Unary, Var
+from repro.seqcheck.decide import DecideError, check_sat, entails
+
+T = {"x": INT, "y": INT, "z": INT, "p": BOOL, "q": BOOL}
+
+
+def sat(*exprs):
+    return check_sat(list(exprs), T)
+
+
+def test_true_is_sat():
+    assert sat(BoolLit(True)) is not None
+
+
+def test_false_is_unsat():
+    assert sat(BoolLit(False)) is None
+
+
+def test_model_satisfies_equality():
+    m = sat(Binary("==", Var("x"), IntLit(5)))
+    assert m["x"] == 5
+
+
+def test_negative_constant():
+    m = sat(Binary("==", Var("x"), IntLit(-3)))
+    assert m["x"] == -3
+
+
+def test_contradictory_equalities():
+    assert sat(Binary("==", Var("x"), IntLit(1)), Binary("==", Var("x"), IntLit(2))) is None
+
+
+def test_addition():
+    m = sat(
+        Binary("==", Var("x"), IntLit(3)),
+        Binary("==", Var("y"), Binary("+", Var("x"), IntLit(4))),
+    )
+    assert m["y"] == 7
+
+
+def test_subtraction():
+    m = sat(Binary("==", Var("y"), Binary("-", IntLit(2), IntLit(5))))
+    assert m["y"] == -3
+
+
+def test_multiplication():
+    m = sat(Binary("==", Var("y"), Binary("*", IntLit(3), IntLit(4))))
+    assert m["y"] == 12
+
+
+def test_signed_less_than():
+    assert sat(Binary("<", IntLit(-1), IntLit(1))) is not None
+    assert sat(Binary("<", IntLit(1), IntLit(-1))) is None
+
+
+def test_lt_le_gt_ge():
+    assert sat(Binary("<=", IntLit(2), IntLit(2))) is not None
+    assert sat(Binary("<", IntLit(2), IntLit(2))) is None
+    assert sat(Binary(">", IntLit(3), IntLit(2))) is not None
+    assert sat(Binary(">=", IntLit(1), IntLit(2))) is None
+
+
+def test_bool_ops():
+    m = sat(Binary("&&", Var("p"), Unary("!", Var("q"))))
+    assert m["p"] is True and m["q"] is False
+
+
+def test_bool_equality():
+    assert sat(Binary("==", Var("p"), Unary("!", Var("p")))) is None
+
+
+def test_int_disequality():
+    m = sat(Binary("!=", Var("x"), IntLit(0)))
+    assert m["x"] != 0
+
+
+def test_entails_reflexive():
+    e = Binary("==", Var("x"), IntLit(1))
+    assert entails([e], e, T)
+
+
+def test_entails_arithmetic():
+    # x == 1 |= x + 1 == 2
+    a = Binary("==", Var("x"), IntLit(1))
+    c = Binary("==", Binary("+", Var("x"), IntLit(1)), IntLit(2))
+    assert entails([a], c, T)
+
+
+def test_entails_ordering():
+    # x < 2 && x > 0 |= x == 1
+    a1 = Binary("<", Var("x"), IntLit(2))
+    a2 = Binary(">", Var("x"), IntLit(0))
+    c = Binary("==", Var("x"), IntLit(1))
+    assert entails([a1, a2], c, T)
+    assert not entails([a1], c, T)
+
+
+def test_overflow_wraps_at_width():
+    # 8-bit two's complement: 127 + 1 == -128
+    m = check_sat(
+        [Binary("==", Var("x"), Binary("+", IntLit(127), IntLit(1)))], T, width=8
+    )
+    assert m["x"] == -128
+
+
+def test_unsupported_division_rejected():
+    with pytest.raises(DecideError):
+        check_sat([Binary("==", Var("x"), Binary("/", Var("y"), IntLit(2)))], T)
+
+
+@given(st.integers(-20, 20), st.integers(-20, 20))
+def test_addition_matches_python(a, b):
+    m = check_sat(
+        [Binary("==", Var("x"), Binary("+", IntLit(a), IntLit(b)))], T, width=8
+    )
+    expected = a + b
+    # wrap to 8-bit two's complement
+    wrapped = ((expected + 128) % 256) - 128
+    assert m["x"] == wrapped
+
+
+@given(st.integers(-11, 11), st.integers(-11, 11))
+def test_comparison_matches_python(a, b):
+    is_sat = check_sat([Binary("<", IntLit(a), IntLit(b))], T) is not None
+    assert is_sat == (a < b)

@@ -1,0 +1,200 @@
+"""Unit and property tests for balanced-execution analysis (Section 4.1)."""
+
+from hypothesis import given, strategies as st
+
+from repro.concheck.executions import (
+    balanced_prefix_feasible,
+    context_switches,
+    is_balanced,
+    thread_string,
+)
+from repro.seqcheck.trace import TraceStep
+from repro.cfg.graph import Origin
+
+
+# -- context switches ------------------------------------------------------
+
+
+def test_context_switches_empty():
+    assert context_switches([]) == 0
+
+
+def test_context_switches_single_thread():
+    assert context_switches([0, 0, 0]) == 0
+
+
+def test_context_switches_alternating():
+    assert context_switches([0, 1, 0, 1]) == 3
+
+
+def test_thread_string_from_trace():
+    trace = [TraceStep("f", 0, Origin(), tid=t) for t in (0, 1, 1, 0)]
+    assert thread_string(trace) == (0, 1, 1, 0)
+
+
+# -- balanced strings --------------------------------------------------------
+
+
+def test_empty_is_balanced():
+    assert is_balanced([])
+
+
+def test_single_thread_balanced():
+    assert is_balanced([0, 0, 0])
+
+
+def test_simple_nested_block():
+    # 0 runs, dispatches 1 to completion, resumes
+    assert is_balanced([0, 1, 1, 0])
+
+
+def test_block_without_resume():
+    assert is_balanced([0, 0, 1, 1])
+
+
+def test_two_sibling_blocks():
+    assert is_balanced([0, 1, 1, 0, 2, 2, 0])
+
+
+def test_adjacent_sibling_blocks_without_root_between():
+    assert is_balanced([0, 1, 1, 2, 2, 0])
+
+
+def test_deep_nesting():
+    assert is_balanced([0, 1, 2, 2, 1, 0])
+
+
+def test_interleaving_violating_stack_discipline():
+    # 1 and 0 alternate — 0 resumes before 1's block completes and then 1
+    # runs again: not schedulable by a stack
+    assert not is_balanced([0, 1, 0, 1])
+
+
+def test_thread_split_across_segments():
+    assert not is_balanced([0, 1, 0, 2, 1, 0])
+
+
+def test_nested_violation():
+    # inside 1's block, 2 and 1 alternate improperly
+    assert not is_balanced([0, 1, 2, 1, 2, 0])
+
+
+def test_sibling_blocks_interleaved():
+    assert not is_balanced([0, 1, 2, 1, 2, 0])
+
+
+def test_paper_two_thread_claim():
+    """For 2 threads, every execution with at most two context switches is
+    balanced (the paper's §2 characterization)."""
+    for a in range(1, 4):
+        for b in range(1, 4):
+            for c in range(0, 4):
+                s = [0] * a + [1] * b + [0] * c
+                assert context_switches(s) <= 2
+                assert is_balanced(s), s
+
+
+def test_two_threads_three_switches_unbalanced():
+    assert not is_balanced([0, 1, 0, 1])
+    assert context_switches([0, 1, 0, 1]) == 3
+
+
+# -- the stack-automaton and the recursive definition agree -------------------
+
+
+def _stack_accepts(s):
+    stack, closed = [], set()
+    for sym in s:
+        if sym in closed:
+            return False
+        if stack and stack[-1] == sym:
+            continue
+        if sym in stack:
+            while stack[-1] != sym:
+                closed.add(stack.pop())
+        else:
+            stack.append(sym)
+    return True
+
+
+@given(st.lists(st.integers(min_value=0, max_value=3), max_size=12))
+def test_recursive_definition_matches_stack_automaton(s):
+    assert is_balanced(s) == _stack_accepts(s)
+
+
+@given(st.lists(st.integers(min_value=0, max_value=3), max_size=12))
+def test_balanced_strings_are_feasible_prefixes(s):
+    if is_balanced(s):
+        assert balanced_prefix_feasible(s)
+
+
+@given(st.lists(st.integers(min_value=0, max_value=3), max_size=12))
+def test_prefix_feasibility_is_prefix_closed(s):
+    if balanced_prefix_feasible(s):
+        for i in range(len(s)):
+            assert balanced_prefix_feasible(s[:i])
+
+
+@given(st.lists(st.integers(min_value=0, max_value=2), max_size=10))
+def test_unbalanced_extensions_stay_unbalanced(s):
+    # is_balanced equals prefix feasibility for complete strings, and an
+    # infeasible prefix can never become feasible again
+    if not balanced_prefix_feasible(s):
+        assert not is_balanced(s + [0])
+        assert not is_balanced(s + [99])
+
+
+def test_single_symbol():
+    assert is_balanced([5])
+    assert balanced_prefix_feasible([5])
+
+
+# -- the balanced-only exploration mode ------------------------------------------
+
+
+def test_balance_state_automaton_steps():
+    from repro.concheck.interleave import BalanceState
+
+    s = BalanceState()
+    s = s.step(0)
+    assert s.stack == (0,)
+    s = s.step(1)
+    assert s.stack == (0, 1)
+    s = s.step(0)  # closes 1's block
+    assert s.stack == (0,)
+    assert 1 in s.closed
+    assert s.step(1) is None  # 1 may never run again
+
+
+def test_balanced_only_checker_subset_of_full():
+    from repro.concheck import check_concurrent
+    from repro.lang import parse_core
+
+    # the bug needs an unbalanced schedule (0 1 0 1): full exploration
+    # finds it, balanced-only does not
+    src = """
+    int phase;
+    void w() { assume(phase == 1); phase = 2; assume(phase == 3); phase = 4; }
+    void main() {
+      async w();
+      phase = 1;
+      assume(phase == 2);
+      phase = 3;
+      assume(phase == 4);
+      assert(false);
+    }
+    """
+    assert check_concurrent(parse_core(src)).is_error
+    assert check_concurrent(parse_core(src), balanced_only=True).is_safe
+
+
+def test_balanced_only_finds_balanced_bugs():
+    from repro.concheck import check_concurrent
+    from repro.lang import parse_core
+
+    src = """
+    int phase;
+    void w() { assume(phase == 1); phase = 2; }
+    void main() { async w(); phase = 1; assume(phase == 2); assert(false); }
+    """
+    assert check_concurrent(parse_core(src), balanced_only=True).is_error

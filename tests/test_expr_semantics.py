@@ -1,0 +1,128 @@
+"""Differential fuzzing of the expression pipeline.
+
+Random expressions are evaluated two ways: directly in Python (the
+reference semantics) and by compiling through the full front end
+(parse → typecheck → lower → CFG → explicit checker) and asserting the
+computed value.  Any divergence in parsing precedence, lowering
+(including short-circuit evaluation), or the interpreter shows up here.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+
+from repro.lang import parse_core
+from repro.seqcheck.explicit import check_sequential
+
+
+def c_div(a, b):
+    q = abs(a) // abs(b)
+    return q if (a >= 0) == (b >= 0) else -q
+
+
+def c_mod(a, b):
+    return a - b * c_div(a, b)
+
+
+class IntExpr:
+    """A random int expression with its Python value."""
+
+    def __init__(self, text, value):
+        self.text = text
+        self.value = value
+
+
+@st.composite
+def int_expr(draw, depth=0):
+    if depth >= 3 or draw(st.booleans()):
+        n = draw(st.integers(min_value=0, max_value=20))
+        return IntExpr(str(n), n)
+    op = draw(st.sampled_from(["+", "-", "*", "/", "%", "neg"]))
+    if op == "neg":
+        e = draw(int_expr(depth + 1))
+        return IntExpr(f"(-{e.text})", -e.value)
+    a = draw(int_expr(depth + 1))
+    b = draw(int_expr(depth + 1))
+    if op in ("/", "%"):
+        # keep denominators constant and non-zero
+        d = draw(st.integers(min_value=1, max_value=9))
+        val = c_div(a.value, d) if op == "/" else c_mod(a.value, d)
+        return IntExpr(f"({a.text} {op} {d})", val)
+    val = {"+": a.value + b.value, "-": a.value - b.value, "*": a.value * b.value}[op]
+    return IntExpr(f"({a.text} {op} {b.text})", val)
+
+
+@st.composite
+def bool_expr(draw, depth=0):
+    if depth >= 3 or draw(st.booleans()):
+        if draw(st.booleans()):
+            b = draw(st.booleans())
+            return IntExpr("true" if b else "false", b)
+        op = draw(st.sampled_from(["==", "!=", "<", "<=", ">", ">="]))
+        a = draw(int_expr(depth + 1))
+        c = draw(int_expr(depth + 1))
+        val = {
+            "==": a.value == c.value,
+            "!=": a.value != c.value,
+            "<": a.value < c.value,
+            "<=": a.value <= c.value,
+            ">": a.value > c.value,
+            ">=": a.value >= c.value,
+        }[op]
+        return IntExpr(f"({a.text} {op} {c.text})", val)
+    op = draw(st.sampled_from(["&&", "||", "!"]))
+    if op == "!":
+        e = draw(bool_expr(depth + 1))
+        return IntExpr(f"(!{e.text})", not e.value)
+    a = draw(bool_expr(depth + 1))
+    b = draw(bool_expr(depth + 1))
+    val = (a.value and b.value) if op == "&&" else (a.value or b.value)
+    return IntExpr(f"({a.text} {op} {b.text})", val)
+
+
+@settings(max_examples=60, deadline=None)
+@given(int_expr())
+def test_int_expression_value(e):
+    src = f"int g; void main() {{ g = {e.text}; assert(g == {e.value}); }}"
+    assert check_sequential(parse_core(src)).is_safe, src
+
+
+@settings(max_examples=30, deadline=None)
+@given(int_expr())
+def test_int_expression_wrong_value_detected(e):
+    src = f"int g; void main() {{ g = {e.text}; assert(g == {e.value + 1}); }}"
+    assert check_sequential(parse_core(src)).is_error, src
+
+
+@settings(max_examples=60, deadline=None)
+@given(bool_expr())
+def test_bool_expression_value(e):
+    expected = "b" if e.value else "!b"
+    src = f"bool b; void main() {{ b = {e.text}; assert({expected}); }}"
+    assert check_sequential(parse_core(src)).is_safe, src
+
+
+def test_short_circuit_does_not_crash_guarded_division():
+    # canary for short-circuit lowering: the right operand must not be
+    # evaluated when the left decides — otherwise this divides by zero
+    src = """
+    int d; bool ok;
+    void main() {
+      d = 0;
+      ok = d != 0 && 10 / d > 0;
+      assert(!ok);
+    }
+    """
+    assert check_sequential(parse_core(src)).is_safe
+
+
+@settings(max_examples=20, deadline=None)
+@given(bool_expr(), bool_expr())
+def test_if_condition_agrees_with_python(c, d):
+    src = f"""
+    int r;
+    void main() {{
+      if ({c.text}) {{ r = 1; }} else {{ r = 2; }}
+      assert(r == {1 if c.value else 2});
+    }}
+    """
+    assert check_sequential(parse_core(src)).is_safe, src

@@ -1,0 +1,200 @@
+"""Tests for the conservative function inliner."""
+
+import pytest
+
+from repro.concheck import check_concurrent
+from repro.core.checker import Kiss
+from repro.lang import parse_core
+from repro.lang.ast import Call, walk_stmts
+from repro.lang.inline import Inliner, inline_program
+from repro.lang.lower import clone_program, is_core_program
+from repro.lang.types import check_program
+from repro.seqcheck.explicit import check_sequential
+
+
+def inline(src, **kw):
+    prog = parse_core(src)
+    return inline_program(prog, **kw)
+
+
+def calls_in_main(prog, callee=None):
+    return [
+        s
+        for s in walk_stmts(prog.functions["main"].body)
+        if isinstance(s, Call) and (callee is None or s.func.name == callee)
+    ]
+
+
+def test_leaf_call_inlined():
+    prog = inline(
+        """
+        int g;
+        void bump() { g = g + 1; }
+        void main() { bump(); bump(); assert(g == 2); }
+        """
+    )
+    assert not calls_in_main(prog, "bump")
+    assert is_core_program(prog)
+    check_program(prog)
+    assert check_sequential(prog).is_safe
+
+
+def test_value_returning_call_inlined():
+    prog = inline(
+        """
+        int twice(int x) { int y; y = x * 2; return y; }
+        void main() { int r; r = twice(21); assert(r == 42); }
+        """
+    )
+    assert not calls_in_main(prog, "twice")
+    assert check_sequential(prog).is_safe
+
+
+def test_locals_renamed_apart():
+    # both callee and caller use `y`; inlined copies must not collide
+    prog = inline(
+        """
+        int twice(int x) { int y; y = x * 2; return y; }
+        void main() {
+          int y; int r;
+          y = 7;
+          r = twice(3);
+          assert(y == 7);
+          assert(r == 6);
+        }
+        """
+    )
+    assert check_sequential(prog).is_safe
+
+
+def test_two_sites_get_independent_copies():
+    prog = inline(
+        """
+        int inc(int x) { return x + 1; }
+        void main() {
+          int a; int b;
+          a = inc(1);
+          b = inc(10);
+          assert(a == 2);
+          assert(b == 11);
+        }
+        """
+    )
+    assert check_sequential(prog).is_safe
+
+
+def test_early_return_blocks_inlining():
+    prog = inline(
+        """
+        int clamp(int x) { if (x > 5) { return 5; } return x; }
+        void main() { int r; r = clamp(9); assert(r == 5); }
+        """
+    )
+    assert calls_in_main(prog, "clamp"), "early-return functions must not inline"
+    assert check_sequential(prog).is_safe
+
+
+def test_recursion_not_inlined():
+    prog = inline(
+        """
+        int down(int n) { if (n == 0) { return 0; } int r; r = down(n - 1); return r; }
+        void main() { int x; x = down(3); assert(x == 0); }
+        """
+    )
+    assert calls_in_main(prog, "down")
+
+
+def test_async_target_not_inlined():
+    prog = inline(
+        """
+        int g;
+        void w() { g = 1; }
+        void main() { async w(); w(); }
+        """
+    )
+    # w is spawned, so the synchronous call must also stay (the function
+    # must keep existing with the same behaviour)
+    assert calls_in_main(prog, "w")
+
+
+def test_address_taken_function_not_inlined():
+    prog = inline(
+        """
+        int g;
+        void w() { g = 1; }
+        void main() { func v; v = w; w(); v(); }
+        """
+    )
+    assert calls_in_main(prog, "w")
+
+
+def test_size_limit_respected():
+    src = """
+    int g;
+    void big() { g = 1; g = 2; g = 3; g = 4; g = 5; g = 6; }
+    void main() { big(); }
+    """
+    kept = inline(src, max_stmts=3)
+    assert calls_in_main(kept, "big")
+    gone = inline(src, max_stmts=10)
+    assert not calls_in_main(gone, "big")
+
+
+def test_transitive_inlining():
+    prog = inline(
+        """
+        int g;
+        void leaf() { g = g + 1; }
+        void mid() { leaf(); leaf(); }
+        void main() { mid(); assert(g == 2); }
+        """
+    )
+    assert not calls_in_main(prog)
+    assert check_sequential(prog).is_safe
+
+
+def test_lock_wrappers_inline_and_preserve_concurrency_verdicts():
+    src = """
+    int lock; int g;
+    void acquire() { atomic { assume(lock == 0); lock = 1; } }
+    void release() { atomic { lock = 0; } }
+    void worker() { acquire(); g = 2; release(); }
+    void main() { async worker(); acquire(); g = 1; assert(g == 1); release(); }
+    """
+    original = parse_core(src)
+    inlined = inline_program(clone_program(original))
+    # acquire/release disappear from worker and main
+    for fn in ("worker", "main"):
+        assert not [
+            s
+            for s in walk_stmts(inlined.functions[fn].body)
+            if isinstance(s, Call) and s.func.name in ("acquire", "release")
+        ]
+    r1 = check_concurrent(original)
+    r2 = check_concurrent(inlined)
+    assert r1.status == r2.status
+    assert r2.stats.states <= r1.stats.states
+
+
+def test_inlined_program_still_kiss_checkable():
+    src = """
+    int lock; int g;
+    void acquire() { atomic { assume(lock == 0); lock = 1; } }
+    void release() { atomic { lock = 0; } }
+    void worker() { g = 2; }
+    void main() { async worker(); acquire(); g = 1; release(); }
+    """
+    from repro.core.race import RaceTarget
+
+    inlined = inline_program(parse_core(src))
+    r = Kiss(max_ts=0).check_race(inlined, RaceTarget.global_var("g"))
+    assert r.is_error and r.is_race
+
+
+def test_inline_counter_reported():
+    prog = parse_core(
+        "int g; void bump() { g = g + 1; } void main() { bump(); bump(); }"
+    )
+    inliner = Inliner(prog)
+    inliner.run()
+    assert inliner.inlined_calls == 2

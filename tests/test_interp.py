@@ -1,0 +1,260 @@
+"""Unit tests for the value model, stores, and canonical freezing."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.cfg.build import build_program_cfg
+from repro.lang import parse_core
+from repro.lang.ast import BOOL, FUNC, INT, PtrType
+from repro.seqcheck.interp import Freezer, Interp, Violation, World, canonical_freeze
+from repro.seqcheck.state import (
+    NULL,
+    Frame,
+    FuncVal,
+    MemoryError_,
+    PtrVal,
+    Store,
+    default_value,
+    field_addr,
+)
+
+
+# -- values -----------------------------------------------------------------
+
+
+def test_default_values():
+    assert default_value(INT) == 0
+    assert default_value(BOOL) is False
+    assert default_value(PtrType(INT)) == NULL
+    assert isinstance(default_value(FUNC), FuncVal)
+
+
+def test_null_pointer_identity():
+    assert NULL.is_null
+    assert PtrVal(None) == NULL
+    assert PtrVal(("g", "x")) != NULL
+
+
+def test_funcval_equality():
+    assert FuncVal("f") == FuncVal("f")
+    assert FuncVal("f") != FuncVal("g")
+
+
+# -- store ----------------------------------------------------------------------
+
+
+def prog_with_struct():
+    return parse_core("struct S { int a; bool b; } void main() { }")
+
+
+def test_malloc_creates_default_cell():
+    store = Store()
+    ptr = store.malloc(prog_with_struct(), "S")
+    assert not ptr.is_null
+    cid = ptr.addr[1]
+    sname, fields = store.heap[cid]
+    assert sname == "S"
+    assert fields == {"a": 0, "b": False}
+
+
+def test_global_read_write():
+    store = Store()
+    store.globals["g"] = 1
+    assert store.read(("g", "g"), {}) == 1
+    store.write(("g", "g"), 7, {})
+    assert store.globals["g"] == 7
+
+
+def test_unknown_global_read_raises():
+    with pytest.raises(MemoryError_):
+        Store().read(("g", "nope"), {})
+
+
+def test_null_read_raises():
+    with pytest.raises(MemoryError_) as exc:
+        Store().read(None, {})
+    assert exc.value.kind == "null-deref"
+
+
+def test_local_read_through_frames():
+    store = Store()
+    frame = Frame("f", 0, {"x": 5}, frame_id=3)
+    assert store.read(("l", 3, "x"), {3: frame}) == 5
+    store.write(("l", 3, "x"), 6, {3: frame})
+    assert frame.locals["x"] == 6
+
+
+def test_dangling_local_read_raises():
+    with pytest.raises(MemoryError_) as exc:
+        Store().read(("l", 99, "x"), {})
+    assert exc.value.kind == "dangling"
+
+
+def test_field_addr_requires_cell_pointer():
+    with pytest.raises(MemoryError_):
+        field_addr(NULL, "a")
+    with pytest.raises(MemoryError_):
+        field_addr(PtrVal(("g", "x")), "a")
+    assert field_addr(PtrVal(("c", 0)), "a") == ("f", 0, "a")
+
+
+def test_field_read_unknown_field_raises():
+    store = Store()
+    ptr = store.malloc(prog_with_struct(), "S")
+    with pytest.raises(MemoryError_):
+        store.read(("f", ptr.addr[1], "zz"), {})
+
+
+# -- canonical freezing -----------------------------------------------------------
+
+
+def world_with(globals_=None, heap_cells=0, prog=None):
+    store = Store()
+    store.globals.update(globals_ or {})
+    prog = prog or prog_with_struct()
+    ptrs = [store.malloc(prog, "S") for _ in range(heap_cells)]
+    frame = Frame("main", 0, {}, store.fresh_frame_id())
+    return World(store, [[frame]]), ptrs
+
+
+def test_freeze_is_deterministic():
+    w, _ = world_with({"a": 1, "b": True})
+    assert w.freeze() == w.freeze()
+
+
+def test_freeze_differs_on_values():
+    w1, _ = world_with({"a": 1})
+    w2, _ = world_with({"a": 2})
+    assert w1.freeze() != w2.freeze()
+
+
+def test_unreachable_cells_are_garbage_collected():
+    w1, _ = world_with({"a": 1})
+    w2, _ = world_with({"a": 1}, heap_cells=3)  # never referenced
+    assert w1.freeze() == w2.freeze()
+
+
+def test_reachable_cells_kept():
+    w1, ptrs = world_with({"a": 1}, heap_cells=1)
+    w1.store.globals["p"] = ptrs[0]
+    w2, _ = world_with({"a": 1})
+    w2.store.globals["p"] = NULL
+    assert w1.freeze() != w2.freeze()
+
+
+def test_allocation_history_canonicalized():
+    """Two worlds whose live heaps are isomorphic but with different
+    allocation counters must freeze identically."""
+    prog = prog_with_struct()
+    w1, _ = world_with({}, prog=prog)
+    p1 = w1.store.malloc(prog, "S")
+    w1.store.globals["p"] = p1
+
+    w2, _ = world_with({}, prog=prog)
+    dead1 = w2.store.malloc(prog, "S")
+    dead2 = w2.store.malloc(prog, "S")
+    p2 = w2.store.malloc(prog, "S")  # different cell id than p1
+    w2.store.globals["p"] = p2
+    assert p1.addr != p2.addr
+    assert w1.freeze() == w2.freeze()
+
+
+def test_frame_ids_canonicalized_by_position():
+    store1 = Store()
+    f1 = Frame("main", 0, {"x": 1}, store1.fresh_frame_id())
+    w1 = World(store1, [[f1]])
+
+    store2 = Store()
+    store2.fresh_frame_id()  # burn an id
+    store2.fresh_frame_id()
+    f2 = Frame("main", 0, {"x": 1}, store2.fresh_frame_id())
+    w2 = World(store2, [[f2]])
+    assert f1.frame_id != f2.frame_id
+    assert w1.freeze() == w2.freeze()
+
+
+def test_pointer_to_local_freezes_by_position():
+    store = Store()
+    f = Frame("main", 0, {"x": 1, "p": None}, store.fresh_frame_id())
+    f.locals["p"] = PtrVal(("l", f.frame_id, "x"))
+    w = World(store, [[f]])
+    frozen = w.freeze()
+    assert w.freeze() == frozen  # stable
+
+
+def test_freezer_cache_survives_same_program_shape():
+    fr = Freezer()
+    store = Store()
+    store.globals.update({"b": 2, "a": 1})
+    f = Frame("main", 0, {"y": 0, "x": 1}, store.fresh_frame_id())
+    k1 = fr.freeze(store, [[f]])
+    store.globals["a"] = 5
+    k2 = fr.freeze(store, [[f]])
+    assert k1 != k2
+    store.globals["a"] = 1
+    assert fr.freeze(store, [[f]]) == k1
+
+
+def test_world_clone_is_deep():
+    w, ptrs = world_with({"a": 1}, heap_cells=1)
+    w.store.globals["p"] = ptrs[0]
+    c = w.clone()
+    c.store.globals["a"] = 99
+    c.store.heap[ptrs[0].addr[1]][1]["a"] = 42
+    assert w.store.globals["a"] == 1
+    assert w.store.heap[ptrs[0].addr[1]][1]["a"] == 0
+
+
+# -- interpreter primitive ops -------------------------------------------------------
+
+
+def interp_for(src):
+    pcfg = build_program_cfg(parse_core(src))
+    return Interp(pcfg), pcfg
+
+
+def test_eval_atom_locals_shadow_globals():
+    interp, _ = interp_for("int x; void main() { int x; x = 1; }")
+    store = Store()
+    store.globals["x"] = 10
+    frame = Frame("main", 0, {"x": 2}, 0)
+    from repro.lang.ast import Var
+
+    assert interp.eval_atom(Var("x"), frame, store) == 2
+
+
+def test_eval_atom_function_name():
+    interp, _ = interp_for("void f() { } void main() { }")
+    from repro.lang.ast import Var
+
+    v = interp.eval_atom(Var("f"), Frame("main", 0, {}, 0), Store())
+    assert v == FuncVal("f")
+
+
+def test_eval_atom_undefined_raises():
+    interp, _ = interp_for("void main() { }")
+    from repro.lang.ast import Var
+
+    with pytest.raises(Violation):
+        interp.eval_atom(Var("zzz"), Frame("main", 0, {}, 0), Store())
+
+
+def test_eval_const_expr_rejects_nonconst():
+    interp, _ = interp_for("int g; void main() { }")
+    from repro.lang.ast import Binary, Var
+    from repro.lang.types import KissTypeError
+
+    with pytest.raises(KissTypeError):
+        interp.eval_const_expr(Binary("+", Var("g"), Var("g")))
+
+
+@given(st.integers(-50, 50), st.integers(-50, 50))
+def test_c_division_semantics(a, b):
+    """The checker's / and % follow C: truncation toward zero, and
+    (a/b)*b + a%b == a."""
+    if b == 0:
+        return
+    src = f"int q; int r; void main() {{ q = {a} / {b}; r = {a} % {b}; assert(q * {b} + r == {a}); }}"
+    from repro.seqcheck.explicit import check_sequential
+
+    assert check_sequential(parse_core(src)).is_safe

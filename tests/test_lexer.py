@@ -1,0 +1,91 @@
+"""Unit tests for the lexer."""
+
+import pytest
+
+from repro.lang.lexer import LexError, Token, tokenize
+
+
+def kinds(src):
+    return [(t.kind, t.text) for t in tokenize(src)[:-1]]
+
+
+def test_empty_input_yields_only_eof():
+    toks = tokenize("")
+    assert len(toks) == 1
+    assert toks[0].kind == "EOF"
+
+
+def test_integer_literal():
+    assert kinds("42") == [("INT", "42")]
+
+
+def test_identifier_and_keyword():
+    assert kinds("foo int") == [("ID", "foo"), ("KW", "int")]
+
+
+def test_underscored_identifier():
+    assert kinds("__t1 _x") == [("ID", "__t1"), ("ID", "_x")]
+
+
+def test_arrow_not_split_into_minus_gt():
+    assert kinds("e->f") == [("ID", "e"), ("OP", "->"), ("ID", "f")]
+
+
+def test_two_char_operators():
+    assert kinds("== != <= >= && ||") == [
+        ("OP", "=="),
+        ("OP", "!="),
+        ("OP", "<="),
+        ("OP", ">="),
+        ("OP", "&&"),
+        ("OP", "||"),
+    ]
+
+
+def test_single_char_operators():
+    assert kinds("= < > + - * ! & ( ) { } ; , .") == [
+        ("OP", c) for c in ["=", "<", ">", "+", "-", "*", "!", "&", "(", ")", "{", "}", ";", ",", "."]
+    ]
+
+
+def test_line_comment_skipped():
+    assert kinds("a // comment here\nb") == [("ID", "a"), ("ID", "b")]
+
+
+def test_block_comment_skipped():
+    assert kinds("a /* multi\nline */ b") == [("ID", "a"), ("ID", "b")]
+
+
+def test_unterminated_block_comment_raises():
+    with pytest.raises(LexError):
+        tokenize("a /* never closed")
+
+
+def test_illegal_character_raises():
+    with pytest.raises(LexError):
+        tokenize("a $ b")
+
+
+def test_line_and_column_tracking():
+    toks = tokenize("a\n  b")
+    assert (toks[0].line, toks[0].col) == (1, 1)
+    assert (toks[1].line, toks[1].col) == (2, 3)
+
+
+def test_column_after_block_comment_on_same_line():
+    toks = tokenize("/* c */ x")
+    assert toks[0].text == "x"
+    assert toks[0].col == 9
+
+
+def test_all_keywords_lex_as_kw():
+    from repro.lang.lexer import KEYWORDS
+
+    for kw in KEYWORDS:
+        toks = tokenize(kw)
+        assert toks[0].kind == "KW", kw
+
+
+def test_token_str_is_informative():
+    t = Token("ID", "x", 3, 7)
+    assert "x" in str(t) and "3" in str(t)

@@ -1,0 +1,233 @@
+"""Unit tests for lowering to core form."""
+
+import pytest
+
+from repro.lang import ast, parse, parse_core
+from repro.lang.lower import is_core_program, is_core_stmt, lower_program
+
+
+def core(src):
+    prog = parse_core(src)
+    assert is_core_program(prog), "lowering must produce core form"
+    return prog
+
+
+def stmts_of(prog, fname="main"):
+    return prog.functions[fname].body.stmts
+
+
+def test_atoms_unchanged():
+    prog = core("int g; void main() { g = 1; }")
+    [s] = stmts_of(prog)
+    assert isinstance(s, ast.Assign) and s.rhs == ast.IntLit(1)
+
+
+def test_nested_arith_flattened():
+    prog = core("int g; void main() { g = (g + 1) * 2; }")
+    ss = stmts_of(prog)
+    assert len(ss) == 2
+    assert all(is_core_stmt(s) for s in ss)
+    # final statement assigns into g
+    assert ss[-1].lhs == ast.Var("g")
+
+
+def test_if_becomes_choice_with_assumes():
+    prog = core("int g; void main() { if (g == 0) { g = 1; } else { g = 2; } }")
+    ss = stmts_of(prog)
+    choice = ss[-1]
+    assert isinstance(choice, ast.Choice)
+    assert len(choice.branches) == 2
+    first = choice.branches[0].stmts[0]
+    assert isinstance(first, ast.Assume)
+    # else branch starts by computing the negation then assuming it
+    neg_branch = choice.branches[1].stmts
+    assert isinstance(neg_branch[0], ast.Assign)
+    assert isinstance(neg_branch[1], ast.Assume)
+
+
+def test_while_becomes_iter_plus_assume():
+    prog = core("int g; void main() { while (g < 3) { g = g + 1; } }")
+    ss = stmts_of(prog)
+    kinds = [type(s).__name__ for s in ss]
+    assert "Iter" in kinds
+    it = next(s for s in ss if isinstance(s, ast.Iter))
+    # loop body re-evaluates the condition then assumes it
+    assert any(isinstance(s, ast.Assume) for s in it.body.stmts)
+    # trailing negative assume after the iter
+    after = ss[kinds.index("Iter") + 1 :]
+    assert any(isinstance(s, ast.Assume) for s in after)
+
+
+def test_while_condition_reevaluated_each_iteration():
+    """The condition evaluation must be INSIDE the iter body (the paper's
+    encoding is for a variable condition; expressions are recomputed)."""
+    prog = core("struct S { bool flag; } void main() { S *p; p = malloc(S); while (p->flag) { skip; } }")
+    it = next(s for s in stmts_of(prog) if isinstance(s, ast.Iter))
+    loads = [s for s in it.body.stmts if isinstance(s, ast.Assign) and isinstance(s.rhs, ast.Field)]
+    assert loads, "field read must happen inside the loop body"
+
+
+def test_field_load_flattened():
+    prog = core(
+        "struct S { int a; } int g; void main() { S *p; p = malloc(S); g = p->a + 1; }"
+    )
+    ss = stmts_of(prog)
+    field_loads = [s for s in ss if isinstance(s, ast.Assign) and isinstance(s.rhs, ast.Field)]
+    assert len(field_loads) == 1
+
+
+def test_chained_arrow_splits_into_two_loads():
+    prog = core(
+        "struct T { int x; } struct S { T *t; } int g;"
+        "void main() { S *p; p = malloc(S); p->t = malloc(T); g = p->t->x; }"
+    )
+    ss = stmts_of(prog)
+    field_loads = [s for s in ss if isinstance(s, ast.Assign) and isinstance(s.rhs, ast.Field)]
+    assert len(field_loads) == 2
+
+
+def test_dot_on_deref_normalized_to_arrow():
+    prog = core("struct S { int a; } int g; void main() { S *p; p = malloc(S); g = (*p).a; }")
+    ss = stmts_of(prog)
+    assert any(isinstance(s, ast.Assign) and isinstance(s.rhs, ast.Field) and s.rhs.arrow for s in ss)
+
+
+def test_nondet_becomes_choice():
+    prog = core("bool b; void main() { b = nondet; }")
+    ss = stmts_of(prog)
+    assert any(isinstance(s, ast.Choice) for s in ss)
+
+
+def test_short_circuit_and_skips_rhs():
+    prog = core(
+        "struct S { bool f; } bool b; void main() { S *p; p = null; b = p != null && p->f; }"
+    )
+    # the field read must be guarded inside a choice branch, not unconditional
+    ss = stmts_of(prog)
+    top_level_loads = [s for s in ss if isinstance(s, ast.Assign) and isinstance(s.rhs, ast.Field)]
+    assert not top_level_loads
+    choice = next(s for s in ss if isinstance(s, ast.Choice))
+    guarded = [s for s in choice.branches[0].stmts if isinstance(s, ast.Assign) and isinstance(s.rhs, ast.Field)]
+    assert guarded
+
+
+def test_locals_hoisted_and_decls_removed():
+    prog = core("void main() { int x; x = 1; { bool y; y = true; } }")
+    f = prog.functions["main"]
+    assert "x" in f.locals and "y" in f.locals
+    assert not any(isinstance(s, ast.VarDecl) for s in ast.walk_stmts(f.body))
+
+
+def test_decl_initializer_becomes_assignment():
+    prog = core("void main() { int x = 5; assert(x == 5); }")
+    ss = stmts_of(prog)
+    assert isinstance(ss[0], ast.Assign)
+
+
+def test_atomic_body_lowered_in_place():
+    prog = core("struct S { int a; } void main() { S *e; e = malloc(S); atomic { e->a = e->a + 1; } }")
+    at = next(s for s in stmts_of(prog) if isinstance(s, ast.Atomic))
+    assert all(is_core_stmt(s) for s in at.body.stmts)
+
+
+def test_call_args_flattened():
+    prog = core("void f(int x) { } int g; void main() { f(g + 1); }")
+    ss = stmts_of(prog)
+    call = next(s for s in ss if isinstance(s, ast.Call))
+    assert all(ast.is_atom(a) for a in call.args)
+
+
+def test_call_result_into_complex_lvalue():
+    prog = core(
+        "struct S { int a; } int f() { return 3; } void main() { S *p; p = malloc(S); p->a = f(); }"
+    )
+    ss = stmts_of(prog)
+    call = next(s for s in ss if isinstance(s, ast.Call))
+    assert isinstance(call.lhs, ast.Var)
+    stores = [s for s in ss if isinstance(s, ast.Assign) and isinstance(s.lhs, ast.Field)]
+    assert stores
+
+
+def test_return_expression_flattened():
+    prog = core("int f() { int x; x = 1; return x + 1; } void main() { int y; y = f(); }")
+    f = prog.functions["f"]
+    ret = f.body.stmts[-1]
+    assert isinstance(ret, ast.Return) and ast.is_atom(ret.value)
+
+
+def test_address_of_field_is_core():
+    prog = core(
+        "struct S { int a; } void main() { S *p; int *q; p = malloc(S); q = &p->a; }"
+    )
+    ss = stmts_of(prog)
+    addr = [s for s in ss if isinstance(s, ast.Assign) and isinstance(s.rhs, ast.Unary) and s.rhs.op == "&"]
+    assert addr
+
+
+def test_deref_store_is_core():
+    prog = core("void main() { int x; int *p; p = &x; *p = 7; }")
+    ss = stmts_of(prog)
+    store = ss[-1]
+    assert isinstance(store.lhs, ast.Unary) and store.lhs.op == "*"
+    assert ast.is_atom(store.rhs)
+
+
+def test_sid_preserved_for_simple_statement():
+    prog = parse("int g; void main() { g = 1 + 2; }")
+    orig_sid = prog.functions["main"].body.stmts[0].sid
+    lowered = lower_program(prog)
+    last = lowered.functions["main"].body.stmts[-1]
+    assert last.sid == orig_sid
+
+
+def test_temps_have_unique_names():
+    prog = core("int g; void main() { g = (g + 1) * (g + 2) * (g + 3); }")
+    names = set(prog.functions["main"].locals)
+    assert len(names) == len(prog.functions["main"].locals)
+
+
+def test_core_form_is_idempotent():
+    prog = core("int g; void main() { if (g == 0) { g = g + 1; } }")
+    again = lower_program(prog)
+    assert is_core_program(again)
+
+
+def test_bluetooth_lowers_to_core():
+    src = """
+    struct DEVICE_EXTENSION { int pendingIo; bool stoppingFlag; bool stoppingEvent; }
+    bool stopped;
+    void main() {
+      DEVICE_EXTENSION *e;
+      e = malloc(DEVICE_EXTENSION);
+      e->pendingIo = 1;
+      e->stoppingFlag = false;
+      e->stoppingEvent = false;
+      stopped = false;
+      async BCSP_PnpStop(e);
+      BCSP_PnpAdd(e);
+    }
+    void BCSP_PnpAdd(DEVICE_EXTENSION *e) {
+      int status;
+      status = BCSP_IoIncrement(e);
+      if (status == 0) { assert(!stopped); }
+      BCSP_IoDecrement(e);
+    }
+    void BCSP_PnpStop(DEVICE_EXTENSION *e) {
+      e->stoppingFlag = true;
+      BCSP_IoDecrement(e);
+      assume(e->stoppingEvent);
+      stopped = true;
+    }
+    int BCSP_IoIncrement(DEVICE_EXTENSION *e) {
+      if (e->stoppingFlag) { return -1; }
+      atomic { e->pendingIo = e->pendingIo + 1; }
+      return 0;
+    }
+    void BCSP_IoDecrement(DEVICE_EXTENSION *e) {
+      int pendingIo;
+      atomic { e->pendingIo = e->pendingIo - 1; pendingIo = e->pendingIo; }
+      if (pendingIo == 0) { e->stoppingEvent = true; }
+    }
+    """
+    prog = core(src)
+    assert len(prog.functions) == 5

@@ -1,0 +1,210 @@
+"""End-to-end semantic checks for trickier surface constructs — each
+program encodes its own expected outcome in an assert."""
+
+import pytest
+
+from repro.lang import parse_core
+from repro.seqcheck.explicit import check_sequential
+
+
+def safe(src):
+    r = check_sequential(parse_core(src))
+    assert r.is_safe, r.format_trace()
+
+
+def error(src):
+    assert check_sequential(parse_core(src)).is_error
+
+
+def test_short_circuit_in_while_condition():
+    safe(
+        """
+        int n; int seen;
+        void main() {
+          int *p; int x;
+          x = 3; p = &x;
+          while (n < 3 && *p > 0) { n = n + 1; seen = seen + *p; }
+          assert(n == 3);
+          assert(seen == 9);
+        }
+        """
+    )
+
+
+def test_null_guard_in_while_condition():
+    safe(
+        """
+        struct Node { int v; Node *next; }
+        int sum;
+        void main() {
+          Node *a; Node *b; Node *cur;
+          a = malloc(Node); b = malloc(Node);
+          a->v = 1; a->next = b;
+          b->v = 2; b->next = null;
+          cur = a;
+          while (cur != null && sum < 100) {
+            sum = sum + cur->v;
+            cur = cur->next;
+          }
+          assert(sum == 3);
+        }
+        """
+    )
+
+
+def test_linked_list_reversal():
+    safe(
+        """
+        struct Node { int v; Node *next; }
+        void main() {
+          Node *a; Node *b; Node *c; Node *prev; Node *cur; Node *nxt;
+          a = malloc(Node); b = malloc(Node); c = malloc(Node);
+          a->v = 1; a->next = b;
+          b->v = 2; b->next = c;
+          c->v = 3; c->next = null;
+          prev = null; cur = a;
+          while (cur != null) {
+            nxt = cur->next;
+            cur->next = prev;
+            prev = cur;
+            cur = nxt;
+          }
+          assert(prev->v == 3);
+          assert(prev->next->v == 2);
+          assert(prev->next->next->v == 1);
+          assert(prev->next->next->next == null);
+        }
+        """
+    )
+
+
+def test_else_if_chain():
+    safe(
+        """
+        int x; int out;
+        void main() {
+          x = 2;
+          if (x == 0) { out = 10; }
+          else { if (x == 1) { out = 20; } else { if (x == 2) { out = 30; } else { out = 40; } } }
+          assert(out == 30);
+        }
+        """
+    )
+
+
+def test_malloc_into_field_lvalue():
+    safe(
+        """
+        struct Inner { int v; }
+        struct Outer { Inner *inner; }
+        void main() {
+          Outer *o;
+          o = malloc(Outer);
+          o->inner = malloc(Inner);
+          o->inner->v = 5;
+          assert(o->inner->v == 5);
+        }
+        """
+    )
+
+
+def test_call_result_into_deref_lvalue():
+    safe(
+        """
+        int five() { return 5; }
+        void main() {
+          int x; int *p;
+          p = &x;
+          *p = five();
+          assert(x == 5);
+        }
+        """
+    )
+
+
+def test_declaration_with_initializer_uses_prior_state():
+    safe(
+        """
+        int g;
+        void main() {
+          g = 4;
+          int doubled = g * 2;
+          assert(doubled == 8);
+        }
+        """
+    )
+
+
+def test_condition_side_effect_ordering():
+    # the condition is evaluated exactly once per iteration, before the body
+    safe(
+        """
+        int reads; int n;
+        bool check() { reads = reads + 1; return n < 2; }
+        void main() {
+          bool c;
+          c = check();
+          while (c) { n = n + 1; c = check(); }
+          assert(n == 2);
+          assert(reads == 3);
+        }
+        """
+    )
+
+
+def test_deeply_nested_field_chain():
+    safe(
+        """
+        struct C { int v; }
+        struct B { C *c; }
+        struct A { B *b; }
+        void main() {
+          A *a;
+          a = malloc(A);
+          a->b = malloc(B);
+          a->b->c = malloc(C);
+          a->b->c->v = 9;
+          assert(a->b->c->v == 9);
+        }
+        """
+    )
+
+
+def test_chained_comparisons_via_temps():
+    error(
+        """
+        int x;
+        void main() {
+          x = 5;
+          assert(x > 1 && x < 5);
+        }
+        """
+    )
+
+
+def test_unary_minus_of_expression():
+    safe("int g; void main() { g = -(2 + 3); assert(g == -5); }")
+
+
+def test_not_of_comparison():
+    safe("int g; bool b; void main() { g = 1; b = !(g == 2); assert(b); }")
+
+
+def test_assignment_value_not_an_expression():
+    # C allows `x = y = 1`; this language does not — it must not parse
+    from repro.lang.parser import ParseError
+
+    with pytest.raises(ParseError):
+        parse_core("int x; int y; void main() { x = y = 1; }")
+
+
+def test_benign_block_is_semantically_transparent():
+    safe(
+        """
+        int g;
+        void main() {
+          benign { g = 7; }
+          assert(g == 7);
+        }
+        """
+    )

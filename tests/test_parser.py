@@ -1,0 +1,268 @@
+"""Unit tests for the parser."""
+
+import pytest
+
+from repro.lang import ast
+from repro.lang.parser import ParseError, parse_expr, parse_program, parse_stmt
+
+
+# -- expressions ---------------------------------------------------------
+
+
+def test_precedence_mul_over_add():
+    e = parse_expr("a + b * c")
+    assert isinstance(e, ast.Binary) and e.op == "+"
+    assert isinstance(e.right, ast.Binary) and e.right.op == "*"
+
+
+def test_precedence_add_over_compare():
+    e = parse_expr("a + b < c")
+    assert isinstance(e, ast.Binary) and e.op == "<"
+
+
+def test_precedence_compare_over_and():
+    e = parse_expr("a < b && c < d")
+    assert isinstance(e, ast.Binary) and e.op == "&&"
+
+
+def test_precedence_and_over_or():
+    e = parse_expr("a || b && c")
+    assert isinstance(e, ast.Binary) and e.op == "||"
+    assert isinstance(e.right, ast.Binary) and e.right.op == "&&"
+
+
+def test_parens_override_precedence():
+    e = parse_expr("(a + b) * c")
+    assert isinstance(e, ast.Binary) and e.op == "*"
+    assert isinstance(e.left, ast.Binary) and e.left.op == "+"
+
+
+def test_unary_deref_and_not():
+    e = parse_expr("!*p")
+    assert isinstance(e, ast.Unary) and e.op == "!"
+    assert isinstance(e.operand, ast.Unary) and e.operand.op == "*"
+
+
+def test_address_of_field():
+    e = parse_expr("&x->f")
+    assert isinstance(e, ast.Unary) and e.op == "&"
+    assert isinstance(e.operand, ast.Field) and e.operand.name == "f"
+
+
+def test_chained_arrow():
+    e = parse_expr("a->b->c")
+    assert isinstance(e, ast.Field) and e.name == "c"
+    assert isinstance(e.base, ast.Field) and e.base.name == "b"
+
+
+def test_literals():
+    assert parse_expr("42") == ast.IntLit(42)
+    assert parse_expr("true") == ast.BoolLit(True)
+    assert parse_expr("false") == ast.BoolLit(False)
+    assert parse_expr("null") == ast.NullLit()
+    assert parse_expr("nondet") == ast.Nondet()
+
+
+def test_left_associativity_of_minus():
+    e = parse_expr("a - b - c")
+    assert isinstance(e, ast.Binary) and e.op == "-"
+    assert isinstance(e.left, ast.Binary) and e.left.op == "-"
+
+
+# -- statements -------------------------------------------------------------
+
+
+def test_assignment_statement():
+    s = parse_stmt("x = y + 1;")
+    assert isinstance(s, ast.Assign)
+
+
+def test_deref_store():
+    s = parse_stmt("*p = 1;")
+    assert isinstance(s, ast.Assign)
+    assert isinstance(s.lhs, ast.Unary) and s.lhs.op == "*"
+
+
+def test_field_store():
+    s = parse_stmt("e->pendingIo = 1;")
+    assert isinstance(s, ast.Assign)
+    assert isinstance(s.lhs, ast.Field)
+
+
+def test_call_statement_with_result():
+    s = parse_stmt("status = BCSP_IoIncrement(e);")
+    assert isinstance(s, ast.Call)
+    assert s.func.name == "BCSP_IoIncrement"
+    assert s.lhs == ast.Var("status")
+
+
+def test_call_statement_void():
+    s = parse_stmt("f(a, b);")
+    assert isinstance(s, ast.Call)
+    assert s.lhs is None
+    assert len(s.args) == 2
+
+
+def test_async_call():
+    s = parse_stmt("async BCSP_PnpStop(e);")
+    assert isinstance(s, ast.AsyncCall)
+    assert s.func.name == "BCSP_PnpStop"
+
+
+def test_malloc_statement():
+    s = parse_stmt("e = malloc(DEVICE_EXTENSION);")
+    assert isinstance(s, ast.Malloc)
+    assert s.struct_name == "DEVICE_EXTENSION"
+
+
+def test_local_declaration_with_init_splits():
+    s = parse_stmt("int x = 3;")
+    assert isinstance(s, ast.Block)
+    decl, assign = s.stmts
+    assert isinstance(decl, ast.VarDecl) and isinstance(assign, ast.Assign)
+
+
+def test_pointer_declaration():
+    s = parse_stmt("DEVICE_EXTENSION *e;")
+    assert isinstance(s, ast.VarDecl)
+    assert isinstance(s.type, ast.PtrType)
+
+
+def test_if_else():
+    s = parse_stmt("if (x == 0) { y = 1; } else { y = 2; }")
+    assert isinstance(s, ast.If)
+    assert s.els is not None
+
+
+def test_if_without_braces():
+    s = parse_stmt("if (b) x = 1;")
+    assert isinstance(s, ast.If)
+    assert len(s.then.stmts) == 1
+
+
+def test_while():
+    s = parse_stmt("while (x < 10) { x = x + 1; }")
+    assert isinstance(s, ast.While)
+
+
+def test_atomic():
+    s = parse_stmt("atomic { x = x + 1; }")
+    assert isinstance(s, ast.Atomic)
+
+
+def test_assume_assert():
+    assert isinstance(parse_stmt("assume(e->stoppingEvent);"), ast.Assume)
+    assert isinstance(parse_stmt("assert(!stopped);"), ast.Assert)
+
+
+def test_choice_or():
+    s = parse_stmt("choice { x = 1; } or { x = 2; } or { x = 3; }")
+    assert isinstance(s, ast.Choice)
+    assert len(s.branches) == 3
+
+
+def test_iter():
+    s = parse_stmt("iter { x = x + 1; }")
+    assert isinstance(s, ast.Iter)
+
+
+def test_return_value_and_void():
+    assert parse_stmt("return -1;").value is not None
+    assert parse_stmt("return;").value is None
+
+
+def test_skip():
+    assert isinstance(parse_stmt("skip;"), ast.Skip)
+
+
+# -- programs -----------------------------------------------------------------
+
+
+def test_parse_struct_and_global_and_function():
+    prog = parse_program(
+        """
+        struct S { int a; bool b; }
+        bool stopped = false;
+        void main() { stopped = true; }
+        """
+    )
+    assert "S" in prog.structs
+    assert prog.structs["S"].fields["a"] == ast.INT
+    assert "stopped" in prog.globals
+    assert "main" in prog.functions
+
+
+def test_function_params_and_return_type():
+    prog = parse_program("int inc(int x) { return x + 1; }")
+    f = prog.functions["inc"]
+    assert f.ret == ast.INT
+    assert f.params[0].name == "x"
+
+
+def test_parse_error_reports_position():
+    with pytest.raises(ParseError) as exc:
+        parse_program("void main() { x = ; }")
+    assert "1:" in str(exc.value)
+
+
+def test_missing_semicolon_raises():
+    with pytest.raises(ParseError):
+        parse_stmt("x = 1")
+
+
+def test_bluetooth_figure2_parses():
+    """The paper's Figure 2 model must parse (modulo our concrete syntax)."""
+    src = """
+    struct DEVICE_EXTENSION { int pendingIo; bool stoppingFlag; bool stoppingEvent; }
+    bool stopped;
+
+    void main() {
+      DEVICE_EXTENSION *e;
+      e = malloc(DEVICE_EXTENSION);
+      e->pendingIo = 1;
+      e->stoppingFlag = false;
+      e->stoppingEvent = false;
+      stopped = false;
+      async BCSP_PnpStop(e);
+      BCSP_PnpAdd(e);
+    }
+
+    void BCSP_PnpAdd(DEVICE_EXTENSION *e) {
+      int status;
+      status = BCSP_IoIncrement(e);
+      if (status == 0) {
+        assert(!stopped);
+      }
+      BCSP_IoDecrement(e);
+    }
+
+    void BCSP_PnpStop(DEVICE_EXTENSION *e) {
+      e->stoppingFlag = true;
+      BCSP_IoDecrement(e);
+      assume(e->stoppingEvent);
+      stopped = true;
+    }
+
+    int BCSP_IoIncrement(DEVICE_EXTENSION *e) {
+      if (e->stoppingFlag) { return -1; }
+      atomic { e->pendingIo = e->pendingIo + 1; }
+      return 0;
+    }
+
+    void BCSP_IoDecrement(DEVICE_EXTENSION *e) {
+      int pendingIo;
+      atomic {
+        e->pendingIo = e->pendingIo - 1;
+        pendingIo = e->pendingIo;
+      }
+      if (pendingIo == 0) { e->stoppingEvent = true; }
+    }
+    """
+    prog = parse_program(src)
+    assert set(prog.functions) == {
+        "main",
+        "BCSP_PnpAdd",
+        "BCSP_PnpStop",
+        "BCSP_IoIncrement",
+        "BCSP_IoDecrement",
+    }

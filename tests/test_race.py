@@ -1,0 +1,300 @@
+"""Unit tests for the Figure 5 race instrumentation and the Kiss API."""
+
+import pytest
+
+from repro.core.checker import Kiss
+from repro.core.race import RaceTarget, RaceTransformer, statement_accesses
+from repro.core import names
+from repro.lang import ast, parse_core
+from repro.lang.lower import is_core_program
+from repro.lang.types import check_program
+from repro.drivers.bluetooth import (
+    DEVICE_EXTENSION,
+    bluetooth_fixed_program,
+    bluetooth_program,
+)
+
+
+RACY_GLOBAL = """
+int g;
+void worker() { g = 2; }
+void main() { async worker(); g = 1; }
+"""
+
+LOCKED_GLOBAL = """
+int lock; int g;
+void acquire() { atomic { assume(lock == 0); lock = 1; } }
+void release() { atomic { lock = 0; } }
+void worker() { acquire(); g = 2; release(); }
+void main() { async worker(); acquire(); g = 1; release(); }
+"""
+
+
+# -- access extraction ---------------------------------------------------------
+
+
+def stmts(src, fn="main"):
+    return parse_core(src).functions[fn].body.stmts
+
+
+def test_accesses_of_global_write():
+    [s] = stmts("int g; void main() { g = 1; }")
+    assert ("w", "var", "g") in statement_accesses(s)
+
+
+def test_accesses_of_binop_reads_and_write():
+    ss = stmts("int a; int b; int c; void main() { c = a + b; }")
+    acc = statement_accesses(ss[-1])
+    assert ("r", "var", "a") in acc and ("r", "var", "b") in acc
+    assert ("w", "var", "c") in acc
+
+
+def test_accesses_of_field_load():
+    ss = stmts("struct S { int a; } int g; void main() { S *p; p = malloc(S); g = p->a; }")
+    load = next(s for s in ss if isinstance(s, ast.Assign) and isinstance(s.rhs, ast.Field))
+    acc = statement_accesses(load)
+    assert ("r", "field", ("p", "a")) in acc
+    assert ("r", "var", "p") in acc
+
+
+def test_accesses_of_deref_store():
+    ss = stmts("void main() { int x; int *p; p = &x; *p = 1; }")
+    store = ss[-1]
+    acc = statement_accesses(store)
+    assert ("w", "deref", "p") in acc
+
+
+def test_address_of_does_not_read():
+    ss = stmts("int g; void main() { int *p; p = &g; }")
+    acc = statement_accesses(ss[-1])
+    assert ("r", "var", "g") not in acc
+
+
+# -- transformation shape ---------------------------------------------------------
+
+
+def test_race_transform_typechecks():
+    prog = parse_core(RACY_GLOBAL)
+    out = RaceTransformer(RaceTarget.global_var("g")).transform(prog)
+    assert is_core_program(out)
+    check_program(out)
+    assert names.ACCESS_VAR in out.globals
+    assert names.TARGET_VAR in out.globals
+    assert names.CHECK_R_FN in out.functions
+    assert names.CHECK_W_FN in out.functions
+
+
+def test_field_target_transform_typechecks():
+    out = RaceTransformer(
+        RaceTarget.field_of(DEVICE_EXTENSION, "stoppingFlag")
+    ).transform(bluetooth_program())
+    assert is_core_program(out)
+    check_program(out)
+    assert names.ALLOC_SEEN in out.globals
+
+
+def test_unknown_target_rejected():
+    from repro.core.transform import TransformError
+
+    with pytest.raises(TransformError):
+        RaceTransformer(RaceTarget.global_var("nope")).transform(parse_core(RACY_GLOBAL))
+    with pytest.raises(TransformError):
+        RaceTransformer(RaceTarget.field_of("S", "x")).transform(parse_core(RACY_GLOBAL))
+
+
+def test_alias_pruning_reduces_checks():
+    src = """
+    struct S { int a; int b; }
+    int unrelated;
+    void worker(S *p) { p->a = 1; unrelated = 3; }
+    void main() { S *e; e = malloc(S); async worker(e); e->a = 2; unrelated = 4; }
+    """
+    prog = parse_core(src)
+    t_all = RaceTransformer(RaceTarget.field_of("S", "a"), use_alias_analysis=False)
+    t_all.transform(prog)
+    t_pruned = RaceTransformer(RaceTarget.field_of("S", "a"), use_alias_analysis=True)
+    t_pruned.transform(prog)
+    assert t_pruned.checks_emitted <= t_all.checks_emitted
+    assert t_pruned.checks_pruned > 0
+
+
+# -- behaviour -----------------------------------------------------------------------
+
+
+def test_write_write_race_on_global_detected():
+    r = Kiss().check_race(parse_core(RACY_GLOBAL), RaceTarget.global_var("g"))
+    assert r.is_error and r.is_race
+
+
+def test_lock_protected_global_is_race_free():
+    r = Kiss().check_race(parse_core(LOCKED_GLOBAL), RaceTarget.global_var("g"))
+    assert r.is_safe
+
+
+def test_read_write_race_detected():
+    src = """
+    int g; int h;
+    void worker() { h = g; }
+    void main() { async worker(); g = 1; }
+    """
+    r = Kiss().check_race(parse_core(src), RaceTarget.global_var("g"))
+    assert r.is_error and r.is_race
+
+
+def test_read_read_is_not_a_race():
+    src = """
+    int g; int a; int b;
+    void worker() { a = g; }
+    void main() { async worker(); b = g; }
+    """
+    r = Kiss().check_race(parse_core(src), RaceTarget.global_var("g"))
+    assert r.is_safe
+
+
+def test_race_through_pointer_alias():
+    src = """
+    int g;
+    void worker(int *p) { *p = 2; }
+    void main() { int *q; q = &g; async worker(q); g = 1; }
+    """
+    r = Kiss().check_race(parse_core(src), RaceTarget.global_var("g"))
+    assert r.is_error and r.is_race
+
+
+def test_no_race_when_pointer_points_elsewhere():
+    src = """
+    int g; int other;
+    void worker(int *p) { *p = 2; }
+    void main() { int *q; q = &other; async worker(q); g = 1; }
+    """
+    r = Kiss().check_race(parse_core(src), RaceTarget.global_var("g"))
+    assert r.is_safe
+
+
+def test_single_thread_no_race():
+    src = "int g; void main() { g = 1; g = 2; }"
+    r = Kiss().check_race(parse_core(src), RaceTarget.global_var("g"))
+    assert r.is_safe
+
+
+def test_accesses_inside_atomic_not_checked():
+    # both accesses atomic: Figure 5 does not instrument atomic bodies
+    src = """
+    int g;
+    void worker() { atomic { g = 2; } }
+    void main() { async worker(); atomic { g = 1; } }
+    """
+    r = Kiss().check_race(parse_core(src), RaceTarget.global_var("g"))
+    assert r.is_safe
+
+
+# -- the paper's §2.2 result -------------------------------------------------------------
+
+
+def test_bluetooth_stoppingFlag_race_found_at_ts0():
+    """Section 2.2: ts size 0 is enough to expose the stoppingFlag race."""
+    r = Kiss(max_ts=0).check_race(
+        bluetooth_program(), RaceTarget.field_of(DEVICE_EXTENSION, "stoppingFlag")
+    )
+    assert r.is_error and r.is_race
+
+
+def test_bluetooth_race_trace_has_two_threads():
+    r = Kiss(max_ts=0).check_race(
+        bluetooth_program(), RaceTarget.field_of(DEVICE_EXTENSION, "stoppingFlag")
+    )
+    accesses = r.concurrent_trace.access_steps()
+    assert len(accesses) == 2
+    assert accesses[0].tid != accesses[1].tid
+
+
+def test_bluetooth_per_field_results():
+    """Race on stoppingFlag; pendingIo and stoppingEvent have conflicting
+    accesses too (the paper reports races on this driver's fields)."""
+    results = Kiss(max_ts=0).check_races_on_struct(bluetooth_program(), DEVICE_EXTENSION)
+    assert results["stoppingFlag"].is_race
+    # pendingIo accesses are all inside atomic blocks: no race reported
+    assert results["pendingIo"].is_safe
+
+
+# -- §2.3 / §6: assertion checking needs ts = 1 ---------------------------------------------
+
+
+def test_bluetooth_assertion_missed_at_ts0():
+    r = Kiss(max_ts=0).check_assertions(bluetooth_program())
+    assert r.is_safe
+
+
+def test_bluetooth_assertion_found_at_ts1():
+    r = Kiss(max_ts=1).check_assertions(bluetooth_program())
+    assert r.is_error
+    assert r.error_kind == "assertion"
+
+
+def test_bluetooth_fixed_driver_is_clean_at_ts1():
+    r = Kiss(max_ts=1).check_assertions(bluetooth_fixed_program())
+    assert r.is_safe
+
+
+def test_kiss_result_summary_strings():
+    r = Kiss(max_ts=0).check_race(parse_core(RACY_GLOBAL), RaceTarget.global_var("g"))
+    assert "race" in r.summary()
+    safe = Kiss().check_race(parse_core(LOCKED_GLOBAL), RaceTarget.global_var("g"))
+    assert "safe" in safe.summary()
+
+
+# -- §6.1: benign-race annotations (the paper's future-work feature) -----------
+
+
+def test_benign_block_parses_and_marks():
+    prog = parse_core("int g; void main() { benign { g = 1; } g = 2; }")
+    stmts = prog.functions["main"].body.stmts
+    assert stmts[0].kiss_benign
+    assert not stmts[1].kiss_benign
+
+
+def test_benign_annotation_suppresses_race():
+    src = """
+    int g;
+    void worker() { g = 2; }
+    void main() { async worker(); benign { g = 1; } }
+    """
+    # unannotated conflict in worker vs annotated write in main: the
+    # annotated side is not recorded, so no race is reported
+    r = Kiss().check_race(parse_core(src), RaceTarget.global_var("g"))
+    assert r.is_safe
+
+
+def test_benign_annotation_must_cover_one_side_only_if_truly_benign():
+    src = """
+    int g; int h;
+    void worker() { benign { g = 2; } h = g; }
+    void main() { async worker(); g = 1; }
+    """
+    # the unannotated read (h = g) still races with main's write
+    r = Kiss().check_race(parse_core(src), RaceTarget.global_var("g"))
+    assert r.is_error
+
+
+def test_fakemodem_annotated_variant_clean():
+    from repro.drivers.fakemodem import fakemodem_annotated_program, fakemodem_program
+
+    unannotated = Kiss().check_race(
+        fakemodem_program(), RaceTarget.field_of("DEVICE_EXTENSION", "OpenCount")
+    )
+    assert unannotated.is_race
+    annotated = Kiss().check_race(
+        fakemodem_annotated_program(), RaceTarget.field_of("DEVICE_EXTENSION", "OpenCount")
+    )
+    assert annotated.is_safe
+
+
+def test_benign_survives_lowering_of_compound_statements():
+    prog = parse_core(
+        "int g; void main() { benign { if (g == 0) { g = g + 1; } } }"
+    )
+    from repro.lang.ast import walk_stmts, Block
+
+    marked = [s for s in walk_stmts(prog.functions["main"].body)
+              if not isinstance(s, Block) and s.kiss_benign]
+    assert marked, "lowered statements must inherit the benign mark"

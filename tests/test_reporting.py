@@ -1,0 +1,81 @@
+"""Tests for table rendering and experiment records."""
+
+import pytest
+
+from repro.drivers import PAPER_TABLE1, PAPER_TABLE2, check_driver, spec_by_name
+from repro.drivers.corpus import DriverRunResult, FieldOutcome
+from repro.reporting import agreement_note, render_table
+from repro.reporting.results import ExperimentRecord, table1_record, table2_record
+
+
+def test_render_table_alignment():
+    out = render_table(["a", "bb"], [["xxx", 1], ["y", 22]], title="T")
+    lines = out.splitlines()
+    assert lines[0] == "T"
+    assert lines[1].startswith("a  ")
+    assert "---" in lines[2]
+    assert len(lines) == 5
+
+
+def test_render_table_widens_to_content():
+    out = render_table(["h"], [["wide-content"]])
+    header, sep, row = out.splitlines()
+    assert len(sep) >= len("wide-content")
+
+
+def test_agreement_note():
+    assert "3/4" in agreement_note(3, 4, "X")
+    assert "100%" in agreement_note(0, 0, "X")
+
+
+def test_experiment_record_matching():
+    rec = ExperimentRecord("t")
+    rec.add("a", {"races": 1}, {"races": 1, "extra": 5})
+    rec.add("b", {"races": 2}, {"races": 3})
+    assert rec.matches == 1
+    assert rec.total == 2
+
+
+def test_record_json_roundtrip(tmp_path):
+    rec = ExperimentRecord("table1", notes="n")
+    rec.add("drv", {"races": 1}, {"races": 1})
+    path = tmp_path / "r.json"
+    rec.save(str(path))
+    back = ExperimentRecord.load(str(path))
+    assert back.experiment == "table1"
+    assert back.notes == "n"
+    assert back.matches == 1
+
+
+def _fake_run(name, races, noraces, unresolved):
+    outcomes = (
+        [FieldOutcome(f"r{i}", "race") for i in range(races)]
+        + [FieldOutcome(f"n{i}", "no-race") for i in range(noraces)]
+        + [FieldOutcome(f"u{i}", "unresolved") for i in range(unresolved)]
+    )
+    return DriverRunResult(name, outcomes)
+
+
+def test_table1_record_from_runs():
+    run = _fake_run("imca", 1, 4, 0)
+    rec = table1_record([run], PAPER_TABLE1)
+    assert rec.rows[0].matches
+
+
+def test_table1_record_detects_mismatch():
+    run = _fake_run("imca", 0, 5, 0)
+    rec = table1_record([run], PAPER_TABLE1)
+    assert not rec.rows[0].matches
+
+
+def test_table2_record_missing_driver_counts_zero():
+    rec = table2_record([], {"imca": 1})
+    assert rec.rows[0].measured["races"] == 0
+    assert not rec.rows[0].matches
+
+
+def test_end_to_end_record_for_smallest_driver():
+    spec = spec_by_name("tracedrv")
+    run = check_driver(spec)
+    rec = table1_record([run], PAPER_TABLE1)
+    assert rec.matches == 1

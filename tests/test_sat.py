@@ -1,0 +1,108 @@
+"""Unit and property tests for the DPLL SAT solver."""
+
+from hypothesis import given, strategies as st
+
+from repro.seqcheck.sat import CnfBuilder, solve
+
+
+def test_empty_formula_sat():
+    assert solve([], 0) == {}
+
+
+def test_single_unit():
+    m = solve([(1,)], 1)
+    assert m == {1: True}
+
+
+def test_contradiction_unsat():
+    assert solve([(1,), (-1,)], 1) is None
+
+
+def test_simple_implication_chain():
+    # 1, 1->2, 2->3 forces all true
+    m = solve([(1,), (-1, 2), (-2, 3)], 3)
+    assert m[1] and m[2] and m[3]
+
+
+def test_requires_search():
+    # (1|2) & (!1|2) & (1|!2): 1=T, 2=T
+    m = solve([(1, 2), (-1, 2), (1, -2)], 2)
+    assert m[1] and m[2]
+
+
+def test_unsat_4clauses():
+    clauses = [(1, 2), (1, -2), (-1, 2), (-1, -2)]
+    assert solve(clauses, 2) is None
+
+
+def test_assumptions_restrict():
+    m = solve([(1, 2)], 2, assumptions=[-1])
+    assert m[2] and not m[1]
+
+
+def test_conflicting_assumptions():
+    assert solve([(1, 2)], 2, assumptions=[1, -1]) is None
+
+
+def test_and_gate():
+    b = CnfBuilder()
+    a, x = b.fresh(), b.fresh()
+    o = b.and_(a, x)
+    m = solve(b.clauses, b.num_vars, assumptions=[a, x])
+    assert m[abs(o)] == (o > 0)
+    m = solve(b.clauses, b.num_vars, assumptions=[a, -x, o])
+    assert m is None
+
+
+def test_or_gate():
+    b = CnfBuilder()
+    a, x = b.fresh(), b.fresh()
+    o = b.or_(a, x)
+    assert solve(b.clauses, b.num_vars, assumptions=[-a, -x, o]) is None
+    assert solve(b.clauses, b.num_vars, assumptions=[a, -x, o]) is not None
+
+
+def test_xor_gate():
+    b = CnfBuilder()
+    a, x = b.fresh(), b.fresh()
+    o = b.xor_(a, x)
+    assert solve(b.clauses, b.num_vars, assumptions=[a, x, o]) is None
+    assert solve(b.clauses, b.num_vars, assumptions=[a, -x, o]) is not None
+
+
+def test_ite_gate():
+    b = CnfBuilder()
+    c, t, e = b.fresh(), b.fresh(), b.fresh()
+    o = b.ite(c, t, e)
+    assert solve(b.clauses, b.num_vars, assumptions=[c, t, -o]) is None
+    assert solve(b.clauses, b.num_vars, assumptions=[-c, -e, o]) is None
+
+
+def _brute_force(clauses, n):
+    for bits in range(1 << n):
+        assign = {v: bool((bits >> (v - 1)) & 1) for v in range(1, n + 1)}
+        if all(any(assign[abs(l)] == (l > 0) for l in c) for c in clauses):
+            return True
+    return False
+
+
+@given(
+    st.lists(
+        st.lists(
+            st.integers(min_value=1, max_value=5).flatmap(
+                lambda v: st.sampled_from([v, -v])
+            ),
+            min_size=1,
+            max_size=4,
+        ).map(tuple),
+        max_size=12,
+    )
+)
+def test_agrees_with_brute_force(clauses):
+    n = 5
+    model = solve(clauses, n)
+    assert (model is not None) == _brute_force(clauses, n)
+    if model is not None:
+        # returned model actually satisfies every clause
+        for c in clauses:
+            assert any(model[abs(l)] == (l > 0) for l in c)

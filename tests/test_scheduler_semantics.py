@@ -1,0 +1,162 @@
+"""Tests for the synthesized scheduler's multiset semantics (§4).
+
+``ts`` is a *multiset*: ``put`` parks a thread, ``get`` removes a
+nondeterministically chosen element.  These tests pin down the slot
+encoding: capacity accounting, any-order dispatch, argument integrity
+under compaction, and the fallback to synchronous calls when full.
+"""
+
+import pytest
+
+from repro.core.checker import Kiss
+from repro.lang import parse_core
+
+
+def check(src, max_ts, **kw):
+    return Kiss(max_ts=max_ts, map_traces=False, **kw).check_assertions(parse_core(src))
+
+
+def test_dispatch_order_is_nondeterministic():
+    # both orders must be simulated: the assert fails on order w2-after-w1
+    # and a symmetric program fails on the other order
+    src = """
+    int log1; int log2; int clock;
+    void w1() { clock = clock + 1; log1 = clock; }
+    void w2() { clock = clock + 1; log2 = clock; }
+    void main() {
+      async w1();
+      async w2();
+      assume(log1 == 1);
+      assume(log2 == 2);
+      assert(false);
+    }
+    """
+    assert check(src, 2).is_error
+    src_rev = src.replace("assume(log1 == 1)", "assume(log1 == 2)").replace(
+        "assume(log2 == 2)", "assume(log2 == 1)"
+    )
+    assert check(src_rev, 2).is_error
+
+
+def test_same_function_parked_twice_with_different_args():
+    src = """
+    int total;
+    void add(int x) { atomic { total = total + x; } }
+    void main() {
+      async add(1);
+      async add(10);
+      assume(total == 11);
+      assert(total == 11);
+    }
+    """
+    assert check(src, 2).is_safe
+
+
+def test_arguments_survive_slot_compaction():
+    # park three, dispatch the middle one first: slots compact and the
+    # remaining arguments must not be corrupted
+    src = """
+    int got1; int got2; int got3;
+    void w(int x) {
+      choice { assume(x == 1); got1 = x; }
+        or   { assume(x == 2); got2 = x; }
+        or   { assume(x == 3); got3 = x; }
+    }
+    void main() {
+      async w(1);
+      async w(2);
+      async w(3);
+      assume(got1 == 1);
+      assume(got2 == 2);
+      assume(got3 == 3);
+      assert(got1 + got2 + got3 == 6);
+    }
+    """
+    assert check(src, 3).is_safe
+
+
+def test_capacity_shared_across_families():
+    # ts bound 1 shared by two families: after parking w1, parking w2
+    # must fall back to a synchronous call (which runs to completion at
+    # the async point) — so "w2 completes before main continues" is the
+    # only full-completion behaviour when w1 is parked
+    src = """
+    int a; int b;
+    void w1() { a = 1; }
+    void w2() { b = 1; }
+    void main() {
+      async w1();
+      async w2();
+      // if both were parked, neither has run yet; with bound 1, at most
+      // one park happened, so at this point at least one of the
+      // possible executions has b == 1 already (w2 inlined)
+      assume(b == 1);
+      assume(a == 0);
+      assert(true);
+    }
+    """
+    assert check(src, 1).is_safe
+
+
+def test_ts_zero_preserves_spawn_effects():
+    src = """
+    int n;
+    void w() { atomic { n = n + 1; } }
+    void main() {
+      async w();
+      async w();
+      async w();
+      assume(n == 3);
+      assert(n == 3);
+    }
+    """
+    assert check(src, 0).is_safe
+
+
+def test_parked_thread_may_never_be_scheduled():
+    # schedule() dispatches a nondeterministic subset: a parked thread
+    # may also simply never run before the program ends — so the assert
+    # inside it must not make the program fail if unreachable... but the
+    # final Check(s) schedule() runs remaining threads, so it DOES run
+    # eventually in some behaviour and the error is found.
+    src = """
+    void w() { assert(false); }
+    void main() { async w(); }
+    """
+    assert check(src, 1).is_error
+
+
+def test_raise_can_kill_parked_thread_before_anything():
+    # a dispatched thread may terminate before its first statement, so
+    # the assert below it can be skipped: blocked -> quiescent, not error
+    src = """
+    bool never;
+    void w() { assume(never); assert(false); }
+    void main() { async w(); }
+    """
+    assert check(src, 1).is_safe
+
+
+def test_nested_spawn_from_parked_thread():
+    src = """
+    int depth;
+    void inner() { atomic { depth = depth + 1; } }
+    void outer() { async inner(); atomic { depth = depth + 1; } }
+    void main() {
+      async outer();
+      assume(depth == 2);
+      assert(depth == 2);
+    }
+    """
+    assert check(src, 2).is_safe
+
+
+def test_ts_globals_do_not_leak_between_runs():
+    src = """
+    void w() { }
+    void main() { async w(); }
+    """
+    r1 = check(src, 2)
+    r2 = check(src, 2)
+    assert r1.is_safe and r2.is_safe
+    assert r1.backend_result.stats.states == r2.backend_result.stats.states

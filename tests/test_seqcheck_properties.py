@@ -1,0 +1,75 @@
+"""Property tests for the sequential checker's reductions."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.cfg.build import build_program_cfg
+from repro.lang import parse_core
+from repro.seqcheck.explicit import SequentialChecker, check_sequential
+
+
+stmt = st.tuples(
+    st.integers(0, 4), st.sampled_from(["g0", "g1"]), st.integers(0, 2)
+).map(
+    lambda t: {
+        0: f"{t[1]} = {t[2]};",
+        1: f"{t[1]} = {t[1]} + 1;",
+        2: f"assume({t[1]} == {t[2]});",
+        3: f"assert({t[1]} != {t[2]});",
+        4: f"if ({t[1]} == {t[2]}) {{ {t[1]} = {t[2]} + 1; }}",
+    }[t[0]]
+)
+
+
+@st.composite
+def seq_program(draw):
+    body = draw(st.lists(stmt, min_size=1, max_size=5))
+    helper = draw(st.lists(stmt, min_size=0, max_size=3))
+    pieces = ["int g0; int g1;"]
+    if helper:
+        pieces.append("void helper() { " + " ".join(helper) + " }")
+        body.insert(draw(st.integers(0, len(body))), "helper();")
+    pieces.append("void main() { " + " ".join(body) + " }")
+    return "\n".join(pieces)
+
+
+def _check(src, compress):
+    pcfg = build_program_cfg(parse_core(src))
+    return SequentialChecker(pcfg, max_states=20_000, compress_chains=compress).check()
+
+
+@settings(max_examples=40, deadline=None)
+@given(seq_program())
+def test_chain_compression_preserves_verdicts(src):
+    full = _check(src, compress=False)
+    reduced = _check(src, compress=True)
+    assert full.status == reduced.status, src
+
+
+@settings(max_examples=25, deadline=None)
+@given(seq_program())
+def test_chain_compression_never_increases_states(src):
+    full = _check(src, compress=False)
+    reduced = _check(src, compress=True)
+    assert reduced.stats.states <= full.stats.states, src
+
+
+@settings(max_examples=25, deadline=None)
+@given(seq_program())
+def test_chain_compression_preserves_error_traces(src):
+    """Compressed runs must report the same failing statement (over the
+    same parsed program — statement ids are per-parse)."""
+    pcfg = build_program_cfg(parse_core(src))
+    full = SequentialChecker(pcfg, max_states=20_000, compress_chains=False).check()
+    reduced = SequentialChecker(pcfg, max_states=20_000, compress_chains=True).check()
+    if not (full.is_error and reduced.is_error):
+        return
+    assert full.trace[-1].origin.sid == reduced.trace[-1].origin.sid
+
+
+@settings(max_examples=20, deadline=None)
+@given(seq_program())
+def test_checker_idempotent(src):
+    r1 = check_sequential(parse_core(src), max_states=20_000)
+    r2 = check_sequential(parse_core(src), max_states=20_000)
+    assert r1.status == r2.status
+    assert r1.stats.states == r2.stats.states

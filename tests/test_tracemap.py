@@ -1,0 +1,146 @@
+"""Tests for sequential→concurrent error-trace mapping."""
+
+import pytest
+
+from repro.core.checker import Kiss
+from repro.core.race import RaceTarget
+from repro.concheck.executions import is_balanced
+from repro.drivers.bluetooth import DEVICE_EXTENSION, bluetooth_program
+from repro.lang import parse_core
+
+
+def assertion_trace(src, max_ts):
+    r = Kiss(max_ts=max_ts).check_assertions(parse_core(src))
+    assert r.is_error, "expected an error"
+    return r.concurrent_trace
+
+
+def test_single_thread_trace_all_tid_zero():
+    tr = assertion_trace("void main() { assert(false); }", max_ts=0)
+    assert set(tr.thread_string()) == {0}
+
+
+def test_inline_async_introduces_second_thread():
+    tr = assertion_trace(
+        """
+        bool flag;
+        void worker() { flag = true; }
+        void main() { async worker(); assert(!flag); }
+        """,
+        max_ts=0,
+    )
+    assert set(tr.thread_string()) >= {0, 1}
+    # the spawn pseudo-step belongs to the parent
+    spawns = [s for s in tr if s.kind == "spawn"]
+    assert len(spawns) == 1 and spawns[0].tid == 0
+
+
+def test_worker_steps_attributed_to_worker_thread():
+    tr = assertion_trace(
+        """
+        bool flag;
+        void worker() { flag = true; }
+        void main() { async worker(); assert(!flag); }
+        """,
+        max_ts=0,
+    )
+    flag_writes = [s for s in tr if "flag = true" in s.text]
+    assert flag_writes and all(s.tid == 1 for s in flag_writes)
+    asserts = [s for s in tr if "assert" in s.text]
+    assert asserts and asserts[-1].tid == 0
+
+
+def test_parked_thread_dispatch_attribution():
+    tr = assertion_trace(
+        """
+        int phase;
+        void worker() { assume(phase == 1); phase = 2; }
+        void main() { async worker(); phase = 1; assume(phase == 2); assert(false); }
+        """,
+        max_ts=1,
+    )
+    # order: main sets phase=1 (t0), then worker runs (t1), then main asserts (t0)
+    s = tr.thread_string()
+    assert s[0] == 0
+    assert 1 in s
+    assert s[-1] == 0  # the failing assert is main's
+    # and main truly resumes after the worker block: 0 ... 1 ... 0
+    first1 = s.index(1)
+    assert any(t == 0 for t in s[first1:])
+
+
+def test_mapped_traces_are_balanced():
+    """Theorem 1: KISS only simulates balanced executions, so every mapped
+    trace's thread string must be balanced."""
+    sources = [
+        ("void main() { assert(false); }", 0),
+        (
+            """
+            bool flag;
+            void worker() { flag = true; }
+            void main() { async worker(); assert(!flag); }
+            """,
+            0,
+        ),
+        (
+            """
+            int phase;
+            void worker() { assume(phase == 1); phase = 2; }
+            void main() { async worker(); phase = 1; assume(phase == 2); assert(false); }
+            """,
+            1,
+        ),
+        (
+            """
+            int a; int b;
+            void w1() { a = 1; }
+            void w2() { assume(a == 1); b = 1; }
+            void main() { async w2(); async w1(); assume(b == 1); assert(false); }
+            """,
+            2,
+        ),
+    ]
+    for src, max_ts in sources:
+        tr = assertion_trace(src, max_ts)
+        assert is_balanced(tr.thread_string()), (src, tr.thread_string())
+
+
+def test_race_trace_is_balanced_and_has_two_access_threads():
+    r = Kiss(max_ts=0).check_race(
+        bluetooth_program(), RaceTarget.field_of(DEVICE_EXTENSION, "stoppingFlag")
+    )
+    tr = r.concurrent_trace
+    assert is_balanced(tr.thread_string())
+    acc = tr.access_steps()
+    assert len(acc) == 2
+    assert acc[0].tid != acc[1].tid
+
+
+def test_bluetooth_assertion_trace_matches_paper_walkthrough():
+    """Section 2.3's scenario: main parks PnpStop, PnpAdd runs and calls
+    IoIncrement; PnpStop is dispatched mid-increment; main's thread then
+    fails the assert."""
+    r = Kiss(max_ts=1).check_assertions(bluetooth_program())
+    tr = r.concurrent_trace
+    s = tr.thread_string()
+    assert is_balanced(s)
+    # two threads participate
+    assert set(s) == {0, 1}
+    # the failing assertion (last step) is in the PnpAdd thread (main, t0)
+    assert s[-1] == 0
+    # PnpStop's effect (stopped = true) is attributed to thread 1
+    stops = [st for st in tr if "stopped = true" in st.text]
+    assert stops and all(st.tid == 1 for st in stops)
+
+
+def test_no_trace_for_safe_results():
+    r = Kiss(max_ts=1).check_assertions(
+        parse_core("void main() { assert(true); }")
+    )
+    assert r.is_safe and r.concurrent_trace is None
+
+
+def test_trace_format_is_printable():
+    tr = assertion_trace("void main() { assert(false); }", max_ts=0)
+    text = tr.format()
+    assert "t0" in text

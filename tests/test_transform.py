@@ -1,0 +1,272 @@
+"""Unit tests for the Figure 4 sequentialization."""
+
+import pytest
+
+from repro.lang import ast, parse_core
+from repro.lang.lower import is_core_program
+from repro.lang.types import check_program
+from repro.core import names
+from repro.core.transform import KissTransformer, TransformError, kiss_transform, spawn_families
+from repro.seqcheck.explicit import check_sequential
+from repro.concheck import check_concurrent
+
+
+SPAWN_SRC = """
+bool flag;
+void worker() { flag = true; }
+void main() { async worker(); assert(!flag); }
+"""
+
+
+def transform(src, max_ts=0):
+    return kiss_transform(parse_core(src), max_ts=max_ts)
+
+
+# -- static shape --------------------------------------------------------------
+
+
+def test_output_is_core_and_typechecks():
+    out = transform(SPAWN_SRC, max_ts=1)
+    assert is_core_program(out)
+    check_program(out)  # raises on ill-typed instrumentation
+
+
+def test_output_has_no_async():
+    out = transform(SPAWN_SRC, max_ts=2)
+    for f in out.functions.values():
+        assert not any(isinstance(s, ast.AsyncCall) for s in ast.walk_stmts(f.body))
+
+
+def test_entry_is_check_wrapper():
+    out = transform(SPAWN_SRC)
+    assert out.entry == names.CHECK_FN
+    assert names.CHECK_FN in out.functions
+
+
+def test_raise_global_added():
+    out = transform(SPAWN_SRC)
+    assert names.RAISE_VAR in out.globals
+
+
+def test_ts_globals_only_when_max_positive():
+    out0 = transform(SPAWN_SRC, max_ts=0)
+    assert names.TS_SIZE not in out0.globals
+    out2 = transform(SPAWN_SRC, max_ts=2)
+    assert names.TS_SIZE in out2.globals
+    assert names.ts_count("worker") in out2.globals
+
+
+def test_schedule_function_only_when_max_positive():
+    assert names.SCHEDULE_FN not in transform(SPAWN_SRC, max_ts=0).functions
+    assert names.SCHEDULE_FN in transform(SPAWN_SRC, max_ts=1).functions
+
+
+def test_input_not_mutated():
+    prog = parse_core(SPAWN_SRC)
+    before = {name: len(f.locals) for name, f in prog.functions.items()}
+    kiss_transform(prog, max_ts=1)
+    after = {name: len(f.locals) for name, f in prog.functions.items()}
+    assert before == after
+    assert prog.entry == "main"
+
+
+def test_reserved_names_rejected():
+    with pytest.raises(TransformError):
+        transform("int __kiss_raise; void main() { }")
+
+
+def test_non_core_input_rejected():
+    from repro.lang import parse
+
+    with pytest.raises(TransformError):
+        kiss_transform(parse("void main() { if (true) { skip; } }"))
+
+
+def test_spawn_families_direct():
+    prog = parse_core(SPAWN_SRC)
+    fams = spawn_families(prog)
+    assert [f.name for f in fams] == ["worker"]
+    assert not fams[0].indirect
+
+
+def test_spawn_families_indirect():
+    prog = parse_core(
+        "void w() { } void main() { func v; v = w; async v(); }"
+    )
+    fams = spawn_families(prog)
+    assert len(fams) == 1 and fams[0].indirect
+
+
+def test_negative_max_ts_rejected():
+    with pytest.raises(ValueError):
+        KissTransformer(max_ts=-1)
+
+
+def test_original_statements_untagged_instrumentation_tagged():
+    out = transform(SPAWN_SRC)
+    main = out.functions["main"]
+    tags = [s.kiss_tag for s in ast.walk_stmts(main.body) if not isinstance(s, ast.Block)]
+    assert None in tags  # original statements survive untagged
+    assert "instr" in tags
+
+
+# -- behaviour: the sequential program simulates the concurrent one ---------------
+
+
+def run_kiss(src, max_ts=0, **kw):
+    return check_sequential(transform(src, max_ts=max_ts), **kw)
+
+
+def test_inline_async_completes_and_error_found_at_ts0():
+    r = run_kiss(SPAWN_SRC, max_ts=0)
+    assert r.is_error
+    assert r.violation_kind == "assert"
+
+
+def test_error_also_found_at_ts1():
+    r = run_kiss(SPAWN_SRC, max_ts=1)
+    assert r.is_error
+
+
+def test_partial_execution_of_spawned_thread_via_raise():
+    # worker sets a then b; main's assert fails only if worker stopped in
+    # between — requires RAISE-based partial thread termination
+    src = """
+    bool a; bool b;
+    void worker() { a = true; b = true; }
+    void main() {
+      async worker();
+      assume(a);
+      assert(b);
+    }
+    """
+    r = run_kiss(src, max_ts=0)
+    assert r.is_error
+
+
+def test_safe_program_stays_safe():
+    src = """
+    int lock; int g;
+    void acquire() { atomic { assume(lock == 0); lock = 1; } }
+    void release() { atomic { lock = 0; } }
+    void worker() { acquire(); g = 2; release(); }
+    void main() {
+      async worker();
+      acquire();
+      g = 1;
+      assert(g == 1);
+      release();
+    }
+    """
+    r = run_kiss(src, max_ts=1)
+    assert r.is_safe
+
+
+def test_ts1_needed_for_resumption_bug():
+    # the bug needs: spawn, parent progresses, child runs, parent resumes
+    src = """
+    int phase;
+    void worker() { assume(phase == 1); phase = 2; }
+    void main() {
+      async worker();
+      phase = 1;
+      assume(phase == 2);
+      assert(false);
+    }
+    """
+    r0 = run_kiss(src, max_ts=0)
+    assert r0.is_safe  # ts bound 0 misses it (the paper's coverage knob)
+    r1 = run_kiss(src, max_ts=1)
+    assert r1.is_error
+    # ground truth: the concurrent program really has the bug
+    assert check_concurrent(parse_core(src)).is_error
+
+
+def test_ts_full_falls_back_to_synchronous_call():
+    # two asyncs, ts of size 1: the second is called synchronously
+    src = """
+    int n;
+    void w1() { atomic { n = n + 1; } }
+    void w2() { atomic { n = n + 1; } }
+    void main() {
+      async w1();
+      async w2();
+      assume(n == 2);
+      assert(n == 2);
+    }
+    """
+    r = run_kiss(src, max_ts=1)
+    assert r.is_safe
+
+
+def test_spawned_thread_receives_arguments():
+    src = """
+    struct S { int a; }
+    void worker(S *p) { assert(p->a == 5); }
+    void main() { S *e; e = malloc(S); e->a = 5; async worker(e); }
+    """
+    assert run_kiss(src, max_ts=0).is_safe
+    assert run_kiss(src, max_ts=1).is_safe
+
+
+def test_argument_snapshot_at_spawn_time():
+    # args are captured when async executes, not when the thread runs
+    src = """
+    int g;
+    void worker(int x) { assert(x == 1); }
+    void main() {
+      g = 1;
+      async worker(g);
+      g = 2;
+    }
+    """
+    assert run_kiss(src, max_ts=1).is_safe
+
+
+def test_indirect_async_dispatch():
+    src = """
+    bool done;
+    void w() { done = true; }
+    void main() {
+      func v;
+      v = w;
+      async v();
+      assume(done);
+      assert(done);
+    }
+    """
+    assert run_kiss(src, max_ts=1).is_safe
+
+
+def test_multiple_parked_threads_any_order():
+    src = """
+    int a; int b;
+    void w1() { a = 1; }
+    void w2() { assume(a == 1); b = 1; }
+    void main() {
+      async w2();
+      async w1();
+      assume(b == 1);
+      assert(false);
+    }
+    """
+    # needs both threads parked and dispatched in data-dependent order
+    r = run_kiss(src, max_ts=2)
+    assert r.is_error
+
+
+def test_kiss_error_implies_concurrent_error():
+    """Completeness spot-check ("never reports false errors")."""
+    sources = [
+        SPAWN_SRC,
+        """
+        int phase;
+        void worker() { assume(phase == 1); phase = 2; }
+        void main() { async worker(); phase = 1; assume(phase == 2); assert(false); }
+        """,
+    ]
+    for src in sources:
+        for max_ts in (0, 1, 2):
+            r = run_kiss(src, max_ts=max_ts)
+            if r.is_error:
+                assert check_concurrent(parse_core(src)).is_error

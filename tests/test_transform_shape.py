@@ -1,0 +1,198 @@
+"""Structural tests: the transformation output matches Figure 4
+statement-for-statement.
+
+These inspect the *shape* of the emitted code — prefix placement, RAISE
+form, call-site propagation, put/dispatch structure — independent of any
+checker behaviour.
+"""
+
+import pytest
+
+from repro.core import names
+from repro.core.transform import KissTransformer, kiss_transform
+from repro.lang import ast, parse_core
+
+
+def transformed_main(src, max_ts=0):
+    out = kiss_transform(parse_core(src), max_ts=max_ts)
+    return out, out.functions["main"].body.stmts
+
+
+def is_raise_choice(s):
+    """choice { skip } or { raise := true; return }"""
+    if not isinstance(s, ast.Choice) or len(s.branches) < 2:
+        return False
+    first = s.branches[0].stmts
+    last = s.branches[-1].stmts
+    return (
+        len(first) == 1
+        and isinstance(first[0], ast.Skip)
+        and isinstance(last[0], ast.Assign)
+        and isinstance(last[0].lhs, ast.Var)
+        and last[0].lhs.name == names.RAISE_VAR
+        and isinstance(last[-1], ast.Return)
+    )
+
+
+def test_simple_statement_gets_raise_prefix():
+    _, stmts = transformed_main("int g; void main() { g = 1; }")
+    assert is_raise_choice(stmts[0])
+    assert isinstance(stmts[1], ast.Assign)
+    assert stmts[1].kiss_tag is None  # the original statement, untouched
+
+
+def test_every_original_statement_prefixed():
+    src = "int g; void main() { g = 1; g = 2; g = 3; }"
+    _, stmts = transformed_main(src)
+    originals = [i for i, s in enumerate(stmts) if s.kiss_tag is None]
+    assert len(originals) == 3
+    for i in originals:
+        assert is_raise_choice(stmts[i - 1]), f"statement {i} missing its prefix"
+
+
+def test_schedule_called_before_statements_when_ts_positive():
+    src = "void w() { } void main() { async w(); skip; }"
+    _, stmts = transformed_main(src, max_ts=1)
+    calls = [
+        s for s in stmts if isinstance(s, ast.Call) and s.func.name == names.SCHEDULE_FN
+    ]
+    assert calls, "schedule() must be called in the instrumented body"
+
+
+def test_no_schedule_calls_at_ts_zero():
+    src = "void w() { } void main() { async w(); skip; }"
+    out, _ = transformed_main(src, max_ts=0)
+    for f in out.functions.values():
+        for s in ast.walk_stmts(f.body):
+            if isinstance(s, ast.Call):
+                assert s.func.name != names.SCHEDULE_FN
+
+
+def test_call_followed_by_raise_propagation():
+    src = "void f() { } void main() { f(); }"
+    _, stmts = transformed_main(src)
+    call_idx = next(
+        i for i, s in enumerate(stmts) if isinstance(s, ast.Call) and s.func.name == "f"
+    )
+    after = stmts[call_idx + 1]
+    # if (raise) return — lowered: choice{assume(raise); return [] ...}
+    assert isinstance(after, ast.Choice)
+    guard = after.branches[0].stmts[0]
+    assert isinstance(guard, ast.Assume)
+    assert isinstance(guard.cond, ast.Var) and guard.cond.name == names.RAISE_VAR
+    assert isinstance(after.branches[0].stmts[1], ast.Return)
+
+
+def test_return_prefixed_by_schedule_but_not_raise():
+    src = "void w() { } int f() { return 1; } void main() { async w(); int x; x = f(); }"
+    out = kiss_transform(parse_core(src), max_ts=1)
+    f_stmts = out.functions["f"].body.stmts
+    ret_idx = next(i for i, s in enumerate(f_stmts) if isinstance(s, ast.Return))
+    before = f_stmts[ret_idx - 1]
+    assert isinstance(before, ast.Call) and before.func.name == names.SCHEDULE_FN
+    assert not is_raise_choice(before)
+
+
+def test_atomic_body_not_instrumented():
+    src = "int g; void main() { atomic { g = g + 1; g = g - 1; } }"
+    _, stmts = transformed_main(src)
+    at = next(s for s in stmts if isinstance(s, ast.Atomic))
+    for inner in at.body.stmts:
+        assert not is_raise_choice(inner), "no prefixes inside atomic"
+
+
+def test_async_at_ts0_is_sync_call_plus_raise_reset():
+    src = "void w() { } void main() { async w(); }"
+    _, stmts = transformed_main(src, max_ts=0)
+    call_idx = next(
+        i for i, s in enumerate(stmts) if isinstance(s, ast.Call) and s.func.name == "w"
+    )
+    assert stmts[call_idx].kiss_tag == "inline-async"
+    reset = stmts[call_idx + 1]
+    assert isinstance(reset, ast.Assign) and reset.lhs.name == names.RAISE_VAR
+    assert isinstance(reset.rhs, ast.BoolLit) and reset.rhs.value is False
+
+
+def test_async_at_ts1_branches_on_room():
+    src = "void w() { } void main() { async w(); }"
+    _, stmts = transformed_main(src, max_ts=1)
+    # room test assigned, then choice(put, inline)
+    room_idx = next(
+        i
+        for i, s in enumerate(stmts)
+        if isinstance(s, ast.Assign)
+        and isinstance(s.rhs, ast.Binary)
+        and s.rhs.op == "<"
+        and isinstance(s.rhs.left, ast.Var)
+        and s.rhs.left.name == names.TS_SIZE
+    )
+    branch = stmts[room_idx + 1]
+    assert isinstance(branch, ast.Choice) and len(branch.branches) == 2
+    put_branch = branch.branches[0]
+    tags = [s.kiss_tag for s in ast.walk_stmts(put_branch)]
+    assert "put" in tags
+    inline_branch = branch.branches[1]
+    tags2 = [s.kiss_tag for s in ast.walk_stmts(inline_branch)]
+    assert "inline-async" in tags2
+
+
+def test_schedule_body_shape():
+    src = "void w() { } void main() { async w(); }"
+    out = kiss_transform(parse_core(src), max_ts=2)
+    sched = out.functions[names.SCHEDULE_FN]
+    [it] = sched.body.stmts
+    assert isinstance(it, ast.Iter)
+    [choice] = it.body.stmts
+    assert isinstance(choice, ast.Choice)
+    # one dispatch branch per (family, slot)
+    assert len(choice.branches) == 2
+    for b in choice.branches:
+        calls = [s for s in b.stmts if isinstance(s, ast.Call)]
+        assert any(c.kiss_tag == "dispatch" for c in calls)
+        resets = [
+            s
+            for s in b.stmts
+            if isinstance(s, ast.Assign)
+            and isinstance(s.lhs, ast.Var)
+            and s.lhs.name == names.RAISE_VAR
+        ]
+        assert resets, "raise must be reset after a dispatched thread ends"
+
+
+def test_check_entry_shape():
+    src = "void w() { } void main() { async w(); }"
+    out = kiss_transform(parse_core(src), max_ts=1)
+    entry = out.functions[names.CHECK_FN].body.stmts
+    # raise := false; [[main]](); raise := false; schedule()
+    assert isinstance(entry[0], ast.Assign) and entry[0].lhs.name == names.RAISE_VAR
+    root = next(s for s in entry if isinstance(s, ast.Call) and s.func.name == "main")
+    assert root.kiss_tag == "root"
+    assert isinstance(entry[-1], ast.Call) and entry[-1].func.name == names.SCHEDULE_FN
+
+
+def test_raise_return_carries_type_correct_default():
+    src = """
+    void w() { }
+    int f() { async w(); return 1; }
+    bool g() { async w(); return true; }
+    void main() { int a; bool b; a = f(); b = g(); }
+    """
+    out = kiss_transform(parse_core(src), max_ts=1)
+    for fname, expect in (("f", ast.IntLit), ("g", ast.BoolLit)):
+        rets = [
+            s
+            for s in ast.walk_stmts(out.functions[fname].body)
+            if isinstance(s, ast.Return) and s.kiss_tag == "instr"
+        ]
+        assert rets
+        assert all(isinstance(r.value, expect) for r in rets)
+
+
+def test_transform_is_deterministic():
+    src = "bool f; void w() { f = true; } void main() { async w(); assert(!f); }"
+    from repro.lang.pretty import pretty_program
+
+    prog = parse_core(src)
+    t1 = pretty_program(KissTransformer(max_ts=1).transform(prog))
+    t2 = pretty_program(KissTransformer(max_ts=1).transform(prog))
+    assert t1 == t2

@@ -1,0 +1,202 @@
+"""Unit tests for the type and well-formedness checker."""
+
+import pytest
+
+from repro.lang import parse
+from repro.lang.types import KissTypeError
+
+
+def ok(src):
+    return parse(src)
+
+
+def bad(src):
+    with pytest.raises(KissTypeError):
+        parse(src)
+
+
+def test_simple_ok():
+    prog = ok("int g; void main() { g = 1; }")
+    assert prog.globals["g"].type.__class__.__name__ == "IntType"
+
+
+def test_undefined_variable():
+    bad("void main() { x = 1; }")
+
+
+def test_assign_bool_to_int():
+    bad("int g; void main() { g = true; }")
+
+
+def test_assign_int_to_bool():
+    bad("bool g; void main() { g = 0; }")
+
+
+def test_arith_requires_ints():
+    bad("bool b; int g; void main() { g = b + 1; }")
+
+
+def test_logical_requires_bools():
+    bad("int g; bool b; void main() { b = g && true; }")
+
+
+def test_comparison_yields_bool():
+    ok("int g; bool b; void main() { b = g < 3; }")
+
+
+def test_eq_incompatible_types():
+    bad("int g; bool b; bool c; void main() { c = g == b; }")
+
+
+def test_null_compares_with_pointer():
+    ok("struct S { int a; } void main() { S *p; p = null; assert(p == null); }")
+
+
+def test_null_not_comparable_with_int():
+    bad("int g; bool b; void main() { b = g == null; }")
+
+
+def test_deref_non_pointer():
+    bad("int g; int h; void main() { g = *h; }")
+
+
+def test_deref_pointer_ok():
+    ok("void main() { int x; int *p; p = &x; x = *p; }")
+
+
+def test_address_of_rvalue():
+    bad("void main() { int *p; p = &(1 + 2); }")
+
+
+def test_arrow_on_non_pointer():
+    bad("struct S { int a; } int g; void main() { g = g->a; }")
+
+
+def test_unknown_field():
+    bad("struct S { int a; } void main() { S *p; p = malloc(S); p->b = 1; }")
+
+
+def test_unknown_struct_in_malloc():
+    bad("void main() { int *p; p = malloc(T); }")
+
+
+def test_malloc_type_must_match():
+    bad("struct S { int a; } struct T { int a; } void main() { S *p; p = malloc(T); }")
+
+
+def test_struct_valued_local_rejected():
+    bad("struct S { int a; } void main() { S s; }")
+
+
+def test_struct_valued_global_rejected():
+    bad("struct S { int a; } S g; void main() { }")
+
+
+def test_struct_valued_field_rejected():
+    bad("struct S { int a; } struct T { S inner; } void main() { }")
+
+
+def test_pointer_field_ok():
+    ok("struct S { int a; } struct T { S *inner; } void main() { }")
+
+
+def test_assert_requires_bool():
+    bad("int g; void main() { assert(g); }")
+
+
+def test_if_condition_must_be_bool():
+    bad("int g; void main() { if (g) { g = 1; } }")
+
+
+def test_while_condition_must_be_bool():
+    bad("int g; void main() { while (g) { g = 1; } }")
+
+
+def test_call_arity_mismatch():
+    bad("void f(int x) { } void main() { f(); }")
+
+
+def test_call_arg_type_mismatch():
+    bad("void f(int x) { } void main() { f(true); }")
+
+
+def test_call_result_type_mismatch():
+    bad("int f() { return 1; } bool g; void main() { g = f(); }")
+
+
+def test_void_call_used_as_value():
+    bad("void f() { } int g; void main() { g = f(); }")
+
+
+def test_missing_return_value():
+    bad("int f() { return; } void main() { f(); }")
+
+
+def test_void_returns_value():
+    bad("void f() { return 1; } void main() { f(); }")
+
+
+def test_missing_main():
+    bad("void notmain() { }")
+
+
+def test_atomic_no_calls():
+    bad("void f() { } void main() { atomic { f(); } }")
+
+
+def test_atomic_no_async():
+    bad("void f() { } void main() { atomic { async f(); } }")
+
+
+def test_atomic_no_return():
+    bad("void main() { atomic { return; } }")
+
+
+def test_atomic_no_nested_atomic():
+    bad("void main() { atomic { atomic { skip; } } }")
+
+
+def test_atomic_plain_ok():
+    ok("int g; void main() { atomic { g = g + 1; } }")
+
+
+def test_function_name_is_func_value():
+    ok("void f() { } void main() { func v; v = f; v(); }")
+
+
+def test_indirect_call_with_args_rejected():
+    bad("void f(int x) { } void main() { func v; v = f; v(1); }")
+
+
+def test_async_direct_with_args_ok():
+    ok("struct S { int a; } void f(S *p) { } void main() { S *e; e = malloc(S); async f(e); }")
+
+
+def test_async_undefined_function():
+    bad("void main() { async nothere(); }")
+
+
+def test_duplicate_local_different_type():
+    bad("void main() { int x; bool x; }")
+
+
+def test_local_shadows_function_rejected():
+    bad("void f() { } void main() { int f; }")
+
+
+def test_locals_table_populated():
+    prog = ok("void main() { int x; bool y; }")
+    assert prog.functions["main"].locals == {
+        "x": prog.functions["main"].locals["x"],
+        "y": prog.functions["main"].locals["y"],
+    }
+    assert str(prog.functions["main"].locals["x"]) == "int"
+
+
+def test_global_initializer_type_checked():
+    bad("int g = true; void main() { }")
+
+
+def test_nondet_is_bool():
+    ok("bool b; void main() { b = nondet; }")
+    bad("int g; void main() { g = nondet; }")
