@@ -1,0 +1,76 @@
+"""Experiment: the campaign engine — serial vs. parallel wall clock over
+the driver corpus, and the cache-warm speedup.
+
+Three sweeps over the same job matrix (a fast driver subset by default;
+``KISS_FULL_CORPUS=1`` sweeps all 18 drivers):
+
+1. serial, cold cache — the baseline per-field loop;
+2. parallel (``KISS_JOBS`` workers, default CPU count), cold cache;
+3. serial, warm cache — a re-run against the results of sweep 1.
+
+Asserts that all three produce identical per-field verdicts and that the
+warm run skips >= 90% of jobs via the content-addressed cache, then
+prints the measurements as JSON (consumed by EXPERIMENTS.md).
+"""
+
+import json
+import os
+import tempfile
+import time
+
+from repro.campaign import CampaignConfig, default_jobs, run_corpus_campaign
+from repro.drivers import DRIVER_SPECS
+
+SUBSET = ["tracedrv", "moufiltr", "imca", "startio", "toaster/toastmon", "diskperf"]
+
+
+def _specs():
+    if os.environ.get("KISS_FULL_CORPUS"):
+        return DRIVER_SPECS
+    return [s for s in DRIVER_SPECS if s.name in SUBSET]
+
+
+def _sweep(specs, jobs, cache_dir):
+    t0 = time.monotonic()
+    _, results, scheduler = run_corpus_campaign(
+        specs, CampaignConfig(jobs=jobs, cache_dir=cache_dir)
+    )
+    wall = time.monotonic() - t0
+    verdicts = {r.job_id: r.table_verdict for r in results}
+    hits = sum(1 for r in results if r.cache_hit)
+    return wall, verdicts, hits, len(results), scheduler.summary(results)
+
+
+def _run_campaign_bench():
+    specs = _specs()
+    workers = int(os.environ.get("KISS_JOBS", "0")) or default_jobs()
+    with tempfile.TemporaryDirectory() as d:
+        serial_dir = os.path.join(d, "serial")
+        parallel_dir = os.path.join(d, "parallel")
+        serial_s, v_serial, _, total, _ = _sweep(specs, 1, serial_dir)
+        parallel_s, v_parallel, _, _, _ = _sweep(specs, workers, parallel_dir)
+        warm_s, v_warm, warm_hits, _, warm_summary = _sweep(specs, 1, serial_dir)
+
+    assert v_parallel == v_serial, "parallel verdicts diverge from the serial loop"
+    assert v_warm == v_serial, "cache-warm verdicts diverge from the serial loop"
+    skip_rate = warm_hits / total
+    print()
+    print(warm_summary)
+    report = {
+        "drivers": len(specs),
+        "jobs_total": total,
+        "workers": workers,
+        "serial_s": round(serial_s, 3),
+        "parallel_s": round(parallel_s, 3),
+        "parallel_speedup": round(serial_s / parallel_s, 3),
+        "warm_s": round(warm_s, 3),
+        "warm_speedup": round(serial_s / warm_s, 3),
+        "warm_skip_rate": round(skip_rate, 3),
+    }
+    print(json.dumps(report))
+    return skip_rate
+
+
+def bench_campaign(benchmark):
+    skip_rate = benchmark.pedantic(_run_campaign_bench, rounds=1, iterations=1)
+    assert skip_rate >= 0.9, f"cache-warm run skipped only {skip_rate:.0%} of jobs"

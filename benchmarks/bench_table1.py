@@ -7,13 +7,18 @@ paper's numbers alongside the measured ones.
 By default a representative subset of drivers runs (the full 18-driver /
 481-field sweep takes tens of minutes single-threaded); set
 ``KISS_FULL_CORPUS=1`` to run everything, as done for EXPERIMENTS.md.
+
+The per-field job matrix runs through the campaign engine
+(:mod:`repro.campaign`); ``KISS_JOBS=N`` fans it out over N worker
+processes (default: CPU count).
 """
 
 import os
 
 import pytest
 
-from repro.drivers import DRIVER_SPECS, PAPER_TABLE1, check_driver, generate_source
+from repro.campaign import CampaignConfig, default_jobs, run_corpus_campaign
+from repro.drivers import DRIVER_SPECS, PAPER_TABLE1, generate_source
 from repro.reporting import agreement_note, render_table
 
 # Default: every driver except the four largest (those push the sweep past
@@ -46,8 +51,11 @@ def _run_table1():
     rows = []
     matches = 0
     specs = _specs()
+    jobs = int(os.environ.get("KISS_JOBS", "0")) or default_jobs()
+    runs, _, _ = run_corpus_campaign(specs, CampaignConfig(jobs=jobs))
+    by_name = {r.name: r for r in runs}
     for spec in specs:
-        r = check_driver(spec)
+        r = by_name[spec.name]
         kloc, fields, p_races, p_noraces = PAPER_TABLE1[spec.name]
         # model size: the full generated source including the KLOC-scaled
         # (uncalled) filler; checking omits the filler, same verdicts

@@ -1,0 +1,46 @@
+"""Campaign engine: parallel, cached, fault-tolerant checking runs.
+
+KISS turns one concurrent-program property into one *sequential*
+checking run, so the paper's evaluation is an embarrassingly parallel
+job matrix (drivers × device-extension fields).  This package is the
+orchestration layer over that matrix:
+
+* :mod:`jobs` — the ``CheckJob``/``JobResult`` model;
+* :mod:`scheduler` — process-pool dispatch, per-job wall-clock
+  timeouts, bounded retry with graceful degradation to
+  ``"resource-bound"``;
+* :mod:`cache` — content-addressed (SHA-256) result cache persisted as
+  JSONL under ``.kiss-cache/``;
+* :mod:`telemetry` — structured JSONL event stream and the Table 1
+  shaped end-of-run summary;
+* :mod:`corpus` — campaigns over the bundled 18-driver corpus.
+
+CLI: ``python -m repro campaign --jobs 8``.
+"""
+
+from .cache import ResultCache, cache_key, canonical_program_text
+from .corpus import corpus_jobs, results_to_driver_runs, run_corpus_campaign
+from .jobs import CheckJob, JobResult, parse_target
+from .scheduler import DEFAULT_CACHE_DIR, CampaignConfig, CampaignScheduler, default_jobs, run_jobs
+from .telemetry import Telemetry, summarize
+from .worker import execute_job
+
+__all__ = [
+    "CheckJob",
+    "JobResult",
+    "parse_target",
+    "CampaignConfig",
+    "CampaignScheduler",
+    "DEFAULT_CACHE_DIR",
+    "default_jobs",
+    "run_jobs",
+    "ResultCache",
+    "cache_key",
+    "canonical_program_text",
+    "Telemetry",
+    "summarize",
+    "corpus_jobs",
+    "results_to_driver_runs",
+    "run_corpus_campaign",
+    "execute_job",
+]

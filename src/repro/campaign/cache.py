@@ -1,0 +1,134 @@
+"""Content-addressed result cache for campaign runs.
+
+The key of a job is the SHA-256 over (a) the pretty-printed *lowered*
+program — so formatting/comment changes in the surface source do not
+invalidate results, but any semantic edit does — and (b) the
+verdict-relevant configuration: property, target, transformer knobs
+(``max_ts``, alias pruning), and backend budget (``backend``,
+``max_states``, ``cegar_rounds``).  See
+:meth:`~repro.campaign.jobs.CheckJob.verdict_config`.
+
+Results persist as JSONL under ``.kiss-cache/`` (one object per line:
+``{"key": ..., "result": {...}}``), appended as jobs finish, so a
+re-run of the same campaign only checks drivers whose programs or
+configurations changed.  Unreadable lines are skipped — a truncated
+write from a crashed run degrades to a cache miss, never an error.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from typing import Dict, Optional
+
+from repro.lang import is_core_program, lower_program, parse
+from repro.lang.pretty import pretty_program
+
+from .jobs import CheckJob, JobResult
+
+CACHE_FILE = "results.jsonl"
+
+#: source text -> canonical (lowered, pretty-printed) form.  Lowering is
+#: cheap next to checking, but a corpus driver contributes one job per
+#: field — dozens of jobs sharing one source — so memoize per process.
+_canonical_memo: Dict[str, str] = {}
+
+
+def canonical_program_text(source: str) -> str:
+    """The lowered program, pretty-printed — the cache key's view of a
+    program."""
+    hit = _canonical_memo.get(source)
+    if hit is not None:
+        return hit
+    prog = parse(source)
+    if not is_core_program(prog):
+        prog = lower_program(prog)
+    text = pretty_program(prog)
+    _canonical_memo[source] = text
+    return text
+
+
+def cache_key(job: CheckJob) -> str:
+    """SHA-256 hex digest identifying a job's verdict-relevant content."""
+    h = hashlib.sha256()
+    try:
+        text = canonical_program_text(job.source)
+    except Exception:
+        # unparsable source: key on the raw text so the job still flows
+        # through the scheduler and fails in a worker, not here
+        text = "unparsable:" + job.source
+    h.update(text.encode("utf-8"))
+    h.update(b"\0")
+    h.update(json.dumps(job.verdict_config(), sort_keys=True).encode("utf-8"))
+    return h.hexdigest()
+
+
+class ResultCache:
+    """JSONL-backed map from cache key to :class:`JobResult`.
+
+    ``ResultCache(None)`` is a disabled cache (always misses, never
+    writes) so callers need no conditionals.
+    """
+
+    def __init__(self, directory: Optional[str]):
+        self.directory = directory
+        self.enabled = directory is not None
+        self.hits = 0
+        self.misses = 0
+        self._entries: Dict[str, dict] = {}
+        if self.enabled:
+            os.makedirs(directory, exist_ok=True)
+            self._load()
+
+    @property
+    def path(self) -> Optional[str]:
+        return os.path.join(self.directory, CACHE_FILE) if self.enabled else None
+
+    def _load(self) -> None:
+        if not os.path.exists(self.path):
+            return
+        with open(self.path) as f:
+            for line in f:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    obj = json.loads(line)
+                    self._entries[obj["key"]] = obj["result"]
+                except (json.JSONDecodeError, KeyError, TypeError):
+                    continue  # torn write from an interrupted run
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, key: str) -> Optional[JobResult]:
+        """Look up a key, counting the hit/miss."""
+        if not self.enabled:
+            return None
+        raw = self._entries.get(key)
+        if raw is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        try:
+            r = JobResult.from_dict(raw)
+        except (KeyError, TypeError):
+            self.misses += 1
+            self.hits -= 1
+            return None
+        r.cache_hit = True
+        return r
+
+    def put(self, key: str, result: JobResult) -> None:
+        if not self.enabled or result.cache_hit:
+            return
+        # Degraded verdicts from timeouts/crashes are not cached: a
+        # re-run with more headroom should try again, and `resource-
+        # bound` from an exhausted state budget is already captured by
+        # max_states being part of the key.
+        if result.detail.startswith(("timeout", "crash")):
+            return
+        self._entries[key] = result.to_dict()
+        with open(self.path, "a") as f:
+            f.write(json.dumps({"key": key, "result": result.to_dict()}) + "\n")

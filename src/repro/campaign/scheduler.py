@@ -1,0 +1,237 @@
+"""The campaign scheduler: parallel, cached, fault-tolerant job dispatch.
+
+Given a batch of :class:`~repro.campaign.jobs.CheckJob`, the scheduler
+
+1. resolves each job against the content-addressed result cache
+   (cache-warm re-runs skip straight to the summary),
+2. dispatches the misses — in-process when ``jobs <= 1`` (preserving
+   rich :class:`~repro.core.checker.KissResult` objects for API
+   callers), otherwise over a ``ProcessPoolExecutor`` with ``jobs``
+   workers,
+3. enforces the per-job wall-clock timeout (armed inside the worker,
+   see :mod:`repro.campaign.worker`), retrying timeouts and crashes up
+   to ``retries`` extra attempts before degrading the job to the
+   ``"resource-bound"`` verdict — one diverging field can no longer
+   hang or kill a whole run,
+4. emits a JSONL telemetry event per transition and an end-of-run
+   summary in the shape of the paper's Table 1.
+
+A broken pool (a worker killed by the OOM killer, say) is rebuilt and
+the lost jobs resubmitted, bounded by the same retry budget.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.checker import KissResult
+
+from .cache import ResultCache, cache_key
+from .jobs import CheckJob, JobResult
+from .telemetry import Telemetry, summarize
+from .worker import execute_job, pool_entry
+
+DEFAULT_CACHE_DIR = ".kiss-cache"
+
+
+def default_jobs() -> int:
+    """Default worker count: one per CPU."""
+    return os.cpu_count() or 1
+
+
+@dataclass
+class CampaignConfig:
+    """Scheduler knobs.
+
+    ``jobs``: worker processes (<= 1 runs in-process).
+    ``timeout``: per-job wall-clock seconds (None = backend budget only).
+    ``retries``: extra attempts for a timed-out or crashed job before it
+    degrades to ``"resource-bound"``.
+    ``cache_dir``: result-cache directory (None disables caching).
+    ``telemetry_path``: JSONL event stream destination (None = in-memory
+    only).
+    """
+
+    jobs: int = 1
+    timeout: Optional[float] = None
+    retries: int = 1
+    cache_dir: Optional[str] = None
+    telemetry_path: Optional[str] = None
+
+
+class CampaignScheduler:
+    """Runs job batches under one :class:`CampaignConfig` (see module
+    doc).  Reusable: each :meth:`run` call is an independent campaign
+    against the same cache."""
+
+    def __init__(self, config: Optional[CampaignConfig] = None):
+        self.config = config or CampaignConfig()
+        self.cache = ResultCache(self.config.cache_dir)
+        #: job_id -> rich KissResult for in-process runs (jobs <= 1).
+        self.rich_results: Dict[str, KissResult] = {}
+
+    # -- execution ---------------------------------------------------------------
+
+    def run(self, jobs: Sequence[CheckJob], telemetry: Optional[Telemetry] = None) -> List[JobResult]:
+        """Execute a campaign; returns one :class:`JobResult` per job, in
+        input order."""
+        tel = telemetry or Telemetry(self.config.telemetry_path)
+        tel.emit(
+            "campaign_start",
+            jobs=len(jobs),
+            workers=max(1, self.config.jobs),
+            timeout=self.config.timeout,
+            cache=self.cache.enabled,
+        )
+        self.rich_results.clear()
+        results: Dict[str, JobResult] = {}
+        todo: List[Tuple[CheckJob, str]] = []
+        for job in jobs:
+            key = cache_key(job)
+            hit = self.cache.get(key)
+            if hit is not None:
+                hit.job_id = job.job_id  # same content may appear under a new id
+                hit.driver = job.driver
+                tel.emit("job_end", job=job.job_id, driver=job.driver, verdict=hit.verdict,
+                         error_kind=hit.error_kind, wall_s=0.0, states=hit.states,
+                         cache="hit", attempts=0)
+                results[job.job_id] = hit
+            else:
+                todo.append((job, key))
+
+        if todo:
+            runner = self._run_serial if self.config.jobs <= 1 else self._run_pool
+            for job, key, result in runner(todo, tel):
+                self.cache.put(key, result)
+                tel.emit("job_end", job=job.job_id, driver=job.driver, verdict=result.verdict,
+                         error_kind=result.error_kind, wall_s=round(result.wall_s, 6),
+                         states=result.states, cache="miss" if self.cache.enabled else "off",
+                         attempts=result.attempts)
+                results[job.job_id] = result
+
+        ordered = [results[j.job_id] for j in jobs]
+        verdicts: Dict[str, int] = {}
+        for r in ordered:
+            verdicts[r.verdict] = verdicts.get(r.verdict, 0) + 1
+        tel.emit("campaign_end", jobs=len(jobs), verdicts=verdicts,
+                 cache_hits=self.cache.hits, cache_misses=self.cache.misses)
+        if telemetry is None:
+            tel.close()
+        self.last_telemetry = tel
+        return ordered
+
+    def summary(self, results: Sequence[JobResult]) -> str:
+        wall = None
+        tel = getattr(self, "last_telemetry", None)
+        if tel is not None and tel.events:
+            wall = tel.events[-1]["t"]
+        return summarize(results, wall_s=wall)
+
+    # -- attempts ----------------------------------------------------------------
+
+    def _result_from(self, job: CheckJob, outcome: dict, attempts: int) -> JobResult:
+        return JobResult(
+            job_id=job.job_id,
+            driver=job.driver,
+            prop=job.prop,
+            target=job.target,
+            verdict=outcome["verdict"],
+            error_kind=outcome.get("error_kind"),
+            states=outcome.get("states", 0),
+            transitions=outcome.get("transitions", 0),
+            checks_emitted=outcome.get("checks_emitted", 0),
+            checks_pruned=outcome.get("checks_pruned", 0),
+            wall_s=outcome.get("wall_s", 0.0),
+            attempts=attempts,
+            detail=outcome.get("detail", ""),
+        )
+
+    def _retryable(self, outcome: dict) -> bool:
+        return outcome["verdict"] == "crash" or outcome["detail"].startswith("timeout")
+
+    def _degrade(self, outcome: dict) -> dict:
+        """Retry budget exhausted: graceful degradation to resource-bound."""
+        if outcome["verdict"] == "crash":
+            out = dict(outcome)
+            out["verdict"] = "resource-bound"
+            return out
+        return outcome
+
+    def _run_serial(self, todo, tel: Telemetry):
+        for job, key in todo:
+            attempts = 0
+            while True:
+                attempts += 1
+                tel.emit("job_start", job=job.job_id, driver=job.driver, attempt=attempts)
+                outcome, rich = execute_job(job, self.config.timeout)
+                if not self._retryable(outcome) or attempts > self.config.retries:
+                    break
+                tel.emit("job_retry", job=job.job_id, attempt=attempts,
+                         reason=outcome["detail"][:200])
+            if rich is not None:
+                self.rich_results[job.job_id] = rich
+            yield job, key, self._result_from(job, self._degrade(outcome), attempts)
+
+    def _run_pool(self, todo, tel: Telemetry):
+        workers = self.config.jobs
+        pool = ProcessPoolExecutor(max_workers=workers)
+        try:
+            futures = {}
+            for job, key in todo:
+                tel.emit("job_start", job=job.job_id, driver=job.driver, attempt=1)
+                futures[pool.submit(pool_entry, job, self.config.timeout)] = (job, key, 1)
+            while futures:
+                done, _ = wait(list(futures), return_when=FIRST_COMPLETED)
+                for fut in done:
+                    meta = futures.pop(fut, None)
+                    if meta is None:  # discarded when the pool broke mid-batch
+                        continue
+                    job, key, attempts = meta
+                    try:
+                        outcome = fut.result()
+                    except BrokenProcessPool:
+                        # the pool is dead: rebuild it, count the loss as
+                        # an attempt for every in-flight job
+                        lost = [(j, k, a) for j, k, a in futures.values()]
+                        futures.clear()
+                        pool.shutdown(wait=False, cancel_futures=True)
+                        pool = ProcessPoolExecutor(max_workers=workers)
+                        lost.append((job, key, attempts))
+                        for j, k, a in lost:
+                            crash = {"verdict": "crash", "error_kind": None, "wall_s": 0.0,
+                                     "detail": "crash: worker process died"}
+                            if a > self.config.retries:
+                                yield j, k, self._result_from(j, self._degrade(crash), a)
+                            else:
+                                tel.emit("job_retry", job=j.job_id, attempt=a,
+                                         reason="worker process died")
+                                tel.emit("job_start", job=j.job_id, driver=j.driver,
+                                         attempt=a + 1)
+                                futures[pool.submit(pool_entry, j, self.config.timeout)] = (
+                                    j, k, a + 1)
+                        continue
+                    except Exception as exc:  # pickling failures etc.
+                        outcome = {"verdict": "crash", "error_kind": None, "wall_s": 0.0,
+                                   "detail": f"crash: {exc!r}"}
+                    if self._retryable(outcome) and attempts <= self.config.retries:
+                        tel.emit("job_retry", job=job.job_id, attempt=attempts,
+                                 reason=outcome["detail"][:200])
+                        tel.emit("job_start", job=job.job_id, driver=job.driver,
+                                 attempt=attempts + 1)
+                        futures[pool.submit(pool_entry, job, self.config.timeout)] = (
+                            job, key, attempts + 1)
+                        continue
+                    yield job, key, self._result_from(job, self._degrade(outcome), attempts)
+        finally:
+            pool.shutdown(wait=False, cancel_futures=True)
+
+
+def run_jobs(
+    jobs: Sequence[CheckJob], config: Optional[CampaignConfig] = None
+) -> List[JobResult]:
+    """One-shot convenience wrapper around :class:`CampaignScheduler`."""
+    return CampaignScheduler(config).run(jobs)

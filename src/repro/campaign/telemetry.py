@@ -1,0 +1,100 @@
+"""Structured telemetry for campaign runs.
+
+Every scheduler action emits one JSON object (``campaign_start``,
+``job_start``, ``job_end``, ``job_retry``, ``campaign_end``) with a
+monotonic-relative timestamp ``t`` in seconds.  Events stream to a JSONL
+file when a path is given and are always kept in memory (they are small)
+for tests and the end-of-run summary.
+
+The summary reproduces the shape of the paper's Table 1: one row per
+driver with race / no-race / unresolved counts, plus campaign-level
+cache and wall-clock totals.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Dict, IO, List, Optional, Sequence
+
+from repro.reporting import render_table
+
+from .jobs import JobResult
+
+
+class Telemetry:
+    """JSONL event stream (see module doc)."""
+
+    def __init__(self, path: Optional[str] = None):
+        self.path = path
+        self.events: List[dict] = []
+        self._t0 = time.monotonic()
+        self._fh: Optional[IO[str]] = open(path, "w") if path else None
+
+    def emit(self, event: str, **fields) -> dict:
+        obj = {"event": event, "t": round(time.monotonic() - self._t0, 6)}
+        obj.update(fields)
+        self.events.append(obj)
+        if self._fh is not None:
+            self._fh.write(json.dumps(obj) + "\n")
+            self._fh.flush()
+        return obj
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def of_kind(self, event: str) -> List[dict]:
+        return [e for e in self.events if e["event"] == event]
+
+
+# ---------------------------------------------------------------------------
+# End-of-run summary
+# ---------------------------------------------------------------------------
+
+
+def summarize(results: Sequence[JobResult], wall_s: Optional[float] = None) -> str:
+    """Render the end-of-run summary table (Table 1 shape) plus the
+    cache/wall totals line."""
+    drivers: Dict[str, List[JobResult]] = {}
+    for r in results:
+        drivers.setdefault(r.driver, []).append(r)
+
+    def count(rs, v):
+        return sum(1 for r in rs if r.table_verdict == v)
+
+    rows = []
+    for name, rs in drivers.items():
+        rows.append(
+            [
+                name,
+                len(rs),
+                count(rs, "race"),
+                count(rs, "no-race"),
+                count(rs, "unresolved"),
+                sum(1 for r in rs if r.cache_hit),
+                round(sum(r.wall_s for r in rs), 2),
+            ]
+        )
+    total = [
+        "Total",
+        len(results),
+        count(results, "race"),
+        count(results, "no-race"),
+        count(results, "unresolved"),
+        sum(1 for r in results if r.cache_hit),
+        round(sum(r.wall_s for r in results), 2),
+    ]
+    rows.append(total)
+    table = render_table(
+        ["Driver", "Fields", "Races", "No Races", "Unresolved", "Cached", "Wall(s)"],
+        rows,
+        title="Campaign summary (Table 1 shape)",
+    )
+    hits = total[5]
+    n = len(results) or 1
+    lines = [table, f"cache: skipped {hits}/{len(results)} jobs ({100.0 * hits / n:.0f}%)"]
+    if wall_s is not None:
+        lines.append(f"campaign wall clock: {wall_s:.2f}s")
+    return "\n".join(lines)

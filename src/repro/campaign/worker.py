@@ -1,0 +1,144 @@
+"""Job execution — the code that runs inside worker processes.
+
+A worker receives a picklable :class:`~repro.campaign.jobs.CheckJob`,
+parses its source (memoized per process: a corpus driver contributes one
+job per device-extension field, all sharing one program), runs the full
+KISS pipeline, and returns a plain-dict outcome.
+
+The per-job wall-clock timeout is enforced *inside* the job's process
+with ``SIGALRM`` (``setitimer``, so fractional seconds work).  The
+checkers are pure Python, so the alarm interrupts them between bytecodes
+and the worker survives to take the next job — no pool teardown, no
+orphaned processes.  Where the alarm is unavailable (non-main thread,
+platforms without ``SIGALRM``) jobs run untimed and rely on the backend
+state budget, which is the paper's own resource bound.
+"""
+
+from __future__ import annotations
+
+import signal
+import threading
+import time
+import traceback
+from typing import Dict, Optional, Tuple
+
+from repro.core.checker import Kiss, KissResult
+from repro.lang import parse
+from repro.lang.ast import Program
+
+from .jobs import CheckJob
+
+#: source text -> parsed program, per process (workers are reused).
+_parse_memo: Dict[str, Program] = {}
+
+
+class JobTimeout(Exception):
+    pass
+
+
+def _parse(source: str) -> Program:
+    prog = _parse_memo.get(source)
+    if prog is None:
+        prog = parse(source)
+        _parse_memo[source] = prog
+    return prog
+
+
+def _alarm_available() -> bool:
+    return hasattr(signal, "SIGALRM") and threading.current_thread() is threading.main_thread()
+
+
+class _deadline:
+    """Context manager arming SIGALRM for ``seconds`` (no-op if None or
+    the alarm is unavailable).
+
+    The timer repeats: if a delivery lands while a GC/weakref callback
+    is on the stack, Python *swallows* the raised exception ("Exception
+    ignored in ..."), so a one-shot alarm could be lost and the job
+    would run unbounded.  The next interval tick lands in ordinary
+    bytecode and raises for real.
+    """
+
+    REARM_S = 0.05
+
+    def __init__(self, seconds: Optional[float]):
+        self.seconds = seconds
+        self.armed = False
+
+    def _fire(self, signum, frame):
+        raise JobTimeout()
+
+    def __enter__(self):
+        if self.seconds is not None and _alarm_available():
+            self._old = signal.signal(signal.SIGALRM, self._fire)
+            signal.setitimer(
+                signal.ITIMER_REAL, self.seconds, min(self.seconds, self.REARM_S)
+            )
+            self.armed = True
+        return self
+
+    def __exit__(self, *exc):
+        if self.armed:
+            signal.setitimer(signal.ITIMER_REAL, 0.0)
+            signal.signal(signal.SIGALRM, self._old)
+        return False
+
+
+def execute_job(
+    job: CheckJob, timeout: Optional[float] = None
+) -> Tuple[dict, Optional[KissResult]]:
+    """Run one job to a verdict.  Returns ``(outcome dict, KissResult)``;
+    the rich result is for in-process callers (it holds ASTs and traces
+    and is dropped at process boundaries).
+
+    Outcomes never raise: timeouts become the ``"resource-bound"``
+    graceful-degradation verdict, any other exception becomes a
+    ``"crash"`` outcome for the scheduler's retry logic.
+    """
+    start = time.monotonic()
+
+    def outcome(verdict, *, error_kind=None, detail="", rich=None, stats=None, tr=None):
+        return (
+            {
+                "verdict": verdict,
+                "error_kind": error_kind,
+                "states": stats.states if stats else 0,
+                "transitions": stats.transitions if stats else 0,
+                "checks_emitted": tr.checks_emitted if tr else 0,
+                "checks_pruned": tr.checks_pruned if tr else 0,
+                "wall_s": time.monotonic() - start,
+                "detail": detail,
+            },
+            rich,
+        )
+
+    try:
+        with _deadline(timeout):
+            prog = _parse(job.source)
+            kiss = Kiss(**job.kiss_kwargs())
+            if job.prop == "assertion":
+                r = kiss.check_assertions(prog)
+            else:
+                r = kiss.check_race(prog, job.race_target())
+        stats = r.backend_result.stats if r.backend_result else None
+        return outcome(
+            r.verdict,
+            error_kind=r.error_kind,
+            detail=r.backend_result.message if r.backend_result else "",
+            rich=r,
+            stats=stats,
+            tr=r,
+        )
+    except JobTimeout:
+        _parse_memo.pop(job.source, None)  # a partial parse never lands here, but be safe
+        return outcome("resource-bound", detail=f"timeout after {timeout}s")
+    except MemoryError:
+        return outcome("resource-bound", detail="crash: MemoryError")
+    except Exception:
+        return outcome("crash", detail="crash: " + traceback.format_exc(limit=8))
+
+
+def pool_entry(job: CheckJob, timeout: Optional[float]) -> dict:
+    """Pool-side entry point: like :func:`execute_job` but drops the
+    unpicklable rich result."""
+    return execute_job(job, timeout)[0]

@@ -9,6 +9,7 @@ Usage (after ``pip install -e .``)::
     python -m repro race file.kp --all-fields S   # the per-field loop
     python -m repro sequentialize file.kp         # print Figure 4 output
     python -m repro interleavings file.kp         # baseline model checker
+    python -m repro campaign --jobs 8             # parallel cached corpus sweep
 
 The input language is the paper's parallel language with C-like syntax
 (see README).  Exit status: 0 = safe, 1 = error found, 2 = resource
@@ -83,11 +84,19 @@ def cmd_check(args) -> int:
 
 
 def cmd_race(args) -> int:
-    """The `race` subcommand: race checking (Figure 5), one target or per-field."""
+    """The `race` subcommand: race checking (Figure 5), one target or per-field.
+
+    The per-field loop (``--all-fields``) runs through the campaign
+    scheduler: ``--jobs`` fans fields out over worker processes and
+    ``--timeout`` bounds each field's wall clock, so one diverging field
+    degrades to ``resource-bound`` instead of hanging the run.
+    """
     prog = _load(args.file)
     kiss = _kiss(args)
     if args.all_fields:
-        results = kiss.check_races_on_struct(prog, args.all_fields)
+        results = kiss.check_races_on_struct(
+            prog, args.all_fields, jobs=args.jobs, timeout=args.timeout
+        )
         worst = EXIT_SAFE
         for field, r in results.items():
             print(f"{args.all_fields}.{field}: {r.summary()}")
@@ -100,6 +109,48 @@ def cmd_race(args) -> int:
         print("race: provide --target NAME or --all-fields STRUCT", file=sys.stderr)
         return EXIT_USAGE
     return _report(kiss.check_race(prog, _parse_target(args.target)))
+
+
+def cmd_campaign(args) -> int:
+    """The `campaign` subcommand: the Table 1 job matrix through the
+    campaign engine (parallel workers, result cache, telemetry)."""
+    from repro.campaign import CampaignConfig, DEFAULT_CACHE_DIR, default_jobs, run_corpus_campaign
+    from repro.drivers import DRIVER_SPECS, spec_by_name
+
+    if args.list_drivers:
+        for s in DRIVER_SPECS:
+            print(f"{s.name}  ({len(s.fields)} fields)")
+        return EXIT_SAFE
+    try:
+        specs = (
+            [spec_by_name(n.strip()) for n in args.drivers.split(",")]
+            if args.drivers
+            else DRIVER_SPECS
+        )
+    except KeyError as exc:
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return EXIT_USAGE
+    cache_dir = None if args.no_cache else (args.cache_dir or DEFAULT_CACHE_DIR)
+    config = CampaignConfig(
+        jobs=args.jobs if args.jobs is not None else default_jobs(),
+        timeout=args.timeout,
+        retries=args.retries,
+        cache_dir=cache_dir,
+        telemetry_path=args.telemetry,
+    )
+    _, results, scheduler = run_corpus_campaign(
+        specs,
+        config,
+        refined=args.refined,
+        max_states=args.max_states,
+        loc_scale=args.loc_scale,
+    )
+    print(scheduler.summary(results))
+    if any(r.table_verdict == "race" for r in results):
+        return EXIT_ERROR
+    if any(r.table_verdict == "unresolved" for r in results):
+        return EXIT_BOUND
+    return EXIT_SAFE
 
 
 def cmd_sequentialize(args) -> int:
@@ -155,7 +206,36 @@ def build_parser() -> argparse.ArgumentParser:
     common(sp, race=True)
     sp.add_argument("--target", help="global name or Struct.field")
     sp.add_argument("--all-fields", metavar="STRUCT", help="check every field of STRUCT")
+    sp.add_argument("--jobs", type=int, default=1,
+                    help="worker processes for --all-fields (default 1)")
+    sp.add_argument("--timeout", type=float, default=None,
+                    help="per-field wall-clock bound in seconds for --all-fields")
     sp.set_defaults(func=cmd_race)
+
+    sp = sub.add_parser(
+        "campaign",
+        help="parallel, cached, fault-tolerant checking runs over the driver corpus",
+    )
+    sp.add_argument("--jobs", type=int, default=None,
+                    help="worker processes (default: CPU count)")
+    sp.add_argument("--timeout", type=float, default=None,
+                    help="per-job wall-clock bound in seconds")
+    sp.add_argument("--retries", type=int, default=1,
+                    help="extra attempts for timed-out/crashed jobs (default 1)")
+    sp.add_argument("--drivers", metavar="NAMES",
+                    help="comma-separated Table 1 driver names (default: all 18)")
+    sp.add_argument("--list-drivers", action="store_true", help="list corpus drivers and exit")
+    sp.add_argument("--refined", action="store_true",
+                    help="use the refined harness (the Table 2 configuration)")
+    sp.add_argument("--max-states", type=int, default=300_000, help="state budget per job")
+    sp.add_argument("--loc-scale", type=int, default=0,
+                    help="filler-code scale for generated drivers (default 0 = none)")
+    sp.add_argument("--cache-dir", default=None, metavar="DIR",
+                    help="result-cache directory (default .kiss-cache)")
+    sp.add_argument("--no-cache", action="store_true", help="disable the result cache")
+    sp.add_argument("--telemetry", metavar="PATH",
+                    help="write the JSONL telemetry event stream to PATH")
+    sp.set_defaults(func=cmd_campaign)
 
     sp = sub.add_parser("sequentialize", help="print the transformed sequential program")
     common(sp, race=True)

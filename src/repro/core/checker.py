@@ -238,15 +238,62 @@ class Kiss:
             result, pcfg, transformed, core=core, target=target, transformer=transformer
         )
 
-    def check_races_on_struct(self, prog: Program, struct_name: str) -> Dict[str, KissResult]:
+    def check_races_on_struct(
+        self,
+        prog: Program,
+        struct_name: str,
+        jobs: int = 1,
+        timeout: Optional[float] = None,
+        cache_dir: Optional[str] = None,
+    ) -> Dict[str, KissResult]:
         """The paper's per-field loop: one run per field of ``struct_name``
-        (the device extension).  Returns ``{field: result}``."""
+        (the device extension).  Returns ``{field: result}``.
+
+        Delegates to the campaign engine (:mod:`repro.campaign`):
+        ``jobs`` > 1 fans the fields out over worker processes,
+        ``timeout`` bounds each field's wall clock (a diverging field
+        degrades to ``"resource-bound"`` instead of hanging the loop),
+        and ``cache_dir`` enables the content-addressed result cache.
+        With the defaults everything runs in-process and results keep
+        their traces; results that cross a process or cache boundary
+        are slimmed to verdict + stats.
+        """
+        from repro.campaign import CampaignConfig, CampaignScheduler, CheckJob
+        from repro.lang.pretty import pretty_program
+
         core = self._as_core(prog)
         struct = core.struct(struct_name)
-        return {
-            fname: self.check_race(core, RaceTarget.field_of(struct_name, fname))
-            for fname in struct.fields
+        source = pretty_program(core)
+        config = {
+            "max_ts": self.max_ts,
+            "max_states": self.max_states,
+            "use_alias_analysis": self.use_alias_analysis,
+            "backend": self.backend,
+            "cegar_rounds": self.cegar_rounds,
+            "inline": False,  # _as_core already inlined
+            "map_traces": self.map_traces,
+            "validate_traces": self.validate_traces,
         }
+        batch = [
+            CheckJob(
+                job_id=f"{struct_name}.{fname}",
+                driver=struct_name,
+                source=source,
+                prop="race",
+                target=f"{struct_name}.{fname}",
+                config=config,
+            )
+            for fname in struct.fields
+        ]
+        scheduler = CampaignScheduler(
+            CampaignConfig(jobs=jobs, timeout=timeout, cache_dir=cache_dir)
+        )
+        results = scheduler.run(batch)
+        out: Dict[str, KissResult] = {}
+        for fname, jr in zip(struct.fields, results):
+            rich = scheduler.rich_results.get(jr.job_id)
+            out[fname] = rich if rich is not None else jr.as_kiss_result()
+        return out
 
 
 def sweep_ts(

@@ -23,12 +23,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
-from repro.core.checker import Kiss
-from repro.core.race import RaceTarget
-from repro.lang.ast import Program
-
-from .generator import EXTENSION, generate_driver
-from .spec import DriverSpec, FieldKind, FieldSpec, make_fields
+from .spec import DriverSpec, FieldSpec, make_fields
 
 #: Paper numbers: name -> (KLOC, fields, Table-1 races, Table-1 no-races)
 PAPER_TABLE1: Dict[str, tuple] = {
@@ -151,6 +146,9 @@ def check_driver(
     max_states: int = 300_000,
     unresolved_budget: int = 200,
     loc_scale: int = 0,
+    jobs: int = 1,
+    timeout: Optional[float] = None,
+    cache_dir: Optional[str] = None,
 ) -> DriverRunResult:
     """Run the per-field race check over one driver.
 
@@ -160,25 +158,26 @@ def check_driver(
     :mod:`repro.drivers.spec` for why this is spec-driven).
     ``loc_scale=0`` skips filler code for speed; benchmarks that report
     code size use the default scale instead.
+
+    The per-field loop is executed by the campaign engine
+    (:mod:`repro.campaign`): ``jobs`` worker processes, an optional
+    per-field wall-clock ``timeout`` (degrading to ``unresolved``), and
+    an optional content-addressed result cache under ``cache_dir``.
     """
-    prog = generate_driver(spec, refined_harness=refined, loc_scale=loc_scale)
-    kinds = {f.name: f.kind for f in spec.fields}
-    todo = list(fields) if fields is not None else [f.name for f in spec.fields]
-    result = DriverRunResult(spec.name)
-    for fname in todo:
-        budget = unresolved_budget if kinds[fname] is FieldKind.UNRESOLVED else max_states
-        kiss = Kiss(max_ts=0, max_states=budget, map_traces=False)
-        r = kiss.check_race(prog, RaceTarget.field_of(EXTENSION, fname))
-        if r.exhausted:
-            verdict = "unresolved"
-        elif r.is_error and r.is_race:
-            verdict = "race"
-        elif r.is_error:
-            verdict = "race"  # any error reached through the harness counts
-        else:
-            verdict = "no-race"
-        result.outcomes.append(FieldOutcome(fname, verdict, r.backend_result.stats.states))
-    return result
+    # deferred import: repro.campaign.corpus imports this module
+    from repro.campaign import CampaignConfig, run_corpus_campaign
+
+    fields_by = {spec.name: list(fields)} if fields is not None else None
+    runs, _, _ = run_corpus_campaign(
+        [spec],
+        CampaignConfig(jobs=jobs, timeout=timeout, cache_dir=cache_dir),
+        refined=refined,
+        fields_by_driver=fields_by,
+        max_states=max_states,
+        unresolved_budget=unresolved_budget,
+        loc_scale=loc_scale,
+    )
+    return runs[0] if runs else DriverRunResult(spec.name)
 
 
 def run_table1(

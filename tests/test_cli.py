@@ -141,3 +141,42 @@ def test_inline_flag(src_file):
     void main() { bump(); assert(g == 1); }
     """
     assert main(["check", src_file(src), "--inline"]) == EXIT_SAFE
+
+
+# -- the campaign subcommand --------------------------------------------------------
+
+
+def test_race_all_fields_parallel_with_timeout(src_file, capsys):
+    assert main(["race", src_file(RACY_SRC), "--all-fields", "EXT",
+                 "--jobs", "2", "--timeout", "60"]) == EXIT_ERROR
+    out = capsys.readouterr().out
+    assert "EXT.a: race" in out
+    assert "EXT.b:" in out
+
+
+def test_campaign_over_corpus_subset(tmp_path, capsys):
+    cache = str(tmp_path / "cache")
+    args = ["campaign", "--drivers", "tracedrv,imca", "--jobs", "2",
+            "--cache-dir", cache, "--telemetry", str(tmp_path / "events.jsonl")]
+    assert main(args) == EXIT_ERROR  # imca has one real race
+    out = capsys.readouterr().out
+    assert "Campaign summary" in out
+    assert "imca" in out and "tracedrv" in out
+    assert "cache: skipped 0/8" in out
+    # cache-warm re-run skips every job
+    assert main(args) == EXIT_ERROR
+    assert "cache: skipped 8/8 jobs (100%)" in capsys.readouterr().out
+
+
+def test_campaign_safe_driver_exits_zero(tmp_path):
+    assert main(["campaign", "--drivers", "tracedrv", "--no-cache"]) == EXIT_SAFE
+
+
+def test_campaign_unknown_driver(capsys):
+    assert main(["campaign", "--drivers", "nosuchdrv", "--no-cache"]) == EXIT_USAGE
+
+
+def test_campaign_list_drivers(capsys):
+    assert main(["campaign", "--list-drivers"]) == EXIT_SAFE
+    out = capsys.readouterr().out
+    assert "fdc" in out and "tracedrv" in out

@@ -13,6 +13,8 @@ from repro.core.checker import Kiss
 from repro.core.race import RaceTarget
 from repro.lang import parse_core
 
+pytestmark = pytest.mark.slow  # heavy end-to-end suite; deselect with -m "not slow"
+
 
 PRODUCER_CONSUMER = """
 int buffer; bool full;

@@ -1,10 +1,13 @@
 """Property tests for the sequential checker's reductions."""
 
+import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.cfg.build import build_program_cfg
 from repro.lang import parse_core
 from repro.seqcheck.explicit import SequentialChecker, check_sequential
+
+pytestmark = pytest.mark.slow  # heavy property-based suite; deselect with -m "not slow"
 
 
 stmt = st.tuples(

@@ -11,11 +11,14 @@ Two directions, over randomly generated small 2-thread programs:
   park the single forked thread) must find it too.
 """
 
+import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.concheck import check_concurrent
 from repro.core.checker import Kiss
 from repro.lang import parse_core
+
+pytestmark = pytest.mark.slow  # heavy property-based suite; deselect with -m "not slow"
 
 
 GLOBALS = ["g0", "g1"]
