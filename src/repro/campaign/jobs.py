@@ -63,19 +63,22 @@ class CheckJob:
     ``job_id`` is a human-readable unique name within the campaign
     (e.g. ``"fakemodem/DEVICE_EXTENSION.ioPending"``); ``driver`` groups
     jobs for the summary table.  ``prop`` is ``"race"`` (then ``target``
-    names the location as ``"Struct.field"`` or a global) or
-    ``"assertion"``.  ``config`` holds ``Kiss()`` keyword overrides.
+    names the location as ``"Struct.field"`` or a global),
+    ``"assertion"``, or ``"fuzz"`` (a differential run of both checkers
+    over the source — see :mod:`repro.fuzz`).  ``config`` holds
+    ``Kiss()`` keyword overrides; fuzz jobs may add ``fuzz_``-prefixed
+    oracle options (e.g. ``fuzz_race``), which never reach ``Kiss()``.
     """
 
     job_id: str
     driver: str
     source: str
-    prop: str = "race"  # "race" | "assertion"
+    prop: str = "race"  # "race" | "assertion" | "fuzz"
     target: Optional[str] = None
     config: Dict[str, Any] = field(default_factory=dict)
 
     def __post_init__(self):
-        if self.prop not in ("race", "assertion"):
+        if self.prop not in ("race", "assertion", "fuzz"):
             raise ValueError(f"unknown property {self.prop!r}")
         if self.prop == "race" and not self.target:
             raise ValueError("race jobs need a target")
@@ -83,7 +86,7 @@ class CheckJob:
     def kiss_kwargs(self) -> Dict[str, Any]:
         kw = dict(KISS_DEFAULTS)
         kw.update(self.config)
-        return kw
+        return {k: v for k, v in kw.items() if not k.startswith("fuzz_")}
 
     def race_target(self) -> Optional[RaceTarget]:
         return parse_target(self.target) if self.prop == "race" else None
@@ -94,6 +97,8 @@ class CheckJob:
         out = {k: kw[k] for k in VERDICT_KEYS}
         out["prop"] = self.prop
         out["target"] = self.target
+        # Fuzz oracle options change the verdict, so they key too.
+        out.update({k: v for k, v in self.config.items() if k.startswith("fuzz_")})
         return out
 
 

@@ -84,6 +84,31 @@ class _deadline:
         return False
 
 
+def _fuzz_outcome(job: CheckJob, prog: Program, outcome):
+    """Differential-oracle jobs (``prop == "fuzz"``): run both checkers
+    and report agreement as ``"safe"``, a verdict divergence as
+    ``"error"`` (``error_kind`` = the divergence direction), and an
+    exhausted budget on either side as ``"resource-bound"``."""
+    from repro.fuzz.oracle import differential_check
+
+    kw = job.kiss_kwargs()
+    v = differential_check(
+        prog,
+        max_ts=kw["max_ts"],
+        max_states=kw["max_states"],
+        race_global=job.config.get("fuzz_race"),
+    )
+    if v.diverged:
+        verdict, kind = "error", v.divergence
+    elif not v.conclusive:
+        verdict, kind = "resource-bound", None
+    else:
+        verdict, kind = "safe", None
+    out, _ = outcome(verdict, error_kind=kind, detail=v.describe())
+    out["states"] = v.con_states + v.seq_states
+    return out, None
+
+
 def execute_job(
     job: CheckJob, timeout: Optional[float] = None
 ) -> Tuple[dict, Optional[KissResult]]:
@@ -115,6 +140,8 @@ def execute_job(
     try:
         with _deadline(timeout):
             prog = _parse(job.source)
+            if job.prop == "fuzz":
+                return _fuzz_outcome(job, prog, outcome)
             kiss = Kiss(**job.kiss_kwargs())
             if job.prop == "assertion":
                 r = kiss.check_assertions(prog)

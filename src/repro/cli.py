@@ -10,6 +10,7 @@ Usage (after ``pip install -e .``)::
     python -m repro sequentialize file.kp         # print Figure 4 output
     python -m repro interleavings file.kp         # baseline model checker
     python -m repro campaign --jobs 8             # parallel cached corpus sweep
+    python -m repro fuzz --count 500 --seed 0     # differential fuzzing
 
 The input language is the paper's parallel language with C-like syntax
 (see README).  Exit status: 0 = safe, 1 = error found, 2 = resource
@@ -153,6 +154,52 @@ def cmd_campaign(args) -> int:
     return EXIT_SAFE
 
 
+def cmd_fuzz(args) -> int:
+    """The `fuzz` subcommand: differential fuzzing of the KISS pipeline
+    against the balanced-interleaving oracle (see docs/FUZZING.md).
+
+    Generates ``--count`` random concurrent programs from ``--seed``,
+    cross-checks each through the campaign scheduler (``--jobs``
+    workers, optional cache and telemetry), and delta-debugs any
+    verdict divergence to a minimal witness before reporting it.
+    """
+    from repro.campaign import CampaignConfig, default_jobs
+    from repro.fuzz import GenConfig, run_fuzz_campaign
+
+    gen_config = GenConfig(
+        max_workers=args.max_workers,
+        max_stmts=args.max_stmts,
+        max_depth=args.max_depth,
+    )
+    campaign_config = CampaignConfig(
+        jobs=args.jobs if args.jobs is not None else default_jobs(),
+        timeout=args.timeout,
+        retries=args.retries,
+        cache_dir=args.cache_dir,
+        telemetry_path=args.telemetry,
+    )
+    report = run_fuzz_campaign(
+        count=args.count,
+        seed=args.seed,
+        gen_config=gen_config,
+        campaign_config=campaign_config,
+        max_states=args.max_states,
+        race=args.race,
+        do_shrink=not args.no_shrink,
+    )
+    print(report.summary())
+    if args.save and report.divergences:
+        import os
+
+        os.makedirs(args.save, exist_ok=True)
+        for d in report.divergences:
+            path = os.path.join(args.save, f"divergence_{d.seed}.kp")
+            with open(path, "w") as f:
+                f.write(f"// seed {d.seed}: {d.detail}\n" + d.shrunk_source)
+            print(f"saved {path}")
+    return EXIT_SAFE if report.ok else EXIT_ERROR
+
+
 def cmd_sequentialize(args) -> int:
     """The `sequentialize` subcommand: print the transformed program."""
     prog = _load(args.file)
@@ -236,6 +283,39 @@ def build_parser() -> argparse.ArgumentParser:
     sp.add_argument("--telemetry", metavar="PATH",
                     help="write the JSONL telemetry event stream to PATH")
     sp.set_defaults(func=cmd_campaign)
+
+    sp = sub.add_parser(
+        "fuzz",
+        help="differential fuzzing: random programs, both checkers, divergence = bug",
+    )
+    sp.add_argument("--count", type=int, default=100, help="programs to generate (default 100)")
+    sp.add_argument("--seed", type=int, default=0, help="first generator seed (default 0)")
+    sp.add_argument("--jobs", type=int, default=None,
+                    help="worker processes (default: CPU count)")
+    sp.add_argument("--timeout", type=float, default=None,
+                    help="per-program wall-clock bound in seconds")
+    sp.add_argument("--retries", type=int, default=1,
+                    help="extra attempts for timed-out/crashed jobs (default 1)")
+    sp.add_argument("--max-states", type=int, default=50_000,
+                    help="state budget per checker side (default 50000)")
+    sp.add_argument("--max-workers", type=int, default=2,
+                    help="max forked threads per program (default 2)")
+    sp.add_argument("--max-stmts", type=int, default=4,
+                    help="max statements per generated region (default 4)")
+    sp.add_argument("--max-depth", type=int, default=2,
+                    help="max if/while nesting depth (default 2)")
+    sp.add_argument("--race", action="store_true",
+                    help="also run the race pipeline on the distinguished location "
+                         "with trace replay (false-race detection)")
+    sp.add_argument("--no-shrink", action="store_true",
+                    help="report divergences without delta-debugging them")
+    sp.add_argument("--save", metavar="DIR",
+                    help="write minimized diverging programs to DIR as .kp files")
+    sp.add_argument("--cache-dir", default=None, metavar="DIR",
+                    help="campaign result-cache directory (default: no cache)")
+    sp.add_argument("--telemetry", metavar="PATH",
+                    help="write the JSONL telemetry event stream to PATH")
+    sp.set_defaults(func=cmd_fuzz)
 
     sp = sub.add_parser("sequentialize", help="print the transformed sequential program")
     common(sp, race=True)

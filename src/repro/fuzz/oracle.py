@@ -1,0 +1,184 @@
+"""The differential oracle: balanced concurrent checking vs the KISS pipeline.
+
+Theorem 1 states that ``Check(P)`` (the Figure 4 sequentialization with
+an unbounded ``ts``) goes wrong iff some *balanced* execution of ``P``
+goes wrong.  For the generator's fragment (forks only at the top level
+of ``main``, each worker spawned once) a ``ts`` bound equal to the fork
+count is effectively unbounded, so the two sides of the theorem are both
+executable here:
+
+* the **concurrent side**: :func:`repro.concheck.check_concurrent` with
+  ``balanced_only=True`` — the explicit interleaving checker pruned to
+  the stack-discipline executions of §4.1;
+* the **sequential side**: Figure 4 instrumentation followed by the
+  explicit sequential backend (the same pipeline as
+  :class:`repro.core.checker.Kiss`, with an injection point for the
+  transformer so mutation tests can plant bugs).
+
+A verdict *divergence* is a correctness bug in the repo:
+
+* sequential ``error`` with concurrent ``safe`` breaks "KISS never
+  reports false errors" (the paper's unsoundness goes the other way);
+* concurrent ``error`` with sequential ``safe`` breaks the Theorem 1
+  coverage guarantee (every balanced execution is simulated).
+
+Runs where either side exhausts its state budget are *inconclusive*,
+not divergences — the theorem only speaks about fully explored spaces.
+
+An optional race mode additionally runs the Figure 5 race pipeline on
+the program's distinguished race location and replays any reported race
+trace against the concurrent semantics (the per-trace "never reports
+false errors" check of :mod:`repro.concheck.replay`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional, Union
+
+from repro.cfg.build import build_program_cfg
+from repro.concheck import check_concurrent
+from repro.core.race import RaceTarget
+from repro.core.transform import KissTransformer
+from repro.lang import parse, parse_core
+from repro.lang.ast import Program
+from repro.lang.lower import clone_program, is_core_program, lower_program
+from repro.seqcheck.explicit import SequentialChecker
+from repro.seqcheck.trace import CheckStatus
+
+#: A transformer factory: ``max_ts -> KissTransformer`` (or a buggy
+#: subclass, for mutation testing).
+TransformerFactory = Callable[[int], KissTransformer]
+
+#: Human-readable divergence directions.
+UNSOUND = "unsound"  # sequential error without a balanced concurrent witness
+INCOMPLETE = "incomplete"  # balanced concurrent error missed by the pipeline
+FALSE_RACE = "false-race"  # race trace that does not replay concurrently
+
+
+@dataclass
+class OracleVerdict:
+    """Outcome of one differential run.
+
+    ``concurrent``/``sequential`` use the usual verdict vocabulary
+    (``"safe"`` / ``"error"`` / ``"resource-bound"``); ``divergence`` is
+    ``None`` when the sides agree (or the run is inconclusive), else one
+    of :data:`UNSOUND` / :data:`INCOMPLETE` / :data:`FALSE_RACE`.
+    """
+
+    concurrent: str
+    sequential: str
+    divergence: Optional[str] = None
+    detail: str = ""
+    con_states: int = 0
+    seq_states: int = 0
+    race_verdict: Optional[str] = None
+
+    @property
+    def diverged(self) -> bool:
+        return self.divergence is not None
+
+    @property
+    def conclusive(self) -> bool:
+        """Both sides fully explored their state spaces."""
+        return "resource-bound" not in (self.concurrent, self.sequential)
+
+    def describe(self) -> str:
+        if self.diverged:
+            return f"{self.divergence}: {self.detail}"
+        tail = f" race={self.race_verdict}" if self.race_verdict else ""
+        return f"agree: concurrent={self.concurrent} sequential={self.sequential}{tail}"
+
+
+_STATUS = {
+    CheckStatus.SAFE: "safe",
+    CheckStatus.ERROR: "error",
+    CheckStatus.EXHAUSTED: "resource-bound",
+}
+
+
+def _as_core(prog: Union[str, Program]) -> Program:
+    if isinstance(prog, str):
+        return parse_core(prog)
+    if is_core_program(prog):
+        return prog
+    # lower_program works in place; never mutate a caller's AST.
+    return lower_program(clone_program(prog))
+
+
+def differential_check(
+    prog: Union[str, Program],
+    max_ts: int,
+    max_states: int = 50_000,
+    transformer_factory: Optional[TransformerFactory] = None,
+    race_global: Optional[str] = None,
+) -> OracleVerdict:
+    """Cross-check one program (source text, surface AST, or core AST).
+
+    ``max_ts`` must be at least the program's dynamic fork count for the
+    coverage direction to be meaningful (the generator supplies this as
+    :attr:`~repro.fuzz.gen.GeneratedProgram.n_forks`).  ``race_global``
+    additionally runs the race pipeline on that global with trace
+    replay.
+    """
+    core = _as_core(prog)
+
+    con = check_concurrent(core, max_states=max_states, balanced_only=True)
+    factory = transformer_factory or (lambda ts: KissTransformer(max_ts=ts))
+    transformed = factory(max_ts).transform(core)
+    seq = SequentialChecker(build_program_cfg(transformed), max_states=max_states).check()
+
+    v = OracleVerdict(
+        concurrent=_STATUS[con.status],
+        sequential=_STATUS[seq.status],
+        con_states=con.stats.states,
+        seq_states=seq.stats.states,
+    )
+    if v.conclusive:
+        if v.sequential == "error" and v.concurrent == "safe":
+            v.divergence = UNSOUND
+            v.detail = (
+                f"sequential pipeline reported '{seq.violation_kind}' "
+                f"({seq.message}) but no balanced concurrent execution goes wrong"
+            )
+        elif v.concurrent == "error" and v.sequential == "safe":
+            v.divergence = INCOMPLETE
+            v.detail = (
+                f"balanced concurrent execution reported '{con.violation_kind}' "
+                f"({con.message}) but the sequential pipeline found no error"
+            )
+    if race_global is not None and not v.diverged:
+        _race_check(core, max_ts, max_states, race_global, v)
+    return v
+
+
+def _race_check(
+    core: Program, max_ts: int, max_states: int, race_global: str, v: OracleVerdict
+) -> None:
+    """Figure 5 on the distinguished location, with trace replay: a
+    reported race whose mapped trace does not replay under the
+    concurrent semantics is a :data:`FALSE_RACE` divergence."""
+    from repro.core.checker import Kiss
+
+    kiss = Kiss(max_ts=max_ts, max_states=max_states, validate_traces=True)
+    r = kiss.check_race(core, RaceTarget.global_var(race_global))
+    v.race_verdict = r.verdict
+    if r.is_error and r.trace_validated is False:
+        v.divergence = FALSE_RACE
+        v.detail = (
+            f"race reported on '{race_global}' but its mapped trace "
+            f"does not replay under the concurrent semantics"
+        )
+
+
+def differential_check_source(
+    source: str,
+    max_ts: int,
+    max_states: int = 50_000,
+    race_global: Optional[str] = None,
+) -> OracleVerdict:
+    """Worker-friendly entry point: parse surface source, then check.
+    (Kept separate so campaign workers never need AST arguments.)"""
+    return differential_check(
+        parse(source), max_ts=max_ts, max_states=max_states, race_global=race_global
+    )

@@ -1,0 +1,210 @@
+"""Delta-debugging shrinker for diverging fuzz programs.
+
+Given a program (as source text) and a predicate "is still interesting"
+(for the fuzzer: "the differential oracle still reports a divergence",
+see :mod:`repro.fuzz.oracle`), the shrinker greedily applies
+structure-aware reductions until no single edit preserves the predicate:
+
+* delete a contiguous run of statements from any block (ddmin-style,
+  largest runs first);
+* flatten a structured statement into one of its child blocks
+  (``if`` → then/else branch, ``while``/``iter``/``atomic`` → body,
+  ``choice`` → one branch);
+* delete a whole function or global declaration (legal once nothing
+  references it — validity is established by re-parsing, so an edit
+  that breaks a reference is simply skipped).
+
+Every candidate is validated by pretty-printing and re-parsing (which
+type-checks); the predicate only ever sees well-formed source text, and
+the value returned is itself well-formed and still interesting — the
+invariant the property tests pin down.
+
+The shrinker is deterministic: edits are enumerated in a fixed order
+and the first improving edit is taken, so the same input and predicate
+always produce the same minimized program.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator, List, Optional, Tuple
+
+from repro.lang import parse
+from repro.lang.ast import (
+    Atomic,
+    Block,
+    Choice,
+    FuncDecl,
+    If,
+    Iter,
+    Program,
+    Stmt,
+    VarDecl,
+    While,
+)
+from repro.lang.lower import clone_program
+from repro.lang.pretty import pretty_program
+
+from .gen import count_statements
+
+#: A path into a function body: each step descends from the block's
+#: statement at ``index`` into the child block named ``slot``.
+Path = Tuple[Tuple[int, str], ...]
+
+#: An edit: ("del", func, path, start, stop) | ("flatten", func, path,
+#: index, slot) | ("delfunc", func) | ("delglobal", name).
+Edit = Tuple
+
+
+def _child_slots(s: Stmt) -> List[str]:
+    if isinstance(s, If):
+        return ["then"] + (["els"] if s.els is not None else [])
+    if isinstance(s, While):
+        return ["body"]
+    if isinstance(s, (Iter, Atomic)):
+        return ["body"]
+    if isinstance(s, Choice):
+        return [f"branch{i}" for i in range(len(s.branches))]
+    if isinstance(s, Block):
+        return ["block"]
+    return []
+
+
+def _get_slot(s: Stmt, slot: str) -> Block:
+    if slot == "then":
+        return s.then
+    if slot == "els":
+        return s.els
+    if slot == "body":
+        return s.body
+    if slot == "block":
+        return s
+    if slot.startswith("branch"):
+        return s.branches[int(slot[len("branch"):])]
+    raise KeyError(slot)
+
+
+def _blocks(body: Block) -> Iterator[Tuple[Path, Block]]:
+    """All blocks of a function body, outermost first."""
+    stack: List[Tuple[Path, Block]] = [((), body)]
+    while stack:
+        path, block = stack.pop(0)
+        yield path, block
+        for i, s in enumerate(block.stmts):
+            for slot in _child_slots(s):
+                stack.append((path + ((i, slot),), _get_slot(s, slot)))
+
+
+def _resolve(func: FuncDecl, path: Path) -> Block:
+    block: Block = func.body
+    for index, slot in path:
+        block = _get_slot(block.stmts[index], slot)
+    return block
+
+
+def _edits(prog: Program) -> Iterator[Edit]:
+    """Candidate edits, most aggressive first."""
+    for fname in prog.functions:
+        if fname != prog.entry:
+            yield ("delfunc", fname)
+    for gname in prog.globals:
+        yield ("delglobal", gname)
+    # Large deletions before small ones, per block.
+    for fname, func in prog.functions.items():
+        for path, block in _blocks(func.body):
+            n = len(block.stmts)
+            size = n
+            while size >= 1:
+                for start in range(0, n - size + 1):
+                    yield ("del", fname, path, start, start + size)
+                size //= 2
+    for fname, func in prog.functions.items():
+        for path, block in _blocks(func.body):
+            for i, s in enumerate(block.stmts):
+                for slot in _child_slots(s):
+                    yield ("flatten", fname, path, i, slot)
+
+
+def _prune_locals(prog: Program) -> None:
+    """Drop locals-table entries whose declarations were deleted, so the
+    pretty-printer does not resurrect them as hoisted declarations."""
+    from repro.lang.ast import walk_stmts
+
+    for func in prog.functions.values():
+        declared = {p.name for p in func.params}
+        for s in walk_stmts(func.body):
+            if isinstance(s, VarDecl):
+                declared.add(s.name)
+        func.locals = {n: t for n, t in func.locals.items() if n in declared}
+
+
+def _apply(prog: Program, edit: Edit) -> Optional[str]:
+    """Apply one edit to a clone; return the candidate source text, or
+    ``None`` if the edit is structurally vacuous or yields an invalid
+    program."""
+    clone = clone_program(prog)
+    kind = edit[0]
+    if kind == "delfunc":
+        del clone.functions[edit[1]]
+    elif kind == "delglobal":
+        del clone.globals[edit[1]]
+    elif kind == "del":
+        _, fname, path, start, stop = edit
+        block = _resolve(clone.functions[fname], path)
+        if not block.stmts[start:stop]:
+            return None
+        del block.stmts[start:stop]
+    elif kind == "flatten":
+        _, fname, path, index, slot = edit
+        block = _resolve(clone.functions[fname], path)
+        child = _get_slot(block.stmts[index], slot)
+        block.stmts[index:index + 1] = list(child.stmts)
+    else:  # pragma: no cover - defensive
+        raise ValueError(f"unknown edit {edit!r}")
+    _prune_locals(clone)
+    source = pretty_program(clone)
+    try:
+        parse(source)
+    except Exception:
+        return None
+    return source
+
+
+def shrink(
+    source: str,
+    still_interesting: Callable[[str], bool],
+    max_checks: int = 2_000,
+) -> str:
+    """Minimize ``source`` while ``still_interesting`` holds.
+
+    The predicate receives candidate source text (always well-formed)
+    and must return ``True`` when the property of interest — for fuzz
+    findings, the oracle divergence — is preserved.  Returns the
+    smallest variant found (at worst, the canonical pretty-print of the
+    input).  ``max_checks`` bounds the number of predicate evaluations.
+    """
+    best_prog = parse(source)
+    best_src = pretty_program(best_prog)
+    checks = 0
+    improved = True
+    while improved and checks < max_checks:
+        improved = False
+        for edit in _edits(best_prog):
+            candidate = _apply(best_prog, edit)
+            if candidate is None or candidate == best_src:
+                continue
+            checks += 1
+            if still_interesting(candidate):
+                best_prog = parse(candidate)
+                best_src = candidate
+                improved = True
+                break
+            if checks >= max_checks:
+                break
+    return best_src
+
+
+def shrink_report(source: str, shrunk: str) -> str:
+    """One-line size summary for fuzz reports."""
+    before = count_statements(parse(source))
+    after = count_statements(parse(shrunk))
+    return f"shrunk {before} -> {after} statements"

@@ -1,10 +1,18 @@
-"""Test-suite configuration: a hypothesis profile without deadlines.
+"""Test-suite configuration: a hypothesis profile without deadlines,
+plus the ``--fuzz-seed`` option for the differential-fuzzing tests.
 
 Model-checking calls inside property tests have heavy-tailed latency
 (state-space size depends on the drawn program), so wall-clock deadlines
 would be flaky; example counts are kept low in the tests themselves.
+
+``--fuzz-seed N`` offsets the base seed of every seeded fuzz test
+(generator round-trips, oracle batches, the mutation test).  Each test
+derives its per-program seeds from this base and includes the failing
+seed in its assertion message, so a failure report always names the
+exact ``python -m repro fuzz --seed`` reproduction.
 """
 
+import pytest
 from hypothesis import HealthCheck, settings
 
 settings.register_profile(
@@ -14,3 +22,19 @@ settings.register_profile(
     print_blob=True,
 )
 settings.load_profile("kiss-repro")
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--fuzz-seed",
+        type=int,
+        default=0,
+        help="base seed for the seeded fuzz tests (failures report the "
+        "exact per-program seed for replay)",
+    )
+
+
+@pytest.fixture
+def fuzz_seed(request):
+    """The base seed the fuzz tests start from (CLI: ``--fuzz-seed``)."""
+    return request.config.getoption("--fuzz-seed")

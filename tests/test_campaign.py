@@ -195,6 +195,59 @@ def test_telemetry_stream_and_summary(tmp_path):
     assert "cache: skipped 2/2 jobs (100%)" in sched2.summary(results2)
 
 
+# -- edge cases --------------------------------------------------------------------
+
+
+def test_cache_hit_survives_execution_option_change(tmp_path):
+    """map_traces/validate_traces are execution options, not verdict
+    inputs: flipping them must NOT invalidate cached results."""
+    d = str(tmp_path / "cache")
+    cold = CampaignScheduler(CampaignConfig(cache_dir=d)).run([job()])[0]
+    assert not cold.cache_hit
+    reconfigured = job(map_traces=True, validate_traces=True)
+    assert cache_key(reconfigured) == cache_key(job())
+    warm = CampaignScheduler(CampaignConfig(cache_dir=d)).run([reconfigured])[0]
+    assert warm.cache_hit
+    assert warm.verdict == cold.verdict
+
+
+def test_timeout_on_first_job_of_pool_batch():
+    """The very first job submitted to the pool timing out must degrade
+    just that job — the rest of the batch completes normally and input
+    order is preserved."""
+    slow_src = """
+        void main() {
+          int i; int j;
+          i = 0;
+          while (i < 10000) {
+            i = i + 1;
+            j = 0;
+            while (j < 10000) { j = j + 1; }
+          }
+        }
+    """
+    heavy = CheckJob(job_id="t/heavy", driver="t", source=slow_src,
+                     prop="assertion", config={"max_states": 10**9})
+    batch = [heavy, job(target="EXT.a"), job(target="EXT.b")]
+    results = CampaignScheduler(
+        CampaignConfig(jobs=2, timeout=0.5, retries=0)
+    ).run(batch)
+    assert [r.job_id for r in results] == [j.job_id for j in batch]
+    assert results[0].verdict == "resource-bound" and "timeout" in results[0].detail
+    assert results[1].verdict == "error"
+    assert results[2].verdict == "safe"
+
+
+def test_empty_job_matrix(tmp_path):
+    path = str(tmp_path / "events.jsonl")
+    sched = CampaignScheduler(CampaignConfig(telemetry_path=path))
+    results = sched.run([])
+    assert results == []
+    kinds = [json.loads(line)["event"] for line in open(path)]
+    assert kinds == ["campaign_start", "campaign_end"]
+    assert "Campaign summary" in sched.summary(results)
+
+
 def test_corpus_campaign_matches_check_driver():
     from repro.drivers import check_driver
 

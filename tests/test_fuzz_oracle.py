@@ -1,0 +1,137 @@
+"""Tests for the differential oracle (repro.fuzz.oracle): agreement on
+generated batches, correct classification of both divergence
+directions under deliberately injected transformation bugs, and the
+inconclusive path."""
+
+import pytest
+
+from repro.core.transform import KissTransformer
+from repro.fuzz import (
+    INCOMPLETE,
+    UNSOUND,
+    ProgramGenerator,
+    differential_check,
+    differential_check_source,
+)
+from repro.lang.ast import Assert, Block, BoolLit
+
+
+class NeverParks(KissTransformer):
+    """Injected coverage bug: every ``async`` is inlined synchronously,
+    so the sequential program can never delay a forked thread past the
+    spawn point — balanced executions where the worker runs later are
+    lost (an :data:`INCOMPLETE` divergence)."""
+
+    def _lower_async(self, fctx, s):
+        fam = self._family_for(fctx, s)
+        return self._inline_call(fctx, s, fam)
+
+
+class PhantomError(KissTransformer):
+    """Injected unsoundness: an ``assert(false)`` branch is offered
+    before every statement, so the sequential program goes wrong even
+    when no concurrent execution does (an :data:`UNSOUND` divergence)."""
+
+    def access_check_branches(self, fctx, stmt, out_pre):
+        return [Block([Assert(BoolLit(False))])]
+
+
+def test_oracle_agrees_on_generated_batch(fuzz_seed):
+    gen = ProgramGenerator()
+    for seed in range(fuzz_seed, fuzz_seed + 25):
+        gp = gen.generate(seed)
+        v = differential_check(gp.program, max_ts=gp.n_forks)
+        assert v.conclusive, f"seed {seed} inconclusive: {v.describe()}"
+        assert not v.diverged, f"seed {seed} diverged: {v.describe()}\n{gp.source}"
+
+
+@pytest.mark.slow
+def test_oracle_agrees_on_large_batch(fuzz_seed):
+    gen = ProgramGenerator()
+    for seed in range(fuzz_seed, fuzz_seed + 150):
+        gp = gen.generate(seed)
+        v = differential_check(gp.program, max_ts=gp.n_forks)
+        assert not v.diverged, f"seed {seed} diverged: {v.describe()}\n{gp.source}"
+
+
+def test_oracle_agreement_includes_error_programs(fuzz_seed):
+    """The batch must exercise both agreement kinds — safe/safe and
+    error/error — or the oracle is vacuous."""
+    gen = ProgramGenerator()
+    verdicts = set()
+    for seed in range(fuzz_seed, fuzz_seed + 40):
+        gp = gen.generate(seed)
+        v = differential_check(gp.program, max_ts=gp.n_forks)
+        verdicts.add((v.concurrent, v.sequential))
+    assert ("safe", "safe") in verdicts
+    assert ("error", "error") in verdicts
+
+
+def test_known_delayed_worker_error():
+    """The canonical Theorem 1 witness: the worker's assertion only
+    fails when the worker runs *after* main's write — a balanced
+    execution that parking (max_ts >= 1) must simulate."""
+    src = """
+        int shared = 0;
+        void w0() { assert(shared != 1); }
+        void main() { async w0(); shared = 1; }
+    """
+    v = differential_check_source(src, max_ts=1)
+    assert v.concurrent == "error" and v.sequential == "error"
+    assert not v.diverged
+
+
+def test_injected_coverage_bug_is_caught(fuzz_seed):
+    gen = ProgramGenerator()
+    factory = lambda ts: NeverParks(max_ts=ts)
+    found = None
+    for seed in range(fuzz_seed, fuzz_seed + 60):
+        gp = gen.generate(seed)
+        v = differential_check(gp.program, max_ts=gp.n_forks, transformer_factory=factory)
+        if v.diverged:
+            found = (seed, v)
+            break
+    assert found is not None, (
+        f"no divergence in seeds {fuzz_seed}..{fuzz_seed + 59} under NeverParks"
+    )
+    assert found[1].divergence == INCOMPLETE, found[1].describe()
+
+
+def test_injected_unsoundness_is_caught(fuzz_seed):
+    gen = ProgramGenerator()
+    factory = lambda ts: PhantomError(max_ts=ts)
+    for seed in range(fuzz_seed, fuzz_seed + 20):
+        gp = gen.generate(seed)
+        v = differential_check(gp.program, max_ts=gp.n_forks, transformer_factory=factory)
+        if v.concurrent == "safe":
+            assert v.diverged and v.divergence == UNSOUND, (
+                f"seed {seed}: {v.describe()}"
+            )
+            return
+    pytest.fail("no concurrently-safe program drawn in 20 seeds")
+
+
+def test_race_mode_replays_reported_races(fuzz_seed):
+    gen = ProgramGenerator()
+    race_seen = False
+    for seed in range(fuzz_seed, fuzz_seed + 12):
+        gp = gen.generate(seed)
+        v = differential_check(
+            gp.program, max_ts=gp.n_forks, race_global=gp.config.race_global
+        )
+        assert not v.diverged, f"seed {seed}: {v.describe()}"
+        if v.race_verdict is not None:
+            race_seen = race_seen or v.race_verdict == "error"
+    assert race_seen, "no race ever reported on the distinguished location"
+
+
+def test_tiny_budget_is_inconclusive_not_divergent():
+    src = """
+        int shared = 0;
+        void w0() { shared = shared + 1; assert(shared != 2); }
+        void main() { async w0(); shared = shared + 1; }
+    """
+    v = differential_check_source(src, max_ts=1, max_states=5)
+    assert not v.conclusive
+    assert not v.diverged
+    assert "resource-bound" in (v.concurrent, v.sequential)

@@ -1,0 +1,142 @@
+"""Integration tests for fuzz batches on the campaign engine
+(repro.fuzz.runner) and the ``python -m repro fuzz`` CLI: job
+construction, caching of fuzz verdicts, the end-to-end mutation
+scenario (injected transform bug -> divergence -> shrunk witness), and
+the CLI exit codes."""
+
+import json
+
+import pytest
+
+from repro import cli
+from repro.campaign import CampaignConfig, CampaignScheduler, cache_key
+from repro.campaign.worker import execute_job
+from repro.core.transform import KissTransformer
+from repro.fuzz import GenConfig, fuzz_jobs, run_fuzz_campaign
+
+
+class NeverParks(KissTransformer):
+    """Injected coverage bug: asyncs are always inlined synchronously
+    (see test_fuzz_oracle), producing INCOMPLETE divergences."""
+
+    def _lower_async(self, fctx, s):
+        fam = self._family_for(fctx, s)
+        return self._inline_call(fctx, s, fam)
+
+
+# -- job construction --------------------------------------------------------------
+
+
+def test_fuzz_jobs_shape(fuzz_seed):
+    jobs = fuzz_jobs(8, seed=fuzz_seed)
+    assert len(jobs) == 8
+    assert [j.job_id for j in jobs] == [f"fuzz/{fuzz_seed + i}" for i in range(8)]
+    for j in jobs:
+        assert j.prop == "fuzz" and j.target is None
+        assert j.config["max_ts"] >= 0 and "max_states" in j.config
+
+
+def test_race_flag_keys_the_cache(fuzz_seed):
+    plain = fuzz_jobs(1, seed=fuzz_seed)[0]
+    raced = fuzz_jobs(1, seed=fuzz_seed, race=True)[0]
+    assert raced.config["fuzz_race"] == GenConfig().race_global
+    # the oracle option changes the verdict semantics, so it must change
+    # the cache key; but it must never reach Kiss(**kwargs)
+    assert cache_key(plain) != cache_key(raced)
+    assert "fuzz_race" not in raced.kiss_kwargs()
+
+
+def test_execute_job_runs_the_oracle(fuzz_seed):
+    job = fuzz_jobs(1, seed=fuzz_seed)[0]
+    outcome, rich = execute_job(job, timeout=None)
+    assert outcome["verdict"] in ("safe", "error", "resource-bound")
+    assert rich is None  # fuzz jobs carry no KissResult
+    assert outcome["states"] > 0
+
+
+# -- campaign runs -----------------------------------------------------------------
+
+
+def test_fuzz_campaign_serial_smoke(fuzz_seed):
+    report = run_fuzz_campaign(10, seed=fuzz_seed)
+    assert report.ok
+    assert report.agreed == 10 and not report.inconclusive
+    assert f"seeds {fuzz_seed}..{fuzz_seed + 9}" in report.summary()
+    assert "10 agreed, 0 diverged" in report.summary()
+
+
+def test_fuzz_campaign_results_are_cached(fuzz_seed, tmp_path):
+    cfg = CampaignConfig(cache_dir=str(tmp_path / "cache"))
+    first = run_fuzz_campaign(6, seed=fuzz_seed, campaign_config=cfg)
+    assert not any(r.cache_hit for r in first.results)
+    second = run_fuzz_campaign(6, seed=fuzz_seed, campaign_config=cfg)
+    assert all(r.cache_hit for r in second.results)
+    assert [r.verdict for r in second.results] == [r.verdict for r in first.results]
+    assert second.agreed == first.agreed
+
+
+def test_fuzz_campaign_parallel_matches_serial(fuzz_seed):
+    serial = run_fuzz_campaign(8, seed=fuzz_seed)
+    parallel = run_fuzz_campaign(
+        8, seed=fuzz_seed, campaign_config=CampaignConfig(jobs=2)
+    )
+    assert [r.verdict for r in serial.results] == [r.verdict for r in parallel.results]
+
+
+def test_mutation_bug_yields_shrunk_divergences(fuzz_seed, monkeypatch):
+    """Acceptance criterion, end to end: with a deliberately injected
+    transform bug the campaign reports divergences, and every one is
+    shrunk to a witness of <= 10 statements."""
+    monkeypatch.setattr("repro.fuzz.oracle.KissTransformer", NeverParks)
+    report = run_fuzz_campaign(40, seed=fuzz_seed)
+    assert not report.ok, "injected transform bug was not caught"
+    for d in report.divergences:
+        assert d.detail  # carries the oracle's explanation
+        assert d.shrunk_stmts <= 10, (
+            f"seed {d.seed} witness has {d.shrunk_stmts} statements:\n{d.shrunk_source}"
+        )
+    assert "diverged" in report.summary()
+
+
+def test_mutation_divergences_survive_without_shrinking(fuzz_seed, monkeypatch):
+    monkeypatch.setattr("repro.fuzz.oracle.KissTransformer", NeverParks)
+    report = run_fuzz_campaign(40, seed=fuzz_seed, do_shrink=False)
+    assert not report.ok
+    d = report.divergences[0]
+    assert d.shrunk_source == d.source  # reported unminimized
+
+
+# -- CLI ---------------------------------------------------------------------------
+
+
+def test_cli_fuzz_smoke(capsys):
+    rc = cli.main(["fuzz", "--count", "5", "--seed", "0"])
+    out = capsys.readouterr().out
+    assert rc == cli.EXIT_SAFE
+    assert "fuzz: 5 programs" in out and "0 diverged" in out
+
+
+def test_cli_fuzz_reports_divergence(tmp_path, capsys, monkeypatch):
+    monkeypatch.setattr("repro.fuzz.oracle.KissTransformer", NeverParks)
+    rc = cli.main(
+        ["fuzz", "--count", "40", "--seed", "0", "--save", str(tmp_path)]
+    )
+    out = capsys.readouterr().out
+    assert rc == cli.EXIT_ERROR
+    assert "minimized to" in out
+    saved = list(tmp_path.glob("divergence_*.kp"))
+    assert saved, "diverging program was not saved"
+    text = saved[0].read_text()
+    assert text.startswith("// seed") and "void main()" in text
+
+
+def test_cli_fuzz_telemetry(tmp_path, capsys):
+    path = tmp_path / "events.jsonl"
+    rc = cli.main(
+        ["fuzz", "--count", "3", "--seed", "1", "--telemetry", str(path)]
+    )
+    capsys.readouterr()
+    assert rc == cli.EXIT_SAFE
+    events = [json.loads(line) for line in open(path)]
+    assert events[0]["event"] == "campaign_start"
+    assert sum(e["event"] == "job_end" for e in events) == 3
