@@ -22,8 +22,8 @@ from typing import Any, Dict, Optional
 from repro.core.race import RaceTarget
 
 #: Kiss() keyword arguments a job may carry, with the campaign defaults.
-#: ``map_traces``/``validate_traces`` are execution options, not part of
-#: the cache key: they do not change the verdict.
+#: ``map_traces``/``validate_traces``/``observe`` are execution options,
+#: not part of the cache key: they do not change the verdict.
 KISS_DEFAULTS: Dict[str, Any] = {
     "max_ts": 0,
     "max_states": 300_000,
@@ -33,6 +33,7 @@ KISS_DEFAULTS: Dict[str, Any] = {
     "inline": False,
     "map_traces": False,
     "validate_traces": False,
+    "observe": False,
 }
 
 #: The subset of the configuration that can change a verdict — these
@@ -127,6 +128,9 @@ class JobResult:
     cache_hit: bool = False
     attempts: int = 1
     detail: str = ""
+    #: ``kiss-metrics/1`` snapshot (:mod:`repro.obs`) when the job ran
+    #: with the ``observe`` execution option; survives cache round-trips.
+    metrics: Optional[Dict[str, Any]] = None
 
     @property
     def table_verdict(self) -> str:
@@ -172,7 +176,7 @@ class JobResult:
     # -- (de)serialization for the JSONL cache ------------------------------------
 
     def to_dict(self) -> Dict[str, Any]:
-        return {
+        out = {
             "job_id": self.job_id,
             "driver": self.driver,
             "prop": self.prop,
@@ -186,6 +190,9 @@ class JobResult:
             "wall_s": round(self.wall_s, 6),
             "detail": self.detail,
         }
+        if self.metrics is not None:
+            out["metrics"] = self.metrics
+        return out
 
     @staticmethod
     def from_dict(d: Dict[str, Any]) -> "JobResult":
@@ -202,4 +209,5 @@ class JobResult:
             checks_pruned=d.get("checks_pruned", 0),
             wall_s=d.get("wall_s", 0.0),
             detail=d.get("detail", ""),
+            metrics=d.get("metrics"),
         )

@@ -28,6 +28,7 @@ from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro import obs
 from repro.core.checker import KissResult
 
 from .cache import ResultCache, cache_key
@@ -78,8 +79,18 @@ class CampaignScheduler:
 
     def run(self, jobs: Sequence[CheckJob], telemetry: Optional[Telemetry] = None) -> List[JobResult]:
         """Execute a campaign; returns one :class:`JobResult` per job, in
-        input order."""
+        input order.  A telemetry stream the scheduler creates itself is
+        closed on exit (even on error); a caller-supplied one stays open
+        (the caller owns its lifetime)."""
         tel = telemetry or Telemetry(self.config.telemetry_path)
+        try:
+            return self._run(jobs, tel)
+        finally:
+            self.last_telemetry = tel
+            if telemetry is None:
+                tel.close()
+
+    def _run(self, jobs: Sequence[CheckJob], tel: Telemetry) -> List[JobResult]:
         tel.emit(
             "campaign_start",
             jobs=len(jobs),
@@ -96,9 +107,8 @@ class CampaignScheduler:
             if hit is not None:
                 hit.job_id = job.job_id  # same content may appear under a new id
                 hit.driver = job.driver
-                tel.emit("job_end", job=job.job_id, driver=job.driver, verdict=hit.verdict,
-                         error_kind=hit.error_kind, wall_s=0.0, states=hit.states,
-                         cache="hit", attempts=0)
+                obs.inc("cache_hits")
+                self._emit_job_end(tel, job, hit, wall_s=0.0, cache="hit", attempts=0)
                 results[job.job_id] = hit
             else:
                 todo.append((job, key))
@@ -107,10 +117,11 @@ class CampaignScheduler:
             runner = self._run_serial if self.config.jobs <= 1 else self._run_pool
             for job, key, result in runner(todo, tel):
                 self.cache.put(key, result)
-                tel.emit("job_end", job=job.job_id, driver=job.driver, verdict=result.verdict,
-                         error_kind=result.error_kind, wall_s=round(result.wall_s, 6),
-                         states=result.states, cache="miss" if self.cache.enabled else "off",
-                         attempts=result.attempts)
+                self._emit_job_end(
+                    tel, job, result, wall_s=round(result.wall_s, 6),
+                    cache="miss" if self.cache.enabled else "off",
+                    attempts=result.attempts,
+                )
                 results[job.job_id] = result
 
         ordered = [results[j.job_id] for j in jobs]
@@ -119,10 +130,15 @@ class CampaignScheduler:
             verdicts[r.verdict] = verdicts.get(r.verdict, 0) + 1
         tel.emit("campaign_end", jobs=len(jobs), verdicts=verdicts,
                  cache_hits=self.cache.hits, cache_misses=self.cache.misses)
-        if telemetry is None:
-            tel.close()
-        self.last_telemetry = tel
         return ordered
+
+    @staticmethod
+    def _emit_job_end(tel: Telemetry, job: CheckJob, result: JobResult, *,
+                      wall_s: float, cache: str, attempts: int) -> None:
+        extra = {"metrics": result.metrics} if result.metrics is not None else {}
+        tel.emit("job_end", job=job.job_id, driver=job.driver, verdict=result.verdict,
+                 error_kind=result.error_kind, wall_s=wall_s, states=result.states,
+                 cache=cache, attempts=attempts, **extra)
 
     def summary(self, results: Sequence[JobResult]) -> str:
         wall = None
@@ -148,6 +164,7 @@ class CampaignScheduler:
             wall_s=outcome.get("wall_s", 0.0),
             attempts=attempts,
             detail=outcome.get("detail", ""),
+            metrics=outcome.get("metrics"),
         )
 
     def _retryable(self, outcome: dict) -> bool:

@@ -6,6 +6,16 @@ monotonic-relative timestamp ``t`` in seconds.  Events stream to a JSONL
 file when a path is given and are always kept in memory (they are small)
 for tests and the end-of-run summary.
 
+The event envelope is shared with the span stream of :mod:`repro.obs`
+(both build events with :func:`repro.obs.make_event`), so one JSONL file
+can interleave scheduler events and per-job phase traces; ``job_end``
+events carry the worker's ``kiss-metrics/1`` snapshot under ``metrics``
+when a job ran with the ``observe`` execution option.
+
+``Telemetry`` owns a file handle when given a path; close it with
+:meth:`close` or use the instance as a context manager (the scheduler
+does the latter for streams it creates).
+
 The summary reproduces the shape of the paper's Table 1: one row per
 driver with race / no-race / unresolved counts, plus campaign-level
 cache and wall-clock totals.
@@ -17,6 +27,7 @@ import json
 import time
 from typing import Dict, IO, List, Optional, Sequence
 
+from repro.obs import make_event
 from repro.reporting import render_table
 
 from .jobs import JobResult
@@ -32,18 +43,29 @@ class Telemetry:
         self._fh: Optional[IO[str]] = open(path, "w") if path else None
 
     def emit(self, event: str, **fields) -> dict:
-        obj = {"event": event, "t": round(time.monotonic() - self._t0, 6)}
-        obj.update(fields)
+        obj = make_event(event, time.monotonic() - self._t0, **fields)
         self.events.append(obj)
         if self._fh is not None:
             self._fh.write(json.dumps(obj) + "\n")
             self._fh.flush()
         return obj
 
+    @property
+    def closed(self) -> bool:
+        """True when no file handle is open (also for in-memory streams)."""
+        return self._fh is None
+
     def close(self) -> None:
         if self._fh is not None:
             self._fh.close()
             self._fh = None
+
+    def __enter__(self) -> "Telemetry":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self.close()
+        return False
 
     def of_kind(self, event: str) -> List[dict]:
         return [e for e in self.events if e["event"] == event]

@@ -22,6 +22,7 @@ import time
 import traceback
 from typing import Dict, Optional, Tuple
 
+from repro import obs
 from repro.core.checker import Kiss, KissResult
 from repro.lang import parse
 from repro.lang.ast import Program
@@ -92,19 +93,22 @@ def _fuzz_outcome(job: CheckJob, prog: Program, outcome):
     from repro.fuzz.oracle import differential_check
 
     kw = job.kiss_kwargs()
-    v = differential_check(
-        prog,
-        max_ts=kw["max_ts"],
-        max_states=kw["max_states"],
-        race_global=job.config.get("fuzz_race"),
-    )
+    recorder, ctx = obs.maybe_observing(kw.get("observe", False))
+    with ctx:
+        v = differential_check(
+            prog,
+            max_ts=kw["max_ts"],
+            max_states=kw["max_states"],
+            race_global=job.config.get("fuzz_race"),
+        )
     if v.diverged:
         verdict, kind = "error", v.divergence
     elif not v.conclusive:
         verdict, kind = "resource-bound", None
     else:
         verdict, kind = "safe", None
-    out, _ = outcome(verdict, error_kind=kind, detail=v.describe())
+    metrics = recorder.metrics() if kw.get("observe") and recorder is not None else None
+    out, _ = outcome(verdict, error_kind=kind, detail=v.describe(), metrics=metrics)
     out["states"] = v.con_states + v.seq_states
     return out, None
 
@@ -122,7 +126,8 @@ def execute_job(
     """
     start = time.monotonic()
 
-    def outcome(verdict, *, error_kind=None, detail="", rich=None, stats=None, tr=None):
+    def outcome(verdict, *, error_kind=None, detail="", rich=None, stats=None, tr=None,
+                metrics=None):
         return (
             {
                 "verdict": verdict,
@@ -133,6 +138,7 @@ def execute_job(
                 "checks_pruned": tr.checks_pruned if tr else 0,
                 "wall_s": time.monotonic() - start,
                 "detail": detail,
+                "metrics": metrics,
             },
             rich,
         )
@@ -155,6 +161,7 @@ def execute_job(
             rich=r,
             stats=stats,
             tr=r,
+            metrics=r.metrics,
         )
     except JobTimeout:
         _parse_memo.pop(job.source, None)  # a partial parse never lands here, but be safe

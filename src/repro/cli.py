@@ -11,6 +11,8 @@ Usage (after ``pip install -e .``)::
     python -m repro interleavings file.kp         # baseline model checker
     python -m repro campaign --jobs 8             # parallel cached corpus sweep
     python -m repro fuzz --count 500 --seed 0     # differential fuzzing
+    python -m repro profile file.kp               # per-phase timing breakdown
+    python -m repro profile file.kp --json        # kiss-profile/1 document
 
 The input language is the paper's parallel language with C-like syntax
 (see README).  Exit status: 0 = safe, 1 = error found, 2 = resource
@@ -200,6 +202,63 @@ def cmd_fuzz(args) -> int:
     return EXIT_SAFE if report.ok else EXIT_ERROR
 
 
+def cmd_profile(args) -> int:
+    """The `profile` subcommand: one observed checking run with a
+    per-phase timing breakdown (see docs/OBSERVABILITY.md).
+
+    Runs the same pipeline as ``check`` (or ``race`` when ``--target``
+    is given) under an ambient :mod:`repro.obs` recorder, so every
+    phase — parse, lower, transform, backend, trace mapping — lands in
+    one per-phase table alongside the checker's counter registry.
+    ``--json`` prints the ``kiss-profile/1`` document instead (the
+    shape used for ``BENCH_*.json`` artifacts); ``--output`` writes
+    that document to a file in either mode.
+    """
+    import json
+
+    from repro import obs
+
+    recorder = obs.Recorder()
+    with obs.observing(recorder):
+        prog = _load(args.file)
+        kiss = _kiss(args)
+        if args.target:
+            result = kiss.check_race(prog, _parse_target(args.target))
+        else:
+            result = kiss.check_assertions(prog)
+    metrics = recorder.metrics()
+    doc = obs.profile_document(
+        file=args.file,
+        prop="race" if args.target else "assertion",
+        target=args.target,
+        verdict=result.verdict,
+        config={
+            "max_ts": args.max_ts,
+            "max_states": args.max_states,
+            "backend": args.backend,
+            "inline": args.inline,
+            "use_alias_analysis": not getattr(args, "no_alias", False),
+        },
+        metrics=metrics,
+    )
+    if args.output:
+        with open(args.output, "w") as f:
+            json.dump(doc, f, indent=2)
+            f.write("\n")
+    if args.json:
+        print(json.dumps(doc, indent=2))
+    else:
+        print(f"verdict: {result.summary()}")
+        print(obs.render_metrics(metrics))
+        if args.output:
+            print(f"wrote {args.output}")
+    if result.is_error:
+        return EXIT_ERROR
+    if result.exhausted:
+        return EXIT_BOUND
+    return EXIT_SAFE
+
+
 def cmd_sequentialize(args) -> int:
     """The `sequentialize` subcommand: print the transformed program."""
     prog = _load(args.file)
@@ -316,6 +375,17 @@ def build_parser() -> argparse.ArgumentParser:
     sp.add_argument("--telemetry", metavar="PATH",
                     help="write the JSONL telemetry event stream to PATH")
     sp.set_defaults(func=cmd_fuzz)
+
+    sp = sub.add_parser(
+        "profile", help="one observed checking run with a per-phase timing breakdown"
+    )
+    common(sp, race=True)
+    sp.add_argument("--target", help="race target (global or Struct.field); default: assertions")
+    sp.add_argument("--json", action="store_true",
+                    help="print the kiss-profile/1 JSON document instead of tables")
+    sp.add_argument("--output", metavar="PATH",
+                    help="also write the kiss-profile/1 JSON document to PATH")
+    sp.set_defaults(func=cmd_profile)
 
     sp = sub.add_parser("sequentialize", help="print the transformed sequential program")
     common(sp, race=True)

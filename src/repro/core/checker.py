@@ -11,6 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+from repro import obs
 from repro.cfg.build import build_program_cfg
 from repro.cfg.graph import ProgramCfg
 from repro.lang.ast import Program
@@ -48,6 +49,9 @@ class KissResult:
     #: None = not validated; True/False = replay verdict (see
     #: repro.concheck.replay) when ``Kiss(validate_traces=True)``.
     trace_validated: Optional[bool] = None
+    #: Per-phase timings and counters (the ``kiss-metrics/1`` snapshot of
+    #: :mod:`repro.obs`) when ``Kiss(observe=True)``; None otherwise.
+    metrics: Optional[dict] = None
 
     @property
     def is_error(self) -> bool:
@@ -104,6 +108,12 @@ class Kiss:
         unsupported fragments surface as ``"resource-bound"``; error
         traces are not mapped for this backend (its counterexamples are
         abstract).
+    observe:
+        Record per-phase timings and counters for each check
+        (:mod:`repro.obs`) and attach the snapshot as
+        ``KissResult.metrics``.  Off by default: the instrumentation
+        points then hit the no-op recorder (see
+        ``benchmarks/bench_obs_overhead.py`` for the measured cost).
     """
 
     def __init__(
@@ -116,6 +126,7 @@ class Kiss:
         backend: str = "explicit",
         cegar_rounds: int = 16,
         inline: bool = False,
+        observe: bool = False,
     ):
         if backend not in ("explicit", "cegar"):
             raise ValueError(f"unknown backend {backend!r}")
@@ -129,11 +140,18 @@ class Kiss:
         #: pre-pass: inline small leaf functions (lock wrappers etc.)
         #: before instrumenting — shrinks the explored state space
         self.inline = inline
+        #: record per-phase timings and counters (:mod:`repro.obs`) and
+        #: attach the snapshot as ``KissResult.metrics``
+        self.observe = observe
 
     # -- pipeline pieces --------------------------------------------------------
 
     def _as_core(self, prog: Program) -> Program:
-        core = prog if is_core_program(prog) else lower_program(prog)
+        if is_core_program(prog):
+            core = prog
+        else:
+            with obs.span("lower"):
+                core = lower_program(prog)
         if self.inline:
             from repro.lang.inline import inline_program
             from repro.lang.lower import clone_program
@@ -151,7 +169,8 @@ class Kiss:
         return t.transform(self._as_core(prog))
 
     def _run_backend(self, transformed: Program) -> (CheckResult, ProgramCfg):
-        pcfg = build_program_cfg(transformed)
+        with obs.span("cfg"):
+            pcfg = build_program_cfg(transformed)
         if self.backend == "cegar":
             return self._run_cegar(transformed), pcfg
         checker = SequentialChecker(pcfg, max_states=self.max_states)
@@ -198,13 +217,17 @@ class Kiss:
             CheckStatus.EXHAUSTED: "resource-bound",
         }[result.status]
         error_kind = self._classify(result, pcfg)
-        ctrace = map_result(pcfg, result) if (self.map_traces and result.is_error) else None
+        ctrace = None
+        if self.map_traces and result.is_error:
+            with obs.span("trace-map"):
+                ctrace = map_result(pcfg, result)
         validated: Optional[bool] = None
         if self.validate_traces and ctrace is not None and core is not None:
             from repro.concheck.replay import replay_trace
 
             expect = "feasible" if error_kind == "race" else "error"
-            validated = replay_trace(core, ctrace, expect=expect).ok
+            with obs.span("trace-replay"):
+                validated = replay_trace(core, ctrace, expect=expect).ok
         return KissResult(
             verdict=verdict,
             error_kind=error_kind,
@@ -221,22 +244,34 @@ class Kiss:
 
     def check_assertions(self, prog: Program) -> KissResult:
         """Check the program's own assertions (Figure 4 + backend)."""
-        core = self._as_core(prog)
-        transformed = KissTransformer(max_ts=self.max_ts).transform(core)
-        result, pcfg = self._run_backend(transformed)
-        return self._finish(result, pcfg, transformed, core=core)
+        recorder, ctx = obs.maybe_observing(self.observe)
+        with ctx, obs.span("check", prop="assertion", backend=self.backend):
+            core = self._as_core(prog)
+            transformed = KissTransformer(max_ts=self.max_ts).transform(core)
+            result, pcfg = self._run_backend(transformed)
+            out = self._finish(result, pcfg, transformed, core=core)
+        if self.observe and recorder is not None:
+            out.metrics = recorder.metrics()
+        return out
 
     def check_race(self, prog: Program, target: RaceTarget) -> KissResult:
         """Check for races on one location (Figure 5 + backend)."""
-        core = self._as_core(prog)
-        transformer = RaceTransformer(
-            target, max_ts=self.max_ts, use_alias_analysis=self.use_alias_analysis
-        )
-        transformed = transformer.transform(core)
-        result, pcfg = self._run_backend(transformed)
-        return self._finish(
-            result, pcfg, transformed, core=core, target=target, transformer=transformer
-        )
+        recorder, ctx = obs.maybe_observing(self.observe)
+        with ctx, obs.span(
+            "check", prop="race", backend=self.backend, target=target.describe()
+        ):
+            core = self._as_core(prog)
+            transformer = RaceTransformer(
+                target, max_ts=self.max_ts, use_alias_analysis=self.use_alias_analysis
+            )
+            transformed = transformer.transform(core)
+            result, pcfg = self._run_backend(transformed)
+            out = self._finish(
+                result, pcfg, transformed, core=core, target=target, transformer=transformer
+            )
+        if self.observe and recorder is not None:
+            out.metrics = recorder.metrics()
+        return out
 
     def check_races_on_struct(
         self,
@@ -273,6 +308,7 @@ class Kiss:
             "inline": False,  # _as_core already inlined
             "map_traces": self.map_traces,
             "validate_traces": self.validate_traces,
+            "observe": self.observe,
         }
         batch = [
             CheckJob(

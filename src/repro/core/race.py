@@ -32,6 +32,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
+from repro import obs
 from repro.analysis.alias import AliasAnalysis
 from repro.lang.ast import (
     BOOL,
@@ -204,7 +205,10 @@ class RaceTransformer(KissTransformer):
         if isinstance(self._target_type, StructType):
             raise TransformError("race target must be a scalar location")
         self._alias = AliasAnalysis(prog) if self.use_alias_analysis else None
-        return super().transform(prog)
+        out = super().transform(prog)
+        obs.inc("race_checks_emitted", self.checks_emitted)
+        obs.inc("alias_prunes", self.checks_pruned)
+        return out
 
     def extra_globals(self) -> List[GlobalDecl]:
         decls = [

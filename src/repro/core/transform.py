@@ -71,6 +71,7 @@ from repro.lang.ast import (
     Var,
     walk_stmts,
 )
+from repro import obs
 from repro.lang.lower import clone_program, is_core_program
 
 from . import names
@@ -226,6 +227,10 @@ class KissTransformer:
     # -- public API -------------------------------------------------------------------
 
     def transform(self, prog: Program) -> Program:
+        with obs.span("transform", transformer=type(self).__name__, max_ts=self.max_ts):
+            return self._transform(prog)
+
+    def _transform(self, prog: Program) -> Program:
         if not is_core_program(prog):
             raise TransformError("input must be a core program (run repro.lang.lower first)")
         self._check_no_reserved(prog)

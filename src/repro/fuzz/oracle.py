@@ -36,6 +36,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Optional, Union
 
+from repro import obs
 from repro.cfg.build import build_program_cfg
 from repro.concheck import check_concurrent
 from repro.core.race import RaceTarget
@@ -123,10 +124,14 @@ def differential_check(
     """
     core = _as_core(prog)
 
-    con = check_concurrent(core, max_states=max_states, balanced_only=True)
-    factory = transformer_factory or (lambda ts: KissTransformer(max_ts=ts))
-    transformed = factory(max_ts).transform(core)
-    seq = SequentialChecker(build_program_cfg(transformed), max_states=max_states).check()
+    with obs.span("oracle-concurrent", max_ts=max_ts):
+        con = check_concurrent(core, max_states=max_states, balanced_only=True)
+    obs.inc("concurrent_states", con.stats.states)
+    with obs.span("oracle-sequential", max_ts=max_ts):
+        factory = transformer_factory or (lambda ts: KissTransformer(max_ts=ts))
+        transformed = factory(max_ts).transform(core)
+        seq = SequentialChecker(build_program_cfg(transformed), max_states=max_states).check()
+    obs.inc("oracle_runs")
 
     v = OracleVerdict(
         concurrent=_STATUS[con.status],

@@ -10,6 +10,8 @@ Public surface:
 
 from __future__ import annotations
 
+from repro import obs
+
 from .ast import Program
 from .inline import inline_program
 from .lower import is_core_program, lower_program
@@ -19,12 +21,15 @@ from .types import KissTypeError, check_program
 
 def parse(src: str) -> Program:
     """Parse and type-check a surface program."""
-    return check_program(parse_program(src))
+    with obs.span("parse", bytes=len(src)):
+        return check_program(parse_program(src))
 
 
 def parse_core(src: str) -> Program:
     """Parse, type-check, and lower a program to core form."""
-    return lower_program(parse(src))
+    prog = parse(src)
+    with obs.span("lower"):
+        return lower_program(prog)
 
 
 __all__ = [

@@ -269,4 +269,7 @@ class Inliner:
 
 def inline_program(prog: Program, max_stmts: int = 12) -> Program:
     """Inline small leaf functions in place; returns the same object."""
-    return Inliner(prog, max_stmts=max_stmts).run()
+    from repro import obs
+
+    with obs.span("inline"):
+        return Inliner(prog, max_stmts=max_stmts).run()

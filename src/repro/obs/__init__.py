@@ -1,0 +1,50 @@
+"""Observability: phase tracing and checker metrics (docs/OBSERVABILITY.md).
+
+Instrumentation points throughout the pipeline call :func:`span` and
+:func:`inc`; both are no-ops until a :class:`Recorder` is installed with
+:func:`observing` (or a pipeline entry point does so on your behalf —
+``Kiss(observe=True)``, the campaign ``observe`` execution option, or
+``python -m repro profile``).
+"""
+
+from .recorder import (
+    METRICS_SCHEMA,
+    Counters,
+    NullRecorder,
+    Recorder,
+    Span,
+    current,
+    inc,
+    make_event,
+    maybe_observing,
+    observing,
+    span,
+)
+from .report import (
+    PROFILE_SCHEMA,
+    SchemaError,
+    profile_document,
+    render_metrics,
+    validate_metrics,
+    validate_profile,
+)
+
+__all__ = [
+    "METRICS_SCHEMA",
+    "PROFILE_SCHEMA",
+    "Counters",
+    "NullRecorder",
+    "Recorder",
+    "SchemaError",
+    "Span",
+    "current",
+    "inc",
+    "make_event",
+    "maybe_observing",
+    "observing",
+    "profile_document",
+    "render_metrics",
+    "span",
+    "validate_metrics",
+    "validate_profile",
+]

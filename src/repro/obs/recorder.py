@@ -1,0 +1,296 @@
+"""Zero-dependency tracing and metrics for the checking pipeline.
+
+The pipeline is instrumented with two primitives:
+
+* :class:`Span` — a context manager timing one *phase* (``parse``,
+  ``transform``, ``explicit``, ``cegar``, …) with ``time.monotonic``.
+  Spans nest; each records its parent, so the event stream reconstructs
+  the phase tree of a run.
+* :class:`Counters` — a registry of monotonically non-decreasing named
+  counts (states explored, transitions, CEGAR iterations, SAT calls,
+  bebop summaries, alias-analysis prunes, cache hits, …).
+
+Observability is **off by default**: instrumentation points call the
+module-level :func:`span` / :func:`inc`, which delegate to the *current*
+recorder — a :class:`NullRecorder` unless a real :class:`Recorder` has
+been installed with :func:`observing`.  The null hooks do no allocation
+and no clock reads, so the disabled cost is one attribute lookup and one
+no-op call per instrumentation point (measured by
+``benchmarks/bench_obs_overhead.py``; the hot loops avoid even that by
+flushing bulk counters once per phase from stats the checkers already
+keep).
+
+Events share the campaign telemetry envelope (see
+:mod:`repro.campaign.telemetry`): every event is one JSON object with an
+``event`` name and a monotonic-relative timestamp ``t`` in seconds,
+built by :func:`make_event`.  Span events add ``span`` / ``id`` /
+``parent`` (and ``wall_s`` on ``span_end``).
+
+The recorder is intentionally not thread-safe: one recorder observes one
+in-process pipeline run.  Campaign workers each build their own recorder
+inside the worker process (see :mod:`repro.campaign.worker`).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Callable, Dict, List, Optional
+
+#: JSONL schema tag carried by :meth:`Recorder.metrics` snapshots.
+METRICS_SCHEMA = "kiss-metrics/1"
+
+
+def make_event(event: str, t: float, **fields) -> dict:
+    """The shared event envelope: ``{"event": ..., "t": ...}`` plus
+    event-specific fields.  Both the campaign :class:`Telemetry` stream
+    and the span stream build their events here, so the two JSONL
+    schemas stay unified."""
+    obj = {"event": event, "t": round(t, 6)}
+    obj.update(fields)
+    return obj
+
+
+class Counters:
+    """Named non-negative counts.  Increments must be non-negative —
+    counters only accumulate, so per-phase conservation checks (e.g.
+    ``states_explored`` equals the sum of per-phase visits) stay
+    meaningful."""
+
+    __slots__ = ("_data",)
+
+    def __init__(self):
+        self._data: Dict[str, int] = {}
+
+    def inc(self, name: str, n: int = 1) -> int:
+        if n < 0:
+            raise ValueError(f"counter {name!r}: negative increment {n}")
+        value = self._data.get(name, 0) + n
+        self._data[name] = value
+        return value
+
+    def get(self, name: str) -> int:
+        return self._data.get(name, 0)
+
+    def as_dict(self) -> Dict[str, int]:
+        return dict(sorted(self._data.items()))
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+
+class Span:
+    """One timed phase; returned by :meth:`Recorder.span` and used as a
+    context manager.  Exits must nest properly (stack discipline); the
+    recorder raises on a mismatched exit."""
+
+    __slots__ = ("_recorder", "name", "fields", "span_id", "parent_id", "t_start", "child_s")
+
+    def __init__(self, recorder: "Recorder", name: str, fields: dict):
+        self._recorder = recorder
+        self.name = name
+        self.fields = fields
+        self.span_id: Optional[int] = None
+        self.parent_id: Optional[int] = None
+        self.t_start = 0.0
+        self.child_s = 0.0  # wall clock of direct children, for self-time
+
+    def __enter__(self) -> "Span":
+        self._recorder._enter(self)
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self._recorder._exit(self)
+        return False
+
+
+class _NullSpan:
+    """The do-nothing span handed out when observability is off."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullRecorder:
+    """The default recorder: every hook is a no-op."""
+
+    enabled = False
+
+    def span(self, name: str, **fields) -> _NullSpan:
+        return _NULL_SPAN
+
+    def inc(self, name: str, n: int = 1) -> None:
+        pass
+
+
+class Recorder:
+    """Collects span events and counters for one pipeline run.
+
+    ``clock`` is injectable for deterministic tests; it must be
+    monotonic (the default is :func:`time.monotonic`)."""
+
+    enabled = True
+
+    def __init__(self, clock: Callable[[], float] = time.monotonic):
+        self._clock = clock
+        self._t0 = clock()
+        self.events: List[dict] = []
+        self.counters = Counters()
+        self._stack: List[Span] = []
+        self._next_id = 1
+        # name -> [calls, wall_s, self_s], in first-seen order
+        self._phases: Dict[str, List[float]] = {}
+
+    # -- span plumbing ------------------------------------------------------------
+
+    def _now(self) -> float:
+        return self._clock() - self._t0
+
+    def span(self, name: str, **fields) -> Span:
+        return Span(self, name, fields)
+
+    def _enter(self, span: Span) -> None:
+        span.span_id = self._next_id
+        self._next_id += 1
+        span.parent_id = self._stack[-1].span_id if self._stack else None
+        span.t_start = self._now()
+        self._stack.append(span)
+        self.events.append(
+            make_event(
+                "span_start", span.t_start, span=span.name, id=span.span_id,
+                parent=span.parent_id, **span.fields,
+            )
+        )
+
+    def _exit(self, span: Span) -> None:
+        if not self._stack or self._stack[-1] is not span:
+            raise RuntimeError(f"span {span.name!r} exited out of order")
+        self._stack.pop()
+        t_end = self._now()
+        wall = t_end - span.t_start
+        if self._stack:
+            self._stack[-1].child_s += wall
+        calls_wall_self = self._phases.setdefault(span.name, [0, 0.0, 0.0])
+        calls_wall_self[0] += 1
+        calls_wall_self[1] += wall
+        calls_wall_self[2] += wall - span.child_s
+        self.events.append(
+            make_event(
+                "span_end", t_end, span=span.name, id=span.span_id,
+                parent=span.parent_id, wall_s=round(wall, 6),
+            )
+        )
+
+    def inc(self, name: str, n: int = 1) -> None:
+        self.counters.inc(name, n)
+
+    # -- export ---------------------------------------------------------------------
+
+    def metrics(self) -> dict:
+        """A picklable snapshot: per-phase timings plus counters.
+
+        ``phases`` lists one row per distinct span name, in first-entry
+        order.  ``wall_s`` includes nested spans; ``self_s`` excludes
+        the direct children (so a breakdown table sums sensibly)."""
+        if self._stack:
+            raise RuntimeError(
+                f"metrics() inside open span {self._stack[-1].name!r}"
+            )
+        return {
+            "schema": METRICS_SCHEMA,
+            "wall_s": round(self._now(), 6),
+            "phases": [
+                {
+                    "name": name,
+                    "calls": calls,
+                    "wall_s": round(wall, 6),
+                    "self_s": round(self_s, 6),
+                }
+                for name, (calls, wall, self_s) in self._phases.items()
+            ],
+            "counters": self.counters.as_dict(),
+        }
+
+    def jsonl(self) -> str:
+        """The span event stream as JSONL text (one event per line)."""
+        return "".join(json.dumps(e) + "\n" for e in self.events)
+
+    def write_jsonl(self, path: str) -> None:
+        with open(path, "w") as f:
+            f.write(self.jsonl())
+
+
+# ---------------------------------------------------------------------------
+# The current recorder (module-level, process-local)
+# ---------------------------------------------------------------------------
+
+_NULL = NullRecorder()
+_current = _NULL
+
+
+def current():
+    """The recorder instrumentation points are feeding right now."""
+    return _current
+
+
+def span(name: str, **fields):
+    """Open a span on the current recorder (no-op when disabled)."""
+    return _current.span(name, **fields)
+
+
+def inc(name: str, n: int = 1) -> None:
+    """Bump a counter on the current recorder (no-op when disabled)."""
+    _current.inc(name, n)
+
+
+class observing:
+    """Install ``recorder`` as the current recorder for a ``with`` block
+    (restores the previous one on exit, so observed runs nest)."""
+
+    def __init__(self, recorder: Recorder):
+        self.recorder = recorder
+        self._prev = None
+
+    def __enter__(self) -> Recorder:
+        global _current
+        self._prev = _current
+        _current = self.recorder
+        return self.recorder
+
+    def __exit__(self, *exc) -> bool:
+        global _current
+        _current = self._prev
+        return False
+
+
+class _nullcontext:
+    def __init__(self, value=None):
+        self.value = value
+
+    def __enter__(self):
+        return self.value
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+
+def maybe_observing(enable: bool):
+    """``(recorder, context manager)`` for an optionally observed run.
+
+    When a recorder is already installed, the run joins it (nested
+    pipelines contribute to the ambient stream).  Otherwise ``enable``
+    picks between a fresh recorder and the null recorder."""
+    if _current.enabled:
+        return _current, _nullcontext(_current)
+    if enable:
+        rec = Recorder()
+        return rec, observing(rec)
+    return None, _nullcontext(None)

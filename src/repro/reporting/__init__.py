@@ -1,5 +1,5 @@
 """Reporting helpers for the benchmark harnesses."""
 
-from .tables import agreement_note, render_table
+from .tables import agreement_note, display_width, render_table
 
-__all__ = ["render_table", "agreement_note"]
+__all__ = ["render_table", "agreement_note", "display_width"]

@@ -2,23 +2,44 @@
 
 from __future__ import annotations
 
+import unicodedata
 from typing import List, Sequence
+
+
+def display_width(text: str) -> int:
+    """Terminal-column width of ``text``.
+
+    ``len()`` miscounts two common cases that appear in driver names and
+    backend messages: East Asian wide/fullwidth characters occupy two
+    columns, and combining marks occupy none.  Alignment uses this
+    instead of ``len()`` so mixed-width rows still line up.
+    """
+    width = 0
+    for ch in text:
+        if unicodedata.combining(ch):
+            continue
+        width += 2 if unicodedata.east_asian_width(ch) in ("W", "F") else 1
+    return width
+
+
+def _pad(text: str, width: int) -> str:
+    return text + " " * max(0, width - display_width(text))
 
 
 def render_table(headers: Sequence[str], rows: Sequence[Sequence[object]], title: str = "") -> str:
     """Render an aligned text table (paper-style, for bench output)."""
     cells = [[str(c) for c in row] for row in rows]
-    widths = [len(h) for h in headers]
+    widths = [display_width(h) for h in headers]
     for row in cells:
         for i, c in enumerate(row):
-            widths[i] = max(widths[i], len(c))
+            widths[i] = max(widths[i], display_width(c))
     lines: List[str] = []
     if title:
         lines.append(title)
-    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join(_pad(h, w) for h, w in zip(headers, widths)))
     lines.append("  ".join("-" * w for w in widths))
     for row in cells:
-        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+        lines.append("  ".join(_pad(c, w) for c, w in zip(row, widths)))
     return "\n".join(lines)
 
 

@@ -241,7 +241,13 @@ class BebopChecker:
 
 def check_boolean_program(prog: BProgram, max_edges: int = 2_000_000) -> BebopResult:
     """Reachability check of a boolean program's assertions."""
-    return BebopChecker(prog, max_edges=max_edges).check()
+    from repro import obs
+
+    with obs.span("bebop", procs=len(prog.procs)):
+        result = BebopChecker(prog, max_edges=max_edges).check()
+    obs.inc("bebop_path_edges", result.path_edges)
+    obs.inc("bebop_summaries", result.summaries)
+    return result
 
 
 # ---------------------------------------------------------------------------
@@ -260,6 +266,8 @@ def find_error_trace(
     statement to build the concrete path condition, so it re-derives the
     trace here (boolean programs produced by abstraction are small).
     """
+    from repro import obs
+
     prog.validate()
     labels = {p.name: p.label_index() for p in prog.procs.values()}
     entry = prog.proc(prog.entry)

@@ -22,6 +22,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+from repro import obs
 from repro.lang.ast import (
     Assert,
     Assign,
@@ -79,19 +80,26 @@ class CegarChecker:
         self.seed_predicates = seed_predicates or []
 
     def check(self) -> CegarResult:
+        with obs.span("cegar", max_rounds=self.max_rounds):
+            return self._check()
+
+    def _check(self) -> CegarResult:
         preds = PredicateSet()
         for p in self.seed_predicates:
             preds.add(self.prog, self.prog.entry, p)
         for round_no in range(1, self.max_rounds + 1):
+            obs.inc("cegar_iterations")
             try:
-                abstractor = Abstractor(self.prog, preds, self.width, self.max_cube)
-                bprog = abstractor.abstract()
+                with obs.span("abstract", round=round_no, predicates=preds.count()):
+                    abstractor = Abstractor(self.prog, preds, self.width, self.max_cube)
+                    bprog = abstractor.abstract()
             except AbstractionError as exc:
                 return CegarResult("unsupported", rounds=round_no, message=str(exc))
             result = check_boolean_program(bprog)
             if result.safe:
                 return CegarResult("safe", rounds=round_no, predicates=preds.count())
-            trace = find_error_trace(bprog)
+            with obs.span("bebop-trace", round=round_no):
+                trace = find_error_trace(bprog)
             if trace is None:
                 return CegarResult(
                     "diverged", rounds=round_no, predicates=preds.count(),
@@ -101,7 +109,8 @@ class CegarChecker:
                 (proc, abstractor.provenance.get((proc, pc)))
                 for proc, pc, _ in trace
             ]
-            feasible, witness, new_preds = self._concretize(concrete)
+            with obs.span("concretize", round=round_no):
+                feasible, witness, new_preds = self._concretize(concrete)
             if feasible:
                 return CegarResult(
                     "error",

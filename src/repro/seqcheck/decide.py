@@ -187,6 +187,9 @@ def check_sat(
 ) -> Optional[Dict[str, object]]:
     """Is the conjunction of ``exprs`` satisfiable?  Returns a model
     (variable -> int/bool) or ``None``."""
+    from repro import obs
+
+    obs.inc("sat_calls")
     bb = BitBlaster(width)
     for e in exprs:
         bb.cnf.add(bb.blast_bool(e, types))

@@ -18,6 +18,7 @@ from __future__ import annotations
 from collections import deque
 from typing import Dict, List, Optional, Tuple
 
+from repro import obs
 from repro.cfg.build import build_program_cfg
 from repro.cfg.graph import Node, ProgramCfg
 from repro.lang.ast import Program
@@ -63,6 +64,15 @@ class SequentialChecker:
     # -- public API -------------------------------------------------------------
 
     def check(self) -> CheckResult:
+        # Counters are flushed once from the stats the BFS already keeps,
+        # so the exploration loop itself carries no observability hooks.
+        with obs.span("explicit", max_states=self.max_states):
+            result = self._check()
+        obs.inc("states_explored", result.stats.states)
+        obs.inc("transitions", result.stats.transitions)
+        return result
+
+    def _check(self) -> CheckResult:
         stats = CheckStats()
         freeze = self.interp.freezer.freeze
         init = self._initial_world()

@@ -1,0 +1,110 @@
+"""Backend parity under observation: both sequential backends agree on
+verdicts for three pinned concurrent programs, and each produces its
+complete metric set.
+
+The pinned set mixes corpus and hand-written programs because the CEGAR
+stack covers the scalar fragment only (driver programs use pointers)
+and its refinement diverges — by design, cost is property-dependent —
+on several ``tests/fuzz_corpus`` entries.  These three resolve quickly
+under both backends and cover both verdicts.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro import obs
+from repro.core.checker import Kiss
+from repro.lang import parse
+
+CORPUS = Path(__file__).parent / "fuzz_corpus"
+
+#: name -> (source, max_ts, expected verdict)
+PROGRAMS = {
+    "delayed-worker.kp": (None, None, "error"),  # loaded from the fuzz corpus
+    "bound-error": (
+        """
+        int x;
+        void w() { assert(x < 2); }
+        void main() { async w(); x = 2; }
+        """,
+        1,
+        "error",
+    ),
+    "handoff-safe": (
+        """
+        int data; bool ready;
+        void w() { assume(ready); assert(data == 5); }
+        void main() { data = 5; ready = true; async w(); }
+        """,
+        1,
+        "safe",
+    ),
+}
+
+#: Every observed run of a backend must produce at least these phases
+#: and counters — a partial metric set means an instrumentation point
+#: was dropped.
+REQUIRED = {
+    "explicit": (
+        {"check", "transform", "cfg", "explicit"},
+        {"states_explored", "transitions"},
+    ),
+    "cegar": (
+        {"check", "transform", "cfg", "cegar", "abstract", "bebop"},
+        {"cegar_iterations", "sat_calls", "bebop_summaries", "bebop_path_edges"},
+    ),
+}
+
+
+def _program(name):
+    source, max_ts, expected = PROGRAMS[name]
+    if source is None:
+        manifest = {
+            e["file"]: e
+            for e in json.loads((CORPUS / "manifest.json").read_text())["programs"]
+        }
+        source = (CORPUS / name).read_text()
+        max_ts = manifest[name]["max_ts"]
+        assert manifest[name]["sequential"] == expected
+    return source, max_ts, expected
+
+
+def _observed_check(name, backend):
+    source, max_ts, _ = _program(name)
+    kiss = Kiss(max_ts=max_ts, backend=backend, observe=True)
+    return kiss.check_assertions(parse(source))
+
+
+def test_pinned_set_covers_both_verdicts():
+    assert {expected for _, _, expected in PROGRAMS.values()} == {"safe", "error"}
+
+
+@pytest.mark.parametrize("name", sorted(PROGRAMS))
+def test_backends_agree_with_complete_metrics(name):
+    _, _, expected = _program(name)
+    results = {}
+    for backend, (phases, counters) in REQUIRED.items():
+        r = _observed_check(name, backend)
+        obs.validate_metrics(r.metrics)
+        got_phases = {row["name"] for row in r.metrics["phases"]}
+        missing = phases - got_phases
+        assert not missing, f"{name}/{backend}: missing phases {sorted(missing)}"
+        missing = {c for c in counters if r.metrics["counters"].get(c, 0) < 1}
+        assert not missing, f"{name}/{backend}: missing counters {sorted(missing)}"
+        results[backend] = r
+
+    verdicts = {b: r.verdict for b, r in results.items()}
+    assert verdicts["explicit"] == verdicts["cegar"] == expected, f"{name}: {verdicts}"
+
+
+@pytest.mark.parametrize("name", sorted(PROGRAMS))
+def test_backend_wall_clock_accounted(name):
+    """Every phase's wall clock fits inside the enclosing check span."""
+    r = _observed_check(name, "explicit")
+    by_name = {row["name"]: row for row in r.metrics["phases"]}
+    check = by_name["check"]
+    for row in r.metrics["phases"]:
+        if row["name"] != "check":
+            assert row["wall_s"] <= check["wall_s"] + 1e-6, row

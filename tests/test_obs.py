@@ -1,0 +1,331 @@
+"""Unit tests for the observability layer (:mod:`repro.obs`).
+
+Golden-file style: recorder runs use an injected deterministic clock
+(one tick per read), so JSONL streams and rendered tables are exact
+string matches, not pattern matches.
+"""
+
+import json
+
+import pytest
+
+from repro import obs
+
+
+class ManualClock:
+    """Monotonic fake clock: each read advances by ``step``."""
+
+    def __init__(self, step=1.0):
+        self.t = 0.0
+        self.step = step
+
+    def __call__(self):
+        t = self.t
+        self.t += self.step
+        return t
+
+
+def recorded(clock=None):
+    """A fresh recorder plus the nested-span + counter workload used by
+    the golden tests: outer(k=1){ inner{} }, then c += 2."""
+    rec = obs.Recorder(clock=clock or ManualClock())
+    with obs.observing(rec):
+        with obs.span("outer", k=1):
+            with obs.span("inner"):
+                pass
+        obs.inc("c", 2)
+    return rec
+
+
+# ---------------------------------------------------------------------------
+# Off by default
+# ---------------------------------------------------------------------------
+
+
+def test_null_recorder_is_the_default():
+    assert isinstance(obs.current(), obs.NullRecorder)
+    assert not obs.current().enabled
+
+
+def test_null_hooks_do_nothing():
+    # spans and counters on the null recorder must be inert no-ops
+    with obs.span("anything", field=1) as s:
+        obs.inc("counter", 41)
+    with obs.span("anything") as s2:
+        pass
+    assert s is s2  # one shared null span, no allocation per call
+
+
+def test_observing_installs_and_restores():
+    rec = obs.Recorder()
+    before = obs.current()
+    with obs.observing(rec):
+        assert obs.current() is rec
+        assert obs.current().enabled
+    assert obs.current() is before
+
+
+def test_observing_nests():
+    outer, inner = obs.Recorder(), obs.Recorder()
+    with obs.observing(outer):
+        with obs.observing(inner):
+            obs.inc("x")
+        assert obs.current() is outer
+    assert inner.counters.get("x") == 1
+    assert outer.counters.get("x") == 0
+
+
+def test_maybe_observing_joins_ambient_recorder():
+    ambient = obs.Recorder()
+    with obs.observing(ambient):
+        rec, ctx = obs.maybe_observing(True)
+        assert rec is ambient
+        with ctx:  # a no-op: must not reinstall or reset anything
+            obs.inc("x")
+    assert ambient.counters.get("x") == 1
+
+
+def test_maybe_observing_fresh_when_enabled():
+    rec, ctx = obs.maybe_observing(True)
+    assert isinstance(rec, obs.Recorder)
+    with ctx:
+        assert obs.current() is rec
+    assert not obs.current().enabled
+
+
+def test_maybe_observing_null_when_disabled():
+    rec, ctx = obs.maybe_observing(False)
+    assert rec is None
+    with ctx:
+        assert not obs.current().enabled
+
+
+# ---------------------------------------------------------------------------
+# Spans
+# ---------------------------------------------------------------------------
+
+
+def test_span_nesting_parents_and_ids():
+    rec = recorded()
+    start = [e for e in rec.events if e["event"] == "span_start"]
+    assert [(e["span"], e["id"], e["parent"]) for e in start] == [
+        ("outer", 1, None),
+        ("inner", 2, 1),
+    ]
+    assert start[0]["k"] == 1  # span fields land on span_start
+
+
+def test_span_events_balanced():
+    rec = recorded()
+    kinds = [e["event"] for e in rec.events]
+    assert kinds == ["span_start", "span_start", "span_end", "span_end"]
+    ends = {e["id"] for e in rec.events if e["event"] == "span_end"}
+    starts = {e["id"] for e in rec.events if e["event"] == "span_start"}
+    assert ends == starts
+
+
+def test_timestamps_monotonic():
+    rec = recorded()
+    ts = [e["t"] for e in rec.events]
+    assert ts == sorted(ts)
+    assert all(t >= 0 for t in ts)
+
+
+def test_out_of_order_exit_raises():
+    rec = obs.Recorder(clock=ManualClock())
+    with obs.observing(rec):
+        a = obs.span("a")
+        b = obs.span("b")
+        a.__enter__()
+        b.__enter__()
+        with pytest.raises(RuntimeError, match="out of order"):
+            a.__exit__(None, None, None)
+
+
+def test_exit_without_enter_raises():
+    rec = obs.Recorder(clock=ManualClock())
+    with pytest.raises(RuntimeError, match="out of order"):
+        rec.span("ghost").__exit__(None, None, None)
+
+
+def test_jsonl_golden():
+    rec = recorded()
+    assert rec.jsonl() == (
+        '{"event": "span_start", "t": 1.0, "span": "outer", "id": 1, "parent": null, "k": 1}\n'
+        '{"event": "span_start", "t": 2.0, "span": "inner", "id": 2, "parent": 1}\n'
+        '{"event": "span_end", "t": 3.0, "span": "inner", "id": 2, "parent": 1, "wall_s": 1.0}\n'
+        '{"event": "span_end", "t": 4.0, "span": "outer", "id": 1, "parent": null, "wall_s": 3.0}\n'
+    )
+
+
+def test_write_jsonl_roundtrip(tmp_path):
+    rec = recorded()
+    path = tmp_path / "spans.jsonl"
+    rec.write_jsonl(str(path))
+    lines = [json.loads(line) for line in path.read_text().splitlines()]
+    assert lines == rec.events
+
+
+# ---------------------------------------------------------------------------
+# Counters
+# ---------------------------------------------------------------------------
+
+
+def test_counters_accumulate():
+    c = obs.Counters()
+    assert c.inc("a") == 1
+    assert c.inc("a", 4) == 5
+    assert c.get("a") == 5
+    assert c.get("missing") == 0
+    assert c.as_dict() == {"a": 5}
+
+
+def test_counters_reject_negative_increments():
+    c = obs.Counters()
+    with pytest.raises(ValueError, match="negative"):
+        c.inc("a", -1)
+    assert c.get("a") == 0  # the failed increment must not land
+
+
+def test_counters_sorted_export():
+    c = obs.Counters()
+    c.inc("zeta")
+    c.inc("alpha")
+    assert list(c.as_dict()) == ["alpha", "zeta"]
+
+
+# ---------------------------------------------------------------------------
+# Metrics snapshots
+# ---------------------------------------------------------------------------
+
+
+def test_metrics_golden():
+    m = recorded().metrics()
+    assert m == {
+        "schema": "kiss-metrics/1",
+        "wall_s": 5.0,
+        "phases": [
+            {"name": "inner", "calls": 1, "wall_s": 1.0, "self_s": 1.0},
+            {"name": "outer", "calls": 1, "wall_s": 3.0, "self_s": 2.0},
+        ],
+        "counters": {"c": 2},
+    }
+    obs.validate_metrics(m)
+
+
+def test_metrics_self_time_excludes_children():
+    m = recorded().metrics()
+    by_name = {row["name"]: row for row in m["phases"]}
+    # outer spans ticks 1..4 (wall 3), inner spans ticks 2..3 (wall 1)
+    assert by_name["outer"]["self_s"] == by_name["outer"]["wall_s"] - 1.0
+
+
+def test_metrics_aggregates_repeated_phases():
+    rec = obs.Recorder(clock=ManualClock())
+    with obs.observing(rec):
+        for _ in range(3):
+            with obs.span("phase"):
+                pass
+    row = rec.metrics()["phases"][0]
+    assert row["calls"] == 3
+    assert row["wall_s"] == 3.0  # three spans, one tick each
+
+
+def test_metrics_inside_open_span_raises():
+    rec = obs.Recorder(clock=ManualClock())
+    with obs.observing(rec):
+        with obs.span("open"):
+            with pytest.raises(RuntimeError, match="open span"):
+                rec.metrics()
+
+
+def test_metrics_is_json_clean():
+    m = recorded().metrics()
+    assert json.loads(json.dumps(m)) == m
+
+
+# ---------------------------------------------------------------------------
+# Event envelope (shared with campaign telemetry)
+# ---------------------------------------------------------------------------
+
+
+def test_make_event_envelope():
+    e = obs.make_event("job_end", 1.23456789, job="j1")
+    assert e == {"event": "job_end", "t": 1.234568, "job": "j1"}
+    assert list(e)[:2] == ["event", "t"]
+
+
+# ---------------------------------------------------------------------------
+# Schema validation
+# ---------------------------------------------------------------------------
+
+
+def test_validate_metrics_rejects_bad_documents():
+    good = recorded().metrics()
+    for mutate in (
+        lambda d: d.pop("schema"),
+        lambda d: d.__setitem__("schema", "kiss-metrics/999"),
+        lambda d: d.pop("phases"),
+        lambda d: d.__setitem__("wall_s", -1.0),
+        lambda d: d["phases"][0].__setitem__("calls", 0),
+        lambda d: d["phases"][0].pop("self_s"),
+        lambda d: d["counters"].__setitem__("c", -2),
+        lambda d: d["counters"].__setitem__("c", "two"),
+    ):
+        doc = json.loads(json.dumps(good))
+        mutate(doc)
+        with pytest.raises(obs.SchemaError):
+            obs.validate_metrics(doc)
+
+
+def test_validate_profile_good_and_bad():
+    good = obs.profile_document(
+        file="x.kp",
+        prop="assertion",
+        target=None,
+        verdict="safe",
+        config={"max_ts": 0},
+        metrics=recorded().metrics(),
+    )
+    assert obs.validate_profile(good) is good
+    for mutate in (
+        lambda d: d.__setitem__("schema", "nope"),
+        lambda d: d.__setitem__("prop", "liveness"),
+        lambda d: d.__setitem__("verdict", "crashed"),
+        lambda d: d.pop("metrics"),
+        lambda d: d["metrics"].pop("counters"),
+    ):
+        doc = json.loads(json.dumps(good))
+        mutate(doc)
+        with pytest.raises(obs.SchemaError):
+            obs.validate_profile(doc)
+
+
+# ---------------------------------------------------------------------------
+# Rendering
+# ---------------------------------------------------------------------------
+
+
+def test_render_metrics_golden():
+    out = obs.render_metrics(recorded().metrics())
+    assert out == "\n".join(
+        [
+            "Per-phase breakdown",
+            "Phase  Calls  Wall(s)  Self(s)  % of run",
+            "-----  -----  -------  -------  --------",
+            "inner  1      1.0000   1.0000   20.0%   ",
+            "outer  1      3.0000   2.0000   60.0%   ",
+            "",
+            "Counters",
+            "Counter  Value",
+            "-------  -----",
+            "c        2    ",
+        ]
+    )
+
+
+def test_render_metrics_empty_run():
+    rec = obs.Recorder(clock=ManualClock())
+    out = obs.render_metrics(rec.metrics())
+    assert "(no spans recorded)" in out
+    assert "Counters" not in out  # no counter table without counters

@@ -1,0 +1,349 @@
+"""End-to-end observability: the instrumented pipeline, the campaign
+engine's metrics plumbing, telemetry lifetime, and the `profile` CLI.
+
+The conservation tests pin the contract that makes the counters
+trustworthy: the numbers in a metrics snapshot are the *same* numbers
+the checkers report through their own result objects — not an
+independent (and independently buggy) account.
+"""
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.campaign import CampaignConfig, CampaignScheduler
+from repro.campaign.jobs import CheckJob, JobResult
+from repro.campaign.telemetry import Telemetry
+from repro.cli import EXIT_BOUND, EXIT_ERROR, EXIT_SAFE, EXIT_USAGE, main
+from repro.core.checker import Kiss
+from repro.core.race import RaceTarget
+from repro.fuzz import differential_check_source
+from repro.lang import parse, parse_core
+
+BUGGY = """
+bool flag;
+void worker() { flag = true; }
+void main() { async worker(); assert(!flag); }
+"""
+
+RACY = """
+int g;
+void w() { g = 1; }
+void main() { async w(); g = 2; }
+"""
+
+SCALAR_SAFE = """
+int a; int b;
+void main() { a = 4; b = a + 3; assert(b == 7); }
+"""
+
+
+def phase_names(metrics):
+    return {row["name"] for row in metrics["phases"]}
+
+
+# ---------------------------------------------------------------------------
+# Kiss facade
+# ---------------------------------------------------------------------------
+
+
+def test_observe_off_by_default():
+    r = Kiss().check_assertions(parse_core(BUGGY))
+    assert r.metrics is None
+    assert not obs.current().enabled
+
+
+def test_observed_check_attaches_valid_metrics():
+    r = Kiss(max_ts=1, observe=True).check_assertions(parse_core(BUGGY))
+    assert r.is_error
+    obs.validate_metrics(r.metrics)
+    assert {"check", "transform", "cfg", "explicit"} <= phase_names(r.metrics)
+    assert not obs.current().enabled  # the recorder must not leak
+
+
+def test_observed_surface_program_records_lowering():
+    r = Kiss(observe=True).check_assertions(parse(BUGGY))
+    assert "lower" in phase_names(r.metrics)
+
+
+def test_states_explored_conserved_with_backend_stats():
+    r = Kiss(max_ts=1, observe=True).check_assertions(parse_core(BUGGY))
+    c = r.metrics["counters"]
+    assert c["states_explored"] == r.backend_result.stats.states
+    assert c["transitions"] == r.backend_result.stats.transitions
+    assert c["states_explored"] > 0
+
+
+def test_ambient_recorder_sums_across_runs():
+    rec = obs.Recorder()
+    with obs.observing(rec):
+        r1 = Kiss(max_ts=1, observe=True).check_assertions(parse_core(BUGGY))
+        r2 = Kiss(observe=True).check_assertions(parse_core("void main() { }"))
+    m = rec.metrics()
+    checks = [row for row in m["phases"] if row["name"] == "check"]
+    assert checks[0]["calls"] == 2
+    assert m["counters"]["states_explored"] == (
+        r1.backend_result.stats.states + r2.backend_result.stats.states
+    )
+    # joined runs snapshot the shared stream: the first sees only its own
+    # counts, the second sees the accumulated totals
+    assert r1.metrics["counters"]["states_explored"] == r1.backend_result.stats.states
+    assert r2.metrics["counters"] == m["counters"]
+
+
+def test_race_counters_match_result_fields():
+    r = Kiss(max_ts=1, observe=True).check_race(
+        parse_core(RACY), RaceTarget.global_var("g")
+    )
+    c = r.metrics["counters"]
+    assert c["race_checks_emitted"] == r.checks_emitted > 0
+    assert c.get("alias_prunes", 0) == r.checks_pruned
+
+
+def test_cegar_backend_metrics():
+    r = Kiss(backend="cegar", observe=True).check_assertions(parse_core(SCALAR_SAFE))
+    assert r.is_safe
+    assert {"cegar", "abstract", "bebop"} <= phase_names(r.metrics)
+    c = r.metrics["counters"]
+    assert c["cegar_iterations"] >= 1
+    assert c["sat_calls"] >= 1
+    assert c["bebop_summaries"] >= 1
+    assert c["bebop_path_edges"] >= 1
+
+
+# ---------------------------------------------------------------------------
+# Fuzz oracle
+# ---------------------------------------------------------------------------
+
+
+def test_oracle_spans_and_counters():
+    rec = obs.Recorder()
+    with obs.observing(rec):
+        v = differential_check_source(BUGGY, max_ts=1)
+    m = rec.metrics()
+    assert {"oracle-concurrent", "oracle-sequential"} <= phase_names(m)
+    assert m["counters"]["oracle_runs"] == 1
+    assert m["counters"]["concurrent_states"] == v.con_states > 0
+
+
+# ---------------------------------------------------------------------------
+# Campaign plumbing
+# ---------------------------------------------------------------------------
+
+
+def _race_job(observe, job_id="d/EXT.f"):
+    return CheckJob(
+        job_id=job_id,
+        driver="d",
+        source=RACY,
+        prop="race",
+        target="g",
+        config={"max_ts": 1, "observe": observe},
+    )
+
+
+def test_campaign_job_carries_metrics(tmp_path):
+    scheduler = CampaignScheduler(CampaignConfig(jobs=1, cache_dir=None))
+    (result,) = scheduler.run([_race_job(observe=True)])
+    obs.validate_metrics(result.metrics)
+    assert result.metrics["counters"]["states_explored"] == result.states
+    # ... and the job_end telemetry event carries the same snapshot
+    (end,) = scheduler.last_telemetry.of_kind("job_end")
+    assert end["metrics"] == result.metrics
+
+
+def test_campaign_without_observe_has_no_metrics():
+    scheduler = CampaignScheduler(CampaignConfig(jobs=1, cache_dir=None))
+    (result,) = scheduler.run([_race_job(observe=False)])
+    assert result.metrics is None
+    (end,) = scheduler.last_telemetry.of_kind("job_end")
+    assert "metrics" not in end
+
+
+def test_metrics_survive_the_result_cache(tmp_path):
+    config = CampaignConfig(jobs=1, cache_dir=str(tmp_path / "cache"))
+    (first,) = CampaignScheduler(config).run([_race_job(observe=True)])
+    assert not first.cache_hit
+    (second,) = CampaignScheduler(config).run([_race_job(observe=True)])
+    assert second.cache_hit
+    assert second.metrics == first.metrics
+    obs.validate_metrics(second.metrics)
+
+
+def test_observe_is_not_part_of_the_cache_key(tmp_path):
+    config = CampaignConfig(jobs=1, cache_dir=str(tmp_path / "cache"))
+    (first,) = CampaignScheduler(config).run([_race_job(observe=True)])
+    (second,) = CampaignScheduler(config).run([_race_job(observe=False)])
+    assert second.cache_hit  # execution options never invalidate results
+    assert second.verdict == first.verdict
+
+
+def test_pool_workers_return_metrics():
+    scheduler = CampaignScheduler(CampaignConfig(jobs=2, cache_dir=None))
+    jobs = [_race_job(observe=True, job_id=f"d/EXT.f{i}") for i in range(2)]
+    results = scheduler.run(jobs)
+    for r in results:
+        obs.validate_metrics(r.metrics)
+        assert r.metrics["counters"]["states_explored"] == r.states
+
+
+def test_fuzz_job_metrics():
+    scheduler = CampaignScheduler(CampaignConfig(jobs=1, cache_dir=None))
+    job = CheckJob(
+        job_id="fuzz/0", driver="fuzz", source=BUGGY, prop="fuzz",
+        config={"max_ts": 1, "observe": True},
+    )
+    (result,) = scheduler.run([job])
+    obs.validate_metrics(result.metrics)
+    assert result.metrics["counters"]["oracle_runs"] == 1
+
+
+def test_jobresult_metrics_roundtrip():
+    r = JobResult(
+        job_id="j", driver="d", prop="race", target="g", verdict="safe",
+        metrics={"schema": obs.METRICS_SCHEMA, "wall_s": 1.0, "phases": [],
+                 "counters": {"states_explored": 3}},
+    )
+    back = JobResult.from_dict(json.loads(json.dumps(r.to_dict())))
+    assert back.metrics == r.metrics
+    plain = JobResult(job_id="j", driver="d", prop="race", target="g", verdict="safe")
+    assert "metrics" not in plain.to_dict()  # absent, not null, when unobserved
+
+
+# ---------------------------------------------------------------------------
+# Telemetry lifetime (the file-handle leak regression)
+# ---------------------------------------------------------------------------
+
+
+def test_telemetry_close_is_idempotent(tmp_path):
+    tel = Telemetry(str(tmp_path / "t.jsonl"))
+    assert not tel.closed
+    tel.emit("campaign_start")
+    tel.close()
+    assert tel.closed
+    tel.close()  # second close must not raise
+
+
+def test_telemetry_context_manager_closes(tmp_path):
+    with Telemetry(str(tmp_path / "t.jsonl")) as tel:
+        tel.emit("campaign_start")
+        assert not tel.closed
+    assert tel.closed
+
+
+def test_scheduler_closes_its_own_telemetry(tmp_path):
+    path = tmp_path / "t.jsonl"
+    scheduler = CampaignScheduler(
+        CampaignConfig(jobs=1, cache_dir=None, telemetry_path=str(path))
+    )
+    scheduler.run([_race_job(observe=False)])
+    assert scheduler.last_telemetry.closed
+    assert path.exists()
+
+
+def test_scheduler_closes_telemetry_on_error(tmp_path, monkeypatch):
+    path = tmp_path / "t.jsonl"
+    scheduler = CampaignScheduler(
+        CampaignConfig(jobs=1, cache_dir=None, telemetry_path=str(path))
+    )
+    monkeypatch.setattr(scheduler, "_run", lambda *a: (_ for _ in ()).throw(RuntimeError))
+    with pytest.raises(RuntimeError):
+        scheduler.run([_race_job(observe=False)])
+    assert scheduler.last_telemetry.closed
+
+
+def test_caller_supplied_telemetry_stays_open(tmp_path):
+    with Telemetry(str(tmp_path / "t.jsonl")) as tel:
+        scheduler = CampaignScheduler(CampaignConfig(jobs=1, cache_dir=None))
+        scheduler.run([_race_job(observe=False)], telemetry=tel)
+        assert not tel.closed  # the caller owns its stream's lifetime
+    assert tel.closed
+
+
+# ---------------------------------------------------------------------------
+# Schema unification: one envelope for both event streams
+# ---------------------------------------------------------------------------
+
+
+def test_telemetry_and_span_streams_share_the_envelope(tmp_path):
+    scheduler = CampaignScheduler(CampaignConfig(jobs=1, cache_dir=None))
+    scheduler.run([_race_job(observe=True)])
+    rec = obs.Recorder()
+    with obs.observing(rec):
+        with obs.span("x"):
+            pass
+    for stream in (scheduler.last_telemetry.events, rec.events):
+        ts = [e["t"] for e in stream]
+        assert ts == sorted(ts)
+        for e in stream:
+            assert isinstance(e["event"], str)
+            assert isinstance(e["t"], float)
+            assert list(e)[:2] == ["event", "t"]
+            json.dumps(e)  # every event is JSONL-serializable
+
+
+# ---------------------------------------------------------------------------
+# The profile CLI
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture
+def src_file(tmp_path):
+    def write(source, name="prog.kp"):
+        path = tmp_path / name
+        path.write_text(source)
+        return str(path)
+
+    return write
+
+
+def test_profile_safe_program(src_file, capsys):
+    assert main(["profile", src_file("void main() { assert(true); }")]) == EXIT_SAFE
+    out = capsys.readouterr().out
+    assert "verdict: safe" in out
+    assert "Per-phase breakdown" in out
+    assert "explicit" in out
+
+
+def test_profile_error_exit_code(src_file, capsys):
+    assert main(["profile", src_file(BUGGY), "--max-ts", "1"]) == EXIT_ERROR
+    assert "verdict:" in capsys.readouterr().out
+
+
+def test_profile_resource_bound_exit_code(src_file):
+    assert main(
+        ["profile", src_file(BUGGY), "--max-ts", "1", "--max-states", "3"]
+    ) == EXIT_BOUND
+
+
+def test_profile_race_target(src_file, capsys):
+    assert main(
+        ["profile", src_file(RACY), "--target", "g", "--max-ts", "1"]
+    ) == EXIT_ERROR
+    assert "race_checks_emitted" in capsys.readouterr().out
+
+
+def test_profile_json_document(src_file, capsys):
+    path = src_file(SCALAR_SAFE)
+    assert main(["profile", path, "--json"]) == EXIT_SAFE
+    doc = json.loads(capsys.readouterr().out)
+    obs.validate_profile(doc)
+    assert doc["file"] == path
+    assert doc["prop"] == "assertion"
+    assert doc["verdict"] == "safe"
+    assert doc["config"]["backend"] == "explicit"
+
+
+def test_profile_output_file(src_file, tmp_path, capsys):
+    out_path = tmp_path / "profile.json"
+    assert main(
+        ["profile", src_file(SCALAR_SAFE), "--output", str(out_path)]
+    ) == EXIT_SAFE
+    obs.validate_profile(json.loads(out_path.read_text()))
+    assert f"wrote {out_path}" in capsys.readouterr().out
+
+
+def test_profile_missing_file_is_usage_error(capsys):
+    assert main(["profile", "no/such/file.kp"]) == EXIT_USAGE
+    assert "error" in capsys.readouterr().err

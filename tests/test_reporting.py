@@ -2,9 +2,11 @@
 
 import pytest
 
+from repro.campaign.jobs import JobResult
+from repro.campaign.telemetry import summarize
 from repro.drivers import PAPER_TABLE1, PAPER_TABLE2, check_driver, spec_by_name
 from repro.drivers.corpus import DriverRunResult, FieldOutcome
-from repro.reporting import agreement_note, render_table
+from repro.reporting import agreement_note, display_width, render_table
 from repro.reporting.results import ExperimentRecord, table1_record, table2_record
 
 
@@ -23,9 +25,106 @@ def test_render_table_widens_to_content():
     assert len(sep) >= len("wide-content")
 
 
+def test_render_table_golden():
+    out = render_table(
+        ["Driver", "Races"],
+        [["tracedrv", 0], ["fakemodem", 3]],
+        title="T",
+    )
+    assert out == "\n".join(
+        [
+            "T",
+            "Driver     Races",
+            "---------  -----",
+            "tracedrv   0    ",
+            "fakemodem  3    ",
+        ]
+    )
+
+
 def test_agreement_note():
     assert "3/4" in agreement_note(3, 4, "X")
     assert "100%" in agreement_note(0, 0, "X")
+
+
+# ---------------------------------------------------------------------------
+# Display width (unicode alignment)
+# ---------------------------------------------------------------------------
+
+
+def test_display_width_ascii_matches_len():
+    for s in ("", "a", "driver_name", "Wall(s)"):
+        assert display_width(s) == len(s)
+
+
+def test_display_width_wide_characters_count_double():
+    assert display_width("日本") == 4
+    assert display_width("ｆｕｌｌ") == 8  # fullwidth forms
+    assert display_width("x日y") == 4
+
+
+def test_display_width_combining_marks_count_zero():
+    assert display_width("é") == 1  # e + combining acute
+    assert display_width("ño") == 2
+
+
+def test_render_table_aligns_mixed_width_rows():
+    out = render_table(
+        ["name", "n"],
+        [["日本語", 1], ["état", 2], ["plain", 3]],
+    )
+    widths = {display_width(line) for line in out.splitlines()}
+    assert len(widths) == 1  # every rendered line occupies the same columns
+
+
+def test_render_table_wide_header():
+    out = render_table(["名前", "n"], [["ab", 1]])
+    header, sep, row = out.splitlines()
+    assert display_width(header) == display_width(sep) == display_width(row)
+    assert sep.startswith("----")  # separator sized to display width, not len
+
+
+# ---------------------------------------------------------------------------
+# Campaign summary (Table 1 shape)
+# ---------------------------------------------------------------------------
+
+
+def _job(driver, verdict, *, cache_hit=False, wall_s=1.0):
+    return JobResult(
+        job_id=f"{driver}/f{id(object())}",
+        driver=driver,
+        prop="race",
+        target="S.f",
+        verdict=verdict,
+        error_kind="race" if verdict == "error" else None,
+        wall_s=wall_s,
+        cache_hit=cache_hit,
+    )
+
+
+def test_summarize_golden():
+    results = [
+        _job("imca", "error"),
+        _job("imca", "safe", cache_hit=True),
+        _job("tracedrv", "resource-bound", wall_s=2.5),
+    ]
+    assert summarize(results, wall_s=4.5) == "\n".join(
+        [
+            "Campaign summary (Table 1 shape)",
+            "Driver    Fields  Races  No Races  Unresolved  Cached  Wall(s)",
+            "--------  ------  -----  --------  ----------  ------  -------",
+            "imca      2       1      1         0           1       2.0    ",
+            "tracedrv  1       0      0         1           0       2.5    ",
+            "Total     3       1      1         1           1       4.5    ",
+            "cache: skipped 1/3 jobs (33%)",
+            "campaign wall clock: 4.50s",
+        ]
+    )
+
+
+def test_summarize_without_wall_clock_omits_line():
+    out = summarize([_job("imca", "safe")])
+    assert "campaign wall clock" not in out
 
 
 def test_experiment_record_matching():
