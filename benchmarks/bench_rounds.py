@@ -1,0 +1,143 @@
+"""Experiment E14 — the round budget K as a coverage/cost tuning knob.
+
+The K-round sequentialization (``docs/SEQUENTIALIZATION.md``) trades
+state space for context switches the same way KISS trades it for the
+``ts`` bound: a handshake protocol of depth ``n`` needs ``2n - 1``
+context switches, which a round-robin schedule only exhibits from
+``K = n + 1`` rounds on.  We sweep ``K`` in {1, 2, 3, 4} over the
+handshake family and report, for each (depth, K): found/missed, the
+explored-state count, and wall clock — coverage grows with K, and so
+does cost (each extra round multiplies the versioned-global state).
+
+Depth 1 is within KISS's two-context-switch coverage; depth 2 is the
+corpus program ``tests/fuzz_corpus/three-switch.kp``, invisible to KISS.
+
+Usage::
+
+    pytest benchmarks/bench_rounds.py              # via pytest-benchmark
+    python benchmarks/bench_rounds.py --smoke --out BENCH_rounds.json
+"""
+
+import argparse
+import json
+import sys
+import time
+
+from repro.core.checker import Kiss
+from repro.lang import parse
+from repro.reporting import render_table
+
+ROUND_BUDGETS = [1, 2, 3, 4]
+DEPTHS = [1, 2]
+#: smoke keeps CI fast: cells past the first adequate budget may hit
+#: this and degrade to resource-bound, which the checks accept there
+SMOKE_MAX_STATES = 200_000
+FULL_MAX_STATES = 2_000_000
+
+
+def handshake(n: int) -> str:
+    """A two-thread protocol alternating through x=1/y=1/../x=n/y=n
+    before the assert: the error needs 2n-1 context switches, so a
+    round-robin schedule finds it iff K >= n + 1."""
+    w = " ".join(f"assume(x == {i}); y = {i};" for i in range(1, n + 1))
+    m = " ".join(f"x = {i}; assume(y == {i});" for i in range(1, n + 1))
+    return (
+        "int x; int y;\n"
+        f"void w() {{ {w} }}\n"
+        f"void main() {{ async w(); {m} assert(false); }}\n"
+    )
+
+
+def _measure(max_states):
+    depths = DEPTHS
+    rows = []
+    cells = {}
+    for n in depths:
+        prog = parse(handshake(n))
+        row = [f"handshake depth {n} ({2 * n - 1} switches)"]
+        for k in ROUND_BUDGETS:
+            kiss = Kiss(max_ts=1, max_states=max_states, strategy="rounds",
+                        rounds=k, map_traces=False)
+            t0 = time.perf_counter()
+            r = kiss.check_assertions(prog)
+            wall = time.perf_counter() - t0
+            states = r.backend_result.stats.states
+            cells[(n, k)] = {
+                "verdict": r.verdict,
+                "states": states,
+                "wall_s": round(wall, 4),
+            }
+            label = {"error": "FOUND", "safe": "miss", "resource-bound": "bound"}[r.verdict]
+            row.append(f"{label}/{states}/{wall:.2f}s")
+        rows.append(row)
+
+    print()
+    print(
+        render_table(
+            ["workload"] + [f"K={k} (verdict/states/wall)" for k in ROUND_BUDGETS],
+            rows,
+            title="E14: coverage and cost as the round budget grows",
+        )
+    )
+
+    # each depth-n bug must be missed below K = n+1, found exactly there,
+    # and never reported clean above it (a budget exhaustion is fine: the
+    # state space keeps growing with K, that is the point of the sweep)
+    def _cell_ok(n, k):
+        v = cells[(n, k)]["verdict"]
+        if k < n + 1:
+            return v == "safe"
+        if k == n + 1:
+            return v == "error"
+        return v in ("error", "resource-bound")
+
+    thresholds_ok = all(_cell_ok(n, k) for n in depths for k in ROUND_BUDGETS)
+    # cost must grow with K up to the first error (after it, early exit)
+    cost_monotone = all(
+        cells[(n, k)]["states"] <= cells[(n, k + 1)]["states"]
+        for n in depths
+        for k in ROUND_BUDGETS[:-1]
+        if k + 1 <= n  # both bounds still miss: full exploration on both sides
+    )
+    return {
+        "schema": "kiss-bench/rounds/1",
+        "workload": "handshake protocol family (see handshake())",
+        "round_budgets": ROUND_BUDGETS,
+        "max_states": max_states,
+        "results": [
+            {"depth": n, "switches": 2 * n - 1, "budget": k, **cells[(n, k)]}
+            for n in depths
+            for k in ROUND_BUDGETS
+        ],
+        "thresholds_ok": thresholds_ok,
+        "cost_monotone": cost_monotone,
+        "ok": thresholds_ok and cost_monotone,
+    }
+
+
+def bench_rounds(benchmark):
+    doc = benchmark.pedantic(_measure, args=(SMOKE_MAX_STATES,), rounds=1, iterations=1)
+    assert doc["ok"], "rounds coverage/cost thresholds violated:\n" + json.dumps(
+        doc["results"], indent=2
+    )
+
+
+def main(argv=None):
+    p = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    p.add_argument("--smoke", action="store_true",
+                   help="CI-sized state budget (cost cells may saturate)")
+    p.add_argument("--out", metavar="PATH",
+                   help="write the measurement document as JSON to PATH")
+    args = p.parse_args(argv)
+    doc = _measure(SMOKE_MAX_STATES if args.smoke else FULL_MAX_STATES)
+    print(json.dumps(doc, indent=2))
+    if args.out:
+        with open(args.out, "w") as f:
+            json.dump(doc, f, indent=2)
+            f.write("\n")
+        print(f"wrote {args.out}", file=sys.stderr)
+    return 0 if doc["ok"] else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

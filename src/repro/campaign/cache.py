@@ -9,10 +9,14 @@ verdict-relevant configuration: property, target, transformer knobs
 :meth:`~repro.campaign.jobs.CheckJob.verdict_config`.
 
 Results persist as JSONL under ``.kiss-cache/`` (one object per line:
-``{"key": ..., "result": {...}}``), appended as jobs finish, so a
-re-run of the same campaign only checks drivers whose programs or
-configurations changed.  Unreadable lines are skipped — a truncated
-write from a crashed run degrades to a cache miss, never an error.
+``{"schema": "kiss-cache/2", "key": ..., "result": {...}}``), appended
+as jobs finish, so a re-run of the same campaign only checks drivers
+whose programs or configurations changed.  Unreadable lines are skipped
+— a truncated write from a crashed run degrades to a cache miss, never
+an error.  So does a line with a missing or different ``schema`` tag:
+entries written before a key-affecting format change (the pre-tag
+layout is retroactively ``kiss-cache/1``) are recomputed, not trusted
+and not crashed on.
 """
 
 from __future__ import annotations
@@ -28,6 +32,11 @@ from repro.lang.pretty import pretty_program
 from .jobs import CheckJob, JobResult
 
 CACHE_FILE = "results.jsonl"
+
+#: Entry-format tag.  Bump when the key derivation or the result shape
+#: changes incompatibly; loaders skip entries with any other tag.
+#: ``/2``: added ``strategy``/``rounds`` to the verdict configuration.
+SCHEMA = "kiss-cache/2"
 
 #: source text -> canonical (lowered, pretty-printed) form.  Lowering is
 #: cheap next to checking, but a corpus driver contributes one job per
@@ -95,8 +104,10 @@ class ResultCache:
                     continue
                 try:
                     obj = json.loads(line)
+                    if obj.get("schema") != SCHEMA:
+                        continue  # stale format: recompute, don't crash
                     self._entries[obj["key"]] = obj["result"]
-                except (json.JSONDecodeError, KeyError, TypeError):
+                except (json.JSONDecodeError, KeyError, TypeError, AttributeError):
                     continue  # torn write from an interrupted run
 
     def __len__(self) -> int:
@@ -131,4 +142,6 @@ class ResultCache:
             return
         self._entries[key] = result.to_dict()
         with open(self.path, "a") as f:
-            f.write(json.dumps({"key": key, "result": result.to_dict()}) + "\n")
+            f.write(
+                json.dumps({"schema": SCHEMA, "key": key, "result": result.to_dict()}) + "\n"
+            )

@@ -31,6 +31,8 @@ KISS_DEFAULTS: Dict[str, Any] = {
     "backend": "explicit",
     "cegar_rounds": 16,
     "inline": False,
+    "strategy": "kiss",
+    "rounds": 2,
     "map_traces": False,
     "validate_traces": False,
     "observe": False,
@@ -46,6 +48,8 @@ VERDICT_KEYS = (
     "backend",
     "cegar_rounds",
     "inline",
+    "strategy",
+    "rounds",
 )
 
 

@@ -100,6 +100,8 @@ def _fuzz_outcome(job: CheckJob, prog: Program, outcome):
             max_ts=kw["max_ts"],
             max_states=kw["max_states"],
             race_global=job.config.get("fuzz_race"),
+            strategy=kw["strategy"],
+            rounds=kw["rounds"],
         )
     if v.diverged:
         verdict, kind = "error", v.divergence

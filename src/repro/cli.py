@@ -4,6 +4,7 @@ Usage (after ``pip install -e .``)::
 
     python -m repro check file.kp                 # assertion checking
     python -m repro check file.kp --max-ts 1
+    python -m repro rounds file.kp --rounds 3     # K-round sequentialization
     python -m repro race file.kp --target g       # race on global g
     python -m repro race file.kp --target S.field # race on a struct field
     python -m repro race file.kp --all-fields S   # the per-field loop
@@ -53,6 +54,8 @@ def _kiss(args) -> Kiss:
         validate_traces=getattr(args, "validate", False),
         backend=getattr(args, "backend", "explicit"),
         inline=getattr(args, "inline", False),
+        strategy=getattr(args, "strategy", "kiss"),
+        rounds=getattr(args, "rounds", 2),
     )
 
 
@@ -82,6 +85,18 @@ def _parse_target(text: str) -> RaceTarget:
 
 def cmd_check(args) -> int:
     """The `check` subcommand: assertion checking (Figure 4)."""
+    prog = _load(args.file)
+    return _report(_kiss(args).check_assertions(prog))
+
+
+def cmd_rounds(args) -> int:
+    """The `rounds` subcommand: assertion checking through the K-round
+    sequentialization (see docs/SEQUENTIALIZATION.md).
+
+    ``--rounds 2`` subsumes the KISS coverage for two threads; larger
+    budgets cover executions with up to K-1 preemptions per thread.
+    The verdict line reports the round budget.
+    """
     prog = _load(args.file)
     return _report(_kiss(args).check_assertions(prog))
 
@@ -180,6 +195,9 @@ def cmd_fuzz(args) -> int:
         cache_dir=args.cache_dir,
         telemetry_path=args.telemetry,
     )
+    if args.strategy == "rounds" and args.race:
+        print("fuzz: --race is not available with --strategy rounds", file=sys.stderr)
+        return EXIT_USAGE
     report = run_fuzz_campaign(
         count=args.count,
         seed=args.seed,
@@ -187,6 +205,8 @@ def cmd_fuzz(args) -> int:
         campaign_config=campaign_config,
         max_states=args.max_states,
         race=args.race,
+        strategy=args.strategy,
+        rounds=args.rounds,
         do_shrink=not args.no_shrink,
     )
     print(report.summary())
@@ -308,6 +328,14 @@ def build_parser() -> argparse.ArgumentParser:
     common(sp)
     sp.set_defaults(func=cmd_check)
 
+    sp = sub.add_parser(
+        "rounds", help="check assertions through the K-round sequentialization"
+    )
+    common(sp)
+    sp.add_argument("--rounds", type=int, default=2,
+                    help="round budget K (default 2; K=1 is purely sequential)")
+    sp.set_defaults(func=cmd_rounds, strategy="rounds")
+
     sp = sub.add_parser("race", help="check for races (Figure 5)")
     common(sp, race=True)
     sp.add_argument("--target", help="global name or Struct.field")
@@ -365,7 +393,13 @@ def build_parser() -> argparse.ArgumentParser:
                     help="max if/while nesting depth (default 2)")
     sp.add_argument("--race", action="store_true",
                     help="also run the race pipeline on the distinguished location "
-                         "with trace replay (false-race detection)")
+                         "with trace replay (false-race detection; KISS strategy only)")
+    sp.add_argument("--strategy", choices=("kiss", "rounds"), default="kiss",
+                    help="sequentialization under test: the Figure 4 pipeline "
+                         "against balanced interleavings, or the K-round transform "
+                         "against all interleavings (default kiss)")
+    sp.add_argument("--rounds", type=int, default=2,
+                    help="round budget K for --strategy rounds (default 2)")
     sp.add_argument("--no-shrink", action="store_true",
                     help="report divergences without delta-debugging them")
     sp.add_argument("--save", metavar="DIR",

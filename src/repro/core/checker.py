@@ -36,10 +36,16 @@ class KissResult:
     ``error_kind``: ``"race"`` when the failing assertion sits inside a
     ``check_r``/``check_w`` (Figure 5), ``"assertion"`` for an original
     assertion, or the backend's violation kind for memory errors.
+
+    ``strategy``/``rounds``: which sequentialization produced the
+    verdict — ``"kiss"`` (Figure 4, ``rounds`` is None) or ``"rounds"``
+    (the K-round transform of :mod:`repro.rounds`, ``rounds`` = K).
     """
 
     verdict: str
     error_kind: Optional[str] = None
+    strategy: str = "kiss"
+    rounds: Optional[int] = None
     target: Optional[RaceTarget] = None
     backend_result: Optional[CheckResult] = None
     transformed: Optional[Program] = None
@@ -71,9 +77,10 @@ class KissResult:
 
     def summary(self) -> str:
         what = f" on {self.target.describe()}" if self.target else ""
+        budget = f" [rounds K={self.rounds}]" if self.strategy == "rounds" else ""
         if self.is_error:
-            return f"{self.error_kind}{what}: {self.backend_result.message}"
-        return f"{self.verdict}{what}"
+            return f"{self.error_kind}{what}: {self.backend_result.message}{budget}"
+        return f"{self.verdict}{what}{budget}"
 
 
 class Kiss:
@@ -114,6 +121,15 @@ class Kiss:
         ``KissResult.metrics``.  Off by default: the instrumentation
         points then hit the no-op recorder (see
         ``benchmarks/bench_obs_overhead.py`` for the measured cost).
+    strategy:
+        Which sequentialization to use for assertion checking:
+        ``"kiss"`` (default, Figure 4) or ``"rounds"`` (the K-round
+        round-robin transform of :mod:`repro.rounds`; see
+        ``docs/SEQUENTIALIZATION.md``).  Race checking (Figure 5) is
+        KISS-only.
+    rounds:
+        The round budget K for ``strategy="rounds"`` (ignored
+        otherwise).  K=2 subsumes KISS's coverage for two threads.
     """
 
     def __init__(
@@ -127,9 +143,17 @@ class Kiss:
         cegar_rounds: int = 16,
         inline: bool = False,
         observe: bool = False,
+        strategy: str = "kiss",
+        rounds: int = 2,
     ):
         if backend not in ("explicit", "cegar"):
             raise ValueError(f"unknown backend {backend!r}")
+        if strategy not in ("kiss", "rounds"):
+            raise ValueError(f"unknown strategy {strategy!r}")
+        if rounds < 1:
+            raise ValueError("rounds must be >= 1")
+        self.strategy = strategy
+        self.rounds = rounds
         self.max_ts = max_ts
         self.max_states = max_states
         self.use_alias_analysis = use_alias_analysis
@@ -159,9 +183,19 @@ class Kiss:
             core = inline_program(clone_program(core))
         return core
 
+    def _transformer(self) -> KissTransformer:
+        """The assertion-checking transformer for the configured strategy."""
+        if self.strategy == "rounds":
+            from repro.rounds import RoundRobinTransformer
+
+            return RoundRobinTransformer(rounds=self.rounds, max_ts=self.max_ts)
+        return KissTransformer(max_ts=self.max_ts)
+
     def sequentialize(self, prog: Program) -> Program:
-        """Figure 4 only: the sequential program, for inspection."""
-        return KissTransformer(max_ts=self.max_ts).transform(self._as_core(prog))
+        """The sequentialization only (Figure 4 or the K-round
+        transform, per ``strategy``): the sequential program, for
+        inspection."""
+        return self._transformer().transform(self._as_core(prog))
 
     def sequentialize_for_race(self, prog: Program, target: RaceTarget) -> Program:
         """Figure 5 only: the race-instrumented sequential program."""
@@ -220,7 +254,12 @@ class Kiss:
         ctrace = None
         if self.map_traces and result.is_error:
             with obs.span("trace-map"):
-                ctrace = map_result(pcfg, result)
+                if self.strategy == "rounds":
+                    from repro.rounds.tracemap import map_result as rounds_map_result
+
+                    ctrace = rounds_map_result(pcfg, result)
+                else:
+                    ctrace = map_result(pcfg, result)
         validated: Optional[bool] = None
         if self.validate_traces and ctrace is not None and core is not None:
             from repro.concheck.replay import replay_trace
@@ -231,6 +270,8 @@ class Kiss:
         return KissResult(
             verdict=verdict,
             error_kind=error_kind,
+            strategy=self.strategy if target is None else "kiss",
+            rounds=self.rounds if self.strategy == "rounds" and target is None else None,
             target=target,
             backend_result=result,
             transformed=transformed,
@@ -243,11 +284,28 @@ class Kiss:
     # -- public checks --------------------------------------------------------------
 
     def check_assertions(self, prog: Program) -> KissResult:
-        """Check the program's own assertions (Figure 4 + backend)."""
+        """Check the program's own assertions (sequentialize + backend)."""
         recorder, ctx = obs.maybe_observing(self.observe)
-        with ctx, obs.span("check", prop="assertion", backend=self.backend):
+        with ctx, obs.span(
+            "check", prop="assertion", backend=self.backend, strategy=self.strategy
+        ):
             core = self._as_core(prog)
-            transformed = KissTransformer(max_ts=self.max_ts).transform(core)
+            transformed = self._transformer().transform(core)
+            result, pcfg = self._run_backend(transformed)
+            out = self._finish(result, pcfg, transformed, core=core)
+        if self.observe and recorder is not None:
+            out.metrics = recorder.metrics()
+        return out
+
+    def check_transformed(self, core: Program, transformed: Program) -> KissResult:
+        """Backend + trace mapping on an already-sequentialized program
+        (``core`` is its concurrent original, for replay validation).
+        :func:`sweep_ts` uses this to skip redundant re-checks when
+        consecutive bounds transform to the identical program."""
+        recorder, ctx = obs.maybe_observing(self.observe)
+        with ctx, obs.span(
+            "check", prop="assertion", backend=self.backend, strategy=self.strategy
+        ):
             result, pcfg = self._run_backend(transformed)
             out = self._finish(result, pcfg, transformed, core=core)
         if self.observe and recorder is not None:
@@ -256,6 +314,8 @@ class Kiss:
 
     def check_race(self, prog: Program, target: RaceTarget) -> KissResult:
         """Check for races on one location (Figure 5 + backend)."""
+        if self.strategy != "kiss":
+            raise ValueError("race checking is KISS-only (Figure 5 instrumentation)")
         recorder, ctx = obs.maybe_observing(self.observe)
         with ctx, obs.span(
             "check", prop="race", backend=self.backend, target=target.describe()
@@ -343,10 +403,35 @@ def sweep_ts(
 
     Runs assertion checking at ts bounds 0..max_bound, returning one
     result per bound (stopping early at the first error by default).
+
+    Consecutive bounds often sequentialize to the *identical* program —
+    most obviously when the program has fewer ``async`` statements than
+    slots — so each transformed program is hashed and a repeat skips
+    the backend, reusing the previous bound's result (counted by the
+    ``bound_sweep_skips`` obs counter).
     """
+    import hashlib
+    from dataclasses import replace
+
+    from repro.lang.pretty import pretty_program
+
     results: List[KissResult] = []
+    core: Optional[Program] = None
+    prev_hash: Optional[str] = None
+    prev: Optional[KissResult] = None
     for bound in range(max_bound + 1):
-        r = Kiss(max_ts=bound, **kiss_kwargs).check_assertions(prog)
+        kiss = Kiss(max_ts=bound, **kiss_kwargs)
+        if core is None:
+            core = kiss._as_core(prog)
+        transformed = kiss._transformer().transform(core)
+        digest = hashlib.sha256(pretty_program(transformed).encode()).hexdigest()
+        if prev is not None and digest == prev_hash:
+            obs.inc("bound_sweep_skips")
+            r = replace(prev)
+        else:
+            r = kiss.check_transformed(core, transformed)
+            prev_hash = digest
+        prev = r
         results.append(r)
         if stop_on_error and r.is_error:
             break

@@ -29,6 +29,22 @@ An optional race mode additionally runs the Figure 5 race pipeline on
 the program's distinguished race location and replays any reported race
 trace against the concurrent semantics (the per-trace "never reports
 false errors" check of :mod:`repro.concheck.replay`).
+
+``strategy="rounds"`` cross-checks the K-round sequentialization
+(:mod:`repro.rounds`) instead.  The rounds transform has no balanced
+analogue of Theorem 1, so the concurrent side explores *all*
+interleavings; a concurrent error the rounds pipeline misses is then a
+*coverage gap* (K too small, or a snapshot value outside the finite
+guess domain) — recorded but **not** a divergence.  A rounds error
+without any concurrent witness still is (:data:`UNSOUND`): the
+consistency epilogue claims every reported error is a real round-robin
+execution.
+
+In KISS mode, every :data:`INCOMPLETE` divergence is additionally
+probed with the rounds transform at ``K = 3``: Figure 4 covers two
+context switches, so a balanced error that KISS misses but three rounds
+catch localizes the miss to the context-switch budget rather than a
+pipeline bug (``closed_by_rounds``).
 """
 
 from __future__ import annotations
@@ -41,6 +57,7 @@ from repro.cfg.build import build_program_cfg
 from repro.concheck import check_concurrent
 from repro.core.race import RaceTarget
 from repro.core.transform import KissTransformer
+from repro.rounds import RoundRobinTransformer
 from repro.lang import parse, parse_core
 from repro.lang.ast import Program
 from repro.lang.lower import clone_program, is_core_program, lower_program
@@ -74,6 +91,12 @@ class OracleVerdict:
     con_states: int = 0
     seq_states: int = 0
     race_verdict: Optional[str] = None
+    #: rounds mode: a concurrent error the K-round pipeline missed —
+    #: expected incompleteness (bounded K / finite guess domain), not a bug.
+    coverage_gap: bool = False
+    #: KISS mode, on an :data:`INCOMPLETE` divergence: did the K=3
+    #: rounds probe catch the missed error?  None = probe inconclusive.
+    closed_by_rounds: Optional[bool] = None
 
     @property
     def diverged(self) -> bool:
@@ -86,7 +109,12 @@ class OracleVerdict:
 
     def describe(self) -> str:
         if self.diverged:
-            return f"{self.divergence}: {self.detail}"
+            tail = ""
+            if self.closed_by_rounds is not None:
+                tail = f" [closed by rounds K=3: {'yes' if self.closed_by_rounds else 'no'}]"
+            return f"{self.divergence}: {self.detail}{tail}"
+        if self.coverage_gap:
+            return f"coverage-gap: {self.detail}"
         tail = f" race={self.race_verdict}" if self.race_verdict else ""
         return f"agree: concurrent={self.concurrent} sequential={self.sequential}{tail}"
 
@@ -113,6 +141,8 @@ def differential_check(
     max_states: int = 50_000,
     transformer_factory: Optional[TransformerFactory] = None,
     race_global: Optional[str] = None,
+    strategy: str = "kiss",
+    rounds: int = 2,
 ) -> OracleVerdict:
     """Cross-check one program (source text, surface AST, or core AST).
 
@@ -120,15 +150,26 @@ def differential_check(
     coverage direction to be meaningful (the generator supplies this as
     :attr:`~repro.fuzz.gen.GeneratedProgram.n_forks`).  ``race_global``
     additionally runs the race pipeline on that global with trace
-    replay.
+    replay (KISS strategy only — the rounds pipeline has no race mode).
     """
+    if strategy not in ("kiss", "rounds"):
+        raise ValueError(f"unknown strategy {strategy!r}")
+    if strategy == "rounds" and race_global is not None:
+        raise ValueError("race checking is not available under strategy='rounds'")
     core = _as_core(prog)
 
     with obs.span("oracle-concurrent", max_ts=max_ts):
-        con = check_concurrent(core, max_states=max_states, balanced_only=True)
+        con = check_concurrent(
+            core, max_states=max_states, balanced_only=(strategy == "kiss")
+        )
     obs.inc("concurrent_states", con.stats.states)
     with obs.span("oracle-sequential", max_ts=max_ts):
-        factory = transformer_factory or (lambda ts: KissTransformer(max_ts=ts))
+        if transformer_factory is not None:
+            factory = transformer_factory
+        elif strategy == "rounds":
+            factory = lambda ts: RoundRobinTransformer(rounds=rounds, max_ts=ts)
+        else:
+            factory = lambda ts: KissTransformer(max_ts=ts)
         transformed = factory(max_ts).transform(core)
         seq = SequentialChecker(build_program_cfg(transformed), max_states=max_states).check()
     obs.inc("oracle_runs")
@@ -142,19 +183,50 @@ def differential_check(
     if v.conclusive:
         if v.sequential == "error" and v.concurrent == "safe":
             v.divergence = UNSOUND
+            witness = "balanced concurrent execution" if strategy == "kiss" else "interleaving"
             v.detail = (
                 f"sequential pipeline reported '{seq.violation_kind}' "
-                f"({seq.message}) but no balanced concurrent execution goes wrong"
+                f"({seq.message}) but no {witness} goes wrong"
             )
         elif v.concurrent == "error" and v.sequential == "safe":
-            v.divergence = INCOMPLETE
-            v.detail = (
-                f"balanced concurrent execution reported '{con.violation_kind}' "
-                f"({con.message}) but the sequential pipeline found no error"
-            )
+            if strategy == "rounds":
+                # Expected incompleteness: the round budget or the finite
+                # guess domain missed the erroneous interleaving.
+                v.coverage_gap = True
+                v.detail = (
+                    f"concurrent execution reported '{con.violation_kind}' "
+                    f"({con.message}) outside the K={rounds} round-robin coverage"
+                )
+                obs.inc("rounds_coverage_gaps")
+            else:
+                v.divergence = INCOMPLETE
+                v.detail = (
+                    f"balanced concurrent execution reported '{con.violation_kind}' "
+                    f"({con.message}) but the sequential pipeline found no error"
+                )
+                _rounds_probe(core, max_ts, max_states, v)
     if race_global is not None and not v.diverged:
         _race_check(core, max_ts, max_states, race_global, v)
     return v
+
+
+def _rounds_probe(core: Program, max_ts: int, max_states: int, v: OracleVerdict) -> None:
+    """On an INCOMPLETE divergence, ask whether three rounds see the
+    error Figure 4's two context switches missed — separating budget
+    misses from genuine pipeline bugs."""
+    with obs.span("oracle-rounds-probe", rounds=3):
+        try:
+            transformed = RoundRobinTransformer(rounds=3, max_ts=max_ts).transform(core)
+            probe = SequentialChecker(
+                build_program_cfg(transformed), max_states=max_states
+            ).check()
+        except Exception:
+            return  # probe is best-effort; None = inconclusive
+    if probe.status == CheckStatus.ERROR:
+        v.closed_by_rounds = True
+        obs.inc("rounds_closed_incomplete")
+    elif probe.status == CheckStatus.SAFE:
+        v.closed_by_rounds = False
 
 
 def _race_check(
@@ -181,9 +253,16 @@ def differential_check_source(
     max_ts: int,
     max_states: int = 50_000,
     race_global: Optional[str] = None,
+    strategy: str = "kiss",
+    rounds: int = 2,
 ) -> OracleVerdict:
     """Worker-friendly entry point: parse surface source, then check.
     (Kept separate so campaign workers never need AST arguments.)"""
     return differential_check(
-        parse(source), max_ts=max_ts, max_states=max_states, race_global=race_global
+        parse(source),
+        max_ts=max_ts,
+        max_states=max_states,
+        race_global=race_global,
+        strategy=strategy,
+        rounds=rounds,
     )

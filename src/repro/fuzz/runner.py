@@ -43,6 +43,9 @@ class Divergence:
     source: str
     shrunk_source: str
     shrunk_stmts: int
+    #: KISS-mode INCOMPLETE findings: did the K=3 rounds probe catch the
+    #: error Figure 4 missed?  None = probe inconclusive / not run.
+    closed_by_rounds: Optional[bool] = None
 
     def format(self) -> str:
         return (
@@ -59,6 +62,9 @@ class FuzzReport:
     seed: int
     agreed: int = 0
     inconclusive: int = 0
+    #: rounds mode: concurrent errors outside the K-round coverage —
+    #: expected incompleteness, counted but not findings.
+    coverage_gaps: int = 0
     divergences: List[Divergence] = field(default_factory=list)
     results: List[JobResult] = field(default_factory=list)
 
@@ -67,10 +73,11 @@ class FuzzReport:
         return not self.divergences
 
     def summary(self) -> str:
+        gaps = f", {self.coverage_gaps} coverage gaps" if self.coverage_gaps else ""
         lines = [
             f"fuzz: {self.count} programs (seeds {self.seed}..{self.seed + self.count - 1}): "
             f"{self.agreed} agreed, {len(self.divergences)} diverged, "
-            f"{self.inconclusive} inconclusive"
+            f"{self.inconclusive} inconclusive{gaps}"
         ]
         for d in self.divergences:
             lines.append("")
@@ -84,19 +91,30 @@ def fuzz_jobs(
     gen_config: Optional[GenConfig] = None,
     max_states: int = 50_000,
     race: bool = False,
+    strategy: str = "kiss",
+    rounds: int = 2,
 ) -> List[CheckJob]:
     """One differential-checking job per generated program.
 
     Each job's ``max_ts`` equals the program's fork count, making the
     Theorem 1 comparison exact; ``fuzz_race`` (when ``race`` is set)
     additionally enables the false-race replay check on the generator's
-    distinguished location.  Both knobs participate in the cache key.
+    distinguished location.  ``strategy="rounds"`` cross-checks the
+    K-round sequentialization against *all* interleavings instead (no
+    race mode there).  All of these knobs participate in the cache key.
     """
+    if strategy == "rounds" and race:
+        raise ValueError("race checking is not available under strategy='rounds'")
     cfg = gen_config or GenConfig()
     gen = ProgramGenerator(cfg)
     jobs = []
     for gp in gen.generate_batch(count, seed):
-        config = {"max_ts": gp.n_forks, "max_states": max_states}
+        config = {
+            "max_ts": gp.n_forks,
+            "max_states": max_states,
+            "strategy": strategy,
+            "rounds": rounds,
+        }
         if race:
             config["fuzz_race"] = cfg.race_global
         jobs.append(
@@ -125,12 +143,17 @@ def run_fuzz_campaign(
     campaign_config: Optional[CampaignConfig] = None,
     max_states: int = 50_000,
     race: bool = False,
+    strategy: str = "kiss",
+    rounds: int = 2,
     do_shrink: bool = True,
     shrink_max_checks: int = 2_000,
 ) -> FuzzReport:
     """Generate, differentially check (through the campaign scheduler),
     and shrink any divergences.  Returns the full report."""
-    jobs = fuzz_jobs(count, seed, gen_config, max_states=max_states, race=race)
+    jobs = fuzz_jobs(
+        count, seed, gen_config, max_states=max_states, race=race,
+        strategy=strategy, rounds=rounds,
+    )
     scheduler = CampaignScheduler(campaign_config or CampaignConfig())
     results = scheduler.run(jobs)
 
@@ -139,11 +162,16 @@ def run_fuzz_campaign(
     for job, result in zip(jobs, results):
         if result.verdict == "safe":
             report.agreed += 1
+            if result.detail.startswith("coverage-gap"):
+                report.coverage_gaps += 1
         elif result.verdict == "resource-bound":
             report.inconclusive += 1
         else:
             report.divergences.append(
-                _minimize(job, result, max_states, race_global, do_shrink, shrink_max_checks)
+                _minimize(
+                    job, result, max_states, race_global, strategy, rounds,
+                    do_shrink, shrink_max_checks,
+                )
             )
     return report
 
@@ -153,20 +181,33 @@ def _minimize(
     result: JobResult,
     max_states: int,
     race_global: Optional[str],
+    strategy: str,
+    rounds: int,
     do_shrink: bool,
     shrink_max_checks: int,
 ) -> Divergence:
     max_ts = job.config.get("max_ts", 0)
 
+    def oracle(src: str):
+        return differential_check_source(
+            src, max_ts=max_ts, max_states=max_states, race_global=race_global,
+            strategy=strategy, rounds=rounds,
+        )
+
     def still_diverges(src: str) -> bool:
         try:
-            v = differential_check_source(
-                src, max_ts=max_ts, max_states=max_states, race_global=race_global
-            )
+            return oracle(src).diverged
         except Exception:
             return False
-        return v.diverged
 
+    closed: Optional[bool] = None
+    try:
+        # One in-process rerun: the worker's verdict crossed a process
+        # boundary as a string, but the rounds-probe outcome matters for
+        # triage, so recover it from the live OracleVerdict.
+        closed = oracle(job.source).closed_by_rounds
+    except Exception:
+        pass
     shrunk = (
         shrink(job.source, still_diverges, max_checks=shrink_max_checks)
         if do_shrink
@@ -178,4 +219,5 @@ def _minimize(
         source=job.source,
         shrunk_source=shrunk,
         shrunk_stmts=count_statements(parse(shrunk)),
+        closed_by_rounds=closed,
     )

@@ -1,0 +1,28 @@
+"""K-round (Lal–Reps style) eager sequentialization.
+
+Where :mod:`repro.core.transform` implements the paper's Figure 4 — two
+context switches for two threads — this package implements the tunable
+generalization: a round-robin schedule with ``K`` rounds, versioned
+copies of the shared globals per round, guessed round-entry snapshots,
+and an epilogue that assumes snapshot consistency.  See
+``docs/SEQUENTIALIZATION.md``.
+"""
+
+from .transform import (
+    TAG_RR_ADVANCE,
+    TAG_RR_FAIL,
+    TAG_RR_WRITE,
+    RoundRobinTransformer,
+    rounds_transform,
+)
+from .tracemap import map_result, map_trace
+
+__all__ = [
+    "RoundRobinTransformer",
+    "rounds_transform",
+    "TAG_RR_ADVANCE",
+    "TAG_RR_FAIL",
+    "TAG_RR_WRITE",
+    "map_result",
+    "map_trace",
+]

@@ -1,0 +1,122 @@
+"""Mapping K-round sequential error traces back to concurrent
+interleavings.
+
+The eager transform runs each thread's rounds *contiguously*, so the
+sequential trace is thread-major: thread 0's rounds 0..K-1, then each
+dispatched thread's rounds.  The real round-robin interleaving is
+round-major.  The mapper therefore walks the sequential trace exactly
+like :mod:`repro.core.tracemap` (context stack per dispatch/inline,
+virtual call depth), labels every reconstructed step with the round it
+executed in (tracking ``TAG_RR_ADVANCE`` increments and the recorded
+spawn round restored at each dispatch), and then *stably sorts* the
+steps by round: within a round, steps keep their sequential execution
+order, which by the snapshot-consistency epilogue is exactly the order
+the round-robin schedule runs them in.
+
+An error trace ends at the entry epilogue's ``assert(!__kiss_rr_err)``;
+the real violation is the statement whose failure branch set the flag
+(``TAG_RR_FAIL``, carrying the original sid).  After sorting, the plan
+is truncated just past that step — later-round steps happen after the
+violation in the reconstructed interleaving.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict, deque
+from dataclasses import dataclass
+from typing import Deque, Dict, List, Optional, Tuple
+
+from repro.cfg.graph import ProgramCfg
+from repro.core.tracemap import ConcurrentTrace, PlanStep, TraceMapError, _ThreadCtx
+from repro.core.transform import TAG_DISPATCH, TAG_INLINE_ASYNC, TAG_PUT, TAG_ROOT
+from repro.seqcheck.trace import CheckResult, TraceStep
+
+from .transform import TAG_RR_ADVANCE, TAG_RR_FAIL, TAG_RR_WRITE
+
+
+@dataclass
+class _Entry:
+    round: int
+    step: PlanStep
+    fail: bool = False
+
+
+def map_trace(pcfg: ProgramCfg, trace: List[TraceStep]) -> ConcurrentTrace:
+    """Reconstruct the round-robin interleaving from a sequential trace
+    of a :class:`~repro.rounds.transform.RoundRobinTransformer` program."""
+    entries: List[_Entry] = []
+    vdepth = 0
+    contexts: List[_ThreadCtx] = [_ThreadCtx(tid=0, depth=0)]
+    next_tid = 1
+    cur_round = 0
+    parked: Dict[str, Deque[Tuple[int, int]]] = defaultdict(deque)
+    nodes = [pcfg.cfg(step.func).node(step.node_id) for step in trace]
+
+    for node in nodes:
+        tag = node.origin.tag
+        cur = contexts[-1].tid
+
+        if node.kind == "call":
+            if tag == TAG_ROOT:
+                pass  # thread 0 enters the original program at round 0
+            elif tag == TAG_INLINE_ASYNC:
+                tid = next_tid
+                next_tid += 1
+                entries.append(
+                    _Entry(cur_round, PlanStep(cur, node.origin.sid, "spawn", node.origin.text))
+                )
+                contexts.append(_ThreadCtx(tid, vdepth))
+            elif tag == TAG_DISPATCH:
+                family = getattr(node.stmt, "kiss_spawn", None) or ""
+                if not parked[family]:
+                    raise TraceMapError(f"dispatch of '{family}' with no parked thread")
+                tid, spawn_round = parked[family].popleft()
+                cur_round = spawn_round  # the driver restores the round flags
+                contexts.append(_ThreadCtx(tid, vdepth))
+            vdepth += 1
+            continue
+
+        if node.kind == "return":
+            vdepth -= 1
+            if vdepth < 0:
+                raise TraceMapError("trace unwinds past the entry frame")
+            while len(contexts) > 1 and contexts[-1].depth == vdepth:
+                contexts.pop()
+            continue
+
+        if tag == TAG_PUT:
+            tid = next_tid
+            next_tid += 1
+            parked[node.stmt.kiss_spawn or ""].append((tid, cur_round))
+            entries.append(
+                _Entry(cur_round, PlanStep(cur, node.origin.sid, "spawn", node.origin.text))
+            )
+            continue
+
+        if tag == TAG_RR_ADVANCE:
+            cur_round += 1
+            continue
+
+        if tag in ("user", TAG_RR_WRITE) or tag == TAG_RR_FAIL:
+            entries.append(
+                _Entry(
+                    cur_round,
+                    PlanStep(cur, node.origin.sid, "step", node.origin.text),
+                    fail=(tag == TAG_RR_FAIL),
+                )
+            )
+
+    entries.sort(key=lambda e: e.round)  # stable: in-round order preserved
+    out = ConcurrentTrace()
+    for e in entries:
+        out.steps.append(e.step)
+        if e.fail:
+            break  # everything after happens past the violation
+    return out
+
+
+def map_result(pcfg: ProgramCfg, result: CheckResult) -> Optional[ConcurrentTrace]:
+    """Map a checker result's trace; None when there is no error trace."""
+    if not result.is_error:
+        return None
+    return map_trace(pcfg, result.trace)

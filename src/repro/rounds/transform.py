@@ -1,0 +1,728 @@
+"""The eager K-round sequentialization (Lal–Reps / La Torre–Madhusudan–
+Parlato style), built on the Figure 4 machinery of
+:mod:`repro.core.transform`.
+
+KISS covers executions of two threads with at most two context switches
+(Theorem 1).  The K-round transform generalizes this to a *round-robin*
+schedule with ``K`` rounds: every thread is preempted at most ``K - 1``
+times, and threads run in spawn order within each round.  The translation
+is *eager* — each thread runs all of its rounds contiguously:
+
+* every shared global ``g`` that is written anywhere gets ``K - 1``
+  versioned copies ``__kiss_r<k>_g`` (round 0 uses ``g`` itself);
+* the entry wrapper nondeterministically *guesses* the value of every
+  copy — the state each round starts from — and records the guess in
+  ``__kiss_g<k>_g``;
+* one-hot boolean flags ``__kiss_in_r<k>`` track the running thread's
+  current round (booleans rather than an int counter: the CEGAR backend
+  abstracts boolean guards far more cheaply than int comparisons);
+  before every statement that touches a versioned global the thread may
+  nondeterministically advance its round (``TAG_RR_ADVANCE``), and may
+  ``raise``-terminate exactly as in Figure 4;
+* reads and writes of a versioned global dispatch on the round flags to
+  the round's copy (``TAG_RR_WRITE`` on the write branches);
+* ``async`` reuses the bounded ``ts`` multiset of Figure 4, additionally
+  parking the *spawn round* per slot (as ``K`` booleans); parked
+  threads are dispatched FIFO after ``main`` returns by
+  ``__kiss_rr_run``, which restores the round flags to the spawn round
+  (a child's first round is the round its parent spawned it in);
+* an ``assert`` cannot fail on the spot — the guessed snapshots may be
+  inconsistent — so its failure branch records the violation in
+  ``__kiss_rr_err`` (``TAG_RR_FAIL``) and raises; the entry epilogue
+  *assumes* snapshot consistency (the guessed entry state of round ``k``
+  equals the exit state of round ``k - 1``) and only then asserts
+  ``!__kiss_rr_err``;
+* with ``K = 1`` all of the versioning machinery disappears and the
+  result is the purely sequential program (threads run to completion in
+  spawn order, with ``raise`` still modelling never-scheduled threads).
+
+Soundness: every error reported corresponds to a real interleaving — the
+consistency epilogue ensures the per-round version variables concatenate
+into a genuine round-robin execution, which the rounds trace mapper
+(:mod:`repro.rounds.tracemap`) reconstructs.  Completeness is bounded in
+three documented ways: by ``K`` (at most ``K - 1`` preemptions per
+thread), by the *finite guess domain* (a guessed round-entry state must
+match the previous round's exit state, so guesses range over each
+global's initial value and the constants stored into it — globals
+written from computed expressions fall back to the program's whole
+literal pool, which still misses values like long increment chains),
+and by FIFO dispatch order of same-family parked threads.
+
+The transform only supports the scalar fragment when ``K >= 2``: no
+heap (``malloc``/pointers/fields — heap cells cannot be versioned), no
+``/`` or ``%`` (a division under an unvalidated guess could report a
+spurious division by zero), no asserts inside ``atomic`` (the failure
+branch must ``return``, which atomic regions forbid), and no writes to
+function-typed globals.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Set
+
+from repro import obs
+from repro.lang.ast import (
+    BOOL,
+    FUNC,
+    INT,
+    Assert,
+    Assign,
+    Assume,
+    AsyncCall,
+    Atomic,
+    Binary,
+    Block,
+    BoolLit,
+    BoolType,
+    Call,
+    Choice,
+    Expr,
+    Field,
+    FuncDecl,
+    GlobalDecl,
+    IntLit,
+    IntType,
+    Iter,
+    Malloc,
+    Program,
+    Return,
+    Skip,
+    Stmt,
+    Type,
+    Unary,
+    Var,
+    is_atom,
+    stmt_exprs,
+    walk_exprs,
+    walk_stmts,
+)
+from repro.core import names
+from repro.core.transform import (
+    TAG_ROOT,
+    KissTransformer,
+    SpawnFamily,
+    TransformError,
+    _FnCtx,
+    _tag,
+    default_const_for,
+)
+
+TAG_RR_ADVANCE = "rr-advance"  # __kiss_round := __kiss_round + 1
+TAG_RR_WRITE = "rr-write"  # the executed dispatch-write branch of a global write
+TAG_RR_FAIL = "rr-fail"  # __kiss_rr_err := true (carries the failing assert's sid)
+
+
+class _RoundsCtx(_FnCtx):
+    """Per-function context: Figure 4 temps plus one shared value temp
+    per redirected global."""
+
+    def __init__(self, decl: FuncDecl):
+        super().__init__(decl)
+        #: user locals/params that shadow a global of the same name
+        self.shadowed: Set[str] = set(decl.locals) | {p.name for p in decl.params}
+        self._gtmps: Dict[str, Var] = {}
+
+    def gtmp(self, gname: str, typ: Type) -> Var:
+        """The value temp for redirected accesses of global ``gname``."""
+        v = self._gtmps.get(gname)
+        if v is None:
+            v = self.fresh(typ)
+            self._gtmps[gname] = v
+        return v
+
+
+class RoundRobinTransformer(KissTransformer):
+    """``transform(P)`` emits an ordinary sequential core program whose
+    executions simulate the K-round round-robin executions of ``P``.
+
+    Parameters
+    ----------
+    rounds:
+        The round budget ``K >= 1``.  ``K = 2`` subsumes the KISS
+        coverage for two threads; larger ``K`` converges on all
+        executions with boundedly many preemptions per thread.
+    max_ts:
+        Bound on the parked-thread multiset, exactly as in Figure 4
+        (0 inlines every ``async`` synchronously).
+    guess_values:
+        Optional override of the integer snapshot-guess domain (a list
+        of ints used for every int-typed global).  The default harvests
+        the program's int literals, the globals' initial values and 0.
+    """
+
+    def __init__(self, rounds: int = 2, max_ts: int = 0, guess_values: Optional[List[int]] = None):
+        super().__init__(max_ts=max_ts)
+        if rounds < 1:
+            raise ValueError("rounds must be >= 1")
+        self.rounds = rounds
+        self.guess_values = guess_values
+        # Populated by transform():
+        self.versioned: List[str] = []
+        self.domains: Dict[str, List[Expr]] = {}
+        self.advance_points = 0
+
+    # -- public API -------------------------------------------------------------------
+
+    def transform(self, prog: Program) -> Program:
+        with obs.span(
+            "transform",
+            transformer=type(self).__name__,
+            max_ts=self.max_ts,
+            rounds=self.rounds,
+        ):
+            return self._transform(prog)
+
+    # -- analysis ---------------------------------------------------------------------
+
+    def _written_globals(self, prog: Program) -> List[str]:
+        """Globals assigned anywhere (declaration order).  Read-only
+        globals keep their initial value in every round and need no
+        versioned copies."""
+        written: Set[str] = set()
+        for func in prog.functions.values():
+            shadowed = set(func.locals) | {p.name for p in func.params}
+            for s in walk_stmts(func.body):
+                target = None
+                if isinstance(s, (Assign, Malloc)):
+                    target = s.lhs
+                elif isinstance(s, Call):
+                    target = s.lhs
+                if isinstance(target, Var) and target.name not in shadowed and target.name in prog.globals:
+                    written.add(target.name)
+        return [g for g in prog.globals if g in written]
+
+    def _check_restrictions(self, prog: Program) -> None:
+        if self.rounds == 1:
+            return  # no versioning: the full Figure 4 fragment is fine
+        for func in prog.functions.values():
+            for s in walk_stmts(func.body):
+                if isinstance(s, Malloc):
+                    raise TransformError("rounds >= 2: heap cells cannot be round-versioned (malloc)")
+                if isinstance(s, Atomic):
+                    for inner in walk_stmts(s.body):
+                        if isinstance(inner, Assert):
+                            raise TransformError("rounds >= 2: assert inside atomic is unsupported")
+                for e in stmt_exprs(s):
+                    for sub in walk_exprs(e):
+                        if isinstance(sub, Field):
+                            raise TransformError("rounds >= 2: field accesses are unsupported")
+                        if isinstance(sub, Unary) and sub.op in ("*", "&"):
+                            raise TransformError("rounds >= 2: pointers are unsupported")
+                        if isinstance(sub, Binary) and sub.op in ("/", "%"):
+                            raise TransformError(
+                                "rounds >= 2: division under an unvalidated snapshot guess "
+                                "could report a spurious error"
+                            )
+        for g in self.versioned:
+            typ = prog.globals[g].type
+            if not isinstance(typ, (IntType, BoolType)):
+                raise TransformError(
+                    f"rounds >= 2: written global '{g}' has unversionable type {typ}"
+                )
+
+    def _guess_domains(self, prog: Program) -> Dict[str, List[Expr]]:
+        """The finite snapshot-guess domain per versioned global.
+
+        A consistent guess must equal the previous round's exit value,
+        i.e. the initial value or something *stored* into the global —
+        so the domain harvests the int literals directly assigned to it.
+        A global written from a computed expression (``g := g + 1``, a
+        call result, another variable) falls back to the program's whole
+        int-literal pool — wider, still finite, still incomplete for
+        values no literal mentions (a documented coverage bound;
+        ``guess_values`` overrides)."""
+        pool: Set[int] = {0}
+        for g in prog.globals.values():
+            if isinstance(g.init, IntLit):
+                pool.add(g.init.value)
+        for func in prog.functions.values():
+            for s in walk_stmts(func.body):
+                for e in stmt_exprs(s):
+                    for sub in walk_exprs(e):
+                        if isinstance(sub, IntLit):
+                            pool.add(sub.value)
+
+        stored: Dict[str, Set[int]] = {g: set() for g in self.versioned}
+        complex_write: Set[str] = set()
+        for func in prog.functions.values():
+            shadowed = set(func.locals) | {p.name for p in func.params}
+            for s in walk_stmts(func.body):
+                target = s.lhs if isinstance(s, (Assign, Call)) else None
+                if not (isinstance(target, Var) and target.name in stored and target.name not in shadowed):
+                    continue
+                rhs = s.rhs if isinstance(s, Assign) else None
+                if isinstance(rhs, IntLit):
+                    stored[target.name].add(rhs.value)
+                elif isinstance(rhs, BoolLit):
+                    pass  # bool domains are always {false, true}
+                else:
+                    complex_write.add(target.name)
+
+        domains: Dict[str, List[Expr]] = {}
+        for g in self.versioned:
+            if isinstance(prog.globals[g].type, BoolType):
+                domains[g] = [BoolLit(False), BoolLit(True)]
+                continue
+            if self.guess_values is not None:
+                ints = set(self.guess_values)
+            else:
+                init = prog.globals[g].init
+                ints = {init.value if isinstance(init, IntLit) else 0}
+                ints |= stored[g]
+                if g in complex_write:
+                    ints |= pool
+            domains[g] = [IntLit(v) for v in sorted(ints)]
+        return domains
+
+    # -- orchestration ----------------------------------------------------------------
+
+    def _transform(self, prog: Program) -> Program:
+        from repro.lang.lower import clone_program, is_core_program
+        from repro.core.transform import spawn_families
+
+        if not is_core_program(prog):
+            raise TransformError("input must be a core program (run repro.lang.lower first)")
+        self._check_no_reserved(prog)
+        out = clone_program(prog)
+        self.prog = out
+        self.families = spawn_families(out)
+        self.emit_schedule = self.max_ts > 0 and bool(self.families)
+        self.versioned = self._written_globals(out) if self.rounds > 1 else []
+        self._check_restrictions(out)
+        self.domains = self._guess_domains(out)
+        self.advance_points = 0
+
+        for func in list(out.functions.values()):
+            self._transform_function(func)
+
+        self._add_globals(out)
+        if self.emit_schedule:
+            out.functions[names.RR_RUN_FN] = self._make_driver(out)
+        out.functions[names.CHECK_FN] = self._make_check_entry(out)
+        out.entry = names.CHECK_FN
+
+        n_guesses = (self.rounds - 1) * len(self.versioned)
+        obs.inc("rounds_snapshot_guesses", n_guesses)
+        obs.inc(
+            "rounds_guess_branches",
+            (self.rounds - 1) * sum(len(self.domains[g]) for g in self.versioned),
+        )
+        obs.inc("rounds_consistency_assumes", n_guesses)
+        obs.inc("rounds_advance_points", self.advance_points)
+        return out
+
+    def _transform_function(self, decl: FuncDecl) -> None:
+        fctx = _RoundsCtx(decl)
+        decl.body = Block(self._transform_stmts(fctx, decl.body.stmts))
+
+    # -- globals and round state ------------------------------------------------------
+
+    def _add_globals(self, out: Program) -> None:
+        super()._add_globals(out)  # raise flag + ts counts/slots
+        if self.rounds > 1:
+            if self.emit_schedule:
+                for fam in self.families:
+                    for slot in range(self.max_ts):
+                        for k in range(self.rounds):
+                            gname = names.ts_slot_round(fam.name, slot, k)
+                            out.globals[gname] = GlobalDecl(gname, BOOL, BoolLit(False))
+            for k in range(self.rounds):
+                gname = names.rr_in_round(k)
+                out.globals[gname] = GlobalDecl(gname, BOOL, BoolLit(k == 0))
+        out.globals[names.RR_ERR_VAR] = GlobalDecl(names.RR_ERR_VAR, BOOL, BoolLit(False))
+        for g in self.versioned:
+            decl = out.globals[g]
+            for k in range(1, self.rounds):
+                for mk in (names.rr_global, names.rr_guess):
+                    gname = mk(g, k)
+                    out.globals[gname] = GlobalDecl(gname, decl.type, decl.init)
+
+    def _version(self, gname: str, k: int) -> str:
+        return gname if k == 0 else names.rr_global(gname, k)
+
+    # -- per-statement rewriting ------------------------------------------------------
+
+    def _schedule_prefix(self) -> List[Stmt]:
+        return []  # no mid-program scheduling: dispatch happens in __kiss_rr_run
+
+    def _is_versioned(self, fctx: _RoundsCtx, name: str) -> bool:
+        return name in self.domains and name not in fctx.shadowed
+
+    def _accesses_versioned(self, fctx: _RoundsCtx, s: Stmt) -> bool:
+        for inner in walk_stmts(s):
+            for e in stmt_exprs(inner):
+                for sub in walk_exprs(e):
+                    if isinstance(sub, Var) and self._is_versioned(fctx, sub.name):
+                        return True
+        return False
+
+    def _advance_prefix(self, fctx: _RoundsCtx) -> List[Stmt]:
+        """The nondeterministic round-advance point: an ``iter`` whose
+        body moves the one-hot flag from some round ``k < K - 1`` to
+        ``k + 1`` (so 0 to K-1 advances happen here)."""
+        if self.rounds == 1:
+            return []
+        branches = []
+        for k in range(self.rounds - 1):
+            branches.append(
+                Block(
+                    [
+                        _tag(Assume(Var(names.rr_in_round(k)))),
+                        _tag(Assign(Var(names.rr_in_round(k)), BoolLit(False))),
+                        _tag(Assign(Var(names.rr_in_round(k + 1)), BoolLit(True)), TAG_RR_ADVANCE),
+                    ]
+                )
+            )
+        body = branches[0] if len(branches) == 1 else Block([_tag(Choice(branches))])
+        self.advance_points += 1
+        return [_tag(Iter(body))]
+
+    def _context_prefix(self, fctx: _RoundsCtx, s: Stmt) -> List[Stmt]:
+        """Advance + raise choice, inserted only before statements whose
+        effect is observable across threads (versioned-global access) or
+        that can block (``assume``) — preemption anywhere else commutes
+        with the next such point."""
+        blocking = isinstance(s, Assume) or (
+            isinstance(s, Atomic) and any(isinstance(x, Assume) for x in walk_stmts(s.body))
+        )
+        if not blocking and not self._accesses_versioned(fctx, s):
+            return []
+        return self._advance_prefix(fctx) + self._full_prefix(fctx, s)
+
+    def _read_atom(self, fctx: _RoundsCtx, e: Expr, out: List[Stmt]) -> Expr:
+        """Redirect a versioned-global read through the current round's
+        copy; other atoms pass through."""
+        if not (isinstance(e, Var) and self._is_versioned(fctx, e.name)):
+            return e
+        g = e.name
+        tmp = fctx.gtmp(g, self.prog.globals[g].type)
+        branches = []
+        for k in range(self.rounds):
+            branches.append(
+                Block(
+                    [
+                        _tag(Assume(Var(names.rr_in_round(k)))),
+                        _tag(Assign(tmp, Var(self._version(g, k)))),
+                    ]
+                )
+            )
+        out.append(_tag(Choice(branches)))
+        return tmp
+
+    def _write_global(
+        self, fctx: _RoundsCtx, g: str, value: Expr, sid: int, tag: str = TAG_RR_WRITE
+    ) -> List[Stmt]:
+        """The dispatch-write: one branch per round, writing the round's
+        copy.  The executed branch is the statement's user step in the
+        mapped trace (``TAG_RR_WRITE`` carries the original sid)."""
+        branches = []
+        for k in range(self.rounds):
+            w = Assign(Var(self._version(g, k)), value)
+            _tag(w, tag, sid=sid)
+            branches.append(
+                Block(
+                    [
+                        _tag(Assume(Var(names.rr_in_round(k)))),
+                        w,
+                    ]
+                )
+            )
+        return [_tag(Choice(branches))]
+
+    def _rewrite_assign(self, fctx: _RoundsCtx, s: Assign, out: List[Stmt]) -> None:
+        rhs = s.rhs
+        if isinstance(rhs, Binary):
+            left = self._read_atom(fctx, rhs.left, out)
+            right = self._read_atom(fctx, rhs.right, out)
+            if left is not rhs.left or right is not rhs.right:
+                rhs = Binary(rhs.op, left, right)
+        elif isinstance(rhs, Unary):
+            operand = self._read_atom(fctx, rhs.operand, out)
+            if operand is not rhs.operand:
+                rhs = Unary(rhs.op, operand)
+        elif is_atom(rhs):
+            rhs = self._read_atom(fctx, rhs, out)
+        if isinstance(s.lhs, Var) and self._is_versioned(fctx, s.lhs.name):
+            g = s.lhs.name
+            if is_atom(rhs):
+                value = rhs
+            else:
+                value = fctx.gtmp(g, self.prog.globals[g].type)
+                out.append(_tag(Assign(value, rhs)))
+            out.extend(self._write_global(fctx, g, value, sid=s.sid))
+        else:
+            s.rhs = rhs  # keeps the original statement (sid, no tag): the user step
+            out.append(s)
+
+    def _rewrite_atomic_body(self, fctx: _RoundsCtx, stmts: Sequence[Stmt]) -> List[Stmt]:
+        out: List[Stmt] = []
+        for s in stmts:
+            if isinstance(s, Block):
+                inner = Block(self._rewrite_atomic_body(fctx, s.stmts))
+                inner.sid = s.sid
+                out.append(inner)
+            elif isinstance(s, Choice):
+                branches = []
+                for b in s.branches:
+                    nb = Block(self._rewrite_atomic_body(fctx, b.stmts))
+                    nb.sid = b.sid
+                    branches.append(nb)
+                c = Choice(branches, s.pos, sid=s.sid)
+                c.kiss_tag = s.kiss_tag
+                out.append(c)
+            elif isinstance(s, Iter):
+                body = Block(self._rewrite_atomic_body(fctx, s.body.stmts))
+                body.sid = s.body.sid
+                it = Iter(body, s.pos, sid=s.sid)
+                it.kiss_tag = s.kiss_tag
+                out.append(it)
+            elif isinstance(s, Assign):
+                self._rewrite_assign(fctx, s, out)
+            elif isinstance(s, Assume):
+                s.cond = self._read_atom(fctx, s.cond, out)
+                out.append(s)
+            elif isinstance(s, Skip):
+                out.append(s)
+            else:
+                raise TransformError(f"unsupported statement in atomic: {type(s).__name__}")
+        return out
+
+    def _transform_stmt(self, fctx: _RoundsCtx, s: Stmt) -> List[Stmt]:
+        if isinstance(s, (Block, Choice, Iter)):
+            return super()._transform_stmt(fctx, s)  # structural recursion
+        if isinstance(s, Return):
+            return [s]
+        if isinstance(s, Call):
+            out: List[Stmt] = []
+            s.args = [self._read_atom(fctx, a, out) for a in s.args]
+            redirect_ret = (
+                isinstance(s.lhs, Var)
+                and self._is_versioned(fctx, s.lhs.name)
+            )
+            if redirect_ret:
+                g = s.lhs.name
+                tmp = fctx.gtmp(g, self.prog.globals[g].type)
+                s.lhs = tmp
+                out.append(s)
+                out.extend(self._if_raise_return(fctx))
+                # silent write: the call node itself is the replayable
+                # step, so the dispatch-write must not add a user step
+                out.extend(self._write_global(fctx, g, tmp, sid=0, tag="instr"))
+            else:
+                out.append(s)
+                out.extend(self._if_raise_return(fctx))
+            return out
+        if isinstance(s, AsyncCall):
+            out = []
+            s.args = [self._read_atom(fctx, a, out) for a in s.args]
+            out.extend(self._lower_async(fctx, s))
+            return out
+        if isinstance(s, Malloc):
+            if self.rounds > 1:
+                raise TransformError("rounds >= 2: heap cells cannot be round-versioned (malloc)")
+            return [s]
+        if isinstance(s, Skip):
+            return [s]
+        if isinstance(s, Assign):
+            out = self._context_prefix(fctx, s)
+            self._rewrite_assign(fctx, s, out)
+            return out
+        if isinstance(s, Assume):
+            out = self._context_prefix(fctx, s)
+            s.cond = self._read_atom(fctx, s.cond, out)
+            out.append(s)
+            return out
+        if isinstance(s, Assert):
+            return self._rewrite_assert(fctx, s)
+        if isinstance(s, Atomic):
+            out = self._context_prefix(fctx, s)
+            if self.rounds > 1 and self._accesses_versioned(fctx, s):
+                s.body = Block(self._rewrite_atomic_body(fctx, s.body.stmts))
+            out.append(s)
+            return out
+        raise TransformError(f"cannot transform statement {type(s).__name__}")
+
+    def _rewrite_assert(self, fctx: _RoundsCtx, s: Assert) -> List[Stmt]:
+        out = self._context_prefix(fctx, s)
+        if self.rounds == 1:
+            # no guesses to invalidate an error: assert in place
+            out.append(s)
+            return out
+        s.cond = self._read_atom(fctx, s.cond, out)
+        cond = s.cond
+        tneg = fctx.tneg()
+        ok = Block([_tag(Assume(cond)), s])  # s keeps its sid: the passing user step
+        fail = Block(
+            [
+                _tag(Assign(tneg, Unary("!", cond))),
+                _tag(Assume(tneg)),
+                _tag(Assign(Var(names.RR_ERR_VAR), BoolLit(True)), TAG_RR_FAIL, sid=s.sid),
+            ]
+            + self._raise_stmts(fctx)
+        )
+        out.append(_tag(Choice([ok, fail])))
+        return out
+
+    # -- async parking ----------------------------------------------------------------
+
+    def _put_stmts(self, fctx: _FnCtx, s: AsyncCall, fam: SpawnFamily) -> List[Stmt]:
+        stmts = super()._put_stmts(fctx, s, fam)
+        if self.rounds == 1:
+            return stmts
+        slot_choice = stmts[0]
+        for slot, branch in enumerate(slot_choice.branches):
+            for k in range(self.rounds):
+                branch.stmts.append(
+                    _tag(
+                        Assign(
+                            Var(names.ts_slot_round(fam.name, slot, k)),
+                            Var(names.rr_in_round(k)),
+                        )
+                    )
+                )
+        return stmts
+
+    # -- the dispatch driver ----------------------------------------------------------
+
+    def _make_driver(self, out: Program) -> FuncDecl:
+        """``__kiss_rr_run``: after ``main`` returns, repeatedly pick a
+        family and run its oldest parked thread to completion, restoring
+        the round flags to the recorded spawn round.  Dispatch is FIFO
+        per family (slot 0, then compact) so spawn order is respected;
+        a dispatched thread may immediately ``raise``, which models the
+        never-scheduled threads of Figure 4."""
+        decl = FuncDecl(names.RR_RUN_FN, [], None, Block([]))
+        fctx = _FnCtx(decl)
+        branches = [self._driver_branch(out, fctx, fam) for fam in self.families]
+        decl.body = Block([_tag(Iter(Block([_tag(Choice(branches))])))])
+        return decl
+
+    def _driver_branch(self, out: Program, fctx: _FnCtx, fam: SpawnFamily) -> Block:
+        count = Var(names.ts_count(fam.name))
+        any_fn = next(iter(out.functions))
+        stmts: List[Stmt] = []
+        occupied = fctx.fresh(BOOL)
+        stmts.append(_tag(Assign(occupied, Binary("<", IntLit(0), count))))
+        stmts.append(_tag(Assume(occupied)))
+
+        arg_atoms: List[Expr] = []
+        if fam.indirect:
+            fvar = fctx.fresh(FUNC)
+            stmts.append(_tag(Assign(fvar, Var(names.ts_slot_fn(0)))))
+            callee: Var = fvar
+        else:
+            callee = Var(fam.name)
+            for j, p in enumerate(fam.params):
+                tmp = fctx.fresh(p.type)
+                stmts.append(_tag(Assign(tmp, Var(names.ts_slot_arg(fam.name, 0, j)))))
+                arg_atoms.append(tmp)
+        spawn_flags: List[Var] = []
+        if self.rounds > 1:
+            for k in range(self.rounds):
+                tmp = fctx.fresh(BOOL)
+                stmts.append(_tag(Assign(tmp, Var(names.ts_slot_round(fam.name, 0, k)))))
+                spawn_flags.append(tmp)
+
+        # Compact slots 1.. down to 0.., reset the last slot to defaults.
+        for j in range(self.max_ts - 1):
+            if fam.indirect:
+                stmts.append(_tag(Assign(Var(names.ts_slot_fn(j)), Var(names.ts_slot_fn(j + 1)))))
+            else:
+                for a, p in enumerate(fam.params):
+                    stmts.append(
+                        _tag(
+                            Assign(
+                                Var(names.ts_slot_arg(fam.name, j, a)),
+                                Var(names.ts_slot_arg(fam.name, j + 1, a)),
+                            )
+                        )
+                    )
+            if self.rounds > 1:
+                for k in range(self.rounds):
+                    stmts.append(
+                        _tag(
+                            Assign(
+                                Var(names.ts_slot_round(fam.name, j, k)),
+                                Var(names.ts_slot_round(fam.name, j + 1, k)),
+                            )
+                        )
+                    )
+        last = self.max_ts - 1
+        if fam.indirect:
+            stmts.append(_tag(Assign(Var(names.ts_slot_fn(last)), default_const_for(FUNC, any_fn))))
+        else:
+            for a, p in enumerate(fam.params):
+                stmts.append(
+                    _tag(
+                        Assign(
+                            Var(names.ts_slot_arg(fam.name, last, a)),
+                            default_const_for(p.type, any_fn),
+                        )
+                    )
+                )
+        if self.rounds > 1:
+            for k in range(self.rounds):
+                stmts.append(
+                    _tag(Assign(Var(names.ts_slot_round(fam.name, last, k)), BoolLit(False)))
+                )
+        stmts.append(_tag(Assign(count, Binary("-", count, IntLit(1)))))
+        stmts.append(_tag(Assign(Var(names.TS_SIZE), Binary("-", Var(names.TS_SIZE), IntLit(1)))))
+        for k in range(self.rounds if self.rounds > 1 else 0):
+            stmts.append(_tag(Assign(Var(names.rr_in_round(k)), spawn_flags[k])))
+        from repro.core.transform import TAG_DISPATCH
+
+        call = Call(None, callee, arg_atoms)
+        _tag(call, TAG_DISPATCH, spawn=fam.name)
+        stmts.append(call)
+        stmts.append(_tag(Assign(Var(names.RAISE_VAR), BoolLit(False))))
+        return Block(stmts)
+
+    # -- the entry wrapper ------------------------------------------------------------
+
+    def _make_check_entry(self, out: Program) -> FuncDecl:
+        orig_entry = out.entry
+        decl = FuncDecl(names.CHECK_FN, [], None, Block([]))
+        fctx = _FnCtx(decl)
+        stmts: List[Stmt] = [_tag(Assign(Var(names.RAISE_VAR), BoolLit(False)))]
+
+        # Snapshot guesses: for every copy, pick a value from the finite
+        # domain and record it for the consistency epilogue.
+        for k in range(1, self.rounds):
+            for g in self.versioned:
+                branches = [
+                    Block(
+                        [
+                            _tag(Assign(Var(names.rr_global(g, k)), const)),
+                            _tag(Assign(Var(names.rr_guess(g, k)), const)),
+                        ]
+                    )
+                    for const in self.domains[g]
+                ]
+                stmts.append(_tag(Choice(branches)))
+
+        root_call = Call(None, Var(orig_entry), [])
+        _tag(root_call, TAG_ROOT, spawn=orig_entry)
+        stmts.append(root_call)
+        stmts.append(_tag(Assign(Var(names.RAISE_VAR), BoolLit(False))))
+        if self.emit_schedule:
+            stmts.append(_tag(Call(None, Var(names.RR_RUN_FN), [])))
+
+        # Consistency epilogue: the guessed entry state of round k must
+        # equal the exit state of round k-1; inconsistent executions are
+        # pruned here, before the deferred error flag is checked.
+        teq = fctx.fresh(BOOL) if self.rounds > 1 and self.versioned else None
+        for k in range(1, self.rounds):
+            for g in self.versioned:
+                prev = Var(self._version(g, k - 1))
+                stmts.append(_tag(Assign(teq, Binary("==", Var(names.rr_guess(g, k)), prev))))
+                stmts.append(_tag(Assume(teq)))
+        tnot = fctx.fresh(BOOL)
+        stmts.append(_tag(Assign(tnot, Unary("!", Var(names.RR_ERR_VAR)))))
+        stmts.append(_tag(Assert(tnot)))
+        decl.body = Block(stmts)
+        return decl
+
+
+def rounds_transform(prog: Program, rounds: int = 2, max_ts: int = 0) -> Program:
+    """Sequentialize a concurrent core program with a K-round budget."""
+    return RoundRobinTransformer(rounds=rounds, max_ts=max_ts).transform(prog)

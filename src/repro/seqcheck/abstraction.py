@@ -176,6 +176,28 @@ class Abstractor:
                 self._entail_cache[key] = False  # unknown -> not provable
         return self._entail_cache[key]
 
+    def _relevant_indices(self, goal: Expr, scope: List[Expr]) -> List[int]:
+        """Cone of influence: scope predicates variable-connected to the
+        goal (transitively, through shared variables).  A cube with a
+        literal from a disjoint variable component implies the goal only
+        if its relevant sub-cube does (interpolation over disjoint
+        vocabularies) or the cube is unsatisfiable — either way the
+        disconnected predicates contribute nothing, and skipping them
+        keeps the cube search polynomial in the *component* size rather
+        than the whole predicate set."""
+        goal_vars = set(expr_vars(goal))
+        pvars = [expr_vars(p) for p in scope]
+        chosen: Set[int] = set()
+        changed = True
+        while changed:
+            changed = False
+            for i, pv in enumerate(pvars):
+                if i not in chosen and pv & goal_vars:
+                    chosen.add(i)
+                    goal_vars |= pv
+                    changed = True
+        return sorted(chosen)
+
     def weakest_cover(
         self, goal: Expr, scope: List[Expr], bvars: List[str], types: Dict[str, Type]
     ) -> BExpr:
@@ -184,8 +206,8 @@ class Abstractor:
             return BConst(True)
         found: List[Tuple[Tuple[int, ...], Tuple[bool, ...]]] = []
         disjuncts: List[BExpr] = []
-        indices = range(len(scope))
-        for size in range(1, min(self.max_cube, len(scope)) + 1):
+        indices = self._relevant_indices(goal, scope)
+        for size in range(1, min(self.max_cube, len(indices)) + 1):
             for combo in itertools.combinations(indices, size):
                 for signs in itertools.product((True, False), repeat=size):
                     if self._subsumed(combo, signs, found):

@@ -171,7 +171,7 @@ class CegarChecker:
             return e
 
         constraints: List[Expr] = []
-        wp_targets: List[Tuple[str, Expr]] = []  # (fname, predicate source)
+        wp_targets: List[Tuple[int, str, Expr]] = []  # (step, fname, pred source)
 
         # version-0 variables carry the initial concrete values: globals
         # from their declared initializers (or defaults), entry locals
@@ -215,11 +215,11 @@ class CegarChecker:
                 types[lhs] = self._type_of(fname, stmt.lhs.name)
             elif isinstance(stmt, Assume):
                 constraints.append(rename(fname, stmt.cond))
-                wp_targets.append((fname, stmt.cond))
+                wp_targets.append((i, fname, stmt.cond))
             elif isinstance(stmt, Assert):
                 if last:
                     constraints.append(Unary("!", rename(fname, stmt.cond)))
-                    wp_targets.append((fname, stmt.cond))
+                    wp_targets.append((i, fname, stmt.cond))
                 else:
                     constraints.append(rename(fname, stmt.cond))
             elif isinstance(stmt, (Call, Return)):
@@ -249,37 +249,67 @@ class CegarChecker:
                 return p.type
         raise KeyError(f"unknown variable {name} in {fname}")
 
+    def _qualify(self, fname: str, e: Expr) -> Expr:
+        """Prefix non-global variables with their owning function."""
+        if isinstance(e, Var):
+            return e if e.name in self.prog.globals else Var(f"{fname}.{e.name}")
+        if isinstance(e, Unary):
+            return Unary(e.op, self._qualify(fname, e.operand))
+        if isinstance(e, Binary):
+            return Binary(e.op, self._qualify(fname, e.left), self._qualify(fname, e.right))
+        return e
+
+    def _unqualify(self, e: Expr) -> Expr:
+        if isinstance(e, Var):
+            return Var(e.name.split(".", 1)[1]) if "." in e.name else e
+        if isinstance(e, Unary):
+            return Unary(e.op, self._unqualify(e.operand))
+        if isinstance(e, Binary):
+            return Binary(e.op, self._unqualify(e.left), self._unqualify(e.right))
+        return e
+
     def _refinement_preds(
-        self, steps: List[Tuple[str, Optional[Stmt]]], wp_targets: List[Tuple[str, Expr]]
+        self, steps: List[Tuple[str, Optional[Stmt]]], wp_targets: List[Tuple[int, str, Expr]]
     ) -> List[Tuple[str, Expr]]:
         """Predicates from weakest preconditions along the infeasible trace.
 
         For every branch/assertion condition on the trace, push it
-        backwards through the preceding assignments, collecting the atoms
-        of every intermediate formula (Newton's role, heuristically)."""
+        backwards through the preceding assignments — *across* function
+        boundaries, with locals qualified by their owning function (a
+        global can flow through another function's temporaries, e.g. the
+        round-flag restore in the rounds dispatch driver) — collecting
+        the atoms of every intermediate formula (Newton's role,
+        heuristically).  Atoms mixing locals of two functions cannot be
+        expressed as single-scope predicates and are dropped."""
         out: List[Tuple[str, Expr]] = []
         seen = set()
 
-        def add(fname: str, e: Expr) -> None:
+        def add(e: Expr) -> None:
             for atom in atoms_of(e):
                 if isinstance(atom, BoolLit):
                     continue
-                key = (fname, str(atom))
+                owners = {n.split(".", 1)[0] for n in expr_vars(atom) if "." in n}
+                if len(owners) > 1:
+                    continue
+                fname = owners.pop() if owners else self.prog.entry
+                plain = self._unqualify(atom)
+                key = (fname, str(plain))
                 if key not in seen:
                     seen.add(key)
-                    out.append((fname, atom))
+                    out.append((fname, plain))
 
-        for target_fname, cond in wp_targets:
-            phi = cond
-            add(target_fname, phi)
-            # walk the trace backwards from the end, applying assignments
-            for fname, stmt in reversed(steps):
-                if stmt is None or fname != target_fname:
+        for idx, target_fname, cond in wp_targets:
+            phi = self._qualify(target_fname, cond)
+            add(phi)
+            # walk the trace backwards from the target, applying assignments
+            for fname, stmt in reversed(steps[:idx]):
+                if not isinstance(stmt, Assign) or not isinstance(stmt.lhs, Var):
                     continue
-                if isinstance(stmt, Assign) and isinstance(stmt.lhs, Var):
-                    if stmt.lhs.name in expr_vars(phi):
-                        phi = subst(phi, stmt.lhs.name, stmt.rhs)
-                        add(fname, phi)
+                name = stmt.lhs.name
+                lhs = name if name in self.prog.globals else f"{fname}.{name}"
+                if lhs in expr_vars(phi):
+                    phi = subst(phi, lhs, self._qualify(fname, stmt.rhs))
+                    add(phi)
         return out
 
 

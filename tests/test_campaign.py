@@ -3,6 +3,7 @@ parallel-vs-serial verdict equivalence, timeout/crash degradation, the
 result cache, and telemetry."""
 
 import json
+import os
 
 import pytest
 
@@ -99,6 +100,32 @@ def test_cache_tolerates_corrupt_lines(tmp_path):
     reloaded = ResultCache(d)
     assert len(reloaded) == 1
     assert reloaded.get(cache_key(job())) is not None
+
+
+def test_cache_skips_stale_schema_entries(tmp_path):
+    """Entries written before the schema tag (retroactively kiss-cache/1)
+    or under any other tag must be recomputed — never trusted, never a
+    crash (the key derivation changed under them)."""
+    d = str(tmp_path / "cache")
+    key = cache_key(job())
+    fresh = CampaignScheduler(CampaignConfig(cache_dir=d)).run([job()])[0]
+    stale_lines = [
+        json.dumps({"key": key, "result": fresh.to_dict()}),  # pre-tag layout
+        json.dumps({"schema": "kiss-cache/1", "key": key, "result": fresh.to_dict()}),
+        json.dumps({"schema": 7, "key": key, "result": fresh.to_dict()}),
+    ]
+    stale_dir = str(tmp_path / "stale")
+    os.makedirs(stale_dir)
+    with open(os.path.join(stale_dir, "results.jsonl"), "w") as f:
+        f.write("\n".join(stale_lines) + "\n")
+    stale = ResultCache(stale_dir)
+    assert len(stale) == 0
+    assert stale.get(key) is None  # miss: the scheduler would recompute
+    # recomputing through the stale store repopulates it under the new tag
+    recomputed = CampaignScheduler(CampaignConfig(cache_dir=stale_dir)).run([job()])[0]
+    assert not recomputed.cache_hit
+    assert recomputed.verdict == fresh.verdict
+    assert ResultCache(stale_dir).get(key) is not None
 
 
 def test_disabled_cache_never_hits():

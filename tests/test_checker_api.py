@@ -198,6 +198,37 @@ def test_sweep_ts_exhausts_bounds_when_safe():
     assert all(r.is_safe for r in results)
 
 
+def test_sweep_ts_skips_identical_transforms():
+    from repro import obs
+    from repro.core.checker import sweep_ts
+
+    # no async: every ts bound sequentializes to the identical program,
+    # so only bound 0 should actually reach a backend
+    src = "int x; void main() { x = 1; assert(x == 1); }"
+    with obs.observing(obs.Recorder()) as rec:
+        results = sweep_ts(parse_core(src), max_bound=3)
+        counters = rec.metrics()["counters"]
+    assert counters["bound_sweep_skips"] == 3
+    assert len(results) == 4
+    assert all(r.is_safe for r in results)
+    # skipped results are copies of the computed one, not aliases
+    assert results[1] is not results[0]
+    assert results[1].verdict == results[0].verdict
+
+
+def test_sweep_ts_rounds_strategy_reports_budget():
+    from repro.core.checker import sweep_ts
+
+    src = """
+    int x;
+    void w() { assert(x < 2); }
+    void main() { async w(); x = 2; }
+    """
+    results = sweep_ts(parse_core(src), max_bound=1, strategy="rounds", rounds=2)
+    assert results[-1].is_error
+    assert all(r.strategy == "rounds" and r.rounds == 2 for r in results)
+
+
 def test_sweep_ts_continues_when_asked():
     from repro.core.checker import sweep_ts
 

@@ -13,7 +13,8 @@ from repro.fuzz import (
     differential_check,
     differential_check_source,
 )
-from repro.lang.ast import Assert, Block, BoolLit
+from repro.lang.ast import Assert, Assume, Block, BoolLit
+from repro.rounds import RoundRobinTransformer
 
 
 class NeverParks(KissTransformer):
@@ -25,6 +26,18 @@ class NeverParks(KissTransformer):
     def _lower_async(self, fctx, s):
         fam = self._family_for(fctx, s)
         return self._inline_call(fctx, s, fam)
+
+
+class NoConsistency(RoundRobinTransformer):
+    """Injected unsoundness in the rounds pipeline: the consistency
+    epilogue's ``assume`` statements are dropped, so inconsistent
+    snapshot guesses survive to the error check and report executions
+    no round-robin schedule can produce."""
+
+    def _make_check_entry(self, out):
+        decl = super()._make_check_entry(out)
+        decl.body = Block([s for s in decl.body.stmts if not isinstance(s, Assume)])
+        return decl
 
 
 class PhantomError(KissTransformer):
@@ -123,6 +136,94 @@ def test_race_mode_replays_reported_races(fuzz_seed):
         if v.race_verdict is not None:
             race_seen = race_seen or v.race_verdict == "error"
     assert race_seen, "no race ever reported on the distinguished location"
+
+
+# -- rounds mode -------------------------------------------------------------------
+
+THREE_SWITCH = """
+    int x; int y;
+    void w() { assume(x == 1); y = 1; assume(x == 2); y = 2; }
+    void main() {
+      async w();
+      x = 1; assume(y == 1);
+      x = 2; assume(y == 2);
+      assert(false);
+    }
+"""
+
+#: w can only observe x == 1 (the store of 3 is dead before the spawn),
+#: but 3 is in the guess domain — only the consistency epilogue keeps
+#: the rounds pipeline from reporting it.
+DEAD_STORE = """
+    int x;
+    void w() { assert(x != 3); }
+    void main() { x = 3; x = 1; async w(); }
+"""
+
+
+def test_rounds_mode_records_coverage_gap_not_divergence():
+    """A concurrent error outside the K=2 budget is the rounds
+    transform's *expected* incompleteness, not an oracle finding."""
+    v = differential_check_source(THREE_SWITCH, max_ts=1, strategy="rounds", rounds=2)
+    assert v.concurrent == "error" and v.sequential == "safe"
+    assert not v.diverged
+    assert v.coverage_gap
+    assert v.describe().startswith("coverage-gap:")
+
+
+def test_rounds_mode_gap_closes_at_k3():
+    # the K=3 transform needs ~53k explicit states, just over the default budget
+    v = differential_check_source(
+        THREE_SWITCH, max_ts=1, strategy="rounds", rounds=3, max_states=200_000
+    )
+    assert v.concurrent == "error" and v.sequential == "error"
+    assert not v.diverged and not v.coverage_gap
+
+
+def test_rounds_mode_catches_injected_unsoundness():
+    factory = lambda ts: NoConsistency(rounds=2, max_ts=ts)
+    from repro.lang import parse
+
+    v = differential_check(
+        parse(DEAD_STORE), max_ts=1, strategy="rounds", rounds=2,
+        transformer_factory=factory,
+    )
+    assert v.concurrent == "safe"
+    assert v.diverged and v.divergence == UNSOUND, v.describe()
+
+
+def test_rounds_mode_agrees_on_generated_batch(fuzz_seed):
+    gen = ProgramGenerator()
+    for seed in range(fuzz_seed, fuzz_seed + 10):
+        gp = gen.generate(seed)
+        v = differential_check(gp.program, max_ts=gp.n_forks, strategy="rounds", rounds=2)
+        if not v.conclusive:
+            continue  # full interleavings are pricier than balanced ones
+        assert not v.diverged, f"seed {seed} diverged: {v.describe()}\n{gp.source}"
+
+
+def test_incomplete_divergence_probed_with_rounds(fuzz_seed):
+    """KISS-mode INCOMPLETE findings carry the K=3 triage verdict: the
+    NeverParks mutant loses exactly the park-the-worker executions,
+    which three rounds recover."""
+    gen = ProgramGenerator()
+    factory = lambda ts: NeverParks(max_ts=ts)
+    for seed in range(fuzz_seed, fuzz_seed + 60):
+        gp = gen.generate(seed)
+        v = differential_check(gp.program, max_ts=gp.n_forks, transformer_factory=factory)
+        if v.diverged:
+            assert v.divergence == INCOMPLETE
+            assert v.closed_by_rounds is True, v.describe()
+            assert "closed by rounds K=3: yes" in v.describe()
+            return
+    pytest.fail(f"no divergence in seeds {fuzz_seed}..{fuzz_seed + 59} under NeverParks")
+
+
+def test_rounds_mode_rejects_race_global():
+    with pytest.raises(ValueError):
+        differential_check_source(
+            DEAD_STORE, max_ts=1, strategy="rounds", race_global="x"
+        )
 
 
 def test_tiny_budget_is_inconclusive_not_divergent():

@@ -1,0 +1,249 @@
+"""The K-round (Lal–Reps style) sequentialization: KISS-parity at K=2,
+purely sequential behaviour at K=1, strictly more coverage at K=3, the
+snapshot-consistency pruning that makes the eager guesses sound, and
+the trace mapper's replay contract."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro import obs
+from repro.core import names
+from repro.core.checker import Kiss
+from repro.core.transform import TransformError
+from repro.lang import parse, parse_core
+from repro.lang.lower import lower_program
+from repro.lang.pretty import pretty_program
+from repro.rounds import RoundRobinTransformer, rounds_transform
+
+CORPUS = Path(__file__).parent / "fuzz_corpus"
+GOLDEN = Path(__file__).parent / "golden"
+
+#: name -> (source, max_ts, expected verdict) — the backend-parity set.
+PROGRAMS = {
+    "delayed-worker.kp": (None, None, "error"),  # loaded from the fuzz corpus
+    "bound-error": (
+        """
+        int x;
+        void w() { assert(x < 2); }
+        void main() { async w(); x = 2; }
+        """,
+        1,
+        "error",
+    ),
+    "handoff-safe": (
+        """
+        int data; bool ready;
+        void w() { assume(ready); assert(data == 5); }
+        void main() { data = 5; ready = true; async w(); }
+        """,
+        1,
+        "safe",
+    ),
+}
+
+THREE_SWITCH = (CORPUS / "three-switch.kp").read_text()
+
+
+def _program(name):
+    source, max_ts, expected = PROGRAMS[name]
+    if source is None:
+        source = (CORPUS / name).read_text()
+        manifest = {
+            e["file"]: e
+            for e in json.loads((CORPUS / "manifest.json").read_text())["programs"]
+        }
+        max_ts = manifest[name]["max_ts"]
+        expected = manifest[name]["sequential"]
+    return source, max_ts, expected
+
+
+# -- K=2 parity with KISS, both backends ------------------------------------------
+
+
+@pytest.mark.parametrize("name", PROGRAMS)
+@pytest.mark.parametrize("backend", ["explicit", "cegar"])
+def test_k2_matches_kiss_verdicts(name, backend):
+    source, max_ts, expected = _program(name)
+    prog = parse(source)
+    kiss = Kiss(max_ts=max_ts, backend=backend, strategy="rounds", rounds=2,
+                validate_traces=True)
+    r = kiss.check_assertions(prog)
+    assert r.verdict == expected, r.summary()
+    assert r.strategy == "rounds" and r.rounds == 2
+    assert "[rounds K=2]" in r.summary()
+    if backend == "explicit" and r.is_error:
+        # the mapped trace must replay under the concurrent semantics
+        assert r.trace_validated is True, r.summary()
+
+
+# -- K=1 is purely sequential ------------------------------------------------------
+
+
+def test_k1_emits_no_round_state():
+    source, max_ts, _ = _program("bound-error")
+    t = RoundRobinTransformer(rounds=1, max_ts=max_ts)
+    out = t.transform(lower_program(parse(source)))
+    assert t.versioned == []
+    for gname in out.globals:
+        assert "in_r" not in gname and "_r0" not in gname and "_r1" not in gname, gname
+    assert names.RR_ERR_VAR in out.globals  # declared, never set at K=1
+
+
+@pytest.mark.parametrize(
+    "name,expected",
+    [("delayed-worker.kp", "error"), ("bound-error", "error"), ("handoff-safe", "safe")],
+)
+def test_k1_verdicts(name, expected):
+    source, max_ts, _ = _program(name)
+    r = Kiss(max_ts=max_ts, strategy="rounds", rounds=1,
+             validate_traces=True).check_assertions(parse(source))
+    assert r.verdict == expected, r.summary()
+    assert r.rounds == 1
+    if r.is_error:
+        assert r.trace_validated is True
+
+
+def test_k1_finds_no_preemption_bugs():
+    # the three-switch handshake needs preemption; one round = run-to-
+    # completion in spawn order, which blocks on the first assume
+    r = Kiss(max_ts=1, strategy="rounds", rounds=1).check_assertions(parse(THREE_SWITCH))
+    assert r.verdict == "safe", r.summary()
+
+
+# -- K=3 beats KISS on the three-switch protocol -----------------------------------
+
+
+def test_three_switch_invisible_to_kiss():
+    r = Kiss(max_ts=1).check_assertions(parse(THREE_SWITCH))
+    assert r.verdict == "safe", r.summary()
+
+
+def test_three_switch_safe_at_k2():
+    r = Kiss(max_ts=1, strategy="rounds", rounds=2).check_assertions(parse(THREE_SWITCH))
+    assert r.verdict == "safe", r.summary()
+
+
+def test_three_switch_found_at_k3_with_replaying_trace():
+    kiss = Kiss(max_ts=1, strategy="rounds", rounds=3, validate_traces=True)
+    r = kiss.check_assertions(parse(THREE_SWITCH))
+    assert r.verdict == "error", r.summary()
+    assert r.trace_validated is True, "mapped counterexample must replay concurrently"
+    # the reconstructed interleaving alternates between the two threads
+    tids = [step.tid for step in r.concurrent_trace.steps]
+    assert len(set(tids)) == 2, r.concurrent_trace.format()
+
+
+def test_three_switch_has_a_real_concurrent_witness():
+    from repro.concheck import check_concurrent
+
+    result = check_concurrent(parse_core(THREE_SWITCH), max_states=200_000)
+    assert result.is_error, "the corpus program must truly go wrong unboundedly"
+
+
+# -- snapshot-consistency pruning --------------------------------------------------
+
+#: w can only ever observe x == 1: the store of 3 is dead before the
+#: spawn.  The guess domain still contains 3 (it is stored), so an
+#: unpruned guess __kiss_r1_x = 3 would report a spurious error.
+PRUNING = """
+int x;
+void w() { assert(x != 3); }
+void main() { x = 3; x = 1; async w(); }
+"""
+
+
+def test_inconsistent_guesses_are_pruned():
+    t = RoundRobinTransformer(rounds=2, max_ts=1)
+    core = lower_program(parse(PRUNING))
+    transformed = t.transform(core)
+    assert any(c.value == 3 for c in t.domains["x"]), "3 must be guessable"
+    r = Kiss(max_ts=1, strategy="rounds", rounds=2).check_assertions(parse(PRUNING))
+    assert r.verdict == "safe", f"unpruned guess leaked: {r.summary()}"
+    # and the epilogue really is in the emitted program
+    text = pretty_program(transformed)
+    assert names.rr_guess("x", 1) in text
+
+
+def test_transform_counters():
+    with obs.observing(obs.Recorder()) as rec:
+        rounds_transform(lower_program(parse(PRUNING)), rounds=2, max_ts=1)
+        counters = rec.metrics()["counters"]
+    assert counters["rounds_snapshot_guesses"] == 1  # one global, K-1 = 1
+    assert counters["rounds_consistency_assumes"] == 1
+    assert counters["rounds_guess_branches"] == 3  # domain of x = {0, 3, 1}
+    assert counters["rounds_advance_points"] > 0
+
+
+def test_golden_k2_transform():
+    """Pin the full K=2 output for a tiny program: guess prologue,
+    one-hot advance points, dispatch writes, consistency epilogue."""
+    src = "int x;\nvoid main() { x = 1; assert(x == 1); }\n"
+    out = rounds_transform(lower_program(parse(src)), rounds=2, max_ts=0)
+    expected = (GOLDEN / "rounds-k2-pretty.txt").read_text()
+    assert pretty_program(out) + "\n" == expected
+
+
+# -- the scalar-fragment restrictions ----------------------------------------------
+
+
+@pytest.mark.parametrize(
+    "source,message",
+    [
+        ("struct S { int a; } void main() { S* p; p = malloc(S); }", "malloc"),
+        ("int x; void main() { x = x / 2; }", "division"),
+        ("int x; void main() { atomic { assert(x == 0); } }", "atomic"),
+    ],
+)
+def test_k2_rejects_unversionable_programs(source, message):
+    core = lower_program(parse(source))
+    with pytest.raises(TransformError, match=message):
+        RoundRobinTransformer(rounds=2).transform(core)
+
+
+def test_k1_accepts_the_full_figure4_fragment():
+    core = lower_program(parse("struct S { int a; } void main() { S* p; p = malloc(S); }"))
+    rounds_transform(core, rounds=1)  # no versioning, no restriction
+
+
+def test_rounds_validation():
+    with pytest.raises(ValueError):
+        RoundRobinTransformer(rounds=0)
+    with pytest.raises(ValueError):
+        Kiss(strategy="rounds", rounds=0)
+    with pytest.raises(ValueError):
+        Kiss(strategy="nonsense")
+
+
+def test_race_checking_is_kiss_only():
+    from repro.core.race import RaceTarget
+
+    kiss = Kiss(max_ts=1, strategy="rounds", rounds=2)
+    with pytest.raises(ValueError, match="KISS-only"):
+        kiss.check_race(parse("int g; void main() { g = 1; }"), RaceTarget.global_var("g"))
+
+
+# -- guess domains -----------------------------------------------------------------
+
+
+def test_guess_domain_harvests_stored_values():
+    src = """
+    int a; int b; bool f;
+    void w() { a = 7; f = true; }
+    void main() { async w(); a = 1; b = b + 1; }
+    """
+    t = RoundRobinTransformer(rounds=2, max_ts=1)
+    t.transform(lower_program(parse(src)))
+    a_vals = {c.value for c in t.domains["a"]}
+    assert a_vals == {0, 7, 1}  # init + directly stored literals
+    b_vals = {c.value for c in t.domains["b"]}
+    assert {0, 1, 7} <= b_vals  # complex write: whole literal pool
+    assert {c.value for c in t.domains["f"]} == {False, True}
+
+
+def test_guess_values_override():
+    src = "int a;\nvoid w() { a = 9; }\nvoid main() { async w(); }\n"
+    t = RoundRobinTransformer(rounds=2, max_ts=1, guess_values=[4, 5])
+    t.transform(lower_program(parse(src)))
+    assert {c.value for c in t.domains["a"]} == {4, 5}
