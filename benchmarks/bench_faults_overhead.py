@@ -1,0 +1,154 @@
+"""Experiment E16 — fault-injection hooks cost nothing when off.
+
+The chaos fault points throughout the campaign engine
+(:func:`repro.faults.fire` / :func:`repro.faults.corrupt`) consult a
+process-local installed plan, which is ``None`` unless a campaign opts
+in with ``--inject``.  The claim enforced here: the *disabled* cost is
+under 5% of the ``bench_table1`` smoke workload (the same bound, and
+the same methodology, as ``bench_obs_overhead.py``).
+
+Differencing two timings of the workload would make that a coin flip —
+5% is inside the run-to-run noise of a multi-second Python workload.
+Instead the overhead is measured directly:
+
+1. run the workload once under an *empty* fault plan, whose per-point
+   hit counters record exactly how many ``fire`` and ``corrupt`` hooks
+   the workload reaches;
+2. time that many *disabled* hook calls in a tight loop (the off-path
+   cost is deterministic: one global load and one ``is None`` test);
+3. overhead = (hooks reached x disabled hook cost) / workload wall.
+
+Usage::
+
+    pytest benchmarks/bench_faults_overhead.py       # via pytest-benchmark
+    python benchmarks/bench_faults_overhead.py --smoke --out BENCH_faults_overhead.json
+"""
+
+import argparse
+import json
+import os
+import sys
+import tempfile
+import time
+
+from repro import faults
+from repro.campaign import CampaignConfig, run_corpus_campaign
+from repro.drivers import DRIVER_SPECS
+from repro.faults import FaultPlan
+
+#: The bench_table1 smoke configuration: the smallest corpus drivers.
+SMOKE_DRIVERS = ["tracedrv", "moufiltr", "imca"]
+
+#: The enforced bound on disabled-hook overhead.
+THRESHOLD = 0.05
+
+
+def _workload(drivers):
+    """The smoke campaign with a cold cache and a telemetry stream, so
+    every fault point (worker, cache append, telemetry emit) is
+    reached."""
+    specs = [s for s in DRIVER_SPECS if s.name in drivers]
+    assert specs, f"no corpus drivers matched {drivers}"
+    with tempfile.TemporaryDirectory() as d:
+        run_corpus_campaign(
+            specs,
+            CampaignConfig(
+                jobs=1,
+                cache_dir=os.path.join(d, "cache"),
+                telemetry_path=os.path.join(d, "events.jsonl"),
+            ),
+        )
+
+
+def _time_disabled_hooks(n):
+    """Seconds for ``n`` disabled ``fire`` hooks plus ``n`` disabled
+    ``corrupt`` hooks (the exact code path the fault points take when no
+    plan is installed)."""
+    assert faults.installed() is None, "disabled-hook timing needs injection off"
+    fire, corrupt = faults.fire, faults.corrupt
+    line = '{"schema": "kiss-cache/2", "key": "probe", "result": {}}\n'
+    t0 = time.perf_counter()
+    for _ in range(n):
+        fire("mid_check")
+        corrupt("cache_append", line)
+    return time.perf_counter() - t0
+
+
+def _measure(drivers):
+    _workload(drivers)  # warm-up: parse memos, imports, allocator
+
+    t0 = time.perf_counter()
+    _workload(drivers)
+    t_work = time.perf_counter() - t0
+
+    # An empty plan injects nothing but counts every hook it is asked
+    # about — the exact number of fault points the workload reaches.
+    plan = FaultPlan()
+    with faults.plan_context(plan):
+        _workload(drivers)
+    fire_hooks = sum(plan.hits.values())
+    corrupt_hooks = sum(plan.write_hits.values())
+    assert not plan.fired, "an empty plan must not inject"
+
+    n_probe = 200_000
+    per_hook_pair = _time_disabled_hooks(n_probe) / n_probe
+    hook_cost = max(fire_hooks, corrupt_hooks) * per_hook_pair  # pairs cover both
+    overhead = hook_cost / t_work if t_work > 0 else 0.0
+
+    return {
+        "schema": "kiss-bench/faults-overhead/1",
+        "workload": "bench_table1 smoke (campaign engine, jobs=1, cold cache, telemetry)",
+        "drivers": list(drivers),
+        "workload_wall_s": round(t_work, 4),
+        "hooks": {
+            "fire": fire_hooks,
+            "corrupt": corrupt_hooks,
+            "by_point": dict(sorted(plan.hits.items())),
+        },
+        "disabled_hook_pair_cost_s": per_hook_pair,
+        "disabled_hook_cost_s": round(hook_cost, 6),
+        "disabled_overhead": round(overhead, 6),
+        "threshold": THRESHOLD,
+        "ok": overhead < THRESHOLD,
+    }
+
+
+def _run():
+    doc = _measure(SMOKE_DRIVERS)
+    print()
+    print(json.dumps(doc, indent=2))
+    return doc
+
+
+def bench_faults_overhead(benchmark):
+    doc = benchmark.pedantic(_run, rounds=1, iterations=1)
+    assert doc["hooks"]["fire"] > 0, "the workload reached no fault points"
+    assert doc["hooks"]["corrupt"] > 0, "the workload reached no write fault points"
+    assert doc["ok"], (
+        f"disabled fault-hook overhead {doc['disabled_overhead']:.4%} "
+        f"exceeds the {THRESHOLD:.0%} bound"
+    )
+
+
+def main(argv=None):
+    p = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    p.add_argument("--smoke", action="store_true",
+                   help="use the smoke driver subset (also the default)")
+    p.add_argument("--drivers", metavar="NAMES",
+                   help="comma-separated corpus driver names to use as the workload")
+    p.add_argument("--out", metavar="PATH",
+                   help="write the measurement document as JSON to PATH")
+    args = p.parse_args(argv)
+    drivers = args.drivers.split(",") if args.drivers else SMOKE_DRIVERS
+    doc = _measure(drivers)
+    print(json.dumps(doc, indent=2))
+    if args.out:
+        with open(args.out, "w") as f:
+            json.dump(doc, f, indent=2)
+            f.write("\n")
+        print(f"wrote {args.out}", file=sys.stderr)
+    return 0 if doc["ok"] else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -15,6 +15,11 @@ orchestration layer over that matrix:
   shaped end-of-run summary;
 * :mod:`corpus` — campaigns over the bundled 18-driver corpus.
 
+The runtime is chaos-hardened (docs/ROBUSTNESS.md): per-worker memory
+ceilings, a campaign deadline, graceful SIGINT/SIGTERM draining with a
+schema-valid partial summary, flock-guarded cache appends, and the
+deterministic fault-injection hooks of :mod:`repro.faults`.
+
 CLI: ``python -m repro campaign --jobs 8``.
 """
 
@@ -22,7 +27,13 @@ from .cache import ResultCache, cache_key, canonical_program_text
 from .corpus import corpus_jobs, results_to_driver_runs, run_corpus_campaign
 from .jobs import CheckJob, JobResult, parse_target
 from .scheduler import DEFAULT_CACHE_DIR, CampaignConfig, CampaignScheduler, default_jobs, run_jobs
-from .telemetry import Telemetry, summarize
+from .telemetry import (
+    SUMMARY_SCHEMA,
+    Telemetry,
+    summarize,
+    summary_document,
+    validate_summary,
+)
 from .worker import execute_job
 
 __all__ = [
@@ -37,8 +48,11 @@ __all__ = [
     "ResultCache",
     "cache_key",
     "canonical_program_text",
+    "SUMMARY_SCHEMA",
     "Telemetry",
     "summarize",
+    "summary_document",
+    "validate_summary",
     "corpus_jobs",
     "results_to_driver_runs",
     "run_corpus_campaign",

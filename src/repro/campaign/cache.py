@@ -11,12 +11,17 @@ verdict-relevant configuration: property, target, transformer knobs
 Results persist as JSONL under ``.kiss-cache/`` (one object per line:
 ``{"schema": "kiss-cache/2", "key": ..., "result": {...}}``), appended
 as jobs finish, so a re-run of the same campaign only checks drivers
-whose programs or configurations changed.  Unreadable lines are skipped
-— a truncated write from a crashed run degrades to a cache miss, never
-an error.  So does a line with a missing or different ``schema`` tag:
-entries written before a key-affecting format change (the pre-tag
-layout is retroactively ``kiss-cache/1``) are recomputed, not trusted
-and not crashed on.
+whose programs or configurations changed.  Appends go through an
+exclusive ``flock`` (:func:`repro.ioutil.locked_append`), so two
+campaigns sharing one cache directory can never interleave torn lines.
+Unreadable lines are still skipped at load — a truncated write from a
+SIGKILLed run degrades to a cache miss, never an error — and counted in
+``corrupt_lines``.  So is a line with a missing or different ``schema``
+tag (counted in ``stale_lines``): entries written before a
+key-affecting format change (the pre-tag layout is retroactively
+``kiss-cache/1``) are recomputed, not trusted and not crashed on.  A
+*failed* append (disk full, injected ``cache_append`` fault) keeps the
+entry in memory for this run and simply leaves it unpersisted.
 """
 
 from __future__ import annotations
@@ -24,8 +29,11 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+from collections import OrderedDict
 from typing import Dict, Optional
 
+from repro import faults, obs
+from repro.ioutil import locked_append
 from repro.lang import is_core_program, lower_program, parse
 from repro.lang.pretty import pretty_program
 
@@ -38,10 +46,48 @@ CACHE_FILE = "results.jsonl"
 #: ``/2``: added ``strategy``/``rounds`` to the verdict configuration.
 SCHEMA = "kiss-cache/2"
 
-#: source text -> canonical (lowered, pretty-printed) form.  Lowering is
-#: cheap next to checking, but a corpus driver contributes one job per
-#: field — dozens of jobs sharing one source — so memoize per process.
-_canonical_memo: Dict[str, str] = {}
+#: Degraded-outcome detail prefixes that must never be cached: a re-run
+#: with more headroom (longer timeout, higher memory ceiling, no
+#: interrupt) should try again.
+UNCACHED_DETAIL_PREFIXES = ("timeout", "crash", "memory", "interrupted", "deadline")
+
+
+class _LRU:
+    """A small bounded memo (least-recently-used eviction).  Long fuzz
+    campaigns push one generated program per job through the canonical
+    form; an unbounded dict grows with the campaign, so cap it."""
+
+    def __init__(self, cap: int):
+        self.cap = cap
+        self._data: "OrderedDict[str, str]" = OrderedDict()
+
+    def get(self, key: str) -> Optional[str]:
+        hit = self._data.get(key)
+        if hit is not None:
+            self._data.move_to_end(key)
+        return hit
+
+    def put(self, key: str, value: str) -> None:
+        self._data[key] = value
+        self._data.move_to_end(key)
+        while len(self._data) > self.cap:
+            self._data.popitem(last=False)
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._data
+
+
+#: Cap on the canonical-form memo.  A corpus driver contributes one job
+#: per device-extension field — dozens of jobs sharing one source — so
+#: memoizing pays; 256 distinct programs is far beyond any one batch's
+#: working set while bounding week-long fuzz campaigns.
+CANONICAL_MEMO_CAP = 256
+
+#: source text -> canonical (lowered, pretty-printed) form, per process.
+_canonical_memo = _LRU(CANONICAL_MEMO_CAP)
 
 
 def canonical_program_text(source: str) -> str:
@@ -54,7 +100,7 @@ def canonical_program_text(source: str) -> str:
     if not is_core_program(prog):
         prog = lower_program(prog)
     text = pretty_program(prog)
-    _canonical_memo[source] = text
+    _canonical_memo.put(source, text)
     return text
 
 
@@ -85,6 +131,14 @@ class ResultCache:
         self.enabled = directory is not None
         self.hits = 0
         self.misses = 0
+        #: lines skipped at load because they would not parse (torn
+        #: writes) — with flock-guarded appends this stays 0 unless a
+        #: writer was SIGKILLed mid-append or a torn-write fault fired.
+        self.corrupt_lines = 0
+        #: parseable lines skipped for carrying another schema tag.
+        self.stale_lines = 0
+        #: appends that failed at the OS level (entry kept in memory).
+        self.write_errors = 0
         self._entries: Dict[str, dict] = {}
         if self.enabled:
             os.makedirs(directory, exist_ok=True)
@@ -105,9 +159,11 @@ class ResultCache:
                 try:
                     obj = json.loads(line)
                     if obj.get("schema") != SCHEMA:
+                        self.stale_lines += 1
                         continue  # stale format: recompute, don't crash
                     self._entries[obj["key"]] = obj["result"]
                 except (json.JSONDecodeError, KeyError, TypeError, AttributeError):
+                    self.corrupt_lines += 1
                     continue  # torn write from an interrupted run
 
     def __len__(self) -> int:
@@ -134,14 +190,21 @@ class ResultCache:
     def put(self, key: str, result: JobResult) -> None:
         if not self.enabled or result.cache_hit:
             return
-        # Degraded verdicts from timeouts/crashes are not cached: a
-        # re-run with more headroom should try again, and `resource-
-        # bound` from an exhausted state budget is already captured by
-        # max_states being part of the key.
-        if result.detail.startswith(("timeout", "crash")):
+        # Degraded verdicts from timeouts/crashes/memory ceilings and
+        # interrupted remainders are not cached: a re-run with more
+        # headroom should try again, and `resource-bound` from an
+        # exhausted state budget is already captured by max_states being
+        # part of the key.
+        if result.detail.startswith(UNCACHED_DETAIL_PREFIXES):
             return
         self._entries[key] = result.to_dict()
-        with open(self.path, "a") as f:
-            f.write(
-                json.dumps({"schema": SCHEMA, "key": key, "result": result.to_dict()}) + "\n"
-            )
+        line = json.dumps({"schema": SCHEMA, "key": key, "result": result.to_dict()}) + "\n"
+        try:
+            faults.fire("cache_append")
+            locked_append(self.path, faults.corrupt("cache_append", line))
+        except OSError:
+            # Disk full, permissions, an injected cache_append fault:
+            # the entry stays served from memory this run and is simply
+            # not persisted — never a campaign error.
+            self.write_errors += 1
+            obs.inc("cache_write_errors")

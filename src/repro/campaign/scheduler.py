@@ -7,7 +7,8 @@ Given a batch of :class:`~repro.campaign.jobs.CheckJob`, the scheduler
 2. dispatches the misses — in-process when ``jobs <= 1`` (preserving
    rich :class:`~repro.core.checker.KissResult` objects for API
    callers), otherwise over a ``ProcessPoolExecutor`` with ``jobs``
-   workers,
+   workers (submission is incremental — a bounded in-flight window —
+   so a stop request never strands a long queue of submitted futures),
 3. enforces the per-job wall-clock timeout (armed inside the worker,
    see :mod:`repro.campaign.worker`), retrying timeouts and crashes up
    to ``retries`` extra attempts before degrading the job to the
@@ -18,25 +19,53 @@ Given a batch of :class:`~repro.campaign.jobs.CheckJob`, the scheduler
 
 A broken pool (a worker killed by the OOM killer, say) is rebuilt and
 the lost jobs resubmitted, bounded by the same retry budget.
+
+Termination is guaranteed three further ways (docs/ROBUSTNESS.md):
+
+* ``memory_limit`` arms a per-worker ``RLIMIT_AS`` soft ceiling, so a
+  runaway job raises ``MemoryError`` inside its worker and degrades to
+  ``resource-bound`` instead of summoning the OOM killer;
+* ``deadline`` bounds the whole campaign: past it, the scheduler stops
+  submitting, drains the in-flight jobs, and marks the remainder
+  ``resource-bound`` (detail ``deadline:``);
+* SIGINT/SIGTERM trigger the same graceful drain (detail
+  ``interrupted:``), emit a ``campaign_interrupted`` event, and leave
+  every completed job in the cache — the summary stays schema-valid and
+  an immediate re-run resumes where the interrupt landed.
+
+Interrupted/deadline remainders are never cached and count toward the
+``jobs_interrupted`` obs counter.  A :class:`~repro.faults.FaultPlan`
+in the config is installed in the scheduler's process and shipped to
+every pool worker, firing at the named fault points for chaos testing.
 """
 
 from __future__ import annotations
 
 import os
+import signal
+import threading
+import time
+from collections import deque
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Deque, Dict, List, Optional, Sequence, Tuple
 
-from repro import obs
+from repro import faults, obs
 from repro.core.checker import KissResult
+from repro.faults import FaultPlan, InjectedFault
 
 from .cache import ResultCache, cache_key
 from .jobs import CheckJob, JobResult
-from .telemetry import Telemetry, summarize
-from .worker import execute_job, pool_entry
+from .telemetry import Telemetry, summarize, summary_document
+from .worker import execute_job, pool_entry, pool_init
 
 DEFAULT_CACHE_DIR = ".kiss-cache"
+
+#: How long one ``wait`` call may block before the loop re-checks the
+#: deadline and interrupt flags (signals set a flag; they must not have
+#: to race a long-blocking wait).
+_POLL_S = 0.25
 
 
 def default_jobs() -> int:
@@ -55,6 +84,14 @@ class CampaignConfig:
     ``cache_dir``: result-cache directory (None disables caching).
     ``telemetry_path``: JSONL event stream destination (None = in-memory
     only).
+    ``deadline``: campaign-wide wall-clock budget in seconds; past it
+    the remainder degrades to ``"resource-bound"`` (detail
+    ``deadline:``) instead of running.
+    ``memory_limit``: per-worker ``RLIMIT_AS`` soft ceiling in MB; an
+    over-budget job degrades to ``"resource-bound"`` (detail
+    ``memory:``) instead of taking the pool down.
+    ``fault_plan``: a :class:`~repro.faults.FaultPlan` for chaos runs
+    (None = no injection, zero overhead).
     """
 
     jobs: int = 1
@@ -62,6 +99,9 @@ class CampaignConfig:
     retries: int = 1
     cache_dir: Optional[str] = None
     telemetry_path: Optional[str] = None
+    deadline: Optional[float] = None
+    memory_limit: Optional[int] = None
+    fault_plan: Optional[FaultPlan] = None
 
 
 class CampaignScheduler:
@@ -74,6 +114,14 @@ class CampaignScheduler:
         self.cache = ResultCache(self.config.cache_dir)
         #: job_id -> rich KissResult for in-process runs (jobs <= 1).
         self.rich_results: Dict[str, KissResult] = {}
+        #: signal name (``"SIGINT"``/``"SIGTERM"``) when the last run
+        #: was gracefully interrupted, else None.
+        self.interrupted: Optional[str] = None
+        #: True when the last run hit its campaign deadline.
+        self.deadline_hit = False
+        self._stop_detail: Optional[str] = None
+        self._interrupt_signal: Optional[int] = None
+        self._deadline_at: Optional[float] = None
 
     # -- execution ---------------------------------------------------------------
 
@@ -84,13 +132,23 @@ class CampaignScheduler:
         (the caller owns its lifetime)."""
         tel = telemetry or Telemetry(self.config.telemetry_path)
         try:
-            return self._run(jobs, tel)
+            with faults.plan_context(self.config.fault_plan):
+                return self._run(jobs, tel)
         finally:
             self.last_telemetry = tel
             if telemetry is None:
                 tel.close()
 
     def _run(self, jobs: Sequence[CheckJob], tel: Telemetry) -> List[JobResult]:
+        self.interrupted = None
+        self.deadline_hit = False
+        self._stop_detail = None
+        self._interrupt_signal = None
+        self._deadline_at = (
+            time.monotonic() + self.config.deadline
+            if self.config.deadline is not None
+            else None
+        )
         tel.emit(
             "campaign_start",
             jobs=len(jobs),
@@ -114,23 +172,87 @@ class CampaignScheduler:
                 todo.append((job, key))
 
         if todo:
-            runner = self._run_serial if self.config.jobs <= 1 else self._run_pool
-            for job, key, result in runner(todo, tel):
-                self.cache.put(key, result)
-                self._emit_job_end(
-                    tel, job, result, wall_s=round(result.wall_s, 6),
-                    cache="miss" if self.cache.enabled else "off",
-                    attempts=result.attempts,
-                )
-                results[job.job_id] = result
+            prev_handlers = self._install_signal_handlers()
+            try:
+                runner = self._run_serial if self.config.jobs <= 1 else self._run_pool
+                for job, key, result in runner(todo, tel):
+                    self.cache.put(key, result)
+                    self._emit_job_end(
+                        tel, job, result, wall_s=round(result.wall_s, 6),
+                        cache="miss" if self.cache.enabled else "off",
+                        attempts=result.attempts,
+                    )
+                    results[job.job_id] = result
+            finally:
+                self._restore_signal_handlers(prev_handlers)
 
         ordered = [results[j.job_id] for j in jobs]
         verdicts: Dict[str, int] = {}
         for r in ordered:
             verdicts[r.verdict] = verdicts.get(r.verdict, 0) + 1
         tel.emit("campaign_end", jobs=len(jobs), verdicts=verdicts,
-                 cache_hits=self.cache.hits, cache_misses=self.cache.misses)
+                 cache_hits=self.cache.hits, cache_misses=self.cache.misses,
+                 interrupted=self.interrupted, deadline_hit=self.deadline_hit)
         return ordered
+
+    # -- graceful stop (SIGINT/SIGTERM, campaign deadline) -----------------------
+
+    def _install_signal_handlers(self):
+        """Route SIGINT/SIGTERM to a stop flag for the duration of a
+        run (main thread only — elsewhere the default handling stands).
+        The flag is checked between submissions and waits, so the
+        campaign drains in-flight jobs instead of dying mid-write."""
+        if threading.current_thread() is not threading.main_thread():
+            return None
+
+        def request_stop(signum, frame):
+            self._interrupt_signal = signum
+
+        prev = {}
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            try:
+                prev[sig] = signal.signal(sig, request_stop)
+            except (ValueError, OSError):  # pragma: no cover - exotic platforms
+                pass
+        return prev
+
+    @staticmethod
+    def _restore_signal_handlers(prev) -> None:
+        if not prev:
+            return
+        for sig, handler in prev.items():
+            try:
+                signal.signal(sig, handler)
+            except (ValueError, OSError):  # pragma: no cover
+                pass
+
+    def _check_stop(self, tel: Telemetry, remaining: int) -> Optional[str]:
+        """The degraded-detail string once the campaign should stop
+        taking new work (sticky), else None.  Emits the one-shot
+        ``campaign_interrupted``/``campaign_deadline`` event on the
+        transition."""
+        if self._stop_detail is not None:
+            return self._stop_detail
+        if self._interrupt_signal is not None:
+            name = signal.Signals(self._interrupt_signal).name
+            self.interrupted = name
+            self._stop_detail = f"interrupted: {name}"
+            tel.emit("campaign_interrupted", signal=name, remaining=remaining)
+        elif self._deadline_at is not None and time.monotonic() >= self._deadline_at:
+            self.deadline_hit = True
+            self._stop_detail = f"deadline: exceeded {self.config.deadline}s"
+            tel.emit("campaign_deadline", deadline=self.config.deadline,
+                     remaining=remaining)
+        return self._stop_detail
+
+    def _skipped_result(self, job: CheckJob, detail: str) -> JobResult:
+        """A never-ran remainder job: ``resource-bound``, zero attempts,
+        never cached (the detail prefix keeps it out of the store)."""
+        obs.inc("jobs_interrupted")
+        return JobResult(
+            job_id=job.job_id, driver=job.driver, prop=job.prop, target=job.target,
+            verdict="resource-bound", attempts=0, detail=detail,
+        )
 
     @staticmethod
     def _emit_job_end(tel: Telemetry, job: CheckJob, result: JobResult, *,
@@ -147,9 +269,27 @@ class CampaignScheduler:
             wall = tel.events[-1]["t"]
         return summarize(results, wall_s=wall)
 
+    def summary_doc(self, results: Sequence[JobResult]) -> dict:
+        """The machine-readable ``kiss-campaign/1`` summary for the last
+        run (schema-valid even for an interrupted, partial campaign)."""
+        wall = None
+        tel = getattr(self, "last_telemetry", None)
+        if tel is not None and tel.events:
+            wall = tel.events[-1]["t"]
+        return summary_document(
+            results,
+            interrupted=self.interrupted,
+            deadline_hit=self.deadline_hit,
+            wall_s=wall,
+            cache_hits=self.cache.hits,
+            cache_misses=self.cache.misses,
+        )
+
     # -- attempts ----------------------------------------------------------------
 
     def _result_from(self, job: CheckJob, outcome: dict, attempts: int) -> JobResult:
+        if outcome["detail"].startswith("memory:"):
+            obs.inc("memory_ceiling_hits")
         return JobResult(
             job_id=job.job_id,
             driver=job.driver,
@@ -178,13 +318,25 @@ class CampaignScheduler:
             return out
         return outcome
 
+    @staticmethod
+    def _crash_outcome(detail: str) -> dict:
+        return {"verdict": "crash", "error_kind": None, "wall_s": 0.0, "detail": detail}
+
     def _run_serial(self, todo, tel: Telemetry):
-        for job, key in todo:
+        for idx, (job, key) in enumerate(todo):
+            stop = self._check_stop(tel, remaining=len(todo) - idx)
+            if stop is not None:
+                for j, k in todo[idx:]:
+                    yield j, k, self._skipped_result(j, stop)
+                return
             attempts = 0
             while True:
                 attempts += 1
                 tel.emit("job_start", job=job.job_id, driver=job.driver, attempt=attempts)
-                outcome, rich = execute_job(job, self.config.timeout)
+                outcome, rich = execute_job(
+                    job, self.config.timeout, attempt=attempts,
+                    memory_limit=self.config.memory_limit,
+                )
                 if not self._retryable(outcome) or attempts > self.config.retries:
                     break
                 tel.emit("job_retry", job=job.job_id, attempt=attempts,
@@ -193,56 +345,98 @@ class CampaignScheduler:
                 self.rich_results[job.job_id] = rich
             yield job, key, self._result_from(job, self._degrade(outcome), attempts)
 
+    # -- pool dispatch -----------------------------------------------------------
+
+    def _new_pool(self) -> ProcessPoolExecutor:
+        return ProcessPoolExecutor(
+            max_workers=self.config.jobs,
+            initializer=pool_init,
+            initargs=(self.config.memory_limit, self.config.fault_plan),
+        )
+
+    def _submit(self, pool: ProcessPoolExecutor, tel: Telemetry, job: CheckJob,
+                attempt: int):
+        """Submit one attempt (the ``pool_submit`` fault point lives
+        here); returns the future, or None when an injected fault made
+        the submission fail — the caller treats that as a crash
+        attempt."""
+        tel.emit("job_start", job=job.job_id, driver=job.driver, attempt=attempt)
+        try:
+            # submission happens on behalf of a job: give job-pinned
+            # fault rules a context to match against
+            with faults.job_context(job_id=job.job_id, attempt=attempt):
+                faults.fire("pool_submit")
+            return pool.submit(pool_entry, job, self.config.timeout, attempt)
+        except InjectedFault:
+            return None
+
     def _run_pool(self, todo, tel: Telemetry):
         workers = self.config.jobs
-        pool = ProcessPoolExecutor(max_workers=workers)
+        window = workers * 2  # bounded in-flight set: stop requests stay cheap
+        pool = self._new_pool()
+        pending: Deque[Tuple[CheckJob, str, int]] = deque(
+            (job, key, 1) for job, key in todo
+        )
+        futures: Dict[object, Tuple[CheckJob, str, int]] = {}
         try:
-            futures = {}
-            for job, key in todo:
-                tel.emit("job_start", job=job.job_id, driver=job.driver, attempt=1)
-                futures[pool.submit(pool_entry, job, self.config.timeout)] = (job, key, 1)
-            while futures:
-                done, _ = wait(list(futures), return_when=FIRST_COMPLETED)
+            while pending or futures:
+                stop = self._check_stop(tel, remaining=len(pending) + len(futures))
+                if stop is None:
+                    while pending and len(futures) < window:
+                        job, key, attempt = pending.popleft()
+                        fut = self._submit(pool, tel, job, attempt)
+                        if fut is None:
+                            crash = self._crash_outcome("crash: pool submission failed")
+                            if attempt <= self.config.retries:
+                                tel.emit("job_retry", job=job.job_id, attempt=attempt,
+                                         reason="pool submission failed")
+                                pending.append((job, key, attempt + 1))
+                            else:
+                                yield job, key, self._result_from(
+                                    job, self._degrade(crash), attempt)
+                            continue
+                        futures[fut] = (job, key, attempt)
+                elif not futures:
+                    # Drained: degrade the never-submitted remainder.
+                    while pending:
+                        job, key, _ = pending.popleft()
+                        yield job, key, self._skipped_result(job, stop)
+                    return
+                if not futures:
+                    continue
+                done, _ = wait(list(futures), return_when=FIRST_COMPLETED,
+                               timeout=_POLL_S)
                 for fut in done:
                     meta = futures.pop(fut, None)
                     if meta is None:  # discarded when the pool broke mid-batch
                         continue
-                    job, key, attempts = meta
+                    job, key, attempt = meta
                     try:
                         outcome = fut.result()
                     except BrokenProcessPool:
-                        # the pool is dead: rebuild it, count the loss as
-                        # an attempt for every in-flight job
-                        lost = [(j, k, a) for j, k, a in futures.values()]
+                        # The pool is dead: rebuild it, count the loss as
+                        # an attempt for every in-flight job.
+                        lost = [(job, key, attempt)] + list(futures.values())
                         futures.clear()
                         pool.shutdown(wait=False, cancel_futures=True)
-                        pool = ProcessPoolExecutor(max_workers=workers)
-                        lost.append((job, key, attempts))
+                        pool = self._new_pool()
                         for j, k, a in lost:
-                            crash = {"verdict": "crash", "error_kind": None, "wall_s": 0.0,
-                                     "detail": "crash: worker process died"}
+                            crash = self._crash_outcome("crash: worker process died")
                             if a > self.config.retries:
                                 yield j, k, self._result_from(j, self._degrade(crash), a)
                             else:
                                 tel.emit("job_retry", job=j.job_id, attempt=a,
                                          reason="worker process died")
-                                tel.emit("job_start", job=j.job_id, driver=j.driver,
-                                         attempt=a + 1)
-                                futures[pool.submit(pool_entry, j, self.config.timeout)] = (
-                                    j, k, a + 1)
-                        continue
+                                pending.appendleft((j, k, a + 1))
+                        break  # the futures set changed wholesale
                     except Exception as exc:  # pickling failures etc.
-                        outcome = {"verdict": "crash", "error_kind": None, "wall_s": 0.0,
-                                   "detail": f"crash: {exc!r}"}
-                    if self._retryable(outcome) and attempts <= self.config.retries:
-                        tel.emit("job_retry", job=job.job_id, attempt=attempts,
+                        outcome = self._crash_outcome(f"crash: {exc!r}")
+                    if self._retryable(outcome) and attempt <= self.config.retries:
+                        tel.emit("job_retry", job=job.job_id, attempt=attempt,
                                  reason=outcome["detail"][:200])
-                        tel.emit("job_start", job=job.job_id, driver=job.driver,
-                                 attempt=attempts + 1)
-                        futures[pool.submit(pool_entry, job, self.config.timeout)] = (
-                            job, key, attempts + 1)
+                        pending.appendleft((job, key, attempt + 1))
                         continue
-                    yield job, key, self._result_from(job, self._degrade(outcome), attempts)
+                    yield job, key, self._result_from(job, self._degrade(outcome), attempt)
         finally:
             pool.shutdown(wait=False, cancel_futures=True)
 

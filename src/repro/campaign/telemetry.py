@@ -14,23 +14,38 @@ when a job ran with the ``observe`` execution option.
 
 ``Telemetry`` owns a file handle when given a path; close it with
 :meth:`close` or use the instance as a context manager (the scheduler
-does the latter for streams it creates).
+does the latter for streams it creates).  A stream write that fails at
+the OS level (disk full, or an injected ``telemetry_emit`` fault —
+:mod:`repro.faults`) degrades the stream to in-memory-only for the rest
+of the run: events are never lost from memory, and a half-written file
+is never appended to again.
 
 The summary reproduces the shape of the paper's Table 1: one row per
 driver with race / no-race / unresolved counts, plus campaign-level
-cache and wall-clock totals.
+cache and wall-clock totals.  :func:`summary_document` renders the same
+information as a schema-tagged JSON document (``kiss-campaign/1``) that
+stays well-formed even for a partial, interrupted campaign;
+:func:`validate_summary` is the corresponding checker.
 """
 
 from __future__ import annotations
 
 import json
 import time
-from typing import Dict, IO, List, Optional, Sequence
+from typing import Any, Dict, IO, List, Optional, Sequence
 
+from repro import faults, obs
 from repro.obs import make_event
 from repro.reporting import render_table
 
 from .jobs import JobResult
+
+#: Schema tag of :func:`summary_document` artifacts.
+SUMMARY_SCHEMA = "kiss-campaign/1"
+
+#: Detail prefixes marking a job the campaign never ran to completion
+#: (graceful-interrupt or deadline remainders).
+INTERRUPTED_DETAIL_PREFIXES = ("interrupted", "deadline")
 
 
 class Telemetry:
@@ -39,6 +54,8 @@ class Telemetry:
     def __init__(self, path: Optional[str] = None):
         self.path = path
         self.events: List[dict] = []
+        #: stream writes that failed; > 0 means the file is partial.
+        self.write_errors = 0
         self._t0 = time.monotonic()
         self._fh: Optional[IO[str]] = open(path, "w") if path else None
 
@@ -46,8 +63,21 @@ class Telemetry:
         obj = make_event(event, time.monotonic() - self._t0, **fields)
         self.events.append(obj)
         if self._fh is not None:
-            self._fh.write(json.dumps(obj) + "\n")
-            self._fh.flush()
+            try:
+                faults.fire("telemetry_emit")
+                self._fh.write(faults.corrupt("telemetry_emit", json.dumps(obj) + "\n"))
+                self._fh.flush()
+            except OSError:
+                # Degrade to in-memory only: the event survives in
+                # self.events, and we stop appending to a file that may
+                # now end mid-line.
+                self.write_errors += 1
+                obs.inc("telemetry_write_errors")
+                try:
+                    self._fh.close()
+                except OSError:
+                    pass
+                self._fh = None
         return obj
 
     @property
@@ -120,3 +150,97 @@ def summarize(results: Sequence[JobResult], wall_s: Optional[float] = None) -> s
     if wall_s is not None:
         lines.append(f"campaign wall clock: {wall_s:.2f}s")
     return "\n".join(lines)
+
+
+def summary_document(
+    results: Sequence[JobResult],
+    *,
+    interrupted: Optional[str] = None,
+    deadline_hit: bool = False,
+    wall_s: Optional[float] = None,
+    cache_hits: int = 0,
+    cache_misses: int = 0,
+) -> Dict[str, Any]:
+    """The machine-readable campaign summary (``kiss-campaign/1``).
+
+    Always complete and schema-valid, even when the campaign was
+    interrupted: remainder jobs (detail ``interrupted:``/``deadline:``)
+    are counted under ``interrupted_jobs`` and still appear in the
+    verdict tallies as ``resource-bound``/``unresolved``, so
+    ``jobs == completed + interrupted_jobs`` holds by construction.
+    """
+    verdicts: Dict[str, int] = {}
+    table: Dict[str, int] = {}
+    drivers: Dict[str, Dict[str, Any]] = {}
+    interrupted_jobs = 0
+    for r in results:
+        verdicts[r.verdict] = verdicts.get(r.verdict, 0) + 1
+        table[r.table_verdict] = table.get(r.table_verdict, 0) + 1
+        if r.detail.startswith(INTERRUPTED_DETAIL_PREFIXES):
+            interrupted_jobs += 1
+        row = drivers.setdefault(
+            r.driver,
+            {"driver": r.driver, "fields": 0, "race": 0, "no-race": 0,
+             "unresolved": 0, "other": 0, "cached": 0, "wall_s": 0.0},
+        )
+        row["fields"] += 1
+        # Assertion/fuzz jobs use the safe/error vocabulary; the Table 1
+        # columns only know races, so they land in "other".
+        bucket = r.table_verdict if r.table_verdict in ("race", "no-race", "unresolved") else "other"
+        row[bucket] += 1
+        row["cached"] += 1 if r.cache_hit else 0
+        row["wall_s"] = round(row["wall_s"] + r.wall_s, 6)
+    return {
+        "schema": SUMMARY_SCHEMA,
+        "jobs": len(results),
+        "completed": len(results) - interrupted_jobs,
+        "interrupted_jobs": interrupted_jobs,
+        "interrupted": interrupted,
+        "deadline_hit": deadline_hit,
+        "verdicts": verdicts,
+        "table": table,
+        "drivers": list(drivers.values()),
+        "cache": {"hits": cache_hits, "misses": cache_misses},
+        "wall_s": None if wall_s is None else round(wall_s, 6),
+    }
+
+
+def validate_summary(doc: Dict[str, Any]) -> Dict[str, Any]:
+    """Check a ``kiss-campaign/1`` document's shape and internal
+    consistency; returns the document or raises ``ValueError``."""
+
+    def fail(msg: str):
+        raise ValueError(f"invalid {SUMMARY_SCHEMA} document: {msg}")
+
+    if not isinstance(doc, dict):
+        fail("not an object")
+    if doc.get("schema") != SUMMARY_SCHEMA:
+        fail(f"schema is {doc.get('schema')!r}")
+    for key, kind in (("jobs", int), ("completed", int), ("interrupted_jobs", int),
+                      ("deadline_hit", bool), ("verdicts", dict), ("table", dict),
+                      ("drivers", list), ("cache", dict)):
+        if not isinstance(doc.get(key), kind):
+            fail(f"{key} missing or not {kind.__name__}")
+    if doc["interrupted"] is not None and not isinstance(doc["interrupted"], str):
+        fail("interrupted must be null or a signal name")
+    if doc["jobs"] != doc["completed"] + doc["interrupted_jobs"]:
+        fail("jobs != completed + interrupted_jobs")
+    for tally in (doc["verdicts"], doc["table"]):
+        if any(not isinstance(v, int) or v < 0 for v in tally.values()):
+            fail("negative or non-integer tally")
+        if sum(tally.values()) != doc["jobs"]:
+            fail("tallies do not sum to jobs")
+    fields = 0
+    for row in doc["drivers"]:
+        for key in ("driver", "fields", "race", "no-race", "unresolved", "other",
+                    "cached", "wall_s"):
+            if key not in row:
+                fail(f"driver row missing {key}")
+        if row["race"] + row["no-race"] + row["unresolved"] + row["other"] != row["fields"]:
+            fail(f"driver {row['driver']}: field counts do not sum")
+        fields += row["fields"]
+    if fields != doc["jobs"]:
+        fail("driver rows do not cover all jobs")
+    if not all(isinstance(doc["cache"].get(k), int) for k in ("hits", "misses")):
+        fail("cache hits/misses missing")
+    return doc

@@ -12,6 +12,18 @@ and the worker survives to take the next job — no pool teardown, no
 orphaned processes.  Where the alarm is unavailable (non-main thread,
 platforms without ``SIGALRM``) jobs run untimed and rely on the backend
 state budget, which is the paper's own resource bound.
+
+Memory is bounded the same way the wall clock is: a per-worker
+``RLIMIT_AS`` soft ceiling (``CampaignConfig.memory_limit``, CLI
+``--memory-limit``) turns a runaway job's allocations into a
+``MemoryError`` raised *inside* the worker, which degrades that one job
+to ``"resource-bound"`` instead of letting the OS OOM killer shoot the
+worker (which would cost the whole pool a rebuild).  Pool workers arm
+the ceiling once at startup (:func:`pool_init`); serial runs arm and
+restore it around each job.
+
+Fault points for chaos testing (:mod:`repro.faults`): ``worker_start``
+on entry, ``mid_check`` between parse and the pipeline.
 """
 
 from __future__ import annotations
@@ -22,7 +34,12 @@ import time
 import traceback
 from typing import Dict, Optional, Tuple
 
-from repro import obs
+try:
+    import resource
+except ImportError:  # pragma: no cover - non-POSIX
+    resource = None
+
+from repro import faults, obs
 from repro.core.checker import Kiss, KissResult
 from repro.lang import parse
 from repro.lang.ast import Program
@@ -47,6 +64,52 @@ def _parse(source: str) -> Program:
 
 def _alarm_available() -> bool:
     return hasattr(signal, "SIGALRM") and threading.current_thread() is threading.main_thread()
+
+
+def set_memory_limit(mb: Optional[int]) -> Optional[int]:
+    """Arm an ``RLIMIT_AS`` soft ceiling of ``mb`` megabytes; returns the
+    previous soft limit so callers can restore it, or None when nothing
+    was armed (no ``resource`` module, or ``mb`` is None)."""
+    if mb is None or resource is None:
+        return None
+    soft, hard = resource.getrlimit(resource.RLIMIT_AS)
+    limit = mb << 20
+    if hard != resource.RLIM_INFINITY:
+        limit = min(limit, hard)
+    try:
+        resource.setrlimit(resource.RLIMIT_AS, (limit, hard))
+    except (ValueError, OSError):  # pragma: no cover - exotic rlimit configs
+        return None
+    return soft
+
+
+class _memory_ceiling:
+    """Context manager arming the ``RLIMIT_AS`` soft ceiling for one job
+    and restoring the previous limit on exit (no-op when ``mb`` is
+    None).  Pool workers skip this: :func:`pool_init` armed the ceiling
+    for the worker's whole life."""
+
+    def __init__(self, mb: Optional[int]):
+        self.mb = mb
+        self._prev: Optional[int] = None
+
+    def __enter__(self):
+        self._prev = set_memory_limit(self.mb)
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        if self._prev is not None and resource is not None:
+            _, hard = resource.getrlimit(resource.RLIMIT_AS)
+            resource.setrlimit(resource.RLIMIT_AS, (self._prev, hard))
+        return False
+
+
+def pool_init(memory_limit: Optional[int], plan: Optional["faults.FaultPlan"]) -> None:
+    """Pool-worker initializer: arm the per-worker memory ceiling and
+    install the campaign's fault plan (with fresh per-process
+    counters)."""
+    set_memory_limit(memory_limit)
+    faults.install(plan.fresh() if plan is not None else None)
 
 
 class _deadline:
@@ -116,15 +179,21 @@ def _fuzz_outcome(job: CheckJob, prog: Program, outcome):
 
 
 def execute_job(
-    job: CheckJob, timeout: Optional[float] = None
+    job: CheckJob,
+    timeout: Optional[float] = None,
+    attempt: int = 1,
+    memory_limit: Optional[int] = None,
+    pooled: bool = False,
 ) -> Tuple[dict, Optional[KissResult]]:
     """Run one job to a verdict.  Returns ``(outcome dict, KissResult)``;
     the rich result is for in-process callers (it holds ASTs and traces
     and is dropped at process boundaries).
 
     Outcomes never raise: timeouts become the ``"resource-bound"``
-    graceful-degradation verdict, any other exception becomes a
-    ``"crash"`` outcome for the scheduler's retry logic.
+    graceful-degradation verdict, a ``MemoryError`` (the per-worker
+    ceiling, or a genuine exhaustion) becomes ``"resource-bound"`` with
+    a ``memory:`` detail, and any other exception becomes a ``"crash"``
+    outcome for the scheduler's retry logic.
     """
     start = time.monotonic()
 
@@ -146,8 +215,13 @@ def execute_job(
         )
 
     try:
-        with _deadline(timeout):
+        with faults.job_context(job_id=job.job_id, attempt=attempt, timeout=timeout,
+                                pooled=pooled), \
+                _memory_ceiling(None if pooled else memory_limit), \
+                _deadline(timeout):
+            faults.fire("worker_start")
             prog = _parse(job.source)
+            faults.fire("mid_check")
             if job.prop == "fuzz":
                 return _fuzz_outcome(job, prog, outcome)
             kiss = Kiss(**job.kiss_kwargs())
@@ -168,13 +242,15 @@ def execute_job(
     except JobTimeout:
         _parse_memo.pop(job.source, None)  # a partial parse never lands here, but be safe
         return outcome("resource-bound", detail=f"timeout after {timeout}s")
-    except MemoryError:
-        return outcome("resource-bound", detail="crash: MemoryError")
+    except MemoryError as exc:
+        # The worker's memory ceiling (RLIMIT_AS) or a genuine
+        # exhaustion: degrade this one job, keep the worker alive.
+        return outcome("resource-bound", detail="memory: " + (str(exc) or "MemoryError"))
     except Exception:
         return outcome("crash", detail="crash: " + traceback.format_exc(limit=8))
 
 
-def pool_entry(job: CheckJob, timeout: Optional[float]) -> dict:
+def pool_entry(job: CheckJob, timeout: Optional[float], attempt: int = 1) -> dict:
     """Pool-side entry point: like :func:`execute_job` but drops the
     unpicklable rich result."""
-    return execute_job(job, timeout)[0]
+    return execute_job(job, timeout, attempt=attempt, pooled=True)[0]

@@ -17,7 +17,9 @@ Usage (after ``pip install -e .``)::
 
 The input language is the paper's parallel language with C-like syntax
 (see README).  Exit status: 0 = safe, 1 = error found, 2 = resource
-bound, 3 = usage/parse error.
+bound, 3 = usage/parse error, 130 = campaign gracefully interrupted
+(SIGINT/SIGTERM; the partial summary is still written and the cache
+holds every completed job).
 """
 
 from __future__ import annotations
@@ -39,6 +41,7 @@ EXIT_SAFE = 0
 EXIT_ERROR = 1
 EXIT_BOUND = 2
 EXIT_USAGE = 3
+EXIT_INTERRUPTED = 130  # 128 + SIGINT, the shell convention
 
 
 def _load(path: str):
@@ -131,9 +134,18 @@ def cmd_race(args) -> int:
 
 def cmd_campaign(args) -> int:
     """The `campaign` subcommand: the Table 1 job matrix through the
-    campaign engine (parallel workers, result cache, telemetry)."""
+    campaign engine (parallel workers, result cache, telemetry).
+
+    Robustness knobs (docs/ROBUSTNESS.md): `--memory-limit` arms a
+    per-worker RLIMIT_AS ceiling, `--deadline` bounds the whole
+    campaign, SIGINT/SIGTERM drain gracefully (exit 130, partial but
+    schema-valid `--summary-json`, cache intact for the re-run), and
+    `--inject` runs a deterministic fault plan for chaos testing.
+    """
     from repro.campaign import CampaignConfig, DEFAULT_CACHE_DIR, default_jobs, run_corpus_campaign
     from repro.drivers import DRIVER_SPECS, spec_by_name
+    from repro.faults import FaultPlan
+    from repro.ioutil import atomic_write_json
 
     if args.list_drivers:
         for s in DRIVER_SPECS:
@@ -148,6 +160,11 @@ def cmd_campaign(args) -> int:
     except KeyError as exc:
         print(f"error: {exc.args[0]}", file=sys.stderr)
         return EXIT_USAGE
+    try:
+        plan = FaultPlan.parse(args.inject, seed=args.inject_seed) if args.inject else None
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_USAGE
     cache_dir = None if args.no_cache else (args.cache_dir or DEFAULT_CACHE_DIR)
     config = CampaignConfig(
         jobs=args.jobs if args.jobs is not None else default_jobs(),
@@ -155,6 +172,9 @@ def cmd_campaign(args) -> int:
         retries=args.retries,
         cache_dir=cache_dir,
         telemetry_path=args.telemetry,
+        deadline=args.deadline,
+        memory_limit=args.memory_limit,
+        fault_plan=plan,
     )
     _, results, scheduler = run_corpus_campaign(
         specs,
@@ -164,6 +184,13 @@ def cmd_campaign(args) -> int:
         loc_scale=args.loc_scale,
     )
     print(scheduler.summary(results))
+    if args.summary_json:
+        atomic_write_json(args.summary_json, scheduler.summary_doc(results))
+        print(f"wrote {args.summary_json}")
+    if scheduler.interrupted is not None:
+        print(f"campaign interrupted ({scheduler.interrupted}); "
+              f"completed jobs are cached — re-run to resume", file=sys.stderr)
+        return EXIT_INTERRUPTED
     if any(r.table_verdict == "race" for r in results):
         return EXIT_ERROR
     if any(r.table_verdict == "unresolved" for r in results):
@@ -262,9 +289,9 @@ def cmd_profile(args) -> int:
         metrics=metrics,
     )
     if args.output:
-        with open(args.output, "w") as f:
-            json.dump(doc, f, indent=2)
-            f.write("\n")
+        from repro.ioutil import atomic_write_json
+
+        atomic_write_json(args.output, doc)
     if args.json:
         print(json.dumps(doc, indent=2))
     else:
@@ -369,6 +396,21 @@ def build_parser() -> argparse.ArgumentParser:
     sp.add_argument("--no-cache", action="store_true", help="disable the result cache")
     sp.add_argument("--telemetry", metavar="PATH",
                     help="write the JSONL telemetry event stream to PATH")
+    sp.add_argument("--deadline", type=float, default=None, metavar="SECONDS",
+                    help="campaign-wide wall-clock budget: past it, stop submitting, "
+                         "drain in-flight jobs, mark the remainder resource-bound")
+    sp.add_argument("--memory-limit", type=int, default=None, metavar="MB",
+                    help="per-worker RLIMIT_AS soft ceiling; an over-budget job "
+                         "degrades to resource-bound instead of killing the pool")
+    sp.add_argument("--summary-json", metavar="PATH",
+                    help="write the kiss-campaign/1 summary document to PATH "
+                         "(atomic write; schema-valid even when interrupted)")
+    sp.add_argument("--inject", action="append", metavar="SPEC", default=None,
+                    help="fault-injection rule point:kind[:key=value,...] for chaos "
+                         "runs, e.g. mid_check:crash:hits=1+3 (repeatable; see "
+                         "docs/ROBUSTNESS.md)")
+    sp.add_argument("--inject-seed", type=int, default=0,
+                    help="seed for probabilistic (p=) fault rules (default 0)")
     sp.set_defaults(func=cmd_campaign)
 
     sp = sub.add_parser(

@@ -1,0 +1,48 @@
+"""Deterministic fault injection for chaos-hardening the campaign
+runtime (docs/ROBUSTNESS.md).
+
+The campaign layer's recovery paths — retry-and-degrade, pool rebuild,
+cache-miss-on-corruption, graceful interrupt — carry the same kind of
+guarantee as the KISS transformation itself: injected faults may cost
+*coverage* (jobs degrade to ``resource-bound``), but never produce a
+wrong verdict, a corrupt cache entry, or a malformed summary.  This
+package provides the seeded :class:`FaultPlan` that exercises those
+paths on demand; it is off by default and free when off.
+
+Usage::
+
+    from repro import faults
+
+    plan = faults.FaultPlan([faults.FaultRule("mid_check", "crash", hits=(1,))])
+    config = CampaignConfig(retries=1, fault_plan=plan)
+
+CLI: ``python -m repro campaign --inject mid_check:crash:hits=1``.
+"""
+
+from .plan import (
+    FAULT_KINDS,
+    FAULT_POINTS,
+    FaultPlan,
+    FaultRule,
+    InjectedFault,
+    corrupt,
+    fire,
+    install,
+    installed,
+    job_context,
+    plan_context,
+)
+
+__all__ = [
+    "FAULT_KINDS",
+    "FAULT_POINTS",
+    "FaultPlan",
+    "FaultRule",
+    "InjectedFault",
+    "corrupt",
+    "fire",
+    "install",
+    "installed",
+    "job_context",
+    "plan_context",
+]

@@ -1,0 +1,314 @@
+"""Deterministic fault plans (see docs/ROBUSTNESS.md).
+
+A :class:`FaultPlan` is a list of :class:`FaultRule`\\ s: *when* a named
+fault point is hit (per-process hit index, job id, attempt number, or a
+seeded coin), inject *which* fault kind.  Plans are plain picklable
+data: the scheduler installs one in its own process and ships the same
+plan to every pool worker, so a campaign's fault schedule is fully
+determined by the plan — re-running a pinned plan reproduces the same
+injections at the same points.
+
+Off by default and free when off: the instrumentation points call
+:func:`fire` / :func:`corrupt`, which return immediately when no plan
+is installed (one global load and one ``is None`` test — measured by
+``benchmarks/bench_faults_overhead.py``).
+
+Fault points (where the hooks live):
+
+========================  =====================================================
+``worker_start``          :func:`repro.campaign.worker.execute_job` entry
+``mid_check``             after parse, before the pipeline runs
+``cache_append``          :meth:`repro.campaign.cache.ResultCache.put`
+``telemetry_emit``        :meth:`repro.campaign.telemetry.Telemetry.emit`
+``pool_submit``           scheduler-side, before each pool submission
+========================  =====================================================
+
+Fault kinds (what the injection does):
+
+==============  ==============================================================
+``crash``       raise :class:`InjectedFault` (an ``OSError``)
+``hang``        sleep past the job timeout (``seconds``, or 4x the timeout)
+``oom``         allocate until ``MemoryError`` (rule ``mb`` ceiling, or the
+                worker's ``RLIMIT_AS`` ceiling, whichever trips first)
+``torn-write``  truncate a JSONL line mid-write (via :func:`corrupt`)
+``pool-break``  ``SIGKILL`` the current pool worker so the parent sees
+                ``BrokenProcessPool``; outside a pool it degrades to ``crash``
+==============  ==============================================================
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import signal
+import time
+from dataclasses import dataclass, field
+from fnmatch import fnmatch
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro import obs
+
+FAULT_POINTS = (
+    "worker_start",
+    "mid_check",
+    "cache_append",
+    "telemetry_emit",
+    "pool_submit",
+)
+
+FAULT_KINDS = ("crash", "hang", "oom", "torn-write", "pool-break")
+
+#: oom allocation chunk; small enough to trip a ceiling promptly.
+_OOM_CHUNK_MB = 8
+
+
+class InjectedFault(OSError):
+    """The exception raised by ``crash`` (and non-pool ``pool-break``)
+    injections.  An ``OSError`` subclass on purpose: injected faults
+    stand in for environmental failures (I/O errors, dead workers,
+    exhausted memory), so hardened code paths that tolerate ``OSError``
+    tolerate injections with no test-aware special cases."""
+
+
+@dataclass(frozen=True)
+class FaultRule:
+    """One trigger: fire ``kind`` at fault point ``point``.
+
+    The trigger narrows by any combination of per-process ``hits``
+    indices (1-based, per point), a ``job`` id glob, an ``attempt``
+    number, or a seeded probability ``p`` (deterministic per
+    ``(plan seed, point, hit)``).  With no narrowing the rule fires on
+    every hit.  ``seconds`` parameterizes ``hang`` (0 = 4x the job
+    timeout); ``mb`` caps the ``oom`` allocation.
+    """
+
+    point: str
+    kind: str
+    hits: Tuple[int, ...] = ()
+    p: float = 0.0
+    job: Optional[str] = None
+    attempt: Optional[int] = None
+    seconds: float = 0.0
+    mb: int = 256
+
+    def __post_init__(self):
+        if self.point not in FAULT_POINTS and self.point != "*":
+            raise ValueError(f"unknown fault point {self.point!r} (know {FAULT_POINTS})")
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(f"unknown fault kind {self.kind!r} (know {FAULT_KINDS})")
+
+
+@dataclass
+class _Context:
+    """What the current process is doing — consulted by rule matching."""
+
+    job_id: Optional[str] = None
+    attempt: Optional[int] = None
+    timeout: Optional[float] = None
+    pooled: bool = False
+
+
+@dataclass
+class FaultPlan:
+    """A deterministic fault schedule (see module doc).
+
+    Hit counters and the ``fired`` log are per-process state: each pool
+    worker counts its own hits, so a plan's behavior inside one process
+    is reproducible regardless of how jobs spread over workers.
+    """
+
+    rules: List[FaultRule] = field(default_factory=list)
+    seed: int = 0
+    #: per-point hit counts for raising kinds (:func:`fire`).
+    hits: Dict[str, int] = field(default_factory=dict)
+    #: per-point hit counts for ``torn-write`` (:func:`corrupt`).
+    write_hits: Dict[str, int] = field(default_factory=dict)
+    #: (point, kind, hit) log of every injection this process performed.
+    fired: List[Tuple[str, str, int]] = field(default_factory=list)
+
+    # -- construction ------------------------------------------------------------
+
+    @classmethod
+    def parse(cls, specs: Sequence[str], seed: int = 0) -> "FaultPlan":
+        """Build a plan from CLI specs: ``point:kind[:key=value,...]``.
+
+        Keys: ``hits`` (``+``-separated 1-based indices), ``p`` (seeded
+        probability), ``job`` (id glob), ``attempt``, ``seconds``,
+        ``mb``.  Example: ``mid_check:crash:hits=1+3,job=imca/*``.
+        """
+        rules = []
+        for spec in specs:
+            parts = spec.split(":", 2)
+            if len(parts) < 2:
+                raise ValueError(f"fault spec {spec!r}: want point:kind[:key=value,...]")
+            kwargs: Dict[str, object] = {}
+            if len(parts) == 3 and parts[2]:
+                for pair in parts[2].split(","):
+                    if "=" not in pair:
+                        raise ValueError(f"fault spec {spec!r}: bad option {pair!r}")
+                    k, v = pair.split("=", 1)
+                    if k == "hits":
+                        kwargs[k] = tuple(int(x) for x in v.split("+"))
+                    elif k in ("p", "seconds"):
+                        kwargs[k] = float(v)
+                    elif k in ("attempt", "mb"):
+                        kwargs[k] = int(v)
+                    elif k == "job":
+                        kwargs[k] = v
+                    else:
+                        raise ValueError(f"fault spec {spec!r}: unknown option {k!r}")
+            rules.append(FaultRule(parts[0], parts[1], **kwargs))
+        return cls(rules=rules, seed=seed)
+
+    def fresh(self) -> "FaultPlan":
+        """A copy with pristine counters (for re-running a pinned plan
+        in-process)."""
+        return FaultPlan(rules=list(self.rules), seed=self.seed)
+
+    # -- matching ----------------------------------------------------------------
+
+    def _coin(self, point: str, kind: str, hit: int, p: float) -> bool:
+        h = hashlib.sha256(f"{self.seed}:{point}:{kind}:{hit}".encode()).digest()
+        return int.from_bytes(h[:8], "big") / 2.0**64 < p
+
+    def _matches(self, rule: FaultRule, point: str, hit: int) -> bool:
+        if rule.point != point and rule.point != "*":
+            return False
+        if rule.job is not None and not fnmatch(_ctx.job_id or "", rule.job):
+            return False
+        if rule.attempt is not None and _ctx.attempt != rule.attempt:
+            return False
+        if rule.hits:
+            return hit in rule.hits
+        if rule.p > 0.0:
+            return self._coin(point, rule.kind, hit, rule.p)
+        return True
+
+    # -- actions -----------------------------------------------------------------
+
+    def _record(self, point: str, kind: str, hit: int) -> None:
+        self.fired.append((point, kind, hit))
+        obs.inc("faults_injected")
+
+    def _fire(self, point: str) -> None:
+        hit = self.hits.get(point, 0) + 1
+        self.hits[point] = hit
+        for rule in self.rules:
+            if rule.kind == "torn-write":
+                continue  # write-mutating kind: handled by corrupt()
+            if self._matches(rule, point, hit):
+                self._act(rule, point, hit)
+                return
+
+    def _act(self, rule: FaultRule, point: str, hit: int) -> None:
+        self._record(point, rule.kind, hit)
+        if rule.kind == "crash":
+            raise InjectedFault(f"injected crash at {point} (hit {hit})")
+        if rule.kind == "hang":
+            timeout = _ctx.timeout
+            seconds = rule.seconds or (timeout * 4 if timeout else 1.0)
+            time.sleep(seconds)
+            return
+        if rule.kind == "oom":
+            ballast = []
+            for _ in range(max(1, rule.mb // _OOM_CHUNK_MB)):
+                ballast.append(bytearray(_OOM_CHUNK_MB << 20))
+            del ballast
+            raise MemoryError(f"injected oom at {point} (hit {hit}, ceiling {rule.mb}MB)")
+        if rule.kind == "pool-break":
+            if _ctx.pooled and hasattr(signal, "SIGKILL"):
+                os.kill(os.getpid(), signal.SIGKILL)
+            raise InjectedFault(f"injected pool-break at {point} (hit {hit}, not pooled)")
+
+    def _corrupt(self, point: str, text: str) -> str:
+        hit = self.write_hits.get(point, 0) + 1
+        self.write_hits[point] = hit
+        for rule in self.rules:
+            if rule.kind != "torn-write":
+                continue
+            if self._matches(rule, point, hit):
+                self._record(point, rule.kind, hit)
+                # A mid-line crash: half the bytes, no trailing newline.
+                return text[: max(1, len(text) // 2)]
+        return text
+
+
+# ---------------------------------------------------------------------------
+# The installed plan (module-level, process-local)
+# ---------------------------------------------------------------------------
+
+_plan: Optional[FaultPlan] = None
+_ctx = _Context()
+
+
+def installed() -> Optional[FaultPlan]:
+    """The plan the hooks are consulting right now (None = disabled)."""
+    return _plan
+
+
+def install(plan: Optional[FaultPlan]) -> None:
+    """Install ``plan`` process-wide (None uninstalls)."""
+    global _plan
+    _plan = plan
+
+
+class plan_context:
+    """Install a plan for a ``with`` block, restoring the previous one
+    (so nested campaigns compose).  ``plan_context(None)`` is a no-op
+    pass-through, so callers need no conditionals."""
+
+    def __init__(self, plan: Optional[FaultPlan]):
+        self.plan = plan
+        self._prev: Optional[FaultPlan] = None
+
+    def __enter__(self) -> Optional[FaultPlan]:
+        global _plan
+        self._prev = _plan
+        if self.plan is not None:
+            _plan = self.plan
+        return _plan
+
+    def __exit__(self, *exc) -> bool:
+        global _plan
+        _plan = self._prev
+        return False
+
+
+class job_context:
+    """Declare what the process is working on (job id, attempt, timeout,
+    whether it is a pool worker) for the duration of a ``with`` block —
+    rule matching consults this."""
+
+    def __init__(self, job_id: Optional[str] = None, attempt: Optional[int] = None,
+                 timeout: Optional[float] = None, pooled: bool = False):
+        self.fields = _Context(job_id=job_id, attempt=attempt, timeout=timeout,
+                               pooled=pooled)
+        self._prev: Optional[_Context] = None
+
+    def __enter__(self) -> None:
+        global _ctx
+        self._prev = _ctx
+        _ctx = self.fields
+        return None
+
+    def __exit__(self, *exc) -> bool:
+        global _ctx
+        _ctx = self._prev
+        return False
+
+
+def fire(point: str) -> None:
+    """Hit a fault point.  No-op (and allocation-free) when no plan is
+    installed; otherwise the first matching rule's fault happens here —
+    raising, sleeping, allocating, or killing the process."""
+    if _plan is None:
+        return
+    _plan._fire(point)
+
+
+def corrupt(point: str, text: str) -> str:
+    """Pass a line about to be written through the ``torn-write`` rules
+    of the installed plan.  Identity when no plan is installed."""
+    if _plan is None:
+        return text
+    return _plan._corrupt(point, text)

@@ -1,0 +1,81 @@
+"""Crash-safe file primitives shared by the campaign and obs layers.
+
+Two failure modes motivate this module (see docs/ROBUSTNESS.md):
+
+* **Interleaved appends** — two campaigns sharing one ``.kiss-cache/``
+  append result lines concurrently.  A buffered ``write`` larger than
+  the stdio buffer is issued as several OS-level writes, so lines from
+  the two processes can interleave into garbage.  :func:`locked_append`
+  serializes whole-line appends with ``fcntl.flock`` (advisory, so all
+  writers must go through it — ours do).
+* **Torn artifacts** — a crash (or SIGKILL) mid-write leaves a partial
+  JSON document that a later reader chokes on.  :func:`atomic_write_text`
+  writes to a temporary file in the same directory, flushes and fsyncs
+  it, and ``os.replace``\\ s it over the destination, so readers observe
+  either the old document or the new one, never a prefix.
+
+On platforms without ``fcntl`` (Windows) the lock degrades to a plain
+append; the atomic-replace path is portable.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any
+
+try:
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX
+    fcntl = None
+
+
+def locked_append(path: str, data: str) -> None:
+    """Append ``data`` to ``path`` under an exclusive ``flock``.
+
+    The lock covers the whole append (including the flush), so two
+    processes appending JSONL lines can never interleave partial lines.
+    Raises ``OSError`` on write failure — callers decide whether a
+    failed append is fatal (the result cache treats it as "not
+    persisted", never as a campaign error).
+    """
+    with open(path, "a") as f:
+        if fcntl is not None:
+            fcntl.flock(f.fileno(), fcntl.LOCK_EX)
+            try:
+                f.write(data)
+                f.flush()
+            finally:
+                fcntl.flock(f.fileno(), fcntl.LOCK_UN)
+        else:  # pragma: no cover - non-POSIX
+            f.write(data)
+            f.flush()
+
+
+def atomic_write_text(path: str, text: str) -> None:
+    """Write ``text`` to ``path`` via write-temp + ``os.replace``.
+
+    The temporary lives in the destination directory (``os.replace``
+    must not cross filesystems) and is fsynced before the rename, so a
+    crash at any point leaves either the previous file or the complete
+    new one.
+    """
+    directory = os.path.dirname(os.path.abspath(path))
+    tmp = os.path.join(directory, f".{os.path.basename(path)}.{os.getpid()}.tmp")
+    try:
+        with open(tmp, "w") as f:
+            f.write(text)
+            f.flush()
+            os.fsync(f.fileno())
+        os.replace(tmp, path)
+    finally:
+        if os.path.exists(tmp):  # replace failed or write raised
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+
+
+def atomic_write_json(path: str, doc: Any, indent: int = 2) -> None:
+    """:func:`atomic_write_text` for a JSON document (trailing newline)."""
+    atomic_write_text(path, json.dumps(doc, indent=indent) + "\n")

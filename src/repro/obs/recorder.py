@@ -224,8 +224,9 @@ class Recorder:
         return "".join(json.dumps(e) + "\n" for e in self.events)
 
     def write_jsonl(self, path: str) -> None:
-        with open(path, "w") as f:
-            f.write(self.jsonl())
+        from repro.ioutil import atomic_write_text  # deferred: keep obs import-light
+
+        atomic_write_text(path, self.jsonl())
 
 
 # ---------------------------------------------------------------------------

@@ -1,0 +1,281 @@
+"""Unit tests for the fault-injection subsystem (repro.faults), the
+crash-safe io primitives (repro.ioutil), the bounded canonical-form
+memo, and the kiss-campaign/1 summary document."""
+
+import json
+import os
+import time
+
+import pytest
+
+from repro import faults
+from repro.campaign import JobResult, summary_document, validate_summary
+from repro.campaign.cache import _LRU, CANONICAL_MEMO_CAP, _canonical_memo, canonical_program_text
+from repro.faults import FaultPlan, FaultRule, InjectedFault
+from repro.ioutil import atomic_write_json, atomic_write_text, locked_append
+
+pytestmark = pytest.mark.chaos
+
+
+@pytest.fixture(autouse=True)
+def no_leftover_plan():
+    """Every test starts and ends with injection disabled."""
+    assert faults.installed() is None
+    yield
+    faults.install(None)
+
+
+# -- rules and matching ------------------------------------------------------------
+
+
+def test_rule_validation():
+    with pytest.raises(ValueError):
+        FaultRule("no_such_point", "crash")
+    with pytest.raises(ValueError):
+        FaultRule("mid_check", "no_such_kind")
+    FaultRule("*", "crash")  # wildcard point is fine
+
+
+def test_spec_parsing():
+    plan = FaultPlan.parse(
+        ["mid_check:crash:hits=1+3,job=imca/*", "worker_start:hang:seconds=0.5",
+         "cache_append:torn-write", "mid_check:oom:mb=32,attempt=2", "pool_submit:crash:p=0.25"],
+        seed=7,
+    )
+    assert plan.seed == 7
+    assert plan.rules[0] == FaultRule("mid_check", "crash", hits=(1, 3), job="imca/*")
+    assert plan.rules[1].seconds == 0.5
+    assert plan.rules[3].mb == 32 and plan.rules[3].attempt == 2
+    assert plan.rules[4].p == 0.25
+
+
+@pytest.mark.parametrize("spec", ["justapoint", "mid_check:crash:bogus",
+                                  "mid_check:crash:frobs=1", "nope:crash", "mid_check:nope"])
+def test_spec_parsing_rejects_garbage(spec):
+    with pytest.raises(ValueError):
+        FaultPlan.parse([spec])
+
+
+def test_hits_matching_counts_per_point():
+    plan = FaultPlan([FaultRule("mid_check", "crash", hits=(2,))])
+    with faults.plan_context(plan):
+        faults.fire("mid_check")  # hit 1: no fire
+        faults.fire("worker_start")  # different point, own counter
+        with pytest.raises(InjectedFault):
+            faults.fire("mid_check")  # hit 2: fires
+        faults.fire("mid_check")  # hit 3: no fire
+    assert plan.fired == [("mid_check", "crash", 2)]
+    assert plan.hits == {"mid_check": 3, "worker_start": 1}
+
+
+def test_job_and_attempt_filters():
+    plan = FaultPlan([FaultRule("mid_check", "crash", job="t/slow*", attempt=1)])
+    with faults.plan_context(plan):
+        with faults.job_context(job_id="t/fast", attempt=1):
+            faults.fire("mid_check")  # wrong job
+        with faults.job_context(job_id="t/slow-1", attempt=2):
+            faults.fire("mid_check")  # wrong attempt
+        with faults.job_context(job_id="t/slow-1", attempt=1):
+            with pytest.raises(InjectedFault):
+                faults.fire("mid_check")
+
+
+def test_seeded_probability_is_deterministic():
+    rule = FaultRule("mid_check", "crash", p=0.5)
+
+    def firing_pattern(seed):
+        plan = FaultPlan([rule], seed=seed)
+        pattern = []
+        with faults.plan_context(plan):
+            for _ in range(64):
+                try:
+                    faults.fire("mid_check")
+                    pattern.append(False)
+                except InjectedFault:
+                    pattern.append(True)
+        return pattern
+
+    a, b = firing_pattern(7), firing_pattern(7)
+    assert a == b, "same seed must reproduce the same injections"
+    assert any(a) and not all(a), "p=0.5 over 64 hits should fire sometimes"
+    assert firing_pattern(8) != a, "different seed should shift the pattern"
+
+
+# -- fault actions -----------------------------------------------------------------
+
+
+def test_crash_is_an_oserror():
+    plan = FaultPlan([FaultRule("worker_start", "crash")])
+    with faults.plan_context(plan):
+        with pytest.raises(OSError):
+            faults.fire("worker_start")
+
+
+def test_hang_sleeps_for_rule_seconds():
+    plan = FaultPlan([FaultRule("mid_check", "hang", seconds=0.05)])
+    with faults.plan_context(plan):
+        t0 = time.monotonic()
+        faults.fire("mid_check")
+        assert time.monotonic() - t0 >= 0.05
+    assert plan.fired == [("mid_check", "hang", 1)]
+
+
+def test_oom_raises_memoryerror_at_ceiling():
+    plan = FaultPlan([FaultRule("mid_check", "oom", mb=16)])
+    with faults.plan_context(plan):
+        with pytest.raises(MemoryError):
+            faults.fire("mid_check")
+
+
+def test_pool_break_outside_a_pool_degrades_to_crash():
+    plan = FaultPlan([FaultRule("worker_start", "pool-break")])
+    with faults.plan_context(plan):
+        with faults.job_context(job_id="t/x", pooled=False):
+            with pytest.raises(InjectedFault):
+                faults.fire("worker_start")
+
+
+def test_torn_write_truncates_and_keeps_its_own_counter():
+    plan = FaultPlan([FaultRule("cache_append", "torn-write", hits=(2,))])
+    line = json.dumps({"key": "k", "result": {"verdict": "safe"}}) + "\n"
+    with faults.plan_context(plan):
+        assert faults.corrupt("cache_append", line) == line  # write-hit 1
+        faults.fire("cache_append")  # raising-kind counter: independent
+        torn = faults.corrupt("cache_append", line)  # write-hit 2
+        assert torn == line[: len(line) // 2]
+        assert not torn.endswith("\n")
+        assert faults.corrupt("cache_append", line) == line  # write-hit 3
+    assert plan.write_hits == {"cache_append": 3}
+    assert plan.fired == [("cache_append", "torn-write", 2)]
+
+
+def test_disabled_hooks_are_identity():
+    faults.fire("mid_check")  # no plan: no-op
+    assert faults.corrupt("cache_append", "abc") == "abc"
+
+
+def test_plan_context_restores_and_none_passes_through():
+    plan = FaultPlan([FaultRule("mid_check", "crash")])
+    with faults.plan_context(plan):
+        assert faults.installed() is plan
+        with faults.plan_context(None):  # None never uninstalls an active plan
+            assert faults.installed() is plan
+    assert faults.installed() is None
+
+
+def test_fresh_resets_counters():
+    plan = FaultPlan([FaultRule("mid_check", "crash", hits=(1,))])
+    with faults.plan_context(plan):
+        with pytest.raises(InjectedFault):
+            faults.fire("mid_check")
+    clone = plan.fresh()
+    assert clone.rules == plan.rules
+    assert clone.hits == {} and clone.fired == []
+
+
+def test_plans_pickle_for_pool_shipping():
+    import pickle
+
+    plan = FaultPlan.parse(["mid_check:crash:hits=1", "cache_append:torn-write"], seed=3)
+    clone = pickle.loads(pickle.dumps(plan))
+    assert clone.rules == plan.rules and clone.seed == 3
+
+
+# -- the bounded canonical-form memo (satellite: LRU) ------------------------------
+
+
+def test_lru_evicts_least_recently_used():
+    lru = _LRU(2)
+    lru.put("a", "1")
+    lru.put("b", "2")
+    assert lru.get("a") == "1"  # refresh a: b is now oldest
+    lru.put("c", "3")
+    assert len(lru) == 2
+    assert "b" not in lru and "a" in lru and "c" in lru
+    assert lru.get("b") is None
+
+
+def test_canonical_memo_is_bounded():
+    template = "void main() {{ int x; x = {0}; assert(x == {0}); }}"
+    for i in range(CANONICAL_MEMO_CAP + 16):
+        canonical_program_text(template.format(i))
+    assert len(_canonical_memo) <= CANONICAL_MEMO_CAP
+    # the most recent programs are still memoized, the oldest evicted
+    assert template.format(CANONICAL_MEMO_CAP + 15) in _canonical_memo
+    assert template.format(0) not in _canonical_memo
+
+
+# -- crash-safe io primitives ------------------------------------------------------
+
+
+def test_locked_append_appends_whole_lines(tmp_path):
+    path = str(tmp_path / "log.jsonl")
+    locked_append(path, "one\n")
+    locked_append(path, "two\n")
+    assert open(path).read() == "one\ntwo\n"
+
+
+def test_atomic_write_replaces_and_leaves_no_temp(tmp_path):
+    path = str(tmp_path / "doc.json")
+    atomic_write_json(path, {"v": 1})
+    atomic_write_json(path, {"v": 2})
+    assert json.load(open(path)) == {"v": 2}
+    assert os.listdir(str(tmp_path)) == ["doc.json"]
+
+
+def test_atomic_write_failure_keeps_old_content(tmp_path):
+    path = str(tmp_path / "doc.txt")
+    atomic_write_text(path, "old")
+
+    with pytest.raises(TypeError):
+        atomic_write_text(path, object())  # unwritable payload fails mid-write
+    assert open(path).read() == "old"
+    assert os.listdir(str(tmp_path)) == ["doc.txt"]
+
+
+# -- the kiss-campaign/1 summary document ------------------------------------------
+
+
+def _result(job_id="t/a", verdict="safe", detail="", cache_hit=False, driver="t",
+            prop="race"):
+    return JobResult(job_id=job_id, driver=driver, prop=prop, target="EXT.a",
+                     verdict=verdict, detail=detail, cache_hit=cache_hit)
+
+
+def test_summary_document_validates():
+    results = [
+        _result("t/a", "error"),
+        _result("t/b", "safe", cache_hit=True),
+        _result("t/c", "resource-bound", detail="interrupted: SIGINT"),
+        _result("u/d", "safe", driver="u", prop="assertion"),
+    ]
+    doc = summary_document(results, interrupted="SIGINT", wall_s=1.25,
+                           cache_hits=1, cache_misses=3)
+    validate_summary(doc)
+    assert doc["jobs"] == 4 and doc["completed"] == 3 and doc["interrupted_jobs"] == 1
+    assert doc["interrupted"] == "SIGINT"
+    assert doc["table"] == {"race": 1, "no-race": 1, "unresolved": 1, "safe": 1}
+    by_driver = {row["driver"]: row for row in doc["drivers"]}
+    assert by_driver["t"]["race"] == 1 and by_driver["t"]["unresolved"] == 1
+    assert by_driver["u"]["other"] == 1  # assertion verdicts are not Table 1 columns
+    assert by_driver["t"]["cached"] == 1
+
+
+def test_summary_document_empty_campaign_is_valid():
+    validate_summary(summary_document([]))
+
+
+@pytest.mark.parametrize("mutate", [
+    lambda d: d.update(schema="kiss-campaign/0"),
+    lambda d: d.update(jobs=99),
+    lambda d: d.update(interrupted_jobs=d["interrupted_jobs"] + 1),
+    lambda d: d["verdicts"].update(safe=-1),
+    lambda d: d["drivers"][0].pop("unresolved"),
+    lambda d: d["drivers"][0].update(fields=7),
+    lambda d: d.pop("cache"),
+])
+def test_validate_summary_rejects_malformed(mutate):
+    doc = summary_document([_result()])
+    mutate(doc)
+    with pytest.raises(ValueError):
+        validate_summary(doc)
