@@ -1,0 +1,111 @@
+#!/usr/bin/env python
+"""CI smoke for the checking service (docs/SERVICE.md).
+
+Starts `python -m repro serve` as a real subprocess, drives it through
+the stdlib client, and asserts the service contract end to end:
+
+1. every submission's event stream validates against ``kiss-serve/1``
+   and ends in exactly one ``done`` event with the expected verdict;
+2. resubmitting the corpus answers >= 90% from the content-addressed
+   cache (``cache: "hit"``);
+3. SIGTERM drains cleanly — nothing new is admitted and the server
+   exits 0.
+
+Exit status 0 means all three held; any assertion failure is fatal.
+"""
+
+import argparse
+import json
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+
+from repro.serve import ServeClient, ServeError, validate_serve_event
+
+SAFE = (
+    "int g;\nvoid worker() { g = 1; }\n"
+    "void main() { async worker(); g = 1; assert(g == 1 && SALT > 0); }\n"
+)
+RACY = (
+    "struct EXT { int a; }\n"
+    "void worker(EXT *e) { e->a = 1; }\n"
+    "void main() { EXT *e; e = malloc(EXT); async worker(e); e->a = 2; }\n"
+)
+
+
+def corpus(n):
+    """n - 1 distinct safe assertion jobs plus one racy race-prop job."""
+    jobs = [{"program": SAFE.replace("SALT", str(i + 1))} for i in range(n - 1)]
+    jobs.append({"program": RACY, "prop": "race", "target": "EXT.a"})
+    return jobs
+
+
+def check_stream(client, job_id):
+    events = list(client.events(job_id))
+    for event in events:
+        validate_serve_event(event)
+    done = [e for e in events if e["event"] == "done"]
+    assert len(done) == 1, f"{job_id}: {len(done)} done events"
+    assert events[-1]["event"] == "done", f"{job_id}: stream not done-terminated"
+    return done[0]
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--count", type=int, default=10, help="corpus size")
+    parser.add_argument("--jobs", type=int, default=2, help="server workers")
+    args = parser.parse_args(argv)
+
+    cache_dir = tempfile.mkdtemp(prefix="kiss-serve-smoke-")
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--port", "0",
+         "--jobs", str(args.jobs), "--cache-dir", cache_dir,
+         "--quota-rate", "500", "--quota-burst", "500"],
+        stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True)
+    try:
+        ready = json.loads(proc.stdout.readline())
+        assert ready["event"] == "serve_listening", ready
+        client = ServeClient("127.0.0.1", ready["port"], tenant="ci")
+
+        jobs = corpus(args.count)
+        first = [client.check(timeout=300, **job) for job in jobs]
+        verdicts = [d["result"]["verdict"] for d in first]
+        assert verdicts == ["safe"] * (args.count - 1) + ["error"], verdicts
+        for doc in first:
+            done = check_stream(client, doc["job"])
+            assert done["verdict"] == doc["result"]["verdict"]
+        print(f"checked {args.count} programs, verdicts as expected")
+
+        second = [client.check(timeout=300, **job) for job in jobs]
+        hits = sum(1 for d in second if d["result"]["cache"] == "hit")
+        need = -(-args.count * 9 // 10)  # ceil(0.9 * count)
+        assert hits >= need, f"only {hits}/{args.count} resubmissions hit the cache"
+        print(f"resubmission: {hits}/{args.count} cache hits")
+
+        stats = client.stats()
+        assert stats["cache"]["entries"] >= args.count - 1  # racy job caches too
+        assert stats["counts"]["cache_hits"] >= hits
+
+        proc.send_signal(signal.SIGTERM)
+        deadline = time.monotonic() + 30
+        while time.monotonic() < deadline and proc.poll() is None:
+            try:
+                status, _ = client.submit("int h;\nvoid main() { h = 3; }\n")
+                assert status != 202, "admitted a job while draining"
+            except (ServeError, OSError):
+                pass  # 503 while draining, then connection refused
+            time.sleep(0.05)
+        code = proc.wait(timeout=30)
+        assert code == 0, f"drain exited {code}: {proc.stderr.read()}"
+        print("SIGTERM drained cleanly (exit 0)")
+        return 0
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+        proc.wait(timeout=10)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

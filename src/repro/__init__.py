@@ -21,7 +21,34 @@ from repro.lang import parse, parse_core
 
 __version__ = "1.0.0"
 
-__all__ = ["parse", "parse_core", "Kiss", "KissResult", "RaceTarget", "sweep_ts", "__version__"]
+__all__ = [
+    "parse",
+    "parse_core",
+    "Kiss",
+    "KissResult",
+    "RaceTarget",
+    "sweep_ts",
+    "package_version",
+    "__version__",
+]
+
+
+def package_version() -> str:
+    """The installed distribution version (``pip install -e .`` metadata),
+    falling back to the source tree's ``__version__`` when the package
+    runs straight off ``PYTHONPATH=src`` without being installed.
+
+    This is the version string surfaced by ``python -m repro --version``
+    and stamped into ``kiss-campaign/1`` summaries and ``kiss-serve/1``
+    result events, so artifacts record which code produced them."""
+    try:
+        from importlib.metadata import PackageNotFoundError, version
+    except ImportError:  # pragma: no cover - Python < 3.8
+        return __version__
+    try:
+        return version("kiss-repro")
+    except PackageNotFoundError:
+        return __version__
 
 
 def __getattr__(name):

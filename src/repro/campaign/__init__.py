@@ -6,9 +6,13 @@ job matrix (drivers × device-extension fields).  This package is the
 orchestration layer over that matrix:
 
 * :mod:`jobs` — the ``CheckJob``/``JobResult`` model;
-* :mod:`scheduler` — process-pool dispatch, per-job wall-clock
-  timeouts, bounded retry with graceful degradation to
-  ``"resource-bound"``;
+* :mod:`runtime` — the shared ``CampaignRuntime`` engine: pool
+  lifecycle, windowed submission, per-job wall-clock timeouts, bounded
+  retry with graceful degradation to ``"resource-bound"``;
+* :mod:`scheduler` — the batch frontend over the runtime (deadline,
+  signal draining, input-order results, Table 1 summary); the checking
+  service (:mod:`repro.serve`) is a second frontend over the same
+  engine;
 * :mod:`cache` — content-addressed (SHA-256) result cache persisted as
   JSONL under ``.kiss-cache/``;
 * :mod:`telemetry` — structured JSONL event stream and the Table 1
@@ -26,7 +30,8 @@ CLI: ``python -m repro campaign --jobs 8``.
 from .cache import ResultCache, cache_key, canonical_program_text
 from .corpus import corpus_jobs, results_to_driver_runs, run_corpus_campaign
 from .jobs import CheckJob, JobResult, parse_target
-from .scheduler import DEFAULT_CACHE_DIR, CampaignConfig, CampaignScheduler, default_jobs, run_jobs
+from .runtime import DEFAULT_CACHE_DIR, CampaignConfig, CampaignRuntime, default_jobs
+from .scheduler import CampaignScheduler, run_jobs
 from .telemetry import (
     SUMMARY_SCHEMA,
     Telemetry,
@@ -41,6 +46,7 @@ __all__ = [
     "JobResult",
     "parse_target",
     "CampaignConfig",
+    "CampaignRuntime",
     "CampaignScheduler",
     "DEFAULT_CACHE_DIR",
     "default_jobs",

@@ -29,11 +29,12 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import time
 from collections import OrderedDict
-from typing import Dict, Optional
+from typing import Dict, Optional, Tuple
 
 from repro import faults, obs
-from repro.ioutil import locked_append
+from repro.ioutil import atomic_write_text, locked_append
 from repro.lang import is_core_program, lower_program, parse
 from repro.lang.pretty import pretty_program
 
@@ -140,6 +141,9 @@ class ResultCache:
         #: appends that failed at the OS level (entry kept in memory).
         self.write_errors = 0
         self._entries: Dict[str, dict] = {}
+        #: key -> unix timestamp of the entry's append (0.0 for entries
+        #: written before timestamps existed — any prune drops them).
+        self._times: Dict[str, float] = {}
         if self.enabled:
             os.makedirs(directory, exist_ok=True)
             self._load()
@@ -162,6 +166,7 @@ class ResultCache:
                         self.stale_lines += 1
                         continue  # stale format: recompute, don't crash
                     self._entries[obj["key"]] = obj["result"]
+                    self._times[obj["key"]] = float(obj.get("t", 0.0))
                 except (json.JSONDecodeError, KeyError, TypeError, AttributeError):
                     self.corrupt_lines += 1
                     continue  # torn write from an interrupted run
@@ -197,8 +202,12 @@ class ResultCache:
         # part of the key.
         if result.detail.startswith(UNCACHED_DETAIL_PREFIXES):
             return
+        now = round(time.time(), 3)
         self._entries[key] = result.to_dict()
-        line = json.dumps({"schema": SCHEMA, "key": key, "result": result.to_dict()}) + "\n"
+        self._times[key] = now
+        line = json.dumps(
+            {"schema": SCHEMA, "key": key, "t": now, "result": result.to_dict()}
+        ) + "\n"
         try:
             faults.fire("cache_append")
             locked_append(self.path, faults.corrupt("cache_append", line))
@@ -208,3 +217,59 @@ class ResultCache:
             # not persisted — never a campaign error.
             self.write_errors += 1
             obs.inc("cache_write_errors")
+
+    # -- maintenance (``python -m repro cache``) ---------------------------------
+
+    def stats(self) -> dict:
+        """Shape of the store for ``cache stats``: entry count, file
+        size, verdict tallies, and the load-time health counters."""
+        verdicts: Dict[str, int] = {}
+        oldest: Optional[float] = None
+        newest: Optional[float] = None
+        for key, raw in self._entries.items():
+            v = raw.get("verdict", "?") if isinstance(raw, dict) else "?"
+            verdicts[v] = verdicts.get(v, 0) + 1
+            t = self._times.get(key, 0.0)
+            if t > 0.0:
+                oldest = t if oldest is None else min(oldest, t)
+                newest = t if newest is None else max(newest, t)
+        size = 0
+        if self.enabled and os.path.exists(self.path):
+            size = os.path.getsize(self.path)
+        return {
+            "enabled": self.enabled,
+            "path": self.path,
+            "entries": len(self._entries),
+            "file_bytes": size,
+            "verdicts": verdicts,
+            "corrupt_lines": self.corrupt_lines,
+            "stale_lines": self.stale_lines,
+            "oldest_t": oldest,
+            "newest_t": newest,
+        }
+
+    def prune(self, older_than_s: float, now: Optional[float] = None) -> Tuple[int, int]:
+        """Drop entries older than ``older_than_s`` seconds (entries
+        predating timestamps count as infinitely old) and compact the
+        JSONL file atomically.  Returns ``(kept, dropped)``."""
+        if not self.enabled:
+            return (0, 0)
+        cutoff = (time.time() if now is None else now) - older_than_s
+        kept_keys = [k for k in self._entries if self._times.get(k, 0.0) >= cutoff]
+        dropped = len(self._entries) - len(kept_keys)
+        if dropped:
+            self._entries = {k: self._entries[k] for k in kept_keys}
+            self._times = {k: self._times[k] for k in kept_keys}
+        # Rewrite even when nothing was dropped: pruning doubles as
+        # compaction, deduplicating superseded appends and shedding
+        # corrupt/stale lines.
+        text = "".join(
+            json.dumps(
+                {"schema": SCHEMA, "key": k, "t": self._times[k], "result": self._entries[k]}
+            ) + "\n"
+            for k in self._entries
+        )
+        atomic_write_text(self.path, text)
+        self.corrupt_lines = 0
+        self.stale_lines = 0
+        return (len(self._entries), dropped)

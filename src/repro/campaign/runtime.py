@@ -1,0 +1,382 @@
+"""The shared campaign engine: one runtime, three frontends.
+
+:class:`CampaignRuntime` owns everything that actually executes checking
+jobs — the content-addressed result cache, the worker-pool lifecycle
+(lazy creation, rebuild after ``BrokenProcessPool``), windowed
+incremental submission, the bounded retry/degrade state machine, fault
+points, and per-job telemetry.  It deliberately owns **no policy about
+where jobs come from or when to stop**: those belong to the frontends.
+
+Three frontends drive it:
+
+* :class:`~repro.campaign.scheduler.CampaignScheduler` — the batch
+  frontend (``python -m repro campaign``, ``race --all-fields``): feed a
+  fixed job list, drain to completion (or to a deadline/signal), return
+  results in input order;
+* the fuzz runner (:mod:`repro.fuzz.runner`) — a batch of differential
+  jobs through the same scheduler;
+* the checking service (:mod:`repro.serve`) — a long-lived engine
+  thread pumping jobs that arrive over HTTP, forever.
+
+The interaction protocol is pull-based so a frontend always stays in
+control between steps (signals, deadlines, and drain requests are
+frontend policy):
+
+1. :meth:`lookup` resolves a job against the cache (the global dedupe
+   layer) — a hit never reaches the pool;
+2. :meth:`submit` queues a miss;
+3. :meth:`pump` runs one engine step — (re)fill the bounded in-flight
+   window, wait briefly, collect completions, retry or degrade — and
+   returns the jobs that finished during the step;
+4. :meth:`record` persists a finished job (cache append + ``job_end``
+   telemetry);
+5. :meth:`drain_pending` degrades the not-yet-submitted backlog when
+   the frontend decides to stop early.
+
+``jobs <= 1`` runs in-process (one job per :meth:`pump` call),
+preserving rich :class:`~repro.core.checker.KissResult` objects for API
+callers; otherwise jobs go through a ``ProcessPoolExecutor``.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from collections import deque
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+from typing import Deque, Dict, List, Optional, Tuple
+
+from repro import faults, obs
+from repro.core.checker import KissResult
+from repro.faults import FaultPlan, InjectedFault
+
+from .cache import ResultCache, cache_key
+from .jobs import CheckJob, JobResult
+from .telemetry import Telemetry
+
+DEFAULT_CACHE_DIR = ".kiss-cache"
+
+#: How long one pool ``wait`` call may block inside :meth:`CampaignRuntime.pump`
+#: before control returns to the frontend (signals and drain requests
+#: set flags; they must not have to race a long-blocking wait).
+POLL_S = 0.25
+
+
+def default_jobs() -> int:
+    """Default worker count: one per CPU."""
+    return os.cpu_count() or 1
+
+
+@dataclass
+class CampaignConfig:
+    """Engine knobs, shared by every frontend.
+
+    ``jobs``: worker processes (<= 1 runs in-process).
+    ``timeout``: per-job wall-clock seconds (None = backend budget only).
+    ``retries``: extra attempts for a timed-out or crashed job before it
+    degrades to ``"resource-bound"``.
+    ``cache_dir``: result-cache directory (None disables caching).
+    ``telemetry_path``: JSONL event stream destination (None = in-memory
+    only).
+    ``deadline``: campaign-wide wall-clock budget in seconds; past it
+    the remainder degrades to ``"resource-bound"`` (detail
+    ``deadline:``).  Batch-frontend policy — the service ignores it.
+    ``memory_limit``: per-worker ``RLIMIT_AS`` soft ceiling in MB; an
+    over-budget job degrades to ``"resource-bound"`` (detail
+    ``memory:``) instead of taking the pool down.
+    ``fault_plan``: a :class:`~repro.faults.FaultPlan` for chaos runs
+    (None = no injection, zero overhead).
+    """
+
+    jobs: int = 1
+    timeout: Optional[float] = None
+    retries: int = 1
+    cache_dir: Optional[str] = None
+    telemetry_path: Optional[str] = None
+    deadline: Optional[float] = None
+    memory_limit: Optional[int] = None
+    fault_plan: Optional[FaultPlan] = None
+
+
+#: One finished job as handed back by :meth:`CampaignRuntime.pump` /
+#: :meth:`CampaignRuntime.drain_pending`: ``(job, cache key, result)``.
+Finished = Tuple[CheckJob, str, JobResult]
+
+
+class CampaignRuntime:
+    """The engine under every frontend (see module doc).
+
+    Not thread-safe by itself: exactly one thread may call
+    :meth:`pump` / :meth:`submit` / :meth:`drain_pending` (the
+    scheduler's run loop, or the service's engine thread).  The cache is
+    process-shared state guarded by its own ``flock`` at the file layer.
+    """
+
+    def __init__(self, config: Optional[CampaignConfig] = None):
+        self.config = config or CampaignConfig()
+        self.cache = ResultCache(self.config.cache_dir)
+        #: job_id -> rich KissResult for in-process runs (jobs <= 1).
+        self.rich_results: Dict[str, KissResult] = {}
+        self._pool: Optional[ProcessPoolExecutor] = None
+        self._pending: Deque[Tuple[CheckJob, str, int]] = deque()
+        self._futures: Dict[object, Tuple[CheckJob, str, int]] = {}
+
+    # -- queue state -------------------------------------------------------------
+
+    @property
+    def pooled(self) -> bool:
+        return self.config.jobs > 1
+
+    @property
+    def backlog(self) -> int:
+        """Jobs queued but not yet submitted to a worker."""
+        return len(self._pending)
+
+    @property
+    def inflight(self) -> int:
+        """Jobs currently running in pool workers."""
+        return len(self._futures)
+
+    @property
+    def outstanding(self) -> int:
+        return len(self._pending) + len(self._futures)
+
+    @property
+    def idle(self) -> bool:
+        return not self._pending and not self._futures
+
+    # -- cache frontage ----------------------------------------------------------
+
+    def lookup(self, job: CheckJob, tel: Telemetry) -> Tuple[str, Optional[JobResult]]:
+        """Resolve ``job`` against the content-addressed cache.  Returns
+        ``(key, hit)``; a hit is already re-labelled for this job and
+        logged as a zero-cost ``job_end`` — it must not be submitted."""
+        key = cache_key(job)
+        hit = self.cache.get(key)
+        if hit is not None:
+            hit.job_id = job.job_id  # same content may appear under a new id
+            hit.driver = job.driver
+            obs.inc("cache_hits")
+            self._emit_job_end(tel, job, hit, wall_s=0.0, cache="hit", attempts=0)
+        return key, hit
+
+    def record(self, tel: Telemetry, job: CheckJob, key: str, result: JobResult) -> None:
+        """Persist one finished job: cache append (degraded outcomes are
+        filtered by the cache's own policy) plus the ``job_end`` event."""
+        self.cache.put(key, result)
+        self._emit_job_end(
+            tel, job, result, wall_s=round(result.wall_s, 6),
+            cache="miss" if self.cache.enabled else "off",
+            attempts=result.attempts,
+        )
+
+    # -- submission and the engine step ------------------------------------------
+
+    def submit(self, job: CheckJob, key: Optional[str] = None) -> None:
+        """Queue a job (first attempt).  ``key`` avoids re-deriving the
+        cache key when :meth:`lookup` already did."""
+        self._pending.append((job, key if key is not None else cache_key(job), 1))
+
+    def pump(self, tel: Telemetry, submit: bool = True, poll_s: float = POLL_S) -> List[Finished]:
+        """One engine step; returns the jobs that finished during it.
+
+        In-process mode runs the next queued job to a verdict (with its
+        whole retry loop — one job per call, so the frontend regains
+        control between jobs).  Pool mode tops up the bounded in-flight
+        window (unless ``submit`` is False — a draining frontend stops
+        feeding the pool but keeps collecting), then waits up to
+        ``poll_s`` for completions and applies the retry/degrade policy,
+        rebuilding the pool when a worker death breaks it.
+        """
+        if not self.pooled:
+            return self._pump_serial(tel)
+        return self._pump_pool(tel, submit, poll_s)
+
+    def drain_pending(self, detail: str) -> List[Finished]:
+        """Degrade the never-submitted backlog (stop/deadline/interrupt):
+        every queued job becomes a ``resource-bound`` result carrying
+        ``detail``, zero attempts, never cached."""
+        out: List[Finished] = []
+        while self._pending:
+            job, key, _ = self._pending.popleft()
+            out.append((job, key, self._skipped_result(job, detail)))
+        return out
+
+    def close(self) -> None:
+        """Tear down the worker pool (queued work stays queued)."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=False, cancel_futures=True)
+            self._pool = None
+
+    def __enter__(self) -> "CampaignRuntime":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self.close()
+        return False
+
+    # -- outcome policy ----------------------------------------------------------
+
+    def _result_from(self, job: CheckJob, outcome: dict, attempts: int) -> JobResult:
+        if outcome["detail"].startswith("memory:"):
+            obs.inc("memory_ceiling_hits")
+        return JobResult(
+            job_id=job.job_id,
+            driver=job.driver,
+            prop=job.prop,
+            target=job.target,
+            verdict=outcome["verdict"],
+            error_kind=outcome.get("error_kind"),
+            states=outcome.get("states", 0),
+            transitions=outcome.get("transitions", 0),
+            checks_emitted=outcome.get("checks_emitted", 0),
+            checks_pruned=outcome.get("checks_pruned", 0),
+            wall_s=outcome.get("wall_s", 0.0),
+            attempts=attempts,
+            detail=outcome.get("detail", ""),
+            metrics=outcome.get("metrics"),
+        )
+
+    def _skipped_result(self, job: CheckJob, detail: str) -> JobResult:
+        """A never-ran remainder job: ``resource-bound``, zero attempts,
+        never cached (the detail prefix keeps it out of the store)."""
+        obs.inc("jobs_interrupted")
+        return JobResult(
+            job_id=job.job_id, driver=job.driver, prop=job.prop, target=job.target,
+            verdict="resource-bound", attempts=0, detail=detail,
+        )
+
+    @staticmethod
+    def _retryable(outcome: dict) -> bool:
+        return outcome["verdict"] == "crash" or outcome["detail"].startswith("timeout")
+
+    @staticmethod
+    def _degrade(outcome: dict) -> dict:
+        """Retry budget exhausted: graceful degradation to resource-bound."""
+        if outcome["verdict"] == "crash":
+            out = dict(outcome)
+            out["verdict"] = "resource-bound"
+            return out
+        return outcome
+
+    @staticmethod
+    def _crash_outcome(detail: str) -> dict:
+        return {"verdict": "crash", "error_kind": None, "wall_s": 0.0, "detail": detail}
+
+    @staticmethod
+    def _emit_job_end(tel: Telemetry, job: CheckJob, result: JobResult, *,
+                      wall_s: float, cache: str, attempts: int) -> None:
+        extra = {"metrics": result.metrics} if result.metrics is not None else {}
+        tel.emit("job_end", job=job.job_id, driver=job.driver, verdict=result.verdict,
+                 error_kind=result.error_kind, wall_s=wall_s, states=result.states,
+                 cache=cache, attempts=attempts, **extra)
+
+    # -- in-process execution (jobs <= 1) ----------------------------------------
+
+    def _pump_serial(self, tel: Telemetry) -> List[Finished]:
+        from .worker import execute_job  # deferred: workers pull in the checker stack
+
+        if not self._pending:
+            return []
+        job, key, _ = self._pending.popleft()
+        attempts = 0
+        while True:
+            attempts += 1
+            tel.emit("job_start", job=job.job_id, driver=job.driver, attempt=attempts)
+            outcome, rich = execute_job(
+                job, self.config.timeout, attempt=attempts,
+                memory_limit=self.config.memory_limit,
+            )
+            if not self._retryable(outcome) or attempts > self.config.retries:
+                break
+            tel.emit("job_retry", job=job.job_id, attempt=attempts,
+                     reason=outcome["detail"][:200])
+        if rich is not None:
+            self.rich_results[job.job_id] = rich
+        return [(job, key, self._result_from(job, self._degrade(outcome), attempts))]
+
+    # -- pool execution (jobs > 1) -----------------------------------------------
+
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        from .worker import pool_init
+
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.config.jobs,
+                initializer=pool_init,
+                initargs=(self.config.memory_limit, self.config.fault_plan),
+            )
+        return self._pool
+
+    def _submit_attempt(self, tel: Telemetry, job: CheckJob, attempt: int):
+        """Submit one attempt (the ``pool_submit`` fault point lives
+        here); returns the future, or None when an injected fault made
+        the submission fail — the caller treats that as a crash
+        attempt."""
+        from .worker import pool_entry
+
+        tel.emit("job_start", job=job.job_id, driver=job.driver, attempt=attempt)
+        try:
+            # submission happens on behalf of a job: give job-pinned
+            # fault rules a context to match against
+            with faults.job_context(job_id=job.job_id, attempt=attempt):
+                faults.fire("pool_submit")
+            return self._ensure_pool().submit(pool_entry, job, self.config.timeout, attempt)
+        except InjectedFault:
+            return None
+
+    def _pump_pool(self, tel: Telemetry, submit: bool, poll_s: float) -> List[Finished]:
+        finished: List[Finished] = []
+        if submit:
+            window = self.config.jobs * 2  # bounded in-flight set: stop requests stay cheap
+            while self._pending and len(self._futures) < window:
+                job, key, attempt = self._pending.popleft()
+                fut = self._submit_attempt(tel, job, attempt)
+                if fut is None:
+                    crash = self._crash_outcome("crash: pool submission failed")
+                    if attempt <= self.config.retries:
+                        tel.emit("job_retry", job=job.job_id, attempt=attempt,
+                                 reason="pool submission failed")
+                        self._pending.append((job, key, attempt + 1))
+                    else:
+                        finished.append(
+                            (job, key, self._result_from(job, self._degrade(crash), attempt))
+                        )
+                    continue
+                self._futures[fut] = (job, key, attempt)
+        if not self._futures:
+            return finished
+        done, _ = wait(list(self._futures), return_when=FIRST_COMPLETED, timeout=poll_s)
+        for fut in done:
+            meta = self._futures.pop(fut, None)
+            if meta is None:  # discarded when the pool broke mid-step
+                continue
+            job, key, attempt = meta
+            try:
+                outcome = fut.result()
+            except BrokenProcessPool:
+                # The pool is dead: rebuild it, count the loss as an
+                # attempt for every in-flight job.
+                lost = [(job, key, attempt)] + list(self._futures.values())
+                self._futures.clear()
+                self.close()
+                for j, k, a in lost:
+                    crash = self._crash_outcome("crash: worker process died")
+                    if a > self.config.retries:
+                        finished.append((j, k, self._result_from(j, self._degrade(crash), a)))
+                    else:
+                        tel.emit("job_retry", job=j.job_id, attempt=a,
+                                 reason="worker process died")
+                        self._pending.appendleft((j, k, a + 1))
+                break  # the futures set changed wholesale
+            except Exception as exc:  # pickling failures etc.
+                outcome = self._crash_outcome(f"crash: {exc!r}")
+            if self._retryable(outcome) and attempt <= self.config.retries:
+                tel.emit("job_retry", job=job.job_id, attempt=attempt,
+                         reason=outcome["detail"][:200])
+                self._pending.appendleft((job, key, attempt + 1))
+                continue
+            finished.append((job, key, self._result_from(job, self._degrade(outcome), attempt)))
+        return finished

@@ -1,37 +1,25 @@
-"""The campaign scheduler: parallel, cached, fault-tolerant job dispatch.
+"""The batch campaign frontend: run a job list to completion.
 
-Given a batch of :class:`~repro.campaign.jobs.CheckJob`, the scheduler
+:class:`CampaignScheduler` drives a
+:class:`~repro.campaign.runtime.CampaignRuntime` — the shared engine
+that owns the cache, the worker pool, windowed submission, and the
+retry/degrade policy — and adds the *batch* policy on top:
 
-1. resolves each job against the content-addressed result cache
-   (cache-warm re-runs skip straight to the summary),
-2. dispatches the misses — in-process when ``jobs <= 1`` (preserving
-   rich :class:`~repro.core.checker.KissResult` objects for API
-   callers), otherwise over a ``ProcessPoolExecutor`` with ``jobs``
-   workers (submission is incremental — a bounded in-flight window —
-   so a stop request never strands a long queue of submitted futures),
-3. enforces the per-job wall-clock timeout (armed inside the worker,
-   see :mod:`repro.campaign.worker`), retrying timeouts and crashes up
-   to ``retries`` extra attempts before degrading the job to the
-   ``"resource-bound"`` verdict — one diverging field can no longer
-   hang or kill a whole run,
-4. emits a JSONL telemetry event per transition and an end-of-run
-   summary in the shape of the paper's Table 1.
+1. resolve every job against the content-addressed result cache up
+   front (cache-warm re-runs skip straight to the summary),
+2. pump the engine until the batch is done, checking the stop
+   conditions between engine steps,
+3. on SIGINT/SIGTERM or a campaign ``deadline``, stop submitting, drain
+   the in-flight jobs, and degrade the remainder to ``resource-bound``
+   (details ``interrupted:`` / ``deadline:``) — the summary stays
+   schema-valid and an immediate re-run resumes where the stop landed,
+4. return results in input order and render the end-of-run summary in
+   the shape of the paper's Table 1.
 
-A broken pool (a worker killed by the OOM killer, say) is rebuilt and
-the lost jobs resubmitted, bounded by the same retry budget.
-
-Termination is guaranteed three further ways (docs/ROBUSTNESS.md):
-
-* ``memory_limit`` arms a per-worker ``RLIMIT_AS`` soft ceiling, so a
-  runaway job raises ``MemoryError`` inside its worker and degrades to
-  ``resource-bound`` instead of summoning the OOM killer;
-* ``deadline`` bounds the whole campaign: past it, the scheduler stops
-  submitting, drains the in-flight jobs, and marks the remainder
-  ``resource-bound`` (detail ``deadline:``);
-* SIGINT/SIGTERM trigger the same graceful drain (detail
-  ``interrupted:``), emit a ``campaign_interrupted`` event, and leave
-  every completed job in the cache — the summary stays schema-valid and
-  an immediate re-run resumes where the interrupt landed.
+Per-job behavior — in-worker timeouts, bounded retries before
+degradation, broken-pool rebuild, memory ceilings, fault injection —
+lives in the runtime (see :mod:`repro.campaign.runtime` and
+docs/ROBUSTNESS.md); this module only decides *when to stop*.
 
 Interrupted/deadline remainders are never cached and count toward the
 ``jobs_interrupted`` obs counter.  A :class:`~repro.faults.FaultPlan`
@@ -41,67 +29,22 @@ every pool worker, firing at the named fault points for chaos testing.
 
 from __future__ import annotations
 
-import os
 import signal
 import threading
 import time
-from collections import deque
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
-from concurrent.futures.process import BrokenProcessPool
-from dataclasses import dataclass
-from typing import Deque, Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence
 
-from repro import faults, obs
-from repro.core.checker import KissResult
-from repro.faults import FaultPlan, InjectedFault
+from repro import faults
 
-from .cache import ResultCache, cache_key
 from .jobs import CheckJob, JobResult
+from .runtime import (  # noqa: F401  (re-exported API)
+    DEFAULT_CACHE_DIR,
+    POLL_S as _POLL_S,
+    CampaignConfig,
+    CampaignRuntime,
+    default_jobs,
+)
 from .telemetry import Telemetry, summarize, summary_document
-from .worker import execute_job, pool_entry, pool_init
-
-DEFAULT_CACHE_DIR = ".kiss-cache"
-
-#: How long one ``wait`` call may block before the loop re-checks the
-#: deadline and interrupt flags (signals set a flag; they must not have
-#: to race a long-blocking wait).
-_POLL_S = 0.25
-
-
-def default_jobs() -> int:
-    """Default worker count: one per CPU."""
-    return os.cpu_count() or 1
-
-
-@dataclass
-class CampaignConfig:
-    """Scheduler knobs.
-
-    ``jobs``: worker processes (<= 1 runs in-process).
-    ``timeout``: per-job wall-clock seconds (None = backend budget only).
-    ``retries``: extra attempts for a timed-out or crashed job before it
-    degrades to ``"resource-bound"``.
-    ``cache_dir``: result-cache directory (None disables caching).
-    ``telemetry_path``: JSONL event stream destination (None = in-memory
-    only).
-    ``deadline``: campaign-wide wall-clock budget in seconds; past it
-    the remainder degrades to ``"resource-bound"`` (detail
-    ``deadline:``) instead of running.
-    ``memory_limit``: per-worker ``RLIMIT_AS`` soft ceiling in MB; an
-    over-budget job degrades to ``"resource-bound"`` (detail
-    ``memory:``) instead of taking the pool down.
-    ``fault_plan``: a :class:`~repro.faults.FaultPlan` for chaos runs
-    (None = no injection, zero overhead).
-    """
-
-    jobs: int = 1
-    timeout: Optional[float] = None
-    retries: int = 1
-    cache_dir: Optional[str] = None
-    telemetry_path: Optional[str] = None
-    deadline: Optional[float] = None
-    memory_limit: Optional[int] = None
-    fault_plan: Optional[FaultPlan] = None
 
 
 class CampaignScheduler:
@@ -111,9 +54,7 @@ class CampaignScheduler:
 
     def __init__(self, config: Optional[CampaignConfig] = None):
         self.config = config or CampaignConfig()
-        self.cache = ResultCache(self.config.cache_dir)
-        #: job_id -> rich KissResult for in-process runs (jobs <= 1).
-        self.rich_results: Dict[str, KissResult] = {}
+        self.runtime = CampaignRuntime(self.config)
         #: signal name (``"SIGINT"``/``"SIGTERM"``) when the last run
         #: was gracefully interrupted, else None.
         self.interrupted: Optional[str] = None
@@ -122,6 +63,16 @@ class CampaignScheduler:
         self._stop_detail: Optional[str] = None
         self._interrupt_signal: Optional[int] = None
         self._deadline_at: Optional[float] = None
+
+    @property
+    def cache(self):
+        """The runtime's content-addressed result cache."""
+        return self.runtime.cache
+
+    @property
+    def rich_results(self):
+        """job_id -> rich KissResult for in-process runs (jobs <= 1)."""
+        return self.runtime.rich_results
 
     # -- execution ---------------------------------------------------------------
 
@@ -140,6 +91,7 @@ class CampaignScheduler:
                 tel.close()
 
     def _run(self, jobs: Sequence[CheckJob], tel: Telemetry) -> List[JobResult]:
+        rt = self.runtime
         self.interrupted = None
         self.deadline_hit = False
         self._stop_detail = None
@@ -154,44 +106,41 @@ class CampaignScheduler:
             jobs=len(jobs),
             workers=max(1, self.config.jobs),
             timeout=self.config.timeout,
-            cache=self.cache.enabled,
+            cache=rt.cache.enabled,
         )
-        self.rich_results.clear()
+        rt.rich_results.clear()
         results: Dict[str, JobResult] = {}
-        todo: List[Tuple[CheckJob, str]] = []
         for job in jobs:
-            key = cache_key(job)
-            hit = self.cache.get(key)
+            key, hit = rt.lookup(job, tel)
             if hit is not None:
-                hit.job_id = job.job_id  # same content may appear under a new id
-                hit.driver = job.driver
-                obs.inc("cache_hits")
-                self._emit_job_end(tel, job, hit, wall_s=0.0, cache="hit", attempts=0)
                 results[job.job_id] = hit
             else:
-                todo.append((job, key))
+                rt.submit(job, key)
 
-        if todo:
+        if not rt.idle:
             prev_handlers = self._install_signal_handlers()
             try:
-                runner = self._run_serial if self.config.jobs <= 1 else self._run_pool
-                for job, key, result in runner(todo, tel):
-                    self.cache.put(key, result)
-                    self._emit_job_end(
-                        tel, job, result, wall_s=round(result.wall_s, 6),
-                        cache="miss" if self.cache.enabled else "off",
-                        attempts=result.attempts,
-                    )
-                    results[job.job_id] = result
+                while not rt.idle:
+                    stop = self._check_stop(tel, remaining=rt.outstanding)
+                    if stop is not None and rt.inflight == 0:
+                        # Drained: degrade the never-submitted remainder.
+                        for job, key, result in rt.drain_pending(stop):
+                            rt.record(tel, job, key, result)
+                            results[job.job_id] = result
+                        break
+                    for job, key, result in rt.pump(tel, submit=stop is None):
+                        rt.record(tel, job, key, result)
+                        results[job.job_id] = result
             finally:
                 self._restore_signal_handlers(prev_handlers)
+                rt.close()
 
         ordered = [results[j.job_id] for j in jobs]
         verdicts: Dict[str, int] = {}
         for r in ordered:
             verdicts[r.verdict] = verdicts.get(r.verdict, 0) + 1
         tel.emit("campaign_end", jobs=len(jobs), verdicts=verdicts,
-                 cache_hits=self.cache.hits, cache_misses=self.cache.misses,
+                 cache_hits=rt.cache.hits, cache_misses=rt.cache.misses,
                  interrupted=self.interrupted, deadline_hit=self.deadline_hit)
         return ordered
 
@@ -200,8 +149,8 @@ class CampaignScheduler:
     def _install_signal_handlers(self):
         """Route SIGINT/SIGTERM to a stop flag for the duration of a
         run (main thread only — elsewhere the default handling stands).
-        The flag is checked between submissions and waits, so the
-        campaign drains in-flight jobs instead of dying mid-write."""
+        The flag is checked between engine steps, so the campaign drains
+        in-flight jobs instead of dying mid-write."""
         if threading.current_thread() is not threading.main_thread():
             return None
 
@@ -245,22 +194,7 @@ class CampaignScheduler:
                      remaining=remaining)
         return self._stop_detail
 
-    def _skipped_result(self, job: CheckJob, detail: str) -> JobResult:
-        """A never-ran remainder job: ``resource-bound``, zero attempts,
-        never cached (the detail prefix keeps it out of the store)."""
-        obs.inc("jobs_interrupted")
-        return JobResult(
-            job_id=job.job_id, driver=job.driver, prop=job.prop, target=job.target,
-            verdict="resource-bound", attempts=0, detail=detail,
-        )
-
-    @staticmethod
-    def _emit_job_end(tel: Telemetry, job: CheckJob, result: JobResult, *,
-                      wall_s: float, cache: str, attempts: int) -> None:
-        extra = {"metrics": result.metrics} if result.metrics is not None else {}
-        tel.emit("job_end", job=job.job_id, driver=job.driver, verdict=result.verdict,
-                 error_kind=result.error_kind, wall_s=wall_s, states=result.states,
-                 cache=cache, attempts=attempts, **extra)
+    # -- summaries ---------------------------------------------------------------
 
     def summary(self, results: Sequence[JobResult]) -> str:
         wall = None
@@ -284,161 +218,6 @@ class CampaignScheduler:
             cache_hits=self.cache.hits,
             cache_misses=self.cache.misses,
         )
-
-    # -- attempts ----------------------------------------------------------------
-
-    def _result_from(self, job: CheckJob, outcome: dict, attempts: int) -> JobResult:
-        if outcome["detail"].startswith("memory:"):
-            obs.inc("memory_ceiling_hits")
-        return JobResult(
-            job_id=job.job_id,
-            driver=job.driver,
-            prop=job.prop,
-            target=job.target,
-            verdict=outcome["verdict"],
-            error_kind=outcome.get("error_kind"),
-            states=outcome.get("states", 0),
-            transitions=outcome.get("transitions", 0),
-            checks_emitted=outcome.get("checks_emitted", 0),
-            checks_pruned=outcome.get("checks_pruned", 0),
-            wall_s=outcome.get("wall_s", 0.0),
-            attempts=attempts,
-            detail=outcome.get("detail", ""),
-            metrics=outcome.get("metrics"),
-        )
-
-    def _retryable(self, outcome: dict) -> bool:
-        return outcome["verdict"] == "crash" or outcome["detail"].startswith("timeout")
-
-    def _degrade(self, outcome: dict) -> dict:
-        """Retry budget exhausted: graceful degradation to resource-bound."""
-        if outcome["verdict"] == "crash":
-            out = dict(outcome)
-            out["verdict"] = "resource-bound"
-            return out
-        return outcome
-
-    @staticmethod
-    def _crash_outcome(detail: str) -> dict:
-        return {"verdict": "crash", "error_kind": None, "wall_s": 0.0, "detail": detail}
-
-    def _run_serial(self, todo, tel: Telemetry):
-        for idx, (job, key) in enumerate(todo):
-            stop = self._check_stop(tel, remaining=len(todo) - idx)
-            if stop is not None:
-                for j, k in todo[idx:]:
-                    yield j, k, self._skipped_result(j, stop)
-                return
-            attempts = 0
-            while True:
-                attempts += 1
-                tel.emit("job_start", job=job.job_id, driver=job.driver, attempt=attempts)
-                outcome, rich = execute_job(
-                    job, self.config.timeout, attempt=attempts,
-                    memory_limit=self.config.memory_limit,
-                )
-                if not self._retryable(outcome) or attempts > self.config.retries:
-                    break
-                tel.emit("job_retry", job=job.job_id, attempt=attempts,
-                         reason=outcome["detail"][:200])
-            if rich is not None:
-                self.rich_results[job.job_id] = rich
-            yield job, key, self._result_from(job, self._degrade(outcome), attempts)
-
-    # -- pool dispatch -----------------------------------------------------------
-
-    def _new_pool(self) -> ProcessPoolExecutor:
-        return ProcessPoolExecutor(
-            max_workers=self.config.jobs,
-            initializer=pool_init,
-            initargs=(self.config.memory_limit, self.config.fault_plan),
-        )
-
-    def _submit(self, pool: ProcessPoolExecutor, tel: Telemetry, job: CheckJob,
-                attempt: int):
-        """Submit one attempt (the ``pool_submit`` fault point lives
-        here); returns the future, or None when an injected fault made
-        the submission fail — the caller treats that as a crash
-        attempt."""
-        tel.emit("job_start", job=job.job_id, driver=job.driver, attempt=attempt)
-        try:
-            # submission happens on behalf of a job: give job-pinned
-            # fault rules a context to match against
-            with faults.job_context(job_id=job.job_id, attempt=attempt):
-                faults.fire("pool_submit")
-            return pool.submit(pool_entry, job, self.config.timeout, attempt)
-        except InjectedFault:
-            return None
-
-    def _run_pool(self, todo, tel: Telemetry):
-        workers = self.config.jobs
-        window = workers * 2  # bounded in-flight set: stop requests stay cheap
-        pool = self._new_pool()
-        pending: Deque[Tuple[CheckJob, str, int]] = deque(
-            (job, key, 1) for job, key in todo
-        )
-        futures: Dict[object, Tuple[CheckJob, str, int]] = {}
-        try:
-            while pending or futures:
-                stop = self._check_stop(tel, remaining=len(pending) + len(futures))
-                if stop is None:
-                    while pending and len(futures) < window:
-                        job, key, attempt = pending.popleft()
-                        fut = self._submit(pool, tel, job, attempt)
-                        if fut is None:
-                            crash = self._crash_outcome("crash: pool submission failed")
-                            if attempt <= self.config.retries:
-                                tel.emit("job_retry", job=job.job_id, attempt=attempt,
-                                         reason="pool submission failed")
-                                pending.append((job, key, attempt + 1))
-                            else:
-                                yield job, key, self._result_from(
-                                    job, self._degrade(crash), attempt)
-                            continue
-                        futures[fut] = (job, key, attempt)
-                elif not futures:
-                    # Drained: degrade the never-submitted remainder.
-                    while pending:
-                        job, key, _ = pending.popleft()
-                        yield job, key, self._skipped_result(job, stop)
-                    return
-                if not futures:
-                    continue
-                done, _ = wait(list(futures), return_when=FIRST_COMPLETED,
-                               timeout=_POLL_S)
-                for fut in done:
-                    meta = futures.pop(fut, None)
-                    if meta is None:  # discarded when the pool broke mid-batch
-                        continue
-                    job, key, attempt = meta
-                    try:
-                        outcome = fut.result()
-                    except BrokenProcessPool:
-                        # The pool is dead: rebuild it, count the loss as
-                        # an attempt for every in-flight job.
-                        lost = [(job, key, attempt)] + list(futures.values())
-                        futures.clear()
-                        pool.shutdown(wait=False, cancel_futures=True)
-                        pool = self._new_pool()
-                        for j, k, a in lost:
-                            crash = self._crash_outcome("crash: worker process died")
-                            if a > self.config.retries:
-                                yield j, k, self._result_from(j, self._degrade(crash), a)
-                            else:
-                                tel.emit("job_retry", job=j.job_id, attempt=a,
-                                         reason="worker process died")
-                                pending.appendleft((j, k, a + 1))
-                        break  # the futures set changed wholesale
-                    except Exception as exc:  # pickling failures etc.
-                        outcome = self._crash_outcome(f"crash: {exc!r}")
-                    if self._retryable(outcome) and attempt <= self.config.retries:
-                        tel.emit("job_retry", job=job.job_id, attempt=attempt,
-                                 reason=outcome["detail"][:200])
-                        pending.appendleft((job, key, attempt + 1))
-                        continue
-                    yield job, key, self._result_from(job, self._degrade(outcome), attempt)
-        finally:
-            pool.shutdown(wait=False, cancel_futures=True)
 
 
 def run_jobs(

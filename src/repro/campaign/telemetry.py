@@ -25,7 +25,8 @@ driver with race / no-race / unresolved counts, plus campaign-level
 cache and wall-clock totals.  :func:`summary_document` renders the same
 information as a schema-tagged JSON document (``kiss-campaign/1``) that
 stays well-formed even for a partial, interrupted campaign;
-:func:`validate_summary` is the corresponding checker.
+:func:`validate_summary` (defined with every other document schema in
+:mod:`repro.schemas`, re-exported here) is the corresponding checker.
 """
 
 from __future__ import annotations
@@ -34,14 +35,15 @@ import json
 import time
 from typing import Any, Dict, IO, List, Optional, Sequence
 
-from repro import faults, obs
+from repro import faults, obs, package_version
 from repro.obs import make_event
 from repro.reporting import render_table
+from repro.schemas import CAMPAIGN_SCHEMA, validate_summary  # noqa: F401
 
 from .jobs import JobResult
 
 #: Schema tag of :func:`summary_document` artifacts.
-SUMMARY_SCHEMA = "kiss-campaign/1"
+SUMMARY_SCHEMA = CAMPAIGN_SCHEMA
 
 #: Detail prefixes marking a job the campaign never ran to completion
 #: (graceful-interrupt or deadline remainders).
@@ -192,6 +194,7 @@ def summary_document(
         row["wall_s"] = round(row["wall_s"] + r.wall_s, 6)
     return {
         "schema": SUMMARY_SCHEMA,
+        "version": package_version(),
         "jobs": len(results),
         "completed": len(results) - interrupted_jobs,
         "interrupted_jobs": interrupted_jobs,
@@ -203,44 +206,3 @@ def summary_document(
         "cache": {"hits": cache_hits, "misses": cache_misses},
         "wall_s": None if wall_s is None else round(wall_s, 6),
     }
-
-
-def validate_summary(doc: Dict[str, Any]) -> Dict[str, Any]:
-    """Check a ``kiss-campaign/1`` document's shape and internal
-    consistency; returns the document or raises ``ValueError``."""
-
-    def fail(msg: str):
-        raise ValueError(f"invalid {SUMMARY_SCHEMA} document: {msg}")
-
-    if not isinstance(doc, dict):
-        fail("not an object")
-    if doc.get("schema") != SUMMARY_SCHEMA:
-        fail(f"schema is {doc.get('schema')!r}")
-    for key, kind in (("jobs", int), ("completed", int), ("interrupted_jobs", int),
-                      ("deadline_hit", bool), ("verdicts", dict), ("table", dict),
-                      ("drivers", list), ("cache", dict)):
-        if not isinstance(doc.get(key), kind):
-            fail(f"{key} missing or not {kind.__name__}")
-    if doc["interrupted"] is not None and not isinstance(doc["interrupted"], str):
-        fail("interrupted must be null or a signal name")
-    if doc["jobs"] != doc["completed"] + doc["interrupted_jobs"]:
-        fail("jobs != completed + interrupted_jobs")
-    for tally in (doc["verdicts"], doc["table"]):
-        if any(not isinstance(v, int) or v < 0 for v in tally.values()):
-            fail("negative or non-integer tally")
-        if sum(tally.values()) != doc["jobs"]:
-            fail("tallies do not sum to jobs")
-    fields = 0
-    for row in doc["drivers"]:
-        for key in ("driver", "fields", "race", "no-race", "unresolved", "other",
-                    "cached", "wall_s"):
-            if key not in row:
-                fail(f"driver row missing {key}")
-        if row["race"] + row["no-race"] + row["unresolved"] + row["other"] != row["fields"]:
-            fail(f"driver {row['driver']}: field counts do not sum")
-        fields += row["fields"]
-    if fields != doc["jobs"]:
-        fail("driver rows do not cover all jobs")
-    if not all(isinstance(doc["cache"].get(k), int) for k in ("hits", "misses")):
-        fail("cache hits/misses missing")
-    return doc

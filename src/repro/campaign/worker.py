@@ -120,10 +120,12 @@ class _deadline:
     is on the stack, Python *swallows* the raised exception ("Exception
     ignored in ..."), so a one-shot alarm could be lost and the job
     would run unbounded.  The next interval tick lands in ordinary
-    bytecode and raises for real.
+    bytecode and raises for real.  The interval is kept well under the
+    timeout itself so a swallowed delivery is retried while the overrun
+    is still small relative to the budget.
     """
 
-    REARM_S = 0.05
+    REARM_S = 0.01
 
     def __init__(self, seconds: Optional[float]):
         self.seconds = seconds

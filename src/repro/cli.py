@@ -14,6 +14,10 @@ Usage (after ``pip install -e .``)::
     python -m repro fuzz --count 500 --seed 0     # differential fuzzing
     python -m repro profile file.kp               # per-phase timing breakdown
     python -m repro profile file.kp --json        # kiss-profile/1 document
+    python -m repro serve --port 8731             # the checking service (HTTP)
+    python -m repro cache stats                   # result-cache shape
+    python -m repro cache prune --older-than 7d   # drop old entries, compact
+    python -m repro --version                     # print the package version
 
 The input language is the paper's parallel language with C-like syntax
 (see README).  Exit status: 0 = safe, 1 = error found, 2 = resource
@@ -306,6 +310,96 @@ def cmd_profile(args) -> int:
     return EXIT_SAFE
 
 
+def cmd_serve(args) -> int:
+    """The `serve` subcommand: checking-as-a-service (docs/SERVICE.md).
+
+    Hosts the stdlib HTTP JSON API over the shared campaign engine:
+    POST program + property + config to ``/v1/jobs``, stream
+    ``kiss-serve/1`` events, dedupe through the content-addressed
+    cache.  Prints one ``serve_listening`` JSON line once bound (use
+    ``--port 0`` to let the OS pick).  SIGTERM/SIGINT drain gracefully:
+    admission stops, admitted work finishes, every stream ends with a
+    schema-valid ``done`` event; a second signal degrades the
+    not-yet-started backlog, like a batch campaign interrupt.
+    """
+    from repro import obs
+    from repro.campaign import DEFAULT_CACHE_DIR
+    from repro.faults import FaultPlan
+    from repro.serve import CheckService, ServeConfig, run_server
+
+    try:
+        plan = FaultPlan.parse(args.inject, seed=args.inject_seed) if args.inject else None
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_USAGE
+    cache_dir = None if args.no_cache else (args.cache_dir or DEFAULT_CACHE_DIR)
+    config = ServeConfig(
+        jobs=args.jobs,
+        timeout=args.timeout,
+        retries=args.retries,
+        cache_dir=cache_dir,
+        memory_limit=args.memory_limit,
+        fault_plan=plan,
+        telemetry_path=args.telemetry,
+        quota_rate=args.quota_rate,
+        quota_burst=args.quota_burst,
+        max_queue=args.max_queue,
+    )
+    # An ambient recorder so /stats surfaces the obs counters
+    # (serve_submissions, cache hits, jobs_interrupted, ...).
+    with obs.observing(obs.Recorder()):
+        service = CheckService(config)
+        return run_server(service, host=args.host, port=args.port)
+
+
+def _parse_age(text: str) -> float:
+    """``"45"``/``"30m"``/``"12h"``/``"7d"`` → seconds."""
+    units = {"s": 1.0, "m": 60.0, "h": 3600.0, "d": 86400.0}
+    scale = units.get(text[-1:].lower())
+    if scale is not None:
+        return float(text[:-1]) * scale
+    return float(text)
+
+
+def cmd_cache(args) -> int:
+    """The `cache` subcommand: inspect and maintain the result cache.
+
+    ``stats`` prints the store's shape (entries, size, verdict tallies,
+    load-time corruption counters); ``prune --older-than AGE`` drops
+    entries older than AGE (``30m``/``12h``/``7d`` or plain seconds) and
+    compacts the JSONL file atomically — pruning with a huge AGE is a
+    pure compaction pass.
+    """
+    import json as _json
+
+    from repro.campaign import DEFAULT_CACHE_DIR, ResultCache
+
+    cache = ResultCache(args.cache_dir or DEFAULT_CACHE_DIR)
+    if args.cache_command == "stats":
+        stats = cache.stats()
+        if args.json:
+            print(_json.dumps(stats, indent=2))
+            return EXIT_SAFE
+        print(f"cache: {stats['path']}")
+        print(f"entries: {stats['entries']}  ({stats['file_bytes']} bytes on disk)")
+        for verdict, n in sorted(stats["verdicts"].items()):
+            print(f"  {verdict}: {n}")
+        if stats["corrupt_lines"] or stats["stale_lines"]:
+            print(f"skipped at load: {stats['corrupt_lines']} corrupt, "
+                  f"{stats['stale_lines']} stale lines (prune compacts them away)")
+        return EXIT_SAFE
+    # prune
+    try:
+        age_s = _parse_age(args.older_than)
+    except (ValueError, IndexError):
+        print(f"error: bad --older-than {args.older_than!r} "
+              f"(use seconds or 30m/12h/7d)", file=sys.stderr)
+        return EXIT_USAGE
+    kept, dropped = cache.prune(age_s)
+    print(f"pruned {dropped} entries older than {args.older_than}; kept {kept}")
+    return EXIT_SAFE
+
+
 def cmd_sequentialize(args) -> int:
     """The `sequentialize` subcommand: print the transformed program."""
     prog = _load(args.file)
@@ -334,7 +428,11 @@ def cmd_interleavings(args) -> int:
 
 def build_parser() -> argparse.ArgumentParser:
     """Build the argument parser (exposed for shell-completion tooling)."""
+    from repro import package_version
+
     p = argparse.ArgumentParser(prog="repro", description=__doc__.split("\n")[0])
+    p.add_argument("--version", action="version",
+                   version=f"%(prog)s {package_version()}")
     sub = p.add_subparsers(dest="command", required=True)
 
     def common(sp, race=False):
@@ -462,6 +560,55 @@ def build_parser() -> argparse.ArgumentParser:
     sp.add_argument("--output", metavar="PATH",
                     help="also write the kiss-profile/1 JSON document to PATH")
     sp.set_defaults(func=cmd_profile)
+
+    sp = sub.add_parser(
+        "serve", help="checking-as-a-service: HTTP JSON API over the campaign engine"
+    )
+    sp.add_argument("--host", default="127.0.0.1", help="bind address (default 127.0.0.1)")
+    sp.add_argument("--port", type=int, default=8731,
+                    help="TCP port (default 8731; 0 = OS-assigned, see the ready line)")
+    sp.add_argument("--jobs", type=int, default=1,
+                    help="worker processes (default 1 = in-process; note --timeout "
+                         "needs --jobs >= 2)")
+    sp.add_argument("--timeout", type=float, default=None,
+                    help="per-job wall-clock bound in seconds (pool mode only)")
+    sp.add_argument("--retries", type=int, default=1,
+                    help="extra attempts for timed-out/crashed jobs (default 1)")
+    sp.add_argument("--cache-dir", default=None, metavar="DIR",
+                    help="result-cache directory (default .kiss-cache)")
+    sp.add_argument("--no-cache", action="store_true", help="disable the result cache")
+    sp.add_argument("--memory-limit", type=int, default=None, metavar="MB",
+                    help="per-worker RLIMIT_AS soft ceiling")
+    sp.add_argument("--telemetry", metavar="PATH",
+                    help="write the JSONL telemetry event stream to PATH")
+    sp.add_argument("--quota-rate", type=float, default=20.0,
+                    help="sustained submissions/second allowed per tenant (default 20)")
+    sp.add_argument("--quota-burst", type=int, default=40,
+                    help="per-tenant burst allowance (default 40)")
+    sp.add_argument("--max-queue", type=int, default=256,
+                    help="admitted-but-unfinished jobs before 429 backpressure (default 256)")
+    sp.add_argument("--inject", action="append", metavar="SPEC", default=None,
+                    help="fault-injection rule point:kind[:key=value,...] — the chaos "
+                         "plan applies to served traffic (docs/ROBUSTNESS.md)")
+    sp.add_argument("--inject-seed", type=int, default=0,
+                    help="seed for probabilistic (p=) fault rules (default 0)")
+    sp.set_defaults(func=cmd_serve)
+
+    sp = sub.add_parser("cache", help="inspect and maintain the result cache")
+    cache_sub = sp.add_subparsers(dest="cache_command", required=True)
+    csp = cache_sub.add_parser("stats", help="print the store's shape")
+    csp.add_argument("--cache-dir", default=None, metavar="DIR",
+                     help="result-cache directory (default .kiss-cache)")
+    csp.add_argument("--json", action="store_true", help="machine-readable output")
+    csp.set_defaults(func=cmd_cache)
+    csp = cache_sub.add_parser(
+        "prune", help="drop entries older than AGE and compact the store"
+    )
+    csp.add_argument("--older-than", required=True, metavar="AGE",
+                     help="age threshold: seconds, or 30m / 12h / 7d")
+    csp.add_argument("--cache-dir", default=None, metavar="DIR",
+                     help="result-cache directory (default .kiss-cache)")
+    csp.set_defaults(func=cmd_cache)
 
     sp = sub.add_parser("sequentialize", help="print the transformed sequential program")
     common(sp, race=True)

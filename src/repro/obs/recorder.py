@@ -37,8 +37,9 @@ import json
 import time
 from typing import Callable, Dict, List, Optional
 
-#: JSONL schema tag carried by :meth:`Recorder.metrics` snapshots.
-METRICS_SCHEMA = "kiss-metrics/1"
+#: JSONL schema tag carried by :meth:`Recorder.metrics` snapshots
+#: (defined with every other document schema in :mod:`repro.schemas`).
+from repro.schemas import METRICS_SCHEMA
 
 
 def make_event(event: str, t: float, **fields) -> dict:

@@ -12,7 +12,9 @@ snapshot:
 
 :func:`validate_metrics` / :func:`validate_profile` check the documented
 schemas (docs/OBSERVABILITY.md); the golden-file tests and the CI job
-run them over real output.
+run them over real output.  The validators live with every other
+document schema in :mod:`repro.schemas` and are re-exported here for
+API stability.
 """
 
 from __future__ import annotations
@@ -20,44 +22,13 @@ from __future__ import annotations
 from typing import Dict, List, Optional
 
 from repro.reporting import render_table
-
-from .recorder import METRICS_SCHEMA
-
-#: Schema tag of the ``profile --json`` document.
-PROFILE_SCHEMA = "kiss-profile/1"
-
-
-class SchemaError(ValueError):
-    """A metrics/profile document does not match its documented schema."""
-
-
-def validate_metrics(doc: dict) -> dict:
-    """Check a metrics snapshot against the ``kiss-metrics/1`` schema;
-    returns ``doc`` for chaining, raises :class:`SchemaError` otherwise."""
-    if not isinstance(doc, dict):
-        raise SchemaError(f"metrics must be an object, got {type(doc).__name__}")
-    if doc.get("schema") != METRICS_SCHEMA:
-        raise SchemaError(f"unknown metrics schema {doc.get('schema')!r}")
-    for key in ("wall_s", "phases", "counters"):
-        if key not in doc:
-            raise SchemaError(f"metrics missing key {key!r}")
-    if not isinstance(doc["wall_s"], (int, float)) or doc["wall_s"] < 0:
-        raise SchemaError(f"wall_s must be a non-negative number: {doc['wall_s']!r}")
-    if not isinstance(doc["phases"], list):
-        raise SchemaError("phases must be a list")
-    for row in doc["phases"]:
-        for key, typ in (("name", str), ("calls", int), ("wall_s", (int, float)),
-                         ("self_s", (int, float))):
-            if not isinstance(row.get(key), typ):
-                raise SchemaError(f"phase row {row!r}: bad {key!r}")
-        if row["calls"] < 1 or row["wall_s"] < 0:
-            raise SchemaError(f"phase row {row!r}: negative count or time")
-    if not isinstance(doc["counters"], dict):
-        raise SchemaError("counters must be an object")
-    for name, value in doc["counters"].items():
-        if not isinstance(value, int) or value < 0:
-            raise SchemaError(f"counter {name!r} must be a non-negative int: {value!r}")
-    return doc
+from repro.schemas import (  # noqa: F401  (re-exported API)
+    METRICS_SCHEMA,
+    PROFILE_SCHEMA,
+    SchemaError,
+    validate_metrics,
+    validate_profile,
+)
 
 
 def render_metrics(metrics: dict, title: str = "Per-phase breakdown") -> str:
@@ -114,22 +85,3 @@ def profile_document(
         "config": dict(config),
         "metrics": validate_metrics(metrics),
     }
-
-
-def validate_profile(doc: dict) -> dict:
-    """Check a ``profile --json`` document; returns ``doc``."""
-    if not isinstance(doc, dict):
-        raise SchemaError(f"profile must be an object, got {type(doc).__name__}")
-    if doc.get("schema") != PROFILE_SCHEMA:
-        raise SchemaError(f"unknown profile schema {doc.get('schema')!r}")
-    for key in ("file", "prop", "verdict", "config", "metrics"):
-        if key not in doc:
-            raise SchemaError(f"profile missing key {key!r}")
-    if doc["prop"] not in ("assertion", "race"):
-        raise SchemaError(f"unknown prop {doc['prop']!r}")
-    if doc["verdict"] not in ("safe", "error", "resource-bound"):
-        raise SchemaError(f"unknown verdict {doc['verdict']!r}")
-    if not isinstance(doc["config"], dict):
-        raise SchemaError("config must be an object")
-    validate_metrics(doc["metrics"])
-    return doc

@@ -1,0 +1,222 @@
+"""The machine-readable document schemas and their validators.
+
+Every JSON artifact the system emits carries a ``schema`` tag naming its
+shape and revision:
+
+==================  =======================================================
+``kiss-metrics/1``  one :meth:`repro.obs.Recorder.metrics` snapshot
+``kiss-profile/1``  ``python -m repro profile --json`` output
+``kiss-campaign/1`` the end-of-campaign summary document
+``kiss-serve/1``    one result event streamed by ``python -m repro serve``
+==================  =======================================================
+
+The validators here are deliberately hand-rolled (zero dependencies, no
+jsonschema) and are the single source of truth: the producers in
+:mod:`repro.obs`, :mod:`repro.campaign.telemetry`, and
+:mod:`repro.serve` re-export them, golden-file tests run them over real
+output, and the CI jobs run them over artifacts.  Keeping them in one
+module means a schema revision is one diff, not a hunt across layers.
+
+All validators return the document (for chaining) or raise
+:class:`SchemaError`, a ``ValueError`` subclass.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Sequence, Tuple, Union
+
+#: Schema tag of :meth:`repro.obs.Recorder.metrics` snapshots.
+METRICS_SCHEMA = "kiss-metrics/1"
+
+#: Schema tag of the ``profile --json`` document.
+PROFILE_SCHEMA = "kiss-profile/1"
+
+#: Schema tag of the campaign summary document.
+CAMPAIGN_SCHEMA = "kiss-campaign/1"
+
+#: Schema tag of events streamed by the checking service.
+SERVE_SCHEMA = "kiss-serve/1"
+
+#: The event vocabulary of a ``kiss-serve/1`` stream, in lifecycle
+#: order: admission, first attempt, bounded retries, the final verdict.
+SERVE_EVENTS = ("queued", "started", "retry", "done")
+
+#: Where a served verdict came from: the content-addressed cache, a
+#: fresh check, piggybacked on an identical in-flight submission, or a
+#: run with caching disabled.
+SERVE_CACHE_STATES = ("hit", "miss", "dedup", "off")
+
+#: The verdict vocabulary shared by every layer
+#: (:class:`repro.core.checker.KissResult` and everything built on it).
+VERDICTS = ("safe", "error", "resource-bound")
+
+
+class SchemaError(ValueError):
+    """A document does not match its documented schema."""
+
+
+_TypeSpec = Union[type, Tuple[type, ...]]
+
+
+def _require_object(doc: Any, schema: str, what: str) -> Dict[str, Any]:
+    if not isinstance(doc, dict):
+        raise SchemaError(f"{what} must be an object, got {type(doc).__name__}")
+    if doc.get("schema") != schema:
+        raise SchemaError(f"unknown {what} schema {doc.get('schema')!r}")
+    return doc
+
+
+def _require_keys(doc: Dict[str, Any], what: str,
+                  spec: Sequence[Tuple[str, _TypeSpec]]) -> None:
+    for key, kind in spec:
+        if not isinstance(doc.get(key), kind):
+            want = kind.__name__ if isinstance(kind, type) else "/".join(
+                k.__name__ for k in kind)
+            raise SchemaError(f"{what}: {key!r} missing or not {want}")
+
+
+# ---------------------------------------------------------------------------
+# kiss-metrics/1 and kiss-profile/1 (repro.obs)
+# ---------------------------------------------------------------------------
+
+
+def validate_metrics(doc: dict) -> dict:
+    """Check a metrics snapshot against the ``kiss-metrics/1`` schema;
+    returns ``doc`` for chaining, raises :class:`SchemaError` otherwise."""
+    if not isinstance(doc, dict):
+        raise SchemaError(f"metrics must be an object, got {type(doc).__name__}")
+    if doc.get("schema") != METRICS_SCHEMA:
+        raise SchemaError(f"unknown metrics schema {doc.get('schema')!r}")
+    for key in ("wall_s", "phases", "counters"):
+        if key not in doc:
+            raise SchemaError(f"metrics missing key {key!r}")
+    if not isinstance(doc["wall_s"], (int, float)) or doc["wall_s"] < 0:
+        raise SchemaError(f"wall_s must be a non-negative number: {doc['wall_s']!r}")
+    if not isinstance(doc["phases"], list):
+        raise SchemaError("phases must be a list")
+    for row in doc["phases"]:
+        for key, typ in (("name", str), ("calls", int), ("wall_s", (int, float)),
+                         ("self_s", (int, float))):
+            if not isinstance(row.get(key), typ):
+                raise SchemaError(f"phase row {row!r}: bad {key!r}")
+        if row["calls"] < 1 or row["wall_s"] < 0:
+            raise SchemaError(f"phase row {row!r}: negative count or time")
+    if not isinstance(doc["counters"], dict):
+        raise SchemaError("counters must be an object")
+    for name, value in doc["counters"].items():
+        if not isinstance(value, int) or value < 0:
+            raise SchemaError(f"counter {name!r} must be a non-negative int: {value!r}")
+    return doc
+
+
+def validate_profile(doc: dict) -> dict:
+    """Check a ``profile --json`` document; returns ``doc``."""
+    if not isinstance(doc, dict):
+        raise SchemaError(f"profile must be an object, got {type(doc).__name__}")
+    if doc.get("schema") != PROFILE_SCHEMA:
+        raise SchemaError(f"unknown profile schema {doc.get('schema')!r}")
+    for key in ("file", "prop", "verdict", "config", "metrics"):
+        if key not in doc:
+            raise SchemaError(f"profile missing key {key!r}")
+    if doc["prop"] not in ("assertion", "race"):
+        raise SchemaError(f"unknown prop {doc['prop']!r}")
+    if doc["verdict"] not in VERDICTS:
+        raise SchemaError(f"unknown verdict {doc['verdict']!r}")
+    if not isinstance(doc["config"], dict):
+        raise SchemaError("config must be an object")
+    validate_metrics(doc["metrics"])
+    return doc
+
+
+# ---------------------------------------------------------------------------
+# kiss-campaign/1 (repro.campaign.telemetry)
+# ---------------------------------------------------------------------------
+
+
+def validate_summary(doc: Dict[str, Any]) -> Dict[str, Any]:
+    """Check a ``kiss-campaign/1`` document's shape and internal
+    consistency; returns the document or raises :class:`SchemaError`."""
+
+    def fail(msg: str):
+        raise SchemaError(f"invalid {CAMPAIGN_SCHEMA} document: {msg}")
+
+    if not isinstance(doc, dict):
+        fail("not an object")
+    if doc.get("schema") != CAMPAIGN_SCHEMA:
+        fail(f"schema is {doc.get('schema')!r}")
+    for key, kind in (("jobs", int), ("completed", int), ("interrupted_jobs", int),
+                      ("deadline_hit", bool), ("verdicts", dict), ("table", dict),
+                      ("drivers", list), ("cache", dict)):
+        if not isinstance(doc.get(key), kind):
+            fail(f"{key} missing or not {kind.__name__}")
+    if doc["interrupted"] is not None and not isinstance(doc["interrupted"], str):
+        fail("interrupted must be null or a signal name")
+    if "version" in doc and not isinstance(doc["version"], str):
+        fail("version must be a string")
+    if doc["jobs"] != doc["completed"] + doc["interrupted_jobs"]:
+        fail("jobs != completed + interrupted_jobs")
+    for tally in (doc["verdicts"], doc["table"]):
+        if any(not isinstance(v, int) or v < 0 for v in tally.values()):
+            fail("negative or non-integer tally")
+        if sum(tally.values()) != doc["jobs"]:
+            fail("tallies do not sum to jobs")
+    fields = 0
+    for row in doc["drivers"]:
+        for key in ("driver", "fields", "race", "no-race", "unresolved", "other",
+                    "cached", "wall_s"):
+            if key not in row:
+                fail(f"driver row missing {key}")
+        if row["race"] + row["no-race"] + row["unresolved"] + row["other"] != row["fields"]:
+            fail(f"driver {row['driver']}: field counts do not sum")
+        fields += row["fields"]
+    if fields != doc["jobs"]:
+        fail("driver rows do not cover all jobs")
+    if not all(isinstance(doc["cache"].get(k), int) for k in ("hits", "misses")):
+        fail("cache hits/misses missing")
+    return doc
+
+
+# ---------------------------------------------------------------------------
+# kiss-serve/1 (repro.serve)
+# ---------------------------------------------------------------------------
+
+
+def validate_serve_event(doc: Dict[str, Any]) -> Dict[str, Any]:
+    """Check one streamed service event against the ``kiss-serve/1``
+    schema; returns ``doc`` or raises :class:`SchemaError`.
+
+    Every event carries the schema tag, an ``event`` name from
+    :data:`SERVE_EVENTS`, a monotonic-relative timestamp ``t``, and the
+    server-assigned ``job`` id.  ``queued`` adds the admission facts
+    (tenant, cache key, dedupe flag); ``done`` adds the verdict and its
+    provenance — and a ``done`` event is the only way a stream ends.
+    """
+    doc = _require_object(doc, SERVE_SCHEMA, "serve event")
+    _require_keys(doc, "serve event", (("event", str), ("t", (int, float)),
+                                       ("job", str)))
+    if doc["event"] not in SERVE_EVENTS:
+        raise SchemaError(f"unknown serve event {doc['event']!r}")
+    if doc["t"] < 0:
+        raise SchemaError(f"serve event t must be non-negative: {doc['t']!r}")
+    if not doc["job"]:
+        raise SchemaError("serve event job id is empty")
+    if doc["event"] == "queued":
+        _require_keys(doc, "queued event", (("tenant", str), ("key", str),
+                                            ("deduped", bool)))
+    elif doc["event"] == "started":
+        _require_keys(doc, "started event", (("attempt", int),))
+        if doc["attempt"] < 1:
+            raise SchemaError(f"started attempt must be >= 1: {doc['attempt']!r}")
+    elif doc["event"] == "retry":
+        _require_keys(doc, "retry event", (("attempt", int), ("reason", str)))
+    elif doc["event"] == "done":
+        _require_keys(doc, "done event", (("verdict", str), ("attempts", int),
+                                          ("cache", str), ("wall_s", (int, float)),
+                                          ("version", str)))
+        if doc["verdict"] not in VERDICTS:
+            raise SchemaError(f"unknown serve verdict {doc['verdict']!r}")
+        if doc["cache"] not in SERVE_CACHE_STATES:
+            raise SchemaError(f"unknown serve cache state {doc['cache']!r}")
+        if doc["attempts"] < 0 or doc["wall_s"] < 0:
+            raise SchemaError("done event attempts/wall_s must be non-negative")
+    return doc

@@ -1,0 +1,49 @@
+"""Checking-as-a-service: a long-lived JSON API over the campaign engine.
+
+``python -m repro serve`` hosts a zero-dependency (stdlib asyncio)
+HTTP/1.1 service on a shared
+:class:`~repro.campaign.runtime.CampaignRuntime` — the same engine the
+batch CLI and the fuzz runner drive, so a program checked over HTTP
+yields the identical verdict and the identical content-addressed cache
+entry as the same program checked in a batch campaign.
+
+Layers:
+
+* :mod:`service` — admission policy (per-tenant token-bucket quotas,
+  bounded queue with 429 backpressure, cache/in-flight dedupe), the
+  engine thread, the drain ladder, and the per-job ``kiss-serve/1``
+  event records;
+* :mod:`http` — the asyncio HTTP frontage (``/v1/jobs``, ``/healthz``,
+  ``/stats``, NDJSON event streams) and :func:`run_server` /
+  :class:`ServerThread`;
+* :mod:`client` — the stdlib client used by tests and CI.
+
+Protocol and semantics: docs/SERVICE.md.
+"""
+
+from repro.schemas import (  # noqa: F401  (re-exported API)
+    SERVE_CACHE_STATES,
+    SERVE_EVENTS,
+    SERVE_SCHEMA,
+    validate_serve_event,
+)
+
+from .client import ServeClient, ServeError
+from .http import ServerThread, run_server
+from .service import AdmissionError, CheckService, JobRecord, ServeConfig, TokenBucket
+
+__all__ = [
+    "AdmissionError",
+    "CheckService",
+    "JobRecord",
+    "ServeConfig",
+    "ServeClient",
+    "ServeError",
+    "ServerThread",
+    "TokenBucket",
+    "run_server",
+    "SERVE_SCHEMA",
+    "SERVE_EVENTS",
+    "SERVE_CACHE_STATES",
+    "validate_serve_event",
+]

@@ -1,0 +1,169 @@
+"""Stdlib client for the checking service (``http.client`` only).
+
+The test suite and the CI serve job drive the server exclusively through
+this module, so it doubles as the reference protocol implementation:
+
+* :meth:`ServeClient.submit` — POST one program/property/config, get
+  ``(http_status, body)`` back without raising on 4xx/5xx (callers
+  assert on quota 429s and drain 503s);
+* :meth:`ServeClient.wait` — long-poll a job to completion;
+* :meth:`ServeClient.events` — iterate the ``kiss-serve/1`` NDJSON
+  stream (close-delimited: the iterator ends when the server finishes
+  the stream);
+* :meth:`ServeClient.check` — submit + wait, returning the final status
+  document; raises :class:`ServeError` when the job is refused.
+
+One connection per request (the server is ``Connection: close``), so a
+client object is cheap, stateless, and safe to share across threads.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+from typing import Any, Dict, Iterator, Optional, Tuple
+from urllib.parse import quote
+
+DEFAULT_TIMEOUT_S = 60.0
+
+
+class ServeError(RuntimeError):
+    """A refused request (or a malformed response)."""
+
+    def __init__(self, status: int, message: str, body: Optional[dict] = None):
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+        self.body = body or {}
+
+
+class ServeClient:
+    """Client for one server address."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 8731,
+                 tenant: Optional[str] = None, timeout: float = DEFAULT_TIMEOUT_S):
+        self.host = host
+        self.port = port
+        self.tenant = tenant
+        self.timeout = timeout
+
+    # -- plumbing ----------------------------------------------------------------
+
+    def _connect(self, timeout: Optional[float] = None) -> http.client.HTTPConnection:
+        return http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout if timeout is None else timeout)
+
+    def _request(self, method: str, path: str, payload: Optional[dict] = None,
+                 timeout: Optional[float] = None) -> Tuple[int, dict]:
+        conn = self._connect(timeout)
+        try:
+            headers = {"Connection": "close"}
+            body = None
+            if payload is not None:
+                body = json.dumps(payload).encode("utf-8")
+                headers["Content-Type"] = "application/json"
+            if self.tenant:
+                headers["X-Kiss-Tenant"] = self.tenant
+            conn.request(method, path, body=body, headers=headers)
+            resp = conn.getresponse()
+            raw = resp.read()
+            try:
+                doc = json.loads(raw.decode("utf-8")) if raw else {}
+            except (json.JSONDecodeError, UnicodeDecodeError):
+                raise ServeError(resp.status, f"non-JSON response: {raw[:200]!r}")
+            if resp.status == 429 and resp.getheader("Retry-After"):
+                doc.setdefault("retry_after", float(resp.getheader("Retry-After")))
+            return resp.status, doc
+        finally:
+            conn.close()
+
+    @staticmethod
+    def _job_path(job_id: str, suffix: str = "") -> str:
+        return "/v1/jobs/" + quote(job_id, safe="") + suffix
+
+    # -- API ---------------------------------------------------------------------
+
+    def healthz(self) -> dict:
+        status, doc = self._request("GET", "/healthz")
+        if status != 200:
+            raise ServeError(status, doc.get("error", "healthz failed"), doc)
+        return doc
+
+    def stats(self) -> dict:
+        status, doc = self._request("GET", "/stats")
+        if status != 200:
+            raise ServeError(status, doc.get("error", "stats failed"), doc)
+        return doc
+
+    def submit(self, program: str, prop: str = "assertion",
+               target: Optional[str] = None,
+               config: Optional[Dict[str, Any]] = None,
+               driver: Optional[str] = None,
+               tenant: Optional[str] = None) -> Tuple[int, dict]:
+        """Submit one job; returns ``(http_status, body)`` verbatim —
+        200 body is a final status document, 202 an admission document,
+        4xx/5xx an ``{"error": ...}`` document (429 adds
+        ``retry_after``)."""
+        payload: Dict[str, Any] = {"program": program, "prop": prop}
+        if target is not None:
+            payload["target"] = target
+        if config:
+            payload["config"] = config
+        if driver is not None:
+            payload["driver"] = driver
+        if tenant or self.tenant:
+            payload["tenant"] = tenant or self.tenant
+        return self._request("POST", "/v1/jobs", payload)
+
+    def status(self, job_id: str) -> dict:
+        http_status, doc = self._request("GET", self._job_path(job_id))
+        if http_status != 200:
+            raise ServeError(http_status, doc.get("error", "status failed"), doc)
+        return doc
+
+    def wait(self, job_id: str, timeout: float = DEFAULT_TIMEOUT_S) -> dict:
+        """Long-poll one job to completion; returns the final status
+        document (raises :class:`ServeError` on timeout)."""
+        path = self._job_path(job_id) + f"?wait={timeout:g}"
+        http_status, doc = self._request("GET", path, timeout=timeout + 10.0)
+        if http_status != 200:
+            raise ServeError(http_status, doc.get("error", "wait failed"), doc)
+        if doc.get("state") != "done":
+            raise ServeError(200, f"job {job_id} not done after {timeout}s", doc)
+        return doc
+
+    def events(self, job_id: str, timeout: float = DEFAULT_TIMEOUT_S) -> Iterator[dict]:
+        """Iterate the job's NDJSON event stream until the server closes
+        it (which it does right after the ``done`` event)."""
+        conn = self._connect(timeout)
+        try:
+            conn.request("GET", self._job_path(job_id, "/events"),
+                         headers={"Connection": "close"})
+            resp = conn.getresponse()
+            if resp.status != 200:
+                raw = resp.read()
+                try:
+                    doc = json.loads(raw.decode("utf-8"))
+                except (json.JSONDecodeError, UnicodeDecodeError):
+                    doc = {}
+                raise ServeError(resp.status, doc.get("error", "stream refused"), doc)
+            for line in resp:
+                line = line.strip()
+                if line:
+                    yield json.loads(line.decode("utf-8"))
+        finally:
+            conn.close()
+
+    def check(self, program: str, prop: str = "assertion",
+              target: Optional[str] = None,
+              config: Optional[Dict[str, Any]] = None,
+              driver: Optional[str] = None,
+              timeout: float = DEFAULT_TIMEOUT_S) -> dict:
+        """Submit one job and wait for its verdict; the one-call path.
+        Raises :class:`ServeError` when the submission is refused."""
+        status, doc = self.submit(program, prop=prop, target=target,
+                                  config=config, driver=driver)
+        if status == 200:
+            return doc
+        if status != 202:
+            raise ServeError(status, doc.get("error", "submission refused"), doc)
+        return self.wait(doc["job"], timeout=timeout)

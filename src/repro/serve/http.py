@@ -1,0 +1,344 @@
+"""The HTTP/1.1 frontage of the checking service (stdlib asyncio only).
+
+A deliberately small close-delimited protocol — every response carries
+``Connection: close``, so clients never need chunked decoding and the
+NDJSON event stream simply ends when the connection does:
+
+====== ============================ =========================================
+POST   ``/v1/jobs``                 submit (JSON body; see ``repro.serve``)
+GET    ``/v1/jobs/<id>``            status; ``?wait=S`` long-polls completion
+GET    ``/v1/jobs/<id>/events``     the ``kiss-serve/1`` NDJSON event stream
+GET    ``/healthz``                 liveness / drain state
+GET    ``/stats``                   admission counters, queue, cache, obs
+====== ============================ =========================================
+
+Submission responses: 200 (answered from the persistent cache — the
+status document is already final), 202 (admitted; fresh or deduped onto
+an identical in-flight job), 400 (malformed), 429 (tenant quota or full
+admission queue; ``Retry-After`` header set), 503 (draining).  The
+tenant is the ``X-Kiss-Tenant`` header, else the body's ``tenant``
+field, else ``"anon"``.
+
+:func:`run_server` is the ``python -m repro serve`` entry point: it
+prints one ``serve_listening`` JSON line to stdout once bound (so
+callers using ``--port 0`` can discover the port), and wires signals to
+the service's drain ladder — first SIGTERM/SIGINT stops admission and
+finishes admitted work, a second one degrades the not-yet-started
+backlog, exactly like a batch campaign interrupt.  Blocking service
+calls run in the loop's default executor so slow checks never stall
+``/healthz``.
+
+:class:`ServerThread` hosts the same server on a background thread for
+tests and embedding.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import signal
+import sys
+import threading
+from typing import Optional, Tuple
+from urllib.parse import parse_qs, unquote, urlsplit
+
+from .service import AdmissionError, CheckService
+
+#: Pacing of the NDJSON event stream's poll of the record (seconds).
+STREAM_POLL_S = 0.03
+
+#: Cap on ``?wait=`` long-polling (seconds).
+MAX_WAIT_S = 120.0
+
+_MAX_BODY = 8 * 1024 * 1024
+
+
+def _response(status: int, body: bytes, content_type: str = "application/json",
+              extra_headers: Tuple[Tuple[str, str], ...] = ()) -> bytes:
+    reason = {200: "OK", 202: "Accepted", 400: "Bad Request", 404: "Not Found",
+              405: "Method Not Allowed", 413: "Payload Too Large",
+              429: "Too Many Requests", 500: "Internal Server Error",
+              503: "Service Unavailable"}.get(status, "Unknown")
+    head = [f"HTTP/1.1 {status} {reason}",
+            f"Content-Type: {content_type}",
+            f"Content-Length: {len(body)}",
+            "Connection: close"]
+    head.extend(f"{k}: {v}" for k, v in extra_headers)
+    return ("\r\n".join(head) + "\r\n\r\n").encode("ascii") + body
+
+
+def _json_response(status: int, doc: dict,
+                   extra_headers: Tuple[Tuple[str, str], ...] = ()) -> bytes:
+    return _response(status, (json.dumps(doc) + "\n").encode("utf-8"),
+                     extra_headers=extra_headers)
+
+
+def _error(status: int, message: str,
+           retry_after: Optional[float] = None) -> bytes:
+    extra = ()
+    if retry_after is not None:
+        extra = (("Retry-After", f"{retry_after:.3f}"),)
+    return _json_response(status, {"error": message}, extra_headers=extra)
+
+
+class _BadRequest(Exception):
+    pass
+
+
+async def _read_request(reader: asyncio.StreamReader):
+    line = await reader.readline()
+    if not line:
+        return None
+    try:
+        method, raw_path, _version = line.decode("ascii").split()
+    except ValueError:
+        raise _BadRequest("malformed request line")
+    headers = {}
+    while True:
+        h = await reader.readline()
+        if h in (b"\r\n", b"\n", b""):
+            break
+        name, _, value = h.decode("latin-1").partition(":")
+        headers[name.strip().lower()] = value.strip()
+    try:
+        length = int(headers.get("content-length", "0"))
+    except ValueError:
+        raise _BadRequest("bad Content-Length")
+    if length > _MAX_BODY:
+        raise _BadRequest("body too large")
+    body = await reader.readexactly(length) if length else b""
+    return method, raw_path, headers, body
+
+
+class _Handler:
+    """Routes one connection; one instance per server."""
+
+    def __init__(self, service: CheckService):
+        self.service = service
+
+    async def __call__(self, reader: asyncio.StreamReader,
+                       writer: asyncio.StreamWriter) -> None:
+        try:
+            try:
+                request = await _read_request(reader)
+                if request is None:
+                    return
+                method, raw_path, headers, body = request
+            except (_BadRequest, asyncio.IncompleteReadError, UnicodeDecodeError):
+                writer.write(_error(400, "malformed request"))
+                return
+            await self._route(writer, method, raw_path, headers, body)
+        except (ConnectionError, asyncio.CancelledError):
+            pass
+        except Exception as exc:  # never take the server down for one request
+            try:
+                writer.write(_error(500, f"internal error: {exc!r}"))
+            except ConnectionError:
+                pass
+        finally:
+            try:
+                await writer.drain()
+                writer.close()
+            except ConnectionError:
+                pass
+
+    async def _route(self, writer, method: str, raw_path: str, headers, body: bytes) -> None:
+        loop = asyncio.get_running_loop()
+        parts = urlsplit(raw_path)
+        path = unquote(parts.path)
+        query = parse_qs(parts.query)
+
+        if path == "/healthz" and method == "GET":
+            writer.write(_json_response(200, self.service.healthz_doc()))
+            return
+        if path == "/stats" and method == "GET":
+            writer.write(_json_response(200, self.service.stats_doc()))
+            return
+        if path == "/v1/jobs" and method == "POST":
+            try:
+                payload = json.loads(body.decode("utf-8"))
+            except (UnicodeDecodeError, json.JSONDecodeError):
+                writer.write(_error(400, "body is not valid JSON"))
+                return
+            tenant = headers.get("x-kiss-tenant") or (
+                payload.get("tenant") if isinstance(payload, dict) else None) or "anon"
+            try:
+                status, doc = await loop.run_in_executor(
+                    None, self.service.submit, tenant, payload)
+            except AdmissionError as exc:
+                writer.write(_error(exc.status, exc.error, exc.retry_after))
+                return
+            writer.write(_json_response(status, doc))
+            return
+        if path.startswith("/v1/jobs/") and method == "GET":
+            rest = path[len("/v1/jobs/"):]
+            if rest.endswith("/events"):
+                await self._stream_events(writer, rest[: -len("/events")].rstrip("/"))
+                return
+            wait_s = None
+            if "wait" in query:
+                try:
+                    wait_s = min(float(query["wait"][0]), MAX_WAIT_S)
+                except ValueError:
+                    writer.write(_error(400, "bad wait parameter"))
+                    return
+            doc = await loop.run_in_executor(None, self.service.get, rest, wait_s)
+            if doc is None:
+                writer.write(_error(404, f"unknown job {rest!r}"))
+                return
+            writer.write(_json_response(200, doc))
+            return
+        if path in ("/healthz", "/stats", "/v1/jobs") or path.startswith("/v1/jobs/"):
+            writer.write(_error(405, f"method {method} not allowed on {path}"))
+            return
+        writer.write(_error(404, f"no such route {path!r}"))
+
+    async def _stream_events(self, writer, job_id: str) -> None:
+        """The close-delimited NDJSON stream: replay the record's events
+        and follow it until its ``done`` event, then close."""
+        first = self.service.events_since(job_id, 0)
+        if first is None:
+            writer.write(_error(404, f"unknown job {job_id!r}"))
+            return
+        writer.write(b"HTTP/1.1 200 OK\r\n"
+                     b"Content-Type: application/x-ndjson\r\n"
+                     b"Connection: close\r\n\r\n")
+        sent = 0
+        while True:
+            got = self.service.events_since(job_id, sent)
+            if got is None:  # evicted mid-stream: the stream just ends
+                return
+            events, finished = got
+            for event in events:
+                writer.write((json.dumps(event) + "\n").encode("utf-8"))
+            sent += len(events)
+            await writer.drain()
+            if finished and not events:
+                return
+            if finished:
+                continue  # flush any events that landed with the done
+            await asyncio.sleep(STREAM_POLL_S)
+
+
+async def _serve(service: CheckService, host: str, port: int,
+                 ready_cb=None, install_signals: bool = False) -> None:
+    server = await asyncio.start_server(_Handler(service), host, port)
+    bound = server.sockets[0].getsockname()
+    if ready_cb is not None:
+        ready_cb(bound[0], bound[1])
+
+    stop = asyncio.Event()
+    loop = asyncio.get_running_loop()
+
+    if install_signals:
+        signalled = {"n": 0}
+
+        def on_signal():
+            signalled["n"] += 1
+            if signalled["n"] == 1:
+                service.drain()
+            else:
+                service.degrade_pending()
+
+        for sig in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(sig, on_signal)
+            except (NotImplementedError, RuntimeError):  # pragma: no cover
+                pass
+
+    async def watch_engine():
+        while not service.stopped:
+            await asyncio.sleep(0.05)
+        stop.set()
+
+    watcher = asyncio.ensure_future(watch_engine())
+    try:
+        await stop.wait()
+    finally:
+        watcher.cancel()
+        server.close()
+        await server.wait_closed()
+
+
+def run_server(service: CheckService, host: str = "127.0.0.1", port: int = 8731,
+               ready_stream=None) -> int:
+    """Serve until drained (the ``python -m repro serve`` main loop).
+
+    Prints the ``serve_listening`` ready line to ``ready_stream``
+    (default stdout) once bound; returns the process exit code (0 — a
+    drain-triggered exit is the *clean* path)."""
+    stream = sys.stdout if ready_stream is None else ready_stream
+
+    def ready(bound_host: str, bound_port: int):
+        stream.write(json.dumps({"event": "serve_listening", "host": bound_host,
+                                 "port": bound_port}) + "\n")
+        stream.flush()
+
+    try:
+        asyncio.run(_serve(service, host, port, ready_cb=ready, install_signals=True))
+    finally:
+        service.stop()
+    return 0
+
+
+class ServerThread:
+    """An HTTP server on a background thread, for tests and embedding.
+
+    Context-manager use::
+
+        with ServerThread(CheckService(config)) as srv:
+            client = ServeClient("127.0.0.1", srv.port)
+    """
+
+    def __init__(self, service: CheckService, host: str = "127.0.0.1", port: int = 0):
+        self.service = service
+        self.host = host
+        self.port: Optional[int] = None
+        self._ready = threading.Event()
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._stop: Optional[asyncio.Event] = None
+        self._error: Optional[BaseException] = None
+        self._thread = threading.Thread(target=self._run, args=(host, port),
+                                        name="kiss-serve-http", daemon=True)
+        self._thread.start()
+        self._ready.wait(10.0)
+        if self._error is not None:
+            raise self._error
+        if self.port is None:
+            raise RuntimeError("server thread failed to bind")
+
+    def _run(self, host: str, port: int) -> None:
+        try:
+            asyncio.run(self._main(host, port))
+        except BaseException as exc:  # surface bind errors to the constructor
+            self._error = exc
+            self._ready.set()
+
+    async def _main(self, host: str, port: int) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._stop = asyncio.Event()
+        server = await asyncio.start_server(_Handler(self.service), host, port)
+        self.port = server.sockets[0].getsockname()[1]
+        self._ready.set()
+        try:
+            await self._stop.wait()
+        finally:
+            server.close()
+            await server.wait_closed()
+
+    def close(self) -> None:
+        """Stop the HTTP listener and shut the service down."""
+        if self._loop is not None and self._stop is not None:
+            try:
+                self._loop.call_soon_threadsafe(self._stop.set)
+            except RuntimeError:  # loop already gone
+                pass
+        self._thread.join(10.0)
+        self.service.stop()
+
+    def __enter__(self) -> "ServerThread":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self.close()
+        return False

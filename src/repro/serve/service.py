@@ -1,0 +1,514 @@
+"""The checking service core: admission, quotas, dedupe, drain.
+
+:class:`CheckService` is the third frontend over
+:class:`~repro.campaign.runtime.CampaignRuntime` (after the batch
+scheduler and the fuzz runner): a long-lived engine thread pumps the
+runtime forever while HTTP handler threads admit work through
+:meth:`submit`.  The service owns the *service* policy the batch
+frontend has no use for:
+
+* **per-tenant token-bucket quotas** — a tenant sustaining more than
+  ``quota_rate`` submissions/s (above a ``quota_burst`` burst) is
+  rejected with a retry hint, not queued without bound;
+* **bounded admission** — at most ``max_queue`` distinct jobs may be
+  admitted-but-unfinished; past that, submission fails with
+  backpressure (HTTP 429) instead of growing an unbounded backlog;
+* **dedupe** — a submission whose cache key matches a persisted result
+  answers immediately (``cache: "hit"``); one matching a job already
+  in flight piggybacks on it (``cache: "dedup"``) and streams the same
+  lifecycle events under its own job id;
+* **graceful drain** — :meth:`drain` stops admission (503) while the
+  engine finishes everything already admitted; :meth:`degrade_pending`
+  (the second-signal path) additionally degrades the not-yet-started
+  backlog to ``resource-bound``, exactly like a batch campaign's
+  SIGTERM remainder.  Either way every stream ends with a schema-valid
+  ``done`` event.
+
+Each admitted submission gets a :class:`JobRecord` accumulating its
+``kiss-serve/1`` event stream (``queued`` → ``started`` → ``retry``* →
+``done``); handler threads read records under the service lock and
+long-poll on the record's ``done`` event.  Chaos behavior is inherited:
+a :class:`~repro.faults.FaultPlan` installs in the engine thread and
+ships to pool workers, and the runtime's retry/degrade policy holds for
+served traffic (faults may cost coverage, never a wrong verdict —
+docs/ROBUSTNESS.md).
+
+Caveat (shared with in-process batch runs): with ``jobs <= 1`` the
+engine checks in its own thread, where the ``SIGALRM``-based per-job
+timeout cannot arm, so ``timeout`` is only enforced with ``jobs >= 2``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import threading
+import time
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro import faults, obs, package_version
+from repro.campaign.cache import cache_key
+from repro.campaign.jobs import KISS_DEFAULTS, CheckJob, JobResult
+from repro.campaign.runtime import CampaignConfig, CampaignRuntime
+from repro.campaign.telemetry import Telemetry
+from repro.faults import FaultPlan
+from repro.obs import make_event
+from repro.schemas import SERVE_SCHEMA, validate_serve_event
+
+#: Completed records retained for late ``GET`` readers before eviction.
+DONE_RETENTION = 4096
+
+#: Config keys a submission may override (everything else is a 400).
+_ALLOWED_CONFIG = set(KISS_DEFAULTS)
+
+
+class AdmissionError(Exception):
+    """A submission the service refuses; carries the HTTP shape."""
+
+    def __init__(self, status: int, error: str, retry_after: Optional[float] = None):
+        super().__init__(error)
+        self.status = status
+        self.error = error
+        self.retry_after = retry_after
+
+
+@dataclass
+class ServeConfig:
+    """Service knobs: the engine subset mirrors
+    :class:`~repro.campaign.runtime.CampaignConfig` (``deadline`` has no
+    service analogue — a server has no end); the rest is admission
+    policy."""
+
+    jobs: int = 1
+    timeout: Optional[float] = None
+    retries: int = 1
+    cache_dir: Optional[str] = None
+    memory_limit: Optional[int] = None
+    fault_plan: Optional[FaultPlan] = None
+    telemetry_path: Optional[str] = None
+    #: sustained submissions/second allowed per tenant ...
+    quota_rate: float = 20.0
+    #: ... above an initial burst of this many.
+    quota_burst: int = 40
+    #: admitted-but-unfinished jobs (distinct cache keys) before 429.
+    max_queue: int = 256
+    #: engine wait granularity (pool poll / idle sleep), seconds.
+    poll_s: float = 0.05
+
+
+class TokenBucket:
+    """Classic token bucket; ``clock`` is injectable for tests."""
+
+    def __init__(self, rate: float, burst: int, clock=time.monotonic):
+        self.rate = float(rate)
+        self.burst = float(max(1, burst))
+        self._clock = clock
+        self._tokens = self.burst
+        self._t = clock()
+
+    def _refill(self) -> None:
+        now = self._clock()
+        self._tokens = min(self.burst, self._tokens + (now - self._t) * self.rate)
+        self._t = now
+
+    def try_take(self) -> bool:
+        self._refill()
+        if self._tokens >= 1.0:
+            self._tokens -= 1.0
+            return True
+        return False
+
+    def retry_after(self) -> float:
+        """Seconds until the next token exists (0 when one is ready)."""
+        self._refill()
+        missing = 1.0 - self._tokens
+        return 0.0 if missing <= 0 else missing / self.rate
+
+
+@dataclass
+class JobRecord:
+    """One admitted submission and its ``kiss-serve/1`` event stream.
+
+    Deduped followers are separate records sharing the primary's cache
+    key: they receive the same lifecycle events relabelled with their
+    own job id."""
+
+    job_id: str
+    tenant: str
+    key: str
+    deduped: bool
+    events: List[dict] = field(default_factory=list)
+    result: Optional[JobResult] = None
+    done: threading.Event = field(default_factory=threading.Event)
+
+    def status_doc(self) -> dict:
+        state = "queued"
+        if self.done.is_set():
+            state = "done"
+        elif any(e["event"] == "started" for e in self.events):
+            state = "running"
+        out: Dict[str, Any] = {
+            "job": self.job_id,
+            "tenant": self.tenant,
+            "state": state,
+            "deduped": self.deduped,
+            "events": len(self.events),
+            "result": None,
+        }
+        if self.result is not None:
+            done = next(e for e in reversed(self.events) if e["event"] == "done")
+            out["result"] = {
+                "verdict": self.result.verdict,
+                "error_kind": self.result.error_kind,
+                "attempts": done["attempts"],
+                "cache": done["cache"],
+                "wall_s": done["wall_s"],
+                "detail": self.result.detail,
+            }
+        return out
+
+
+class _ServiceTelemetry(Telemetry):
+    """The engine's telemetry stream, teed into serve event records:
+    ``job_start``/``job_retry`` emitted by the runtime during a pump
+    become ``started``/``retry`` events on every record attached to the
+    job's cache key."""
+
+    def __init__(self, service: "CheckService", path: Optional[str] = None):
+        super().__init__(path)
+        self._service = service
+
+    def emit(self, event: str, **fields) -> dict:
+        obj = super().emit(event, **fields)
+        if event == "job_start":
+            self._service._fanout(fields["job"], "started", attempt=fields["attempt"])
+        elif event == "job_retry":
+            self._service._fanout(fields["job"], "retry", attempt=fields["attempt"],
+                                  reason=fields["reason"])
+        return obj
+
+
+class CheckService:
+    """The long-lived checking service (see module doc).
+
+    Thread model: HTTP handlers call :meth:`submit` / :meth:`get` /
+    :meth:`events_since` from any thread; one engine thread owns the
+    runtime.  All shared state lives behind ``_lock``.  Tests may pass
+    ``start_engine=False`` to drive :meth:`pump_once` deterministically.
+    """
+
+    def __init__(self, config: Optional[ServeConfig] = None, start_engine: bool = True):
+        self.config = config or ServeConfig()
+        self.runtime = CampaignRuntime(CampaignConfig(
+            jobs=self.config.jobs,
+            timeout=self.config.timeout,
+            retries=self.config.retries,
+            cache_dir=self.config.cache_dir,
+            memory_limit=self.config.memory_limit,
+            fault_plan=self.config.fault_plan,
+        ))
+        self._lock = threading.RLock()
+        self._t0 = time.monotonic()
+        self._tel = _ServiceTelemetry(self, self.config.telemetry_path)
+        #: job_id -> record, insertion-ordered for done-record eviction.
+        self._records: "OrderedDict[str, JobRecord]" = OrderedDict()
+        #: cache key -> records riding the in-flight check of that key.
+        self._active: Dict[str, List[JobRecord]] = {}
+        #: admitted jobs the engine has not yet moved into the runtime.
+        self._inbox: List[Tuple[CheckJob, str]] = []
+        self._buckets: Dict[str, TokenBucket] = {}
+        self._seq = 0
+        self.draining = False
+        self._force_detail: Optional[str] = None
+        self.counts: Dict[str, int] = {
+            "submitted": 0, "completed": 0, "cache_hits": 0, "deduped": 0,
+            "rejected_quota": 0, "rejected_queue": 0, "rejected_invalid": 0,
+            "rejected_draining": 0,
+        }
+        self._engine: Optional[threading.Thread] = None
+        self._engine_stopped = threading.Event()
+        if start_engine:
+            self.start()
+
+    # -- engine lifecycle --------------------------------------------------------
+
+    def start(self) -> None:
+        if self._engine is not None:
+            return
+        self._engine = threading.Thread(target=self._engine_loop,
+                                        name="kiss-serve-engine", daemon=True)
+        self._engine.start()
+
+    def _engine_loop(self) -> None:
+        try:
+            with faults.plan_context(self.config.fault_plan):
+                while self._engine_step():
+                    pass
+        finally:
+            self.runtime.close()
+            self._engine_stopped.set()
+
+    def _engine_step(self) -> bool:
+        """One engine iteration; False once a drain has completed."""
+        rt = self.runtime
+        with self._lock:
+            for job, key in self._inbox:
+                rt.submit(job, key)
+            self._inbox.clear()
+            if self._force_detail is not None and rt.backlog:
+                for job, key, result in rt.drain_pending(self._force_detail):
+                    self._finish(job, key, result)
+            if self.draining and rt.idle and not self._inbox:
+                return False
+        if rt.idle:
+            time.sleep(self.config.poll_s)
+            return True
+        finished = rt.pump(self._tel, submit=True, poll_s=self.config.poll_s)
+        with self._lock:
+            for job, key, result in finished:
+                self._finish(job, key, result)
+        return True
+
+    def pump_once(self) -> None:
+        """Drive one engine iteration on the calling thread (only valid
+        with ``start_engine=False``; deterministic tests use this)."""
+        with faults.plan_context(self.config.fault_plan):
+            self._engine_step()
+
+    @property
+    def stopped(self) -> bool:
+        """True once the engine thread has drained and exited."""
+        return self._engine is not None and self._engine_stopped.is_set()
+
+    def drain(self) -> None:
+        """Stop admitting (submissions get 503); the engine finishes
+        everything already admitted, then exits."""
+        with self._lock:
+            self.draining = True
+
+    def degrade_pending(self, detail: str = "interrupted: SIGTERM") -> None:
+        """Second-signal drain: also degrade the not-yet-started backlog
+        to ``resource-bound`` (in-flight work still completes)."""
+        with self._lock:
+            self.draining = True
+            self._force_detail = detail
+
+    def stop(self, timeout: float = 30.0) -> None:
+        """Shut down for tests/embedding: force-drain and join the
+        engine, then close the telemetry stream."""
+        self.degrade_pending("interrupted: shutdown")
+        if self._engine is not None:
+            self._engine_stopped.wait(timeout)
+        self._tel.close()
+
+    # -- admission ---------------------------------------------------------------
+
+    def submit(self, tenant: str, payload: dict) -> Tuple[int, dict]:
+        """Admit one submission; returns ``(http_status, body)``.
+
+        200 = answered from the persistent cache (already done),
+        202 = admitted (fresh, or deduped onto an identical in-flight
+        job), and :class:`AdmissionError` carries the 4xx/5xx shape.
+        """
+        with self._lock:
+            if self.draining:
+                self.counts["rejected_draining"] += 1
+                raise AdmissionError(503, "draining: not admitting new jobs")
+            bucket = self._buckets.setdefault(
+                tenant, TokenBucket(self.config.quota_rate, self.config.quota_burst))
+            if not bucket.try_take():
+                self.counts["rejected_quota"] += 1
+                obs.inc("serve_rejected_quota")
+                raise AdmissionError(429, f"quota exceeded for tenant {tenant!r}",
+                                     retry_after=max(0.05, bucket.retry_after()))
+            try:
+                job_id = f"{tenant}/{self._seq}"
+                job = self._job_from_payload(job_id, tenant, payload)
+                key = cache_key(job)
+            except AdmissionError:
+                self.counts["rejected_invalid"] += 1
+                raise
+            record = JobRecord(job_id=job_id, tenant=tenant, key=key, deduped=False)
+
+            hit = self.runtime.cache.get(key)
+            if hit is not None:
+                self._seq += 1
+                self.counts["cache_hits"] += 1
+                obs.inc("serve_cache_hits")
+                self._records[job_id] = record
+                record.events.append(self._event("queued", job_id, tenant=tenant,
+                                                 key=key, deduped=False))
+                result = dataclasses.replace(hit, job_id=job_id, driver=job.driver)
+                self._complete(record, result, cache_state="hit")
+                self._evict_done()
+                return 200, record.status_doc()
+
+            riders = self._active.get(key)
+            if riders is not None:
+                self._seq += 1
+                record.deduped = True
+                self.counts["deduped"] += 1
+                obs.inc("serve_deduped")
+                riders.append(record)
+                self._records[job_id] = record
+                record.events.append(self._event("queued", job_id, tenant=tenant,
+                                                 key=key, deduped=True))
+                return 202, record.status_doc()
+
+            if len(self._active) >= self.config.max_queue:
+                self.counts["rejected_queue"] += 1
+                obs.inc("serve_rejected_queue")
+                raise AdmissionError(429, "admission queue full",
+                                     retry_after=1.0)
+
+            self._seq += 1
+            self.counts["submitted"] += 1
+            obs.inc("serve_submissions")
+            self._active[key] = [record]
+            self._records[job_id] = record
+            self._inbox.append((job, key))
+            record.events.append(self._event("queued", job_id, tenant=tenant,
+                                             key=key, deduped=False))
+            return 202, record.status_doc()
+
+    def _job_from_payload(self, job_id: str, tenant: str, payload: dict) -> CheckJob:
+        if not isinstance(payload, dict):
+            raise AdmissionError(400, "submission body must be a JSON object")
+        program = payload.get("program")
+        if not isinstance(program, str) or not program.strip():
+            raise AdmissionError(400, "submission needs a non-empty 'program' string")
+        prop = payload.get("prop", "assertion")
+        if prop not in ("race", "assertion", "fuzz"):
+            raise AdmissionError(400, f"unknown prop {prop!r}")
+        target = payload.get("target")
+        if target is not None and not isinstance(target, str):
+            raise AdmissionError(400, "'target' must be a string")
+        if prop == "race" and not target:
+            raise AdmissionError(400, "race jobs need a 'target'")
+        config = payload.get("config", {})
+        if not isinstance(config, dict):
+            raise AdmissionError(400, "'config' must be an object")
+        unknown = [k for k in config
+                   if k not in _ALLOWED_CONFIG and not k.startswith("fuzz_")]
+        if unknown:
+            raise AdmissionError(400, f"unknown config keys: {sorted(unknown)}")
+        driver = payload.get("driver", tenant)
+        if not isinstance(driver, str) or not driver:
+            raise AdmissionError(400, "'driver' must be a non-empty string")
+        try:
+            return CheckJob(job_id=job_id, driver=driver, source=program,
+                            prop=prop, target=target, config=dict(config))
+        except ValueError as exc:
+            raise AdmissionError(400, str(exc))
+
+    # -- completion and event fan-out --------------------------------------------
+
+    def _event(self, name: str, job_id: str, **fields) -> dict:
+        obj = make_event(name, time.monotonic() - self._t0, **fields)
+        obj["schema"] = SERVE_SCHEMA
+        obj["job"] = job_id
+        return validate_serve_event(obj)
+
+    def _fanout(self, job_id: str, name: str, **fields) -> None:
+        """Relabel one runtime lifecycle event onto every record riding
+        the job's cache key (called from telemetry, engine thread)."""
+        with self._lock:
+            primary = self._records.get(job_id)
+            if primary is None:
+                return
+            for r in self._active.get(primary.key, [primary]):
+                r.events.append(self._event(name, r.job_id, **fields))
+
+    def _finish(self, job: CheckJob, key: str, result: JobResult) -> None:
+        """Record one finished job (cache append + telemetry) and
+        complete every record riding its key.  Caller holds the lock."""
+        self.runtime.record(self._tel, job, key, result)
+        primary_cache = "miss" if self.runtime.cache.enabled else "off"
+        for r in self._active.pop(key, []):
+            res = dataclasses.replace(result, job_id=r.job_id)
+            self._complete(r, res, cache_state="dedup" if r.deduped else primary_cache)
+        self._evict_done()
+
+    def _complete(self, record: JobRecord, result: JobResult, cache_state: str) -> None:
+        record.result = result
+        record.events.append(self._event(
+            "done", record.job_id,
+            verdict=result.verdict, error_kind=result.error_kind,
+            attempts=result.attempts, cache=cache_state,
+            wall_s=round(result.wall_s, 6), states=result.states,
+            detail=result.detail, version=package_version(),
+        ))
+        self.counts["completed"] += 1
+        record.done.set()
+
+    def _evict_done(self) -> None:
+        """Bound the record index: drop the oldest *completed* records
+        past the retention cap (live records are never evicted)."""
+        excess = len(self._records) - DONE_RETENTION
+        if excess <= 0:
+            return
+        for job_id in [jid for jid, r in self._records.items() if r.done.is_set()][:excess]:
+            del self._records[job_id]
+
+    # -- reads -------------------------------------------------------------------
+
+    def get(self, job_id: str, wait_s: Optional[float] = None) -> Optional[dict]:
+        """The status document for a job, or None for an unknown id.
+        ``wait_s`` long-polls on completion (bounded by the caller)."""
+        with self._lock:
+            record = self._records.get(job_id)
+        if record is None:
+            return None
+        if wait_s:
+            record.done.wait(min(wait_s, 300.0))
+        with self._lock:
+            return record.status_doc()
+
+    def events_since(self, job_id: str, start: int) -> Optional[Tuple[List[dict], bool]]:
+        """``(new events, stream finished)`` for a job from index
+        ``start``, or None for an unknown id."""
+        with self._lock:
+            record = self._records.get(job_id)
+            if record is None:
+                return None
+            return list(record.events[start:]), record.done.is_set()
+
+    def stats_doc(self) -> dict:
+        """The ``/stats`` document: admission counters, queue shape,
+        cache state, and the process obs counters."""
+        with self._lock:
+            rt = self.runtime
+            return {
+                "version": package_version(),
+                "uptime_s": round(time.monotonic() - self._t0, 3),
+                "draining": self.draining,
+                "workers": max(1, self.config.jobs),
+                "counts": dict(self.counts),
+                "queue": {
+                    "active": len(self._active),
+                    "inbox": len(self._inbox),
+                    "backlog": rt.backlog,
+                    "inflight": rt.inflight,
+                    "max_queue": self.config.max_queue,
+                },
+                "quota": {"rate": self.config.quota_rate,
+                          "burst": self.config.quota_burst},
+                "cache": {
+                    "enabled": rt.cache.enabled,
+                    "entries": len(rt.cache),
+                    "hits": rt.cache.hits,
+                    "misses": rt.cache.misses,
+                    "write_errors": rt.cache.write_errors,
+                },
+                "telemetry_write_errors": self._tel.write_errors,
+                "obs": obs.current().counters.as_dict()
+                       if obs.current().enabled else {},
+            }
+
+    def healthz_doc(self) -> dict:
+        return {
+            "status": "draining" if self.draining else "ok",
+            "version": package_version(),
+            "uptime_s": round(time.monotonic() - self._t0, 3),
+        }

@@ -1,0 +1,122 @@
+"""The ``cache`` subcommand and the cache's timestamp/prune layer."""
+
+import json
+import time
+
+import pytest
+
+from repro.campaign import CampaignConfig, CampaignScheduler, ResultCache, cache_key
+from repro.cli import main
+from tests.test_runtime_parity import corpus_batch
+
+
+@pytest.fixture
+def warm_cache(tmp_path):
+    d = str(tmp_path / "c")
+    jobs = corpus_batch(4)
+    CampaignScheduler(CampaignConfig(cache_dir=d)).run(jobs)
+    return d, jobs
+
+
+def test_entries_carry_timestamps(warm_cache):
+    d, jobs = warm_cache
+    cache = ResultCache(d)
+    now = time.time()
+    for line in open(cache.path):
+        obj = json.loads(line)
+        assert obj["schema"] == "kiss-cache/2"
+        assert now - 3600 < obj["t"] <= now + 1
+    assert cache.stats()["oldest_t"] > 0
+
+
+def test_untimestamped_legacy_entries_still_load_and_prune_first(tmp_path):
+    d = str(tmp_path / "c")
+    jobs = corpus_batch(2)
+    CampaignScheduler(CampaignConfig(cache_dir=d)).run(jobs)
+    # strip the timestamps, as a pre-timestamp store would look
+    cache = ResultCache(d)
+    lines = [json.loads(line) for line in open(cache.path)]
+    with open(cache.path, "w") as f:
+        for obj in lines:
+            del obj["t"]
+            f.write(json.dumps(obj) + "\n")
+    legacy = ResultCache(d)
+    assert len(legacy) == len(jobs)  # still served
+    kept, dropped = legacy.prune(older_than_s=10_000_000)
+    assert (kept, dropped) == (0, len(jobs))  # age-unknown counts as ancient
+
+
+def test_prune_drops_old_and_compacts(warm_cache):
+    d, jobs = warm_cache
+    cache = ResultCache(d)
+    # age half the entries far into the past
+    old_keys = {cache_key(j) for j in jobs[:2]}
+    for k in old_keys:
+        cache._times[k] = time.time() - 10 * 86400
+    kept, dropped = cache.prune(older_than_s=86400)
+    assert (kept, dropped) == (len(jobs) - 2, 2)
+    reloaded = ResultCache(d)
+    assert len(reloaded) == len(jobs) - 2
+    for j in jobs[:2]:
+        assert reloaded.get(cache_key(j)) is None
+    for j in jobs[2:]:
+        assert reloaded.get(cache_key(j)) is not None
+    # a fresh prune with a generous window is pure compaction
+    assert reloaded.prune(older_than_s=86400) == (len(jobs) - 2, 0)
+
+
+def test_prune_compacts_superseded_and_corrupt_lines(warm_cache):
+    d, jobs = warm_cache
+    cache = ResultCache(d)
+    with open(cache.path, "a") as f:
+        f.write("{torn")  # a torn tail line
+    dirty = ResultCache(d)
+    assert dirty.corrupt_lines == 1
+    dirty.prune(older_than_s=10 * 86400)
+    clean = ResultCache(d)
+    assert clean.corrupt_lines == 0 and len(clean) == len(jobs)
+
+
+def test_disabled_cache_prune_is_a_noop():
+    assert ResultCache(None).prune(older_than_s=1.0) == (0, 0)
+    assert ResultCache(None).stats()["enabled"] is False
+
+
+# -- the CLI surface ---------------------------------------------------------------
+
+
+def test_cli_cache_stats_human_and_json(warm_cache, capsys):
+    d, jobs = warm_cache
+    assert main(["cache", "stats", "--cache-dir", d]) == 0
+    out = capsys.readouterr().out
+    assert f"entries: {len(jobs)}" in out
+
+    assert main(["cache", "stats", "--cache-dir", d, "--json"]) == 0
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["entries"] == len(jobs)
+    assert sum(doc["verdicts"].values()) == len(jobs)
+
+
+@pytest.mark.parametrize("age,seconds", [
+    ("45", 45.0), ("90s", 90.0), ("30m", 1800.0), ("12h", 43200.0), ("7d", 604800.0),
+])
+def test_age_parsing(age, seconds):
+    from repro.cli import _parse_age
+    assert _parse_age(age) == seconds
+
+
+def test_cli_cache_prune(warm_cache, capsys):
+    d, jobs = warm_cache
+    assert main(["cache", "prune", "--older-than", "7d", "--cache-dir", d]) == 0
+    assert f"kept {len(jobs)}" in capsys.readouterr().out
+    assert main(["cache", "prune", "--older-than", "0s", "--cache-dir", d]) == 0
+    assert f"pruned {len(jobs)}" in capsys.readouterr().out
+    assert len(ResultCache(d)) == 0
+    assert main(["cache", "prune", "--older-than", "nonsense", "--cache-dir", d]) == 3
+
+
+def test_cli_version(capsys):
+    with pytest.raises(SystemExit) as exc:
+        main(["--version"])
+    assert exc.value.code == 0
+    assert capsys.readouterr().out.startswith("repro ")

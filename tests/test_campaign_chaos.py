@@ -439,6 +439,180 @@ def test_interrupted_campaign_resumes_from_cache(baseline, tmp_path):
     assert ResultCache(d).corrupt_lines == 0
 
 
+# -- the server path: the same invariants for served traffic ----------------------
+
+
+def serve_payload(job):
+    return {"program": job.source, "prop": job.prop, "target": job.target,
+            "driver": job.driver}
+
+
+def serve_batch(service, jobs, tenant="t"):
+    """Submit a batch through the service (ids line up with ``batch()``:
+    tenant ``t`` and per-tenant sequence numbers reproduce ``t/i``, so
+    job-pinned fault rules hit the same jobs) and wait out the results."""
+    from repro.campaign import JobResult
+
+    docs = [service.submit(tenant, serve_payload(j))[1] for j in jobs]
+    results = []
+    for job, doc in zip(jobs, docs):
+        final = service.get(doc["job"], wait_s=60)
+        assert final is not None and final["state"] == "done", job.job_id
+        r = final["result"]
+        results.append(JobResult(
+            job_id=doc["job"], driver=job.driver, prop=job.prop, target=job.target,
+            verdict=r["verdict"], error_kind=r["error_kind"],
+            attempts=r["attempts"], detail=r["detail"], wall_s=r["wall_s"],
+        ))
+    return results
+
+
+def check_serve_invariants(service, jobs, results, baseline):
+    """The chaos invariants, server flavor: one schema-valid event
+    stream per submission ending in ``done``, every non-degraded verdict
+    equal to the fault-free one, and no wrong or corrupt cache entry."""
+    from repro.schemas import validate_serve_event
+
+    assert len(results) == len(jobs)
+    for job, r in zip(jobs, results):
+        events, finished = service.events_since(r.job_id, 0)
+        assert finished and events[-1]["event"] == "done", r.job_id
+        for e in events:
+            validate_serve_event(e)
+        if not degraded(r):
+            assert r.verdict == baseline[job.job_id], job.job_id
+        else:
+            assert r.verdict == "resource-bound", job.job_id
+
+
+def serve_service(tmp_path=None, plan=None, **kw):
+    from repro.serve import CheckService, ServeConfig
+
+    return CheckService(ServeConfig(
+        jobs=1, cache_dir=None if tmp_path is None else str(tmp_path / "c"),
+        fault_plan=plan, retries=kw.pop("retries", 1),
+        quota_rate=500.0, quota_burst=500, **kw))
+
+
+def test_serve_crash_fault_is_retried_to_the_baseline_verdict(baseline):
+    jobs = batch(8)
+    plan = FaultPlan([FaultRule("mid_check", "crash", job="t/3", attempt=1)])
+    svc = serve_service(plan=plan)
+    try:
+        results = serve_batch(svc, jobs)
+        check_serve_invariants(svc, jobs, results, baseline)
+        assert not any(degraded(r) for r in results)
+        by_id = {r.job_id: r for r in results}
+        assert by_id["t/3"].attempts == 2
+        events, _ = svc.events_since("t/3", 0)
+        assert [e["event"] for e in events] == ["queued", "started", "retry",
+                                                "started", "done"]
+    finally:
+        svc.stop()
+
+
+def test_serve_crash_fault_exhausts_retries_and_degrades(baseline, tmp_path):
+    jobs = batch(8)
+    plan = FaultPlan([FaultRule("mid_check", "crash", job="t/3")])  # every attempt
+    svc = serve_service(tmp_path, plan=plan)
+    try:
+        results = serve_batch(svc, jobs)
+        check_serve_invariants(svc, jobs, results, baseline)
+        by_id = {r.job_id: r for r in results}
+        assert degraded(by_id["t/3"]) and by_id["t/3"].detail.startswith("crash:")
+        assert sum(degraded(r) for r in results) == 1
+    finally:
+        svc.stop()
+    # the degraded job was never cached; everything else was, correctly
+    reloaded = ResultCache(str(tmp_path / "c"))
+    assert reloaded.get(cache_key(jobs[3])) is None
+    assert len(reloaded) == len(jobs) - 1 and reloaded.corrupt_lines == 0
+    for job in jobs:
+        hit = reloaded.get(cache_key(job))
+        if hit is not None:
+            assert hit.verdict == baseline[job.job_id]
+
+
+def test_serve_torn_cache_write_never_yields_a_wrong_entry(baseline, tmp_path):
+    jobs = batch(6)
+    plan = FaultPlan([FaultRule("cache_append", "torn-write", hits=(2,))])
+    svc = serve_service(tmp_path, plan=plan)
+    try:
+        results = serve_batch(svc, jobs)
+        check_serve_invariants(svc, jobs, results, baseline)
+        assert not any(degraded(r) for r in results)  # verdicts unharmed
+    finally:
+        svc.stop()
+    reloaded = ResultCache(str(tmp_path / "c"))
+    assert reloaded.corrupt_lines == 1 and len(reloaded) == len(jobs) - 2
+    for job in jobs:  # whatever survived is correct, never wrong
+        hit = reloaded.get(cache_key(job))
+        if hit is not None:
+            assert hit.verdict == baseline[job.job_id]
+
+
+def test_serve_telemetry_fault_keeps_streams_intact(baseline, tmp_path):
+    path = str(tmp_path / "events.jsonl")
+    jobs = batch(4)
+    plan = FaultPlan([FaultRule("telemetry_emit", "crash", hits=(2,))])
+    svc = serve_service(plan=plan, telemetry_path=path)
+    try:
+        results = serve_batch(svc, jobs)
+        check_serve_invariants(svc, jobs, results, baseline)
+        assert not any(degraded(r) for r in results)
+        assert svc.stats_doc()["telemetry_write_errors"] == 1
+    finally:
+        svc.stop()
+
+
+@pytest.mark.slow
+def test_cli_serve_with_fault_plan_keeps_chaos_invariants(baseline, tmp_path):
+    """Acceptance: a fault plan injected via the serve CLI never yields
+    a wrong verdict or a corrupt cache, for real HTTP traffic."""
+    from repro.schemas import validate_serve_event
+    from repro.serve import ServeClient
+
+    cache_dir = str(tmp_path / "cache")
+    env = dict(os.environ)
+    src = os.path.join(os.path.dirname(__file__), os.pardir, "src")
+    env["PYTHONPATH"] = os.path.abspath(src)
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--port", "0",
+         "--cache-dir", cache_dir, "--retries", "2",
+         "--quota-rate", "500", "--quota-burst", "500",
+         "--inject", "mid_check:crash:p=0.3", "--inject-seed", "7"],
+        stdout=subprocess.PIPE, stderr=subprocess.PIPE, env=env, text=True)
+    try:
+        ready = json.loads(proc.stdout.readline())
+        client = ServeClient("127.0.0.1", ready["port"], tenant="t")
+        jobs = batch(12)
+        for job in jobs:
+            final = client.check(job.source, prop=job.prop, target=job.target,
+                                 driver=job.driver, timeout=120)
+            r = final["result"]
+            events = list(client.events(final["job"]))
+            assert events[-1]["event"] == "done"
+            for e in events:
+                validate_serve_event(e)
+            if r["detail"].startswith(UNCACHED_DETAIL_PREFIXES):
+                assert r["verdict"] == "resource-bound", job.job_id
+            else:
+                assert r["verdict"] == baseline[job.job_id], job.job_id
+        proc.send_signal(signal.SIGTERM)
+        assert proc.wait(timeout=60) == 0, proc.stderr.read()
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait(timeout=10)
+    # the cache holds only whole, correct, current-schema entries
+    reloaded = ResultCache(cache_dir)
+    assert reloaded.corrupt_lines == 0 and reloaded.stale_lines == 0
+    for job in jobs:
+        hit = reloaded.get(cache_key(job))
+        if hit is not None:
+            assert hit.verdict == baseline[job.job_id], job.job_id
+
+
 # -- end-to-end CLI: SIGINT, exit code 130, summary artifact, resume ---------------
 
 

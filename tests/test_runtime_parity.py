@@ -1,0 +1,180 @@
+"""Frontend parity over the shared CampaignRuntime.
+
+The batch scheduler, the fuzz runner, and the checking service are three
+frontends over one engine; these tests pin the contract that makes that
+more than an implementation detail: **the same job produces the same
+verdict and the same content-addressed cache entry no matter which
+frontend ran it.**
+"""
+
+import threading
+
+import pytest
+
+from repro.campaign import (
+    CampaignConfig,
+    CampaignRuntime,
+    CampaignScheduler,
+    CheckJob,
+    ResultCache,
+    Telemetry,
+    cache_key,
+)
+from repro.fuzz.runner import fuzz_jobs
+from repro.serve import CheckService, ServeConfig
+
+SRC = """
+struct EXT { int a; int b; }
+void worker(EXT *e) { e->a = 1; }
+void main() {
+  EXT *e;
+  e = malloc(EXT);
+  async worker(e);
+  e->a = VALUE;
+}
+"""
+
+
+def corpus_batch(n=6):
+    """Race jobs with both verdicts represented (as in the chaos suite)."""
+    return [
+        CheckJob(job_id=f"t/{i}", driver="t",
+                 source=SRC.replace("VALUE", str(i + 2)),
+                 target="EXT.a" if i % 2 == 0 else "EXT.b")
+        for i in range(n)
+    ]
+
+
+def serve_payload(job):
+    return {"program": job.source, "prop": job.prop, "target": job.target,
+            "driver": job.driver, "config": dict(job.config)}
+
+
+def run_batch(jobs, cache_dir):
+    sched = CampaignScheduler(CampaignConfig(jobs=1, cache_dir=cache_dir))
+    return {j.job_id: r for j, r in zip(jobs, sched.run(jobs))}
+
+
+def run_serve(jobs, cache_dir):
+    svc = CheckService(ServeConfig(jobs=1, cache_dir=cache_dir,
+                                   quota_burst=len(jobs) + 10))
+    try:
+        out = {}
+        for job in jobs:
+            status, doc = svc.submit("parity", serve_payload(job))
+            if status != 200:
+                doc = svc.get(doc["job"], wait_s=60)
+            assert doc["state"] == "done"
+            out[job.job_id] = doc["result"]
+        return out
+    finally:
+        svc.stop()
+
+
+def load_cache_entries(cache_dir, jobs):
+    cache = ResultCache(cache_dir)
+    assert cache.corrupt_lines == 0 and cache.stale_lines == 0
+    return {j.job_id: cache.get(cache_key(j)) for j in jobs}
+
+
+@pytest.mark.parametrize("make_jobs", [
+    corpus_batch,
+    lambda: fuzz_jobs(6, seed=3),
+], ids=["race-corpus", "fuzz"])
+def test_three_frontends_agree_on_verdicts_and_cache_entries(tmp_path, make_jobs):
+    jobs = make_jobs()
+
+    batch_results = run_batch(jobs, str(tmp_path / "batch"))
+    serve_results = run_serve(jobs, str(tmp_path / "serve"))
+
+    for job in jobs:
+        assert serve_results[job.job_id]["verdict"] == batch_results[job.job_id].verdict, job.job_id
+
+    # identical cache entries: same keys, same persisted verdicts
+    batch_entries = load_cache_entries(str(tmp_path / "batch"), jobs)
+    serve_entries = load_cache_entries(str(tmp_path / "serve"), jobs)
+    for job in jobs:
+        b, s = batch_entries[job.job_id], serve_entries[job.job_id]
+        assert b is not None and s is not None, job.job_id
+        assert b.verdict == s.verdict, job.job_id
+        assert b.detail == s.detail and b.error_kind == s.error_kind, job.job_id
+
+
+def test_fuzz_runner_and_direct_runtime_share_cache(tmp_path):
+    """A fuzz batch run through the scheduler warms the cache for the
+    same jobs driven straight through a bare CampaignRuntime."""
+    d = str(tmp_path / "c")
+    jobs = fuzz_jobs(4, seed=9)
+    sched_results = run_batch(jobs, d)
+
+    rt = CampaignRuntime(CampaignConfig(jobs=1, cache_dir=d))
+    tel = Telemetry()
+    for job in jobs:
+        key, hit = rt.lookup(job, tel)
+        assert hit is not None, f"{job.job_id} missed a warm cache"
+        assert hit.verdict == sched_results[job.job_id].verdict
+    assert rt.cache.hits == len(jobs) and rt.idle
+
+
+def test_runtime_pump_matches_scheduler_results(tmp_path):
+    """Driving the runtime by hand (the service's engine shape) produces
+    the scheduler's exact results."""
+    jobs = corpus_batch(4)
+    sched_results = run_batch(jobs, str(tmp_path / "a"))
+
+    rt = CampaignRuntime(CampaignConfig(jobs=1, cache_dir=str(tmp_path / "b")))
+    tel = Telemetry()
+    for job in jobs:
+        key, hit = rt.lookup(job, tel)
+        assert hit is None
+        rt.submit(job, key)
+    got = {}
+    while not rt.idle:
+        for job, key, result in rt.pump(tel):
+            rt.record(tel, job, key, result)
+            got[job.job_id] = result
+    rt.close()
+    assert set(got) == {j.job_id for j in jobs}
+    for job_id, result in got.items():
+        assert result.verdict == sched_results[job_id].verdict
+        assert result.detail == sched_results[job_id].detail
+    starts = tel.of_kind("job_start")
+    assert [e["job"] for e in starts] == [j.job_id for j in jobs]
+
+
+def test_concurrent_clients_dedupe_to_one_cache_entry(tmp_path):
+    """Two clients submitting the identical job concurrently: one check
+    runs, both observe the same verdict, the cache gains one entry."""
+    d = str(tmp_path / "c")
+    job = corpus_batch(1)[0]
+    svc = CheckService(ServeConfig(jobs=1, cache_dir=d))
+    results, errs = {}, []
+    barrier = threading.Barrier(2)
+
+    def client(name):
+        try:
+            barrier.wait(10)
+            status, doc = svc.submit(name, serve_payload(job))
+            if status != 200:
+                doc = svc.get(doc["job"], wait_s=60)
+            results[name] = doc
+        except Exception as exc:  # pragma: no cover - surfaced below
+            errs.append((name, exc))
+
+    threads = [threading.Thread(target=client, args=(n,)) for n in ("a", "b")]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(60)
+    svc.stop()
+    assert not errs, errs
+    verdicts = {doc["result"]["verdict"] for doc in results.values()}
+    assert len(verdicts) == 1
+    cache = ResultCache(d)
+    assert len(cache) == 1 and cache.corrupt_lines == 0
+    entry = cache.get(cache_key(job))
+    assert entry is not None and entry.verdict in verdicts
+    # batch parity on the warmed cache: the scheduler sees a pure hit
+    sched = CampaignScheduler(CampaignConfig(cache_dir=d))
+    (result,) = sched.run([job])
+    assert result.cache_hit and result.verdict in verdicts
