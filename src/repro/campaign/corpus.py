@@ -29,11 +29,14 @@ def corpus_jobs(
     max_states: int = 300_000,
     unresolved_budget: int = 200,
     loc_scale: int = 0,
+    witness: bool = False,
 ) -> List[CheckJob]:
     """One race job per (driver, device-extension field).
 
     ``fields_by_driver`` restricts a driver to a field subset (Table 2
-    re-checks only the fields that raced in Table 1).
+    re-checks only the fields that raced in Table 1).  ``witness``
+    turns on certificate emission for safe verdicts (an execution
+    option: it never changes cache keys).
     """
     jobs: List[CheckJob] = []
     for spec in specs if specs is not None else DRIVER_SPECS:
@@ -42,6 +45,9 @@ def corpus_jobs(
         wanted = fields_by_driver.get(spec.name) if fields_by_driver else None
         for fname in wanted if wanted is not None else [f.name for f in spec.fields]:
             budget = unresolved_budget if kinds[fname] is FieldKind.UNRESOLVED else max_states
+            config = {"max_ts": 0, "max_states": budget, "map_traces": False}
+            if witness:
+                config["witness"] = True
             jobs.append(
                 CheckJob(
                     job_id=f"{spec.name}/{EXTENSION}.{fname}",
@@ -49,7 +55,7 @@ def corpus_jobs(
                     source=source,
                     prop="race",
                     target=f"{EXTENSION}.{fname}",
-                    config={"max_ts": 0, "max_states": budget, "map_traces": False},
+                    config=config,
                 )
             )
     return jobs

@@ -22,8 +22,9 @@ from typing import Any, Dict, Optional
 from repro.core.race import RaceTarget
 
 #: Kiss() keyword arguments a job may carry, with the campaign defaults.
-#: ``map_traces``/``validate_traces``/``observe`` are execution options,
-#: not part of the cache key: they do not change the verdict.
+#: ``map_traces``/``validate_traces``/``observe``/``witness`` are
+#: execution options, not part of the cache key: they do not change the
+#: verdict (a witness *describes* a safe verdict; it never forks the key).
 KISS_DEFAULTS: Dict[str, Any] = {
     "max_ts": 0,
     "max_states": 300_000,
@@ -36,6 +37,7 @@ KISS_DEFAULTS: Dict[str, Any] = {
     "map_traces": False,
     "validate_traces": False,
     "observe": False,
+    "witness": False,
 }
 
 #: The subset of the configuration that can change a verdict — these
@@ -135,6 +137,10 @@ class JobResult:
     #: ``kiss-metrics/1`` snapshot (:mod:`repro.obs`) when the job ran
     #: with the ``observe`` execution option; survives cache round-trips.
     metrics: Optional[Dict[str, Any]] = None
+    #: ``kiss-witness/1`` certificate when the job ran with the
+    #: ``witness`` execution option and emitted one; survives cache
+    #: round-trips (certificates attach to entries, never key them).
+    witness: Optional[Dict[str, Any]] = None
 
     @property
     def table_verdict(self) -> str:
@@ -196,6 +202,8 @@ class JobResult:
         }
         if self.metrics is not None:
             out["metrics"] = self.metrics
+        if self.witness is not None:
+            out["witness"] = self.witness
         return out
 
     @staticmethod
@@ -214,4 +222,5 @@ class JobResult:
             wall_s=d.get("wall_s", 0.0),
             detail=d.get("detail", ""),
             metrics=d.get("metrics"),
+            witness=d.get("witness"),
         )

@@ -237,6 +237,7 @@ class CampaignRuntime:
             attempts=attempts,
             detail=outcome.get("detail", ""),
             metrics=outcome.get("metrics"),
+            witness=outcome.get("witness"),
         )
 
     def _skipped_result(self, job: CheckJob, detail: str) -> JobResult:

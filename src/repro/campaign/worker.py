@@ -167,6 +167,7 @@ def _fuzz_outcome(job: CheckJob, prog: Program, outcome):
             race_global=job.config.get("fuzz_race"),
             strategy=kw["strategy"],
             rounds=kw["rounds"],
+            witness=bool(job.config.get("fuzz_witness", False)),
         )
     if v.diverged:
         verdict, kind = "error", v.divergence
@@ -200,7 +201,7 @@ def execute_job(
     start = time.monotonic()
 
     def outcome(verdict, *, error_kind=None, detail="", rich=None, stats=None, tr=None,
-                metrics=None):
+                metrics=None, witness=None):
         return (
             {
                 "verdict": verdict,
@@ -212,6 +213,7 @@ def execute_job(
                 "wall_s": time.monotonic() - start,
                 "detail": detail,
                 "metrics": metrics,
+                "witness": witness,
             },
             rich,
         )
@@ -240,6 +242,7 @@ def execute_job(
             stats=stats,
             tr=r,
             metrics=r.metrics,
+            witness=r.witness,
         )
     except JobTimeout:
         _parse_memo.pop(job.source, None)  # a partial parse never lands here, but be safe

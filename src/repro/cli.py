@@ -12,6 +12,9 @@ Usage (after ``pip install -e .``)::
     python -m repro interleavings file.kp         # baseline model checker
     python -m repro campaign --jobs 8             # parallel cached corpus sweep
     python -m repro fuzz --count 500 --seed 0     # differential fuzzing
+    python -m repro check file.kp --witness       # certify a safe verdict
+    python -m repro witness check --doc cert.json # validate a certificate
+    python -m repro witness check                 # certify corpora end to end
     python -m repro profile file.kp               # per-phase timing breakdown
     python -m repro profile file.kp --json        # kiss-profile/1 document
     python -m repro serve --port 8731             # the checking service (HTTP)
@@ -63,10 +66,11 @@ def _kiss(args) -> Kiss:
         inline=getattr(args, "inline", False),
         strategy=getattr(args, "strategy", "kiss"),
         rounds=getattr(args, "rounds", 2),
+        witness=getattr(args, "witness", False) or bool(getattr(args, "witness_out", None)),
     )
 
 
-def _report(result) -> int:
+def _report(result, args=None) -> int:
     print(f"verdict: {result.summary()}")
     if result.is_error and result.concurrent_trace is not None:
         print("concurrent error trace:")
@@ -76,6 +80,18 @@ def _report(result) -> int:
                   f"{'ok' if result.trace_validated else 'FAILED'}")
     stats = result.backend_result.stats
     print(f"[backend: {stats.states} states, {stats.transitions} transitions]")
+    if result.witness is not None:
+        w = result.witness
+        print(f"witness: {w['kind']} (sha256 {w['program_sha256'][:12]}…) — "
+              f"validate with `python -m repro witness check --doc CERT.json`")
+        out = getattr(args, "witness_out", None) if args is not None else None
+        if out:
+            from repro.ioutil import atomic_write_json
+
+            atomic_write_json(out, w)
+            print(f"wrote {out}")
+    elif args is not None and getattr(args, "witness", False) and result.is_safe:
+        print("witness: none emitted (canonical re-run not safe within budget)")
     if result.is_error:
         return EXIT_ERROR
     if result.exhausted:
@@ -93,7 +109,7 @@ def _parse_target(text: str) -> RaceTarget:
 def cmd_check(args) -> int:
     """The `check` subcommand: assertion checking (Figure 4)."""
     prog = _load(args.file)
-    return _report(_kiss(args).check_assertions(prog))
+    return _report(_kiss(args).check_assertions(prog), args)
 
 
 def cmd_rounds(args) -> int:
@@ -105,7 +121,7 @@ def cmd_rounds(args) -> int:
     The verdict line reports the round budget.
     """
     prog = _load(args.file)
-    return _report(_kiss(args).check_assertions(prog))
+    return _report(_kiss(args).check_assertions(prog), args)
 
 
 def cmd_race(args) -> int:
@@ -133,7 +149,7 @@ def cmd_race(args) -> int:
     if not args.target:
         print("race: provide --target NAME or --all-fields STRUCT", file=sys.stderr)
         return EXIT_USAGE
-    return _report(kiss.check_race(prog, _parse_target(args.target)))
+    return _report(kiss.check_race(prog, _parse_target(args.target)), args)
 
 
 def cmd_campaign(args) -> int:
@@ -186,8 +202,23 @@ def cmd_campaign(args) -> int:
         refined=args.refined,
         max_states=args.max_states,
         loc_scale=args.loc_scale,
+        witness=args.witness or bool(args.witness_dir),
     )
     print(scheduler.summary(results))
+    if args.witness_dir:
+        import os
+
+        from repro.ioutil import atomic_write_json
+
+        os.makedirs(args.witness_dir, exist_ok=True)
+        written = 0
+        for r in results:
+            if r.witness is None:
+                continue
+            name = r.job_id.replace("/", "__") + ".witness.json"
+            atomic_write_json(os.path.join(args.witness_dir, name), r.witness)
+            written += 1
+        print(f"wrote {written} certificates to {args.witness_dir}")
     if args.summary_json:
         atomic_write_json(args.summary_json, scheduler.summary_doc(results))
         print(f"wrote {args.summary_json}")
@@ -238,6 +269,7 @@ def cmd_fuzz(args) -> int:
         race=args.race,
         strategy=args.strategy,
         rounds=args.rounds,
+        witness=args.witness,
         do_shrink=not args.no_shrink,
     )
     print(report.summary())
@@ -426,6 +458,138 @@ def cmd_interleavings(args) -> int:
     return EXIT_SAFE
 
 
+_WITNESS_EXIT = {"certified": EXIT_SAFE, "refuted": EXIT_ERROR, "unsupported": EXIT_BOUND}
+
+
+def cmd_witness(args) -> int:
+    """The `witness check` subcommand: kiss-witness/1 certificates
+    (docs/WITNESSES.md), three modes.
+
+    ``--doc CERT.json`` validates one serialized certificate with the
+    standalone validator (no checker code runs).  ``FILE.kp`` checks the
+    program, emits a certificate for a safe verdict, and validates it
+    (``--out`` persists the certificate).  With neither, the *trust
+    sweep* runs: every safe verdict across the driver corpus (explicit
+    backend) and the pinned fuzz corpus (both backends) must come with a
+    certificate the independent validator certifies.
+
+    Exit status: 0 = certified (sweep: all certified), 1 = refuted or an
+    error verdict, 2 = unsupported / no witness emitted, 3 = usage.
+    """
+    import json
+
+    from repro.witness.validate import validate_witness_doc
+
+    if args.doc:
+        try:
+            with open(args.doc) as f:
+                doc = json.load(f)
+        except (OSError, ValueError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return EXIT_USAGE
+        report = validate_witness_doc(doc)
+        print(json.dumps(report.to_dict(), indent=2) if args.json else report)
+        return _WITNESS_EXIT[report.status]
+
+    if args.file:
+        prog = _load(args.file)
+        kiss = Kiss(max_ts=args.max_ts, max_states=args.max_states,
+                    backend=args.backend, strategy=args.strategy,
+                    rounds=args.rounds, witness=True)
+        r = kiss.check_assertions(prog)
+        if not r.is_safe:
+            print(f"verdict: {r.summary()} — witnesses certify safe verdicts only")
+            return EXIT_ERROR if r.is_error else EXIT_BOUND
+        if r.witness is None:
+            print("verdict: safe, but no witness could be emitted "
+                  "(canonical re-run not safe within budget)")
+            return EXIT_BOUND
+        if args.out:
+            from repro.ioutil import atomic_write_json
+
+            atomic_write_json(args.out, r.witness)
+            print(f"wrote {args.out}")
+        report = validate_witness_doc(r.witness)
+        print(f"witness: {r.witness['kind']} "
+              f"(sha256 {r.witness['program_sha256'][:12]}…)")
+        print(json.dumps(report.to_dict(), indent=2) if args.json else report)
+        return _WITNESS_EXIT[report.status]
+
+    return _witness_sweep(args)
+
+
+def _witness_sweep(args) -> int:
+    """The no-argument ``witness check`` mode: certify every safe
+    verdict the corpora produce.  Driver corpus runs through the
+    campaign engine with certificate emission on (explicit backend —
+    driver programs use pointers, outside the cegar fragment); the
+    pinned fuzz corpus is checked under both backends."""
+    import json
+    import os
+
+    from repro.campaign import CampaignConfig, CampaignScheduler, default_jobs
+    from repro.campaign.corpus import corpus_jobs
+    from repro.drivers import DRIVER_SPECS, spec_by_name
+    from repro.lang import parse
+    from repro.witness.validate import validate_witness_doc
+
+    try:
+        specs = (
+            [spec_by_name(n.strip()) for n in args.drivers.split(",")]
+            if args.drivers
+            else DRIVER_SPECS
+        )
+    except KeyError as exc:
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return EXIT_USAGE
+
+    failures = []
+    checked = certified = skipped = 0
+
+    def examine(label, verdict, witness):
+        nonlocal checked, certified, skipped
+        if verdict != "safe":
+            skipped += 1
+            return
+        checked += 1
+        if witness is None:
+            failures.append(f"{label}: safe verdict without a certificate")
+            return
+        report = validate_witness_doc(witness)
+        if report.status == "certified":
+            certified += 1
+        else:
+            failures.append(f"{label}: {report}")
+
+    jobs = corpus_jobs(specs, witness=True, max_states=args.max_states)
+    config = CampaignConfig(jobs=args.jobs if args.jobs is not None else default_jobs())
+    for r in CampaignScheduler(config).run(jobs):
+        examine(r.job_id, r.verdict, r.witness)
+    driver_line = f"driver corpus: {checked} safe verdicts over {len(jobs)} race checks"
+
+    corpus_dir = args.corpus or os.path.join("tests", "fuzz_corpus")
+    manifest_path = os.path.join(corpus_dir, "manifest.json")
+    if os.path.exists(manifest_path):
+        with open(manifest_path) as f:
+            manifest = json.load(f)
+        for entry in manifest["programs"]:
+            with open(os.path.join(corpus_dir, entry["file"])) as f:
+                prog = parse(f.read())
+            for backend in ("explicit", "cegar"):
+                r = Kiss(max_ts=entry["max_ts"], backend=backend,
+                         witness=True).check_assertions(prog)
+                examine(f"{entry['file']}[{backend}]", r.verdict, r.witness)
+    else:
+        print(f"note: no fuzz corpus at {corpus_dir}; sweeping the driver corpus only")
+
+    print(driver_line)
+    print(f"witness sweep: {checked} safe verdicts, {certified} certified, "
+          f"{skipped} non-safe skipped, {len(failures)} failures")
+    for f in failures:
+        print(f"FAIL {f}")
+    return EXIT_SAFE if not failures else EXIT_ERROR
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Build the argument parser (exposed for shell-completion tooling)."""
     from repro import package_version
@@ -445,6 +609,10 @@ def build_parser() -> argparse.ArgumentParser:
                         help="sequential backend (cegar = SLAM-lite, scalar fragment)")
         sp.add_argument("--inline", action="store_true",
                         help="inline small leaf functions before instrumenting")
+        sp.add_argument("--witness", action="store_true",
+                        help="emit a kiss-witness/1 safety certificate on a safe verdict")
+        sp.add_argument("--witness-out", metavar="PATH",
+                        help="write the certificate to PATH (implies --witness)")
         if race:
             sp.add_argument("--no-alias", action="store_true",
                             help="disable alias-analysis check pruning")
@@ -503,6 +671,12 @@ def build_parser() -> argparse.ArgumentParser:
     sp.add_argument("--summary-json", metavar="PATH",
                     help="write the kiss-campaign/1 summary document to PATH "
                          "(atomic write; schema-valid even when interrupted)")
+    sp.add_argument("--witness", action="store_true",
+                    help="emit kiss-witness/1 certificates for safe verdicts "
+                         "(attached to results; cache keys are unchanged)")
+    sp.add_argument("--witness-dir", metavar="DIR",
+                    help="persist each certificate to DIR as an atomic JSON "
+                         "artifact (implies --witness)")
     sp.add_argument("--inject", action="append", metavar="SPEC", default=None,
                     help="fault-injection rule point:kind[:key=value,...] for chaos "
                          "runs, e.g. mid_check:crash:hits=1+3 (repeatable; see "
@@ -540,6 +714,10 @@ def build_parser() -> argparse.ArgumentParser:
                          "against all interleavings (default kiss)")
     sp.add_argument("--rounds", type=int, default=2,
                     help="round budget K for --strategy rounds (default 2)")
+    sp.add_argument("--witness", action="store_true",
+                    help="third cross-check: every safe agreement must emit a "
+                         "certificate the independent validator certifies "
+                         "(a refuted one is an 'uncertified' divergence)")
     sp.add_argument("--no-shrink", action="store_true",
                     help="report divergences without delta-debugging them")
     sp.add_argument("--save", metavar="DIR",
@@ -609,6 +787,37 @@ def build_parser() -> argparse.ArgumentParser:
     csp.add_argument("--cache-dir", default=None, metavar="DIR",
                      help="result-cache directory (default .kiss-cache)")
     csp.set_defaults(func=cmd_cache)
+
+    sp = sub.add_parser(
+        "witness", help="emit and independently validate kiss-witness/1 certificates"
+    )
+    wsub = sp.add_subparsers(dest="witness_command", required=True)
+    wsp = wsub.add_parser(
+        "check", help="validate a certificate, certify a program, or sweep the corpora"
+    )
+    wsp.add_argument("file", nargs="?",
+                     help="program to check and certify (omit to sweep the corpora)")
+    wsp.add_argument("--doc", metavar="PATH",
+                     help="validate an existing kiss-witness/1 JSON document instead")
+    wsp.add_argument("--backend", choices=("explicit", "cegar"), default="explicit",
+                     help="backend for FILE mode (default explicit)")
+    wsp.add_argument("--strategy", choices=("kiss", "rounds"), default="kiss",
+                     help="sequentialization for FILE mode (default kiss)")
+    wsp.add_argument("--rounds", type=int, default=2,
+                     help="round budget K for --strategy rounds (default 2)")
+    wsp.add_argument("--max-ts", type=int, default=0, help="ts bound (default 0)")
+    wsp.add_argument("--max-states", type=int, default=500_000, help="state budget")
+    wsp.add_argument("--out", metavar="PATH",
+                     help="write the emitted certificate to PATH (atomic)")
+    wsp.add_argument("--jobs", type=int, default=None,
+                     help="worker processes for the corpus sweep (default: CPU count)")
+    wsp.add_argument("--drivers", metavar="NAMES",
+                     help="comma-separated driver subset for the corpus sweep")
+    wsp.add_argument("--corpus", metavar="DIR", default=None,
+                     help="pinned fuzz corpus directory (default tests/fuzz_corpus)")
+    wsp.add_argument("--json", action="store_true",
+                     help="print the validation report as JSON")
+    wsp.set_defaults(func=cmd_witness)
 
     sp = sub.add_parser("sequentialize", help="print the transformed sequential program")
     common(sp, race=True)

@@ -58,6 +58,10 @@ class KissResult:
     #: Per-phase timings and counters (the ``kiss-metrics/1`` snapshot of
     #: :mod:`repro.obs`) when ``Kiss(observe=True)``; None otherwise.
     metrics: Optional[dict] = None
+    #: ``kiss-witness/1`` safety certificate (see :mod:`repro.witness`)
+    #: when ``Kiss(witness=True)`` and the verdict is safe; None when the
+    #: verdict is not safe or no witness could be honestly emitted.
+    witness: Optional[dict] = None
 
     @property
     def is_error(self) -> bool:
@@ -121,6 +125,17 @@ class Kiss:
         ``KissResult.metrics``.  Off by default: the instrumentation
         points then hit the no-op recorder (see
         ``benchmarks/bench_obs_overhead.py`` for the measured cost).
+    witness:
+        On a safe verdict, emit a ``kiss-witness/1`` safety certificate
+        (:func:`repro.witness.emit.emit_witness`) and attach it as
+        ``KissResult.witness``.  The certificate embeds the sequential
+        program text plus an inductive invariant (the explicit backend's
+        reached-set, or the cegar backend's final abstraction) and can
+        be re-checked by the standalone validator
+        (``python -m repro.witness.validate``) with no trust in this
+        checker.  Emission re-runs the backend on the canonical reparse
+        of the transformed program, so it roughly doubles the cost of a
+        safe check; it never changes the verdict.
     strategy:
         Which sequentialization to use for assertion checking:
         ``"kiss"`` (default, Figure 4) or ``"rounds"`` (the K-round
@@ -145,6 +160,7 @@ class Kiss:
         observe: bool = False,
         strategy: str = "kiss",
         rounds: int = 2,
+        witness: bool = False,
     ):
         if backend not in ("explicit", "cegar"):
             raise ValueError(f"unknown backend {backend!r}")
@@ -167,6 +183,8 @@ class Kiss:
         #: record per-phase timings and counters (:mod:`repro.obs`) and
         #: attach the snapshot as ``KissResult.metrics``
         self.observe = observe
+        #: emit a ``kiss-witness/1`` certificate on safe verdicts
+        self.witness = witness
 
     # -- pipeline pieces --------------------------------------------------------
 
@@ -267,6 +285,21 @@ class Kiss:
             expect = "feasible" if error_kind == "race" else "error"
             with obs.span("trace-replay"):
                 validated = replay_trace(core, ctrace, expect=expect).ok
+        witness: Optional[dict] = None
+        if self.witness and verdict == "safe":
+            from repro.witness.emit import emit_witness
+
+            strategy = self.strategy if target is None else "kiss"
+            with obs.span("witness-emit"):
+                witness = emit_witness(
+                    transformed,
+                    backend=self.backend,
+                    strategy=strategy,
+                    rounds=self.rounds if strategy == "rounds" else None,
+                    max_states=self.max_states,
+                    cegar_rounds=self.cegar_rounds,
+                    target=target.describe() if target is not None else None,
+                )
         return KissResult(
             verdict=verdict,
             error_kind=error_kind,
@@ -279,6 +312,7 @@ class Kiss:
             checks_emitted=getattr(transformer, "checks_emitted", 0),
             checks_pruned=getattr(transformer, "checks_pruned", 0),
             trace_validated=validated,
+            witness=witness,
         )
 
     # -- public checks --------------------------------------------------------------
@@ -369,6 +403,7 @@ class Kiss:
             "map_traces": self.map_traces,
             "validate_traces": self.validate_traces,
             "observe": self.observe,
+            "witness": self.witness,
         }
         batch = [
             CheckJob(

@@ -30,6 +30,12 @@ the program's distinguished race location and replays any reported race
 trace against the concurrent semantics (the per-trace "never reports
 false errors" check of :mod:`repro.concheck.replay`).
 
+An optional witness mode (``witness=True``) adds a third cross-check on
+the *safe* side: every conclusive safe agreement must come with a
+``kiss-witness/1`` certificate that the independent validator certifies
+(:mod:`repro.witness`).  A refuted certificate is the
+:data:`UNCERTIFIED` divergence.
+
 ``strategy="rounds"`` cross-checks the K-round sequentialization
 (:mod:`repro.rounds`) instead.  The rounds transform has no balanced
 analogue of Theorem 1, so the concurrent side explores *all*
@@ -72,6 +78,7 @@ TransformerFactory = Callable[[int], KissTransformer]
 UNSOUND = "unsound"  # sequential error without a balanced concurrent witness
 INCOMPLETE = "incomplete"  # balanced concurrent error missed by the pipeline
 FALSE_RACE = "false-race"  # race trace that does not replay concurrently
+UNCERTIFIED = "uncertified"  # safe verdict whose kiss-witness/1 certificate is refuted
 
 
 @dataclass
@@ -97,6 +104,12 @@ class OracleVerdict:
     #: KISS mode, on an :data:`INCOMPLETE` divergence: did the K=3
     #: rounds probe catch the missed error?  None = probe inconclusive.
     closed_by_rounds: Optional[bool] = None
+    #: witness mode, on a conclusive safe agreement: the independent
+    #: validator's verdict on the emitted certificate (``"certified"`` /
+    #: ``"refuted"`` / ``"unsupported"``), ``"missing"`` when emission
+    #: declined, None when the cross-check did not run.  Only
+    #: ``"refuted"`` is a divergence (:data:`UNCERTIFIED`).
+    witness_status: Optional[str] = None
 
     @property
     def diverged(self) -> bool:
@@ -116,6 +129,8 @@ class OracleVerdict:
         if self.coverage_gap:
             return f"coverage-gap: {self.detail}"
         tail = f" race={self.race_verdict}" if self.race_verdict else ""
+        if self.witness_status:
+            tail += f" witness={self.witness_status}"
         return f"agree: concurrent={self.concurrent} sequential={self.sequential}{tail}"
 
 
@@ -143,6 +158,7 @@ def differential_check(
     race_global: Optional[str] = None,
     strategy: str = "kiss",
     rounds: int = 2,
+    witness: bool = False,
 ) -> OracleVerdict:
     """Cross-check one program (source text, surface AST, or core AST).
 
@@ -151,6 +167,14 @@ def differential_check(
     :attr:`~repro.fuzz.gen.GeneratedProgram.n_forks`).  ``race_global``
     additionally runs the race pipeline on that global with trace
     replay (KISS strategy only — the rounds pipeline has no race mode).
+
+    ``witness`` adds a third cross-check on conclusive safe agreement:
+    emit a ``kiss-witness/1`` certificate for the sequentialized program
+    and re-check it with the independent validator (:mod:`repro.witness`).
+    A certificate the validator *refutes* is an :data:`UNCERTIFIED`
+    divergence — the checker claimed safe but cannot back the claim.
+    A declined emission or an ``unsupported`` validation is recorded in
+    ``witness_status`` but is not a divergence (honest budget outcomes).
     """
     if strategy not in ("kiss", "rounds"):
         raise ValueError(f"unknown strategy {strategy!r}")
@@ -207,7 +231,38 @@ def differential_check(
                 _rounds_probe(core, max_ts, max_states, v)
     if race_global is not None and not v.diverged:
         _race_check(core, max_ts, max_states, race_global, v)
+    if witness and not v.diverged and v.conclusive and v.sequential == "safe":
+        _witness_check(transformed, strategy, rounds, max_states, v)
     return v
+
+
+def _witness_check(
+    transformed: Program, strategy: str, rounds: int, max_states: int, v: OracleVerdict
+) -> None:
+    """Emit a certificate for the safe sequential verdict and re-check it
+    with the independent validator; a refuted certificate is the
+    :data:`UNCERTIFIED` divergence (the emitter and the validator are
+    separate implementations, so this is a genuine third opinion)."""
+    from repro.witness.emit import emit_witness
+    from repro.witness.validate import validate_witness_doc
+
+    with obs.span("oracle-witness"):
+        doc = emit_witness(
+            transformed,
+            backend="explicit",
+            strategy=strategy,
+            rounds=rounds if strategy == "rounds" else None,
+            max_states=max_states,
+        )
+        if doc is None:
+            v.witness_status = "missing"
+            return
+        report = validate_witness_doc(doc)
+    v.witness_status = report.status
+    obs.inc("oracle_witness_checks")
+    if report.status == "refuted":
+        v.divergence = UNCERTIFIED
+        v.detail = f"safe verdict but its certificate is refuted: {report}"
 
 
 def _rounds_probe(core: Program, max_ts: int, max_states: int, v: OracleVerdict) -> None:
@@ -255,6 +310,7 @@ def differential_check_source(
     race_global: Optional[str] = None,
     strategy: str = "kiss",
     rounds: int = 2,
+    witness: bool = False,
 ) -> OracleVerdict:
     """Worker-friendly entry point: parse surface source, then check.
     (Kept separate so campaign workers never need AST arguments.)"""
@@ -265,4 +321,5 @@ def differential_check_source(
         race_global=race_global,
         strategy=strategy,
         rounds=rounds,
+        witness=witness,
     )

@@ -93,6 +93,7 @@ def fuzz_jobs(
     race: bool = False,
     strategy: str = "kiss",
     rounds: int = 2,
+    witness: bool = False,
 ) -> List[CheckJob]:
     """One differential-checking job per generated program.
 
@@ -101,7 +102,10 @@ def fuzz_jobs(
     additionally enables the false-race replay check on the generator's
     distinguished location.  ``strategy="rounds"`` cross-checks the
     K-round sequentialization against *all* interleavings instead (no
-    race mode there).  All of these knobs participate in the cache key.
+    race mode there).  ``fuzz_witness`` (when ``witness`` is set) adds
+    the certificate cross-check on safe agreements (see
+    :data:`repro.fuzz.oracle.UNCERTIFIED`).  All of these knobs
+    participate in the cache key.
     """
     if strategy == "rounds" and race:
         raise ValueError("race checking is not available under strategy='rounds'")
@@ -117,6 +121,8 @@ def fuzz_jobs(
         }
         if race:
             config["fuzz_race"] = cfg.race_global
+        if witness:
+            config["fuzz_witness"] = True
         jobs.append(
             CheckJob(
                 job_id=f"fuzz/{gp.seed}",
@@ -145,6 +151,7 @@ def run_fuzz_campaign(
     race: bool = False,
     strategy: str = "kiss",
     rounds: int = 2,
+    witness: bool = False,
     do_shrink: bool = True,
     shrink_max_checks: int = 2_000,
 ) -> FuzzReport:
@@ -152,7 +159,7 @@ def run_fuzz_campaign(
     and shrink any divergences.  Returns the full report."""
     jobs = fuzz_jobs(
         count, seed, gen_config, max_states=max_states, race=race,
-        strategy=strategy, rounds=rounds,
+        strategy=strategy, rounds=rounds, witness=witness,
     )
     scheduler = CampaignScheduler(campaign_config or CampaignConfig())
     results = scheduler.run(jobs)
@@ -169,7 +176,7 @@ def run_fuzz_campaign(
         else:
             report.divergences.append(
                 _minimize(
-                    job, result, max_states, race_global, strategy, rounds,
+                    job, result, max_states, race_global, strategy, rounds, witness,
                     do_shrink, shrink_max_checks,
                 )
             )
@@ -183,6 +190,7 @@ def _minimize(
     race_global: Optional[str],
     strategy: str,
     rounds: int,
+    witness: bool,
     do_shrink: bool,
     shrink_max_checks: int,
 ) -> Divergence:
@@ -191,7 +199,7 @@ def _minimize(
     def oracle(src: str):
         return differential_check_source(
             src, max_ts=max_ts, max_states=max_states, race_global=race_global,
-            strategy=strategy, rounds=rounds,
+            strategy=strategy, rounds=rounds, witness=witness,
         )
 
     def still_diverges(src: str) -> bool:

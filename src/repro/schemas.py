@@ -8,6 +8,7 @@ shape and revision:
 ``kiss-profile/1``  ``python -m repro profile --json`` output
 ``kiss-campaign/1`` the end-of-campaign summary document
 ``kiss-serve/1``    one result event streamed by ``python -m repro serve``
+``kiss-witness/1``  a safety certificate (:mod:`repro.witness`)
 ==================  =======================================================
 
 The validators here are deliberately hand-rolled (zero dependencies, no
@@ -36,6 +37,16 @@ CAMPAIGN_SCHEMA = "kiss-campaign/1"
 
 #: Schema tag of events streamed by the checking service.
 SERVE_SCHEMA = "kiss-serve/1"
+
+#: Schema tag of safety certificates (:mod:`repro.witness`).
+WITNESS_SCHEMA = "kiss-witness/1"
+
+#: The two certificate kinds: the explicit backend exports its frozen
+#: reached-set, the cegar backend its final predicate abstraction.
+WITNESS_KINDS = ("reached-set", "predicate-invariant")
+
+#: What the independent validator can say about a certificate.
+WITNESS_STATUSES = ("certified", "refuted", "unsupported")
 
 #: The event vocabulary of a ``kiss-serve/1`` stream, in lifecycle
 #: order: admission, first attempt, bounded retries, the final verdict.
@@ -219,4 +230,58 @@ def validate_serve_event(doc: Dict[str, Any]) -> Dict[str, Any]:
             raise SchemaError(f"unknown serve cache state {doc['cache']!r}")
         if doc["attempts"] < 0 or doc["wall_s"] < 0:
             raise SchemaError("done event attempts/wall_s must be non-negative")
+        if doc.get("witness") is not None:
+            w = doc["witness"]
+            if not isinstance(w, dict):
+                raise SchemaError("done event witness must be an object")
+            _require_keys(w, "done event witness", (("kind", str),
+                                                    ("program_sha256", str)))
+            if w["kind"] not in WITNESS_KINDS:
+                raise SchemaError(f"unknown witness kind {w['kind']!r}")
+    return doc
+
+
+# ---------------------------------------------------------------------------
+# kiss-witness/1 (repro.witness)
+# ---------------------------------------------------------------------------
+
+
+def validate_witness(doc: Dict[str, Any]) -> Dict[str, Any]:
+    """Check a ``kiss-witness/1`` certificate's *shape*; returns ``doc``
+    or raises :class:`SchemaError`.
+
+    This is the cheap structural gate shared by the emitter, the
+    campaign artifact writer, and the independent validator.  It says
+    nothing about whether the invariant actually holds — that is the
+    semantic judgment of :mod:`repro.witness.validate`.
+    """
+    doc = _require_object(doc, WITNESS_SCHEMA, "witness")
+    _require_keys(doc, "witness", (("kind", str), ("backend", str),
+                                   ("strategy", str), ("entry", str),
+                                   ("program", str), ("program_sha256", str),
+                                   ("invariant", dict), ("ghost", dict)))
+    if doc["kind"] not in WITNESS_KINDS:
+        raise SchemaError(f"unknown witness kind {doc['kind']!r}")
+    if doc.get("rounds") is not None and not isinstance(doc["rounds"], int):
+        raise SchemaError("witness rounds must be null or an int")
+    if len(doc["program_sha256"]) != 64:
+        raise SchemaError("witness program_sha256 must be a sha256 hex digest")
+    inv = doc["invariant"]
+    if doc["kind"] == "reached-set":
+        if not isinstance(inv.get("states"), list) or not inv["states"]:
+            raise SchemaError("reached-set witness needs a non-empty states list")
+        for state in inv["states"]:
+            _require_keys(state, "witness state", (("globals", list),
+                                                   ("heap", list),
+                                                   ("stacks", list)))
+    else:
+        if not isinstance(inv.get("predicates"), dict):
+            raise SchemaError("predicate witness needs a predicates object")
+        _require_keys(inv["predicates"], "witness predicates",
+                      (("global", list), ("local", dict)))
+        if not isinstance(inv.get("locations"), list):
+            raise SchemaError("predicate witness needs a locations list")
+        for loc in inv["locations"]:
+            _require_keys(loc, "witness location", (("func", str), ("ordinal", int),
+                                                    ("stmt", str), ("cubes", list)))
     return doc

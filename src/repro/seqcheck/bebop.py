@@ -46,6 +46,10 @@ class BebopResult:
     trace: List[Tuple[str, int, str]] = field(default_factory=list)  # (proc, index, text)
     path_edges: int = 0
     summaries: int = 0
+    #: When collection was requested and the program is safe: every
+    #: reached valuation per point, ``{(proc, pc): {(g, l), ...}}``
+    #: (pre-statement, like the path edges they are projected from).
+    reached: Optional[Dict[Tuple[str, int], Set[Tuple[Valuation, Valuation]]]] = None
 
 
 # A path edge within a procedure:
@@ -56,10 +60,12 @@ PathEdge = Tuple[Valuation, Valuation, int, Valuation, Valuation]
 
 class BebopChecker:
     """The RHS tabulation engine (see module doc)."""
-    def __init__(self, prog: BProgram, max_edges: int = 2_000_000):
+    def __init__(self, prog: BProgram, max_edges: int = 2_000_000,
+                 collect_reached: bool = False):
         prog.validate()
         self.prog = prog
         self.max_edges = max_edges
+        self.collect_reached = collect_reached
         self._labels: Dict[str, Dict[str, int]] = {
             p.name: p.label_index() for p in prog.procs.values()
         }
@@ -196,10 +202,20 @@ class BebopChecker:
             else:
                 raise TypeError(f"unknown statement {stmt!r}")
 
+        reached: Optional[Dict[Tuple[str, int], Set[Tuple[Valuation, Valuation]]]] = None
+        if self.collect_reached:
+            # Project the tabulated path edges down to per-point reached
+            # valuations — the raw material of a predicate-invariant
+            # witness (points past the body end are implicit returns).
+            reached = {}
+            for proc_name, (_, _, pc, g, l) in edges:
+                if pc < len(prog.proc(proc_name).body):
+                    reached.setdefault((proc_name, pc), set()).add((g, l))
         return BebopResult(
             True,
             path_edges=len(edges),
             summaries=sum(len(v) for s in summaries.values() for v in s.values()),
+            reached=reached,
         )
 
     def _apply_summary(self, caller_name, caller_edge, g_out, rets, add_edge, parent) -> None:
@@ -239,12 +255,14 @@ class BebopChecker:
         return steps
 
 
-def check_boolean_program(prog: BProgram, max_edges: int = 2_000_000) -> BebopResult:
+def check_boolean_program(prog: BProgram, max_edges: int = 2_000_000,
+                          collect_reached: bool = False) -> BebopResult:
     """Reachability check of a boolean program's assertions."""
     from repro import obs
 
     with obs.span("bebop", procs=len(prog.procs)):
-        result = BebopChecker(prog, max_edges=max_edges).check()
+        result = BebopChecker(prog, max_edges=max_edges,
+                              collect_reached=collect_reached).check()
     obs.inc("bebop_path_edges", result.path_edges)
     obs.inc("bebop_summaries", result.summaries)
     return result

@@ -52,6 +52,11 @@ class CegarResult:
     message: str = ""
     witness: Optional[Dict[str, object]] = None
     trace: List[str] = field(default_factory=list)
+    #: When certificate collection was requested and the program is
+    #: safe: the final abstraction's predicates and per-location reached
+    #: cubes, keyed for :mod:`repro.witness.emit` (raw Python objects —
+    #: the emitter serializes them).
+    certificate: Optional[Dict[str, object]] = None
 
     @property
     def is_error(self) -> bool:
@@ -72,12 +77,14 @@ class CegarChecker:
         width: int = 8,
         max_cube: int = 3,
         seed_predicates: Optional[List[Expr]] = None,
+        collect_certificate: bool = False,
     ):
         self.prog = prog
         self.max_rounds = max_rounds
         self.width = width
         self.max_cube = max_cube
         self.seed_predicates = seed_predicates or []
+        self.collect_certificate = collect_certificate
 
     def check(self) -> CegarResult:
         with obs.span("cegar", max_rounds=self.max_rounds):
@@ -95,9 +102,13 @@ class CegarChecker:
                     bprog = abstractor.abstract()
             except AbstractionError as exc:
                 return CegarResult("unsupported", rounds=round_no, message=str(exc))
-            result = check_boolean_program(bprog)
+            result = check_boolean_program(bprog, collect_reached=self.collect_certificate)
             if result.safe:
-                return CegarResult("safe", rounds=round_no, predicates=preds.count())
+                certificate = None
+                if self.collect_certificate and result.reached is not None:
+                    certificate = self._build_certificate(preds, abstractor, result.reached)
+                return CegarResult("safe", rounds=round_no, predicates=preds.count(),
+                                   certificate=certificate)
             with obs.span("bebop-trace", round=round_no):
                 trace = find_error_trace(bprog)
             if trace is None:
@@ -135,6 +146,35 @@ class CegarChecker:
             predicates=preds.count(),
             message=f"no convergence within {self.max_rounds} refinement rounds",
         )
+
+    def _build_certificate(self, preds, abstractor, reached) -> Dict[str, object]:
+        """Project the safe abstraction's reached valuations onto source
+        locations keyed by ``(func, pre-order ordinal in func.body)`` —
+        a key both the emitter and the independent validator can compute
+        from the program text alone (statement identities do not survive
+        serialization, ordinals do)."""
+        from repro.lang.ast import walk_stmts
+
+        ordinals: Dict[int, Tuple[str, int]] = {}
+        for fname, decl in self.prog.functions.items():
+            for i, s in enumerate(walk_stmts(decl.body)):
+                ordinals[id(s)] = (fname, i)
+        locations: Dict[Tuple[str, int], Dict[str, object]] = {}
+        for (proc, pc), valuations in reached.items():
+            stmt = abstractor.provenance.get((proc, pc))
+            if stmt is None:
+                continue  # prologue/dispatch instructions have no source home
+            key = ordinals.get(id(stmt))
+            if key is None:
+                continue
+            entry = locations.setdefault(key, {"stmt": str(stmt), "cubes": set()})
+            for g, l in valuations:
+                entry["cubes"].add(tuple(g) + tuple(l))
+        return {
+            "global_preds": list(preds.global_preds),
+            "local_preds": {f: list(ps) for f, ps in preds.local_preds.items()},
+            "locations": locations,
+        }
 
     # -- concrete trace simulation --------------------------------------------------
 

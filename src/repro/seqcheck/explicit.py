@@ -46,6 +46,7 @@ class SequentialChecker:
         max_states: int = 500_000,
         max_depth: int = 1_000_000,
         compress_chains: bool = True,
+        collect_reached: bool = False,
     ):
         self.pcfg = pcfg
         self.prog = pcfg.program
@@ -58,6 +59,11 @@ class SequentialChecker:
         # recorded in the trace, so error traces and the KISS trace mapper
         # are unaffected.
         self.compress_chains = compress_chains
+        # Witness emission: collect every canonical state the exploration
+        # passes through — BFS frontier states plus the interior states of
+        # compressed chains, so the set is closed under *single-step*
+        # successors (what the independent validator re-checks).
+        self.reached: Optional[set] = set() if collect_reached else None
 
     MAX_CHAIN = 64
 
@@ -77,6 +83,8 @@ class SequentialChecker:
         freeze = self.interp.freezer.freeze
         init = self._initial_world()
         init_key = freeze(init.store, init.stacks)
+        if self.reached is not None:
+            self.reached.add(init_key)
         parents: Dict[Tuple, Optional[Tuple[Tuple, Tuple[TraceStep, ...]]]] = {init_key: None}
         queue = deque([(init, init_key, 0)])
         stats.states = 1
@@ -117,6 +125,8 @@ class SequentialChecker:
                     continue  # chain died on a failed assume
                 stats.transitions += 1
                 succ_key = freeze(succ.store, succ.stacks)
+                if self.reached is not None:
+                    self.reached.add(succ_key)
                 if succ_key in parents:
                     continue
                 parents[succ_key] = (key, steps)
@@ -140,6 +150,10 @@ class SequentialChecker:
         failing one) for trace reconstruction."""
         steps = [first_step]
         for _ in range(self.MAX_CHAIN):
+            if self.reached is not None:
+                # Chain-interior states are observable single-step
+                # successors; record them so the witness set stays closed.
+                self.reached.add(self.interp.freezer.freeze(world.store, world.stacks))
             stack = world.stacks[0]
             if not stack:
                 break

@@ -432,12 +432,21 @@ class CheckService:
 
     def _complete(self, record: JobRecord, result: JobResult, cache_state: str) -> None:
         record.result = result
+        extra: Dict[str, Any] = {}
+        if result.witness is not None:
+            # Certificate provenance only — the full kiss-witness/1
+            # document stays on the result; streams carry the claim
+            # (kind + program digest), not the megabyte of states.
+            extra["witness"] = {
+                "kind": result.witness["kind"],
+                "program_sha256": result.witness["program_sha256"],
+            }
         record.events.append(self._event(
             "done", record.job_id,
             verdict=result.verdict, error_kind=result.error_kind,
             attempts=result.attempts, cache=cache_state,
             wall_s=round(result.wall_s, 6), states=result.states,
-            detail=result.detail, version=package_version(),
+            detail=result.detail, version=package_version(), **extra,
         ))
         self.counts["completed"] += 1
         record.done.set()

@@ -1,0 +1,34 @@
+"""Safety certificates: emission and independent validation.
+
+A safe verdict from :class:`repro.core.checker.Kiss` is, by itself, a
+claim you must trust.  This package turns it into a claim you can
+*check*: the explicit backend exports its reached-set and the cegar
+backend its final predicate abstraction as an inductive invariant over
+the sequential program, serialized as a self-contained ``kiss-witness/1``
+document (:func:`repro.witness.emit.emit_witness`), and a standalone
+validator re-checks initiation, inductiveness, and safety against the
+embedded program text with its own interpreter
+(:func:`repro.witness.validate.validate_witness_doc`) — without
+importing anything from ``repro.seqcheck``.
+
+Every name resolves lazily (PEP 562): ``import repro.witness`` loads
+nothing from ``repro.seqcheck`` (the validator side is checker-free by
+construction, the emission side only pulls the checkers in when
+:func:`emit_witness` is actually called), and ``python -m
+repro.witness.validate`` runs the validator module exactly once.
+"""
+
+_VALIDATE_NAMES = ("ValidationReport", "validate_witness_doc")
+
+
+def __getattr__(name: str):
+    """Lazily resolve the public entry points (PEP 562)."""
+    if name in _VALIDATE_NAMES:
+        from repro.witness import validate
+
+        return getattr(validate, name)
+    if name == "emit_witness":
+        from repro.witness.emit import emit_witness
+
+        return emit_witness
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,182 @@
+"""The tagged-JSON codec shared by witness emission and validation.
+
+A ``kiss-witness/1`` reached-set certificate serializes the explicit
+checker's *frozen* states — the canonical, identity-free tuples produced
+by :class:`repro.seqcheck.interp.Freezer` — and a predicate certificate
+serializes predicate expressions.  Both sides of the trust boundary
+(the emitter, which trusts the checker, and the standalone validator,
+which does not) must agree byte-for-byte on this encoding, so it lives
+in its own module with no imports from ``repro.seqcheck``.
+
+Values are encoded as small tagged JSON arrays:
+
+=====================  ====================================================
+``["i", n]``           integer
+``["b", v]``           boolean
+``["fn", name]``       function value (including ``"__undefined__"``)
+``["null"]``           the null pointer
+``["pc", canon]``      pointer to heap cell ``canon`` (canonical index)
+``["pf", canon, f]``   pointer to field ``f`` of cell ``canon``
+``["pl", t, d, x]``    pointer to local ``x`` of live frame ``(t, d)``
+``["pld", k, x]``      dangling pointer to local ``x`` of dead frame ``k``
+``["pg", name]``       pointer to a global
+=====================  ====================================================
+
+States are positional: global values in sorted-name order, heap cells in
+canonical order with fields in sorted order, frame locals in sorted
+order.  The names themselves are recovered from the embedded program
+text, which keeps certificates compact and forces the validator to parse
+the program for itself.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, List, Tuple
+
+from repro.lang.ast import Binary, BoolLit, Expr, IntLit, NullLit, Unary, Var
+
+
+class EncodeError(ValueError):
+    """A runtime value or expression has no witness encoding."""
+
+
+def encode_value(v: Any) -> list:
+    """Encode one frozen runtime value as a tagged JSON array."""
+    if isinstance(v, bool):
+        return ["b", v]
+    if isinstance(v, int):
+        return ["i", v]
+    if isinstance(v, tuple):
+        if v[0] == "fn":
+            return ["fn", v[1]]
+        if v[0] == "ptr":
+            if v[1] is None:
+                return ["null"]
+            if v[1] == "c" and isinstance(v[2], int):
+                return ["pc", v[2]]
+            if v[1] == "f" and isinstance(v[2], int):
+                return ["pf", v[2], v[3]]
+            if v[1] == "l":
+                t, d = v[2]
+                return ["pl", t, d, v[3]]
+            if v[1] == "ld":
+                return ["pld", v[2], v[3]]
+            if v[1] == "g":
+                return ["pg", v[2]]
+    raise EncodeError(f"unencodable value {v!r}")
+
+
+def decode_value(doc: Any) -> Any:
+    """Decode a tagged JSON array back to the frozen tuple form."""
+    if not isinstance(doc, list) or not doc or not isinstance(doc[0], str):
+        raise EncodeError(f"malformed encoded value {doc!r}")
+    tag = doc[0]
+    try:
+        if tag == "b" and isinstance(doc[1], bool):
+            return doc[1]
+        if tag == "i" and isinstance(doc[1], int) and not isinstance(doc[1], bool):
+            return doc[1]
+        if tag == "fn" and isinstance(doc[1], str):
+            return ("fn", doc[1])
+        if tag == "null" and len(doc) == 1:
+            return ("ptr", None)
+        if tag == "pc" and isinstance(doc[1], int):
+            return ("ptr", "c", doc[1])
+        if tag == "pf" and isinstance(doc[1], int) and isinstance(doc[2], str):
+            return ("ptr", "f", doc[1], doc[2])
+        if tag == "pl" and isinstance(doc[1], int) and isinstance(doc[2], int) \
+                and isinstance(doc[3], str):
+            return ("ptr", "l", (doc[1], doc[2]), doc[3])
+        if tag == "pld" and isinstance(doc[1], int) and isinstance(doc[2], str):
+            return ("ptr", "ld", doc[1], doc[2])
+        if tag == "pg" and isinstance(doc[1], str):
+            return ("ptr", "g", doc[1])
+    except IndexError:
+        pass
+    raise EncodeError(f"malformed encoded value {doc!r}")
+
+
+def encode_state(frozen: Tuple[tuple, tuple, tuple]) -> dict:
+    """Encode one frozen world ``(globals, heap, stacks)`` as a JSON
+    object with positional value arrays."""
+    globals_t, heap_t, stacks_t = frozen
+    return {
+        "globals": [encode_value(v) for v in globals_t],
+        "heap": [[canon, sname, [encode_value(v) for v in fields]]
+                 for canon, sname, fields in heap_t],
+        "stacks": [[[func, node, [encode_value(v) for v in locs]]
+                    for func, node, locs in stack]
+                   for stack in stacks_t],
+    }
+
+
+def decode_state(doc: dict) -> Tuple[tuple, tuple, tuple]:
+    """Decode a witness state object back to a frozen world tuple."""
+    if not isinstance(doc, dict):
+        raise EncodeError(f"witness state must be an object, got {type(doc).__name__}")
+    try:
+        globals_t = tuple(decode_value(v) for v in doc["globals"])
+        heap_t = tuple(
+            (int(canon), str(sname), tuple(decode_value(v) for v in fields))
+            for canon, sname, fields in doc["heap"])
+        stacks_t = tuple(
+            tuple((str(func), int(node), tuple(decode_value(v) for v in locs))
+                  for func, node, locs in stack)
+            for stack in doc["stacks"])
+    except (KeyError, TypeError, ValueError) as exc:
+        if isinstance(exc, EncodeError):
+            raise
+        raise EncodeError(f"malformed witness state: {exc}") from exc
+    return (globals_t, heap_t, stacks_t)
+
+
+def state_sort_key(doc: dict) -> str:
+    """Deterministic ordering key for encoded states (their canonical
+    JSON serialization)."""
+    return json.dumps(doc, sort_keys=True)
+
+
+def encode_expr(e: Expr) -> list:
+    """Encode a scalar predicate expression as a tagged JSON array."""
+    if isinstance(e, IntLit):
+        return ["int", e.value]
+    if isinstance(e, BoolLit):
+        return ["bool", e.value]
+    if isinstance(e, NullLit):
+        return ["nullexpr"]
+    if isinstance(e, Var):
+        return ["var", e.name]
+    if isinstance(e, Unary):
+        return ["un", e.op, encode_expr(e.operand)]
+    if isinstance(e, Binary):
+        return ["bin", e.op, encode_expr(e.left), encode_expr(e.right)]
+    raise EncodeError(f"unencodable predicate expression {e!r}")
+
+
+def decode_expr(doc: Any) -> Expr:
+    """Decode a tagged JSON array back to a ``repro.lang.ast`` expression."""
+    if not isinstance(doc, list) or not doc or not isinstance(doc[0], str):
+        raise EncodeError(f"malformed encoded expression {doc!r}")
+    tag = doc[0]
+    try:
+        if tag == "int" and isinstance(doc[1], int) and not isinstance(doc[1], bool):
+            return IntLit(doc[1])
+        if tag == "bool" and isinstance(doc[1], bool):
+            return BoolLit(doc[1])
+        if tag == "nullexpr" and len(doc) == 1:
+            return NullLit()
+        if tag == "var" and isinstance(doc[1], str):
+            return Var(doc[1])
+        if tag == "un" and isinstance(doc[1], str):
+            return Unary(doc[1], decode_expr(doc[2]))
+        if tag == "bin" and isinstance(doc[1], str):
+            return Binary(doc[1], decode_expr(doc[2]), decode_expr(doc[3]))
+    except IndexError:
+        pass
+    raise EncodeError(f"malformed encoded expression {doc!r}")
+
+
+def encode_expr_list(exprs: List[Expr]) -> List[list]:
+    """Encode a predicate list in order."""
+    return [encode_expr(e) for e in exprs]

@@ -1,0 +1,1063 @@
+"""Independent validation of ``kiss-witness/1`` safety certificates.
+
+This module is the *untrusting* side of the witness protocol: it checks
+a certificate against the embedded sequential core program using its own
+tiny value model, its own canonical freezing, and its own single-step
+interpreter.  It imports **nothing** from ``repro.seqcheck`` — that is
+the whole point (and is enforced by a test): a bug in the explicit
+checker or the CEGAR loop cannot silently vouch for itself.
+
+The three judgments (the classic inductive-invariant obligations):
+
+* **initiation** — the program's initial configuration is covered by the
+  invariant;
+* **inductiveness** — the invariant is closed under one observable
+  transition (for reached-set witnesses: every single-step successor of
+  every member state is again a member; for predicate witnesses: every
+  configuration met during the validator's own exhaustive exploration
+  conforms to the certified cube set at its location);
+* **safety** — no covered configuration violates an assertion or memory
+  safety (checked by actually executing each member's next statement).
+
+The verdict is ``certified`` when all three hold, ``refuted`` when any
+fails (with the failing judgment and a localized detail), and
+``unsupported`` when the validator cannot decide (budget exhausted,
+entry with parameters, malformed encodings) — never a silent pass.
+
+Run standalone (no ``repro.seqcheck`` ever loaded)::
+
+    PYTHONPATH=src python -m repro.witness.validate cert.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import json
+import sys
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Set, Tuple
+
+from repro.cfg.build import build_program_cfg
+from repro.cfg.graph import Node, ProgramCfg
+from repro.lang import parse_core
+from repro.lang.ast import (
+    Binary,
+    BoolLit,
+    BoolType,
+    Expr,
+    Field,
+    FuncType,
+    IntLit,
+    IntType,
+    NullLit,
+    Program,
+    PtrType,
+    Unary,
+    Var,
+    walk_stmts,
+)
+from repro.schemas import SchemaError, validate_witness
+from repro.witness.encoding import EncodeError, decode_expr, decode_state, encode_state
+
+#: Default budget on inductiveness transitions (reached-set) and on
+#: explored configurations (predicate-invariant).
+DEFAULT_MAX_TRANSITIONS = 2_000_000
+DEFAULT_MAX_STATES = 500_000
+
+
+@dataclass
+class ValidationReport:
+    """The outcome of one certificate validation.
+
+    ``status`` is one of :data:`repro.schemas.WITNESS_STATUSES`;
+    ``judgment`` names the failed obligation (``"integrity"``,
+    ``"initiation"``, ``"inductiveness"``, ``"safety"``) or the
+    abstention reason when ``unsupported``; ``location`` pinpoints the
+    failing transition (``"func:node"`` or ``"func:ordinal"``) and
+    ``missing_state`` carries the encoded successor a reached-set
+    witness failed to contain.
+    """
+
+    status: str
+    judgment: str = ""
+    location: str = ""
+    detail: str = ""
+    states_checked: int = 0
+    transitions_checked: int = 0
+    missing_state: Optional[dict] = None
+
+    def to_dict(self) -> dict:
+        """Plain-dict form for JSON output."""
+        out = {
+            "status": self.status,
+            "judgment": self.judgment,
+            "location": self.location,
+            "detail": self.detail,
+            "states_checked": self.states_checked,
+            "transitions_checked": self.transitions_checked,
+        }
+        if self.missing_state is not None:
+            out["missing_state"] = self.missing_state
+        return out
+
+    def __str__(self) -> str:
+        if self.status == "certified":
+            return (f"certified ({self.states_checked} states, "
+                    f"{self.transitions_checked} transitions)")
+        where = f" at {self.location}" if self.location else ""
+        return f"{self.status}: {self.judgment}{where}: {self.detail}"
+
+
+class _Refuted(Exception):
+    """Internal: a judgment failed."""
+
+    def __init__(self, judgment: str, location: str, detail: str,
+                 missing: Optional[dict] = None):
+        super().__init__(detail)
+        self.judgment = judgment
+        self.location = location
+        self.detail = detail
+        self.missing = missing
+
+
+class _Unsupported(Exception):
+    """Internal: the validator abstains."""
+
+
+class _Halt(Exception):
+    """Internal: a safety violation during mirrored execution."""
+
+    def __init__(self, kind: str, message: str):
+        super().__init__(message)
+        self.kind = kind
+
+
+# ---------------------------------------------------------------------------
+# The validator's own value model (mirrors repro.seqcheck.state without
+# importing it)
+# ---------------------------------------------------------------------------
+
+
+class _Fn:
+    """A function value."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str):
+        self.name = name
+
+    def __eq__(self, other: object) -> bool:
+        return type(other) is _Fn and other.name == self.name
+
+    def __hash__(self) -> int:
+        return hash(("fn", self.name))
+
+
+class _Ptr:
+    """A pointer value; ``addr`` is None (null) or an address tuple."""
+
+    __slots__ = ("addr",)
+
+    def __init__(self, addr: Optional[Tuple]):
+        self.addr = addr
+
+    def __eq__(self, other: object) -> bool:
+        return type(other) is _Ptr and other.addr == self.addr
+
+    def __hash__(self) -> int:
+        return hash(("ptr", self.addr))
+
+
+_NULL = _Ptr(None)
+
+
+def _default(typ) -> Any:
+    """Type-default values (mirrors ``repro.seqcheck.state.default_value``)."""
+    if isinstance(typ, BoolType):
+        return False
+    if isinstance(typ, IntType):
+        return 0
+    if isinstance(typ, PtrType):
+        return _NULL
+    if isinstance(typ, FuncType):
+        return _Fn("__undefined__")
+    raise _Unsupported(f"no default value for type {typ}")
+
+
+class _Frame:
+    """One stack frame."""
+
+    __slots__ = ("func", "node", "locals", "fid")
+
+    def __init__(self, func: str, node: int, locals_: Dict[str, Any], fid: int):
+        self.func = func
+        self.node = node
+        self.locals = locals_
+        self.fid = fid
+
+    def clone(self) -> "_Frame":
+        return _Frame(self.func, self.node, dict(self.locals), self.fid)
+
+
+class _World:
+    """A full configuration: globals, heap, one stack per thread."""
+
+    __slots__ = ("globals", "heap", "stacks", "alloc", "next_fid")
+
+    def __init__(self, globals_: Dict[str, Any], heap: Dict[int, Tuple[str, Dict[str, Any]]],
+                 stacks: List[List[_Frame]], alloc: int, next_fid: int):
+        self.globals = globals_
+        self.heap = heap
+        self.stacks = stacks
+        self.alloc = alloc
+        self.next_fid = next_fid
+
+    def clone(self) -> "_World":
+        return _World(
+            dict(self.globals),
+            {cid: (sname, dict(fields)) for cid, (sname, fields) in self.heap.items()},
+            [[f.clone() for f in s] for s in self.stacks],
+            self.alloc,
+            self.next_fid,
+        )
+
+    def frames(self) -> Dict[int, _Frame]:
+        out: Dict[int, _Frame] = {}
+        for s in self.stacks:
+            for f in s:
+                out[f.fid] = f
+        return out
+
+
+def _freeze(world: _World) -> Tuple:
+    """Canonical freezing — an independent re-implementation of
+    ``repro.seqcheck.interp.Freezer.freeze`` (deterministic reachability
+    renumbering of heap cells, (thread, depth) positions for live frames,
+    discovery order for dead frames, sorted key orders throughout)."""
+    live_pos: Dict[int, Tuple[int, int]] = {}
+    for t, stack in enumerate(world.stacks):
+        for d, frame in enumerate(stack):
+            live_pos[frame.fid] = (t, d)
+
+    cell_order: Dict[int, int] = {}
+    dead_order: Dict[int, int] = {}
+    queue: List[int] = []
+    heap = world.heap
+
+    def discover(v: Any) -> None:
+        a = v.addr
+        if a is None:
+            return
+        k = a[0]
+        if k == "c" or k == "f":
+            cid = a[1]
+            if cid in heap and cid not in cell_order:
+                cell_order[cid] = len(cell_order)
+                queue.append(cid)
+        elif k == "l":
+            fid = a[1]
+            if fid not in live_pos and fid not in dead_order:
+                dead_order[fid] = len(dead_order)
+
+    gkeys = sorted(world.globals)
+    for name in gkeys:
+        v = world.globals[name]
+        if type(v) is _Ptr:
+            discover(v)
+    frame_orders: List[List[str]] = []
+    for stack in world.stacks:
+        for frame in stack:
+            order = sorted(frame.locals)
+            frame_orders.append(order)
+            for name in order:
+                v = frame.locals[name]
+                if type(v) is _Ptr:
+                    discover(v)
+    qi = 0
+    while qi < len(queue):
+        cid = queue[qi]
+        qi += 1
+        fields = heap[cid][1]
+        for fname in sorted(fields):
+            v = fields[fname]
+            if type(v) is _Ptr:
+                discover(v)
+
+    def rewrite(v: Any):
+        t = type(v)
+        if t is _Ptr:
+            a = v.addr
+            if a is None:
+                return ("ptr", None)
+            k = a[0]
+            if k == "c":
+                return ("ptr", "c", cell_order.get(a[1], ("?", a[1])))
+            if k == "f":
+                return ("ptr", "f", cell_order.get(a[1], ("?", a[1])), a[2])
+            if k == "l":
+                fid = a[1]
+                if fid in live_pos:
+                    return ("ptr", "l", live_pos[fid], a[2])
+                return ("ptr", "ld", dead_order[fid], a[2])
+            return ("ptr", "g", a[1])
+        if t is _Fn:
+            return ("fn", v.name)
+        return v
+
+    globals_t = tuple(rewrite(world.globals[n]) for n in gkeys)
+    cells = sorted(cell_order.items(), key=lambda kv: kv[1])
+    heap_t = tuple(
+        (canon, heap[cid][0],
+         tuple(rewrite(heap[cid][1][fn]) for fn in sorted(heap[cid][1])))
+        for cid, canon in cells
+    )
+    fo = iter(frame_orders)
+    stacks_t = tuple(
+        tuple((f.func, f.node, tuple(rewrite(f.locals[n]) for n in next(fo)))
+              for f in stack)
+        for stack in world.stacks
+    )
+    return (globals_t, heap_t, stacks_t)
+
+
+def _thaw_value(v: Any, pos2fid: Dict[Tuple[int, int], int]) -> Any:
+    """Turn one frozen value back into a runtime value."""
+    if isinstance(v, tuple):
+        if v[0] == "fn":
+            return _Fn(v[1])
+        if v[0] == "ptr":
+            if v[1] is None:
+                return _NULL
+            k = v[1]
+            if k == "c":
+                return _Ptr(("c", v[2]))
+            if k == "f":
+                return _Ptr(("f", v[2], v[3]))
+            if k == "l":
+                fid = pos2fid.get(v[2])
+                if fid is None:
+                    raise _Refuted("integrity", "",
+                                   f"pointer into nonexistent frame {v[2]!r}")
+                return _Ptr(("l", fid, v[3]))
+            if k == "ld":
+                return _Ptr(("l", -(v[2] + 1), v[3]))
+            if k == "g":
+                return _Ptr(("g", v[2]))
+        raise _Refuted("integrity", "", f"unknown frozen value {v!r}")
+    return v
+
+
+def _materialize(frozen: Tuple, prog: Program, pcfg: ProgramCfg) -> _World:
+    """Reconstruct a runtime configuration from a frozen state.
+
+    Canonical heap indices become concrete cell ids, live frames get
+    fresh ids by stack position, dead frames negative ids — chosen so
+    that :func:`_freeze` of the result reproduces ``frozen`` exactly.
+    """
+    globals_t, heap_t, stacks_t = frozen
+    gkeys = sorted(prog.globals)
+    if len(gkeys) != len(globals_t):
+        raise _Refuted("integrity", "",
+                       f"state has {len(globals_t)} globals, program has {len(gkeys)}")
+    pos2fid: Dict[Tuple[int, int], int] = {}
+    fid = 0
+    for t, stack in enumerate(stacks_t):
+        for d, _ in enumerate(stack):
+            pos2fid[(t, d)] = fid
+            fid += 1
+
+    globals_ = {n: _thaw_value(v, pos2fid) for n, v in zip(gkeys, globals_t)}
+    heap: Dict[int, Tuple[str, Dict[str, Any]]] = {}
+    for canon, sname, fields_t in heap_t:
+        if sname not in prog.structs:
+            raise _Refuted("integrity", "", f"state references unknown struct '{sname}'")
+        fkeys = sorted(prog.structs[sname].fields)
+        if len(fkeys) != len(fields_t):
+            raise _Refuted("integrity", "",
+                           f"cell of struct '{sname}' has {len(fields_t)} fields")
+        heap[canon] = (sname, {k: _thaw_value(v, pos2fid) for k, v in zip(fkeys, fields_t)})
+    stacks: List[List[_Frame]] = []
+    for t, stack_t in enumerate(stacks_t):
+        stack = []
+        for d, (func, node, locs_t) in enumerate(stack_t):
+            if func not in prog.functions:
+                raise _Refuted("integrity", "", f"state references unknown function '{func}'")
+            decl = prog.functions[func]
+            lkeys = sorted([p.name for p in decl.params] + list(decl.locals))
+            if len(lkeys) != len(locs_t):
+                raise _Refuted("integrity", "",
+                               f"frame of '{func}' has {len(locs_t)} locals, "
+                               f"declaration has {len(lkeys)}")
+            try:
+                pcfg.cfg(func).node(node)
+            except (KeyError, IndexError):
+                raise _Refuted("integrity", "",
+                               f"state references unknown node {func}:{node}") from None
+            stack.append(_Frame(func, node,
+                                {k: _thaw_value(v, pos2fid) for k, v in zip(lkeys, locs_t)},
+                                pos2fid[(t, d)]))
+        stacks.append(stack)
+    return _World(globals_, heap, stacks, max(heap) + 1 if heap else 0, fid)
+
+
+# ---------------------------------------------------------------------------
+# The validator's own single-step interpreter (mirrors
+# repro.seqcheck.interp/explicit without importing them)
+# ---------------------------------------------------------------------------
+
+
+class _Stepper:
+    """One-observable-transition successor computation for sequential
+    core programs, faithful to the explicit checker's semantics (atomic
+    regions execute indivisibly; everything else is one node)."""
+
+    MAX_ATOMIC_STEPS = 100_000
+
+    def __init__(self, prog: Program, pcfg: ProgramCfg):
+        self.prog = prog
+        self.pcfg = pcfg
+
+    # -- value access ------------------------------------------------------
+
+    def _eval_atom(self, e: Expr, frame: _Frame, world: _World) -> Any:
+        if isinstance(e, IntLit):
+            return e.value
+        if isinstance(e, BoolLit):
+            return e.value
+        if isinstance(e, NullLit):
+            return _NULL
+        if isinstance(e, Var):
+            name = e.name
+            if name in frame.locals:
+                return frame.locals[name]
+            if name in world.globals:
+                return world.globals[name]
+            if name in self.prog.functions:
+                return _Fn(name)
+            raise _Halt("undef-var", f"read of undefined variable '{name}'")
+        raise _Halt("not-atom", f"expression {e} is not an atom")
+
+    def _write_var(self, name: str, value: Any, frame: _Frame, world: _World) -> None:
+        if name in frame.locals:
+            frame.locals[name] = value
+        elif name in world.globals:
+            world.globals[name] = value
+        else:
+            raise _Halt("undef-var", f"write to undefined variable '{name}'")
+
+    def _addr_of_var(self, name: str, frame: _Frame) -> Tuple:
+        if name in frame.locals:
+            return ("l", frame.fid, name)
+        if name in self.prog.globals:
+            return ("g", name)
+        raise _Halt("undef-var", f"address of undefined variable '{name}'")
+
+    def _read(self, addr: Optional[Tuple], world: _World, frames: Dict[int, _Frame]) -> Any:
+        if addr is None:
+            raise _Halt("null-deref", "read through null pointer")
+        kind = addr[0]
+        if kind == "g":
+            if addr[1] not in world.globals:
+                raise _Halt("bad-addr", f"read of unknown global '{addr[1]}'")
+            return world.globals[addr[1]]
+        if kind == "l":
+            _, fid, name = addr
+            frame = frames.get(fid)
+            if frame is None or name not in frame.locals:
+                raise _Halt("dangling", f"read through dangling pointer to local '{name}'")
+            return frame.locals[name]
+        if kind == "f":
+            _, cid, fname = addr
+            if cid not in world.heap:
+                raise _Halt("dangling", f"read of freed/unknown cell {cid}")
+            sname, fields = world.heap[cid]
+            if fname not in fields:
+                raise _Halt("bad-addr", f"struct {sname} has no field '{fname}'")
+            return fields[fname]
+        raise _Halt("bad-addr", f"read through malformed address {addr!r}")
+
+    def _write(self, addr: Optional[Tuple], value: Any, world: _World,
+               frames: Dict[int, _Frame]) -> None:
+        if addr is None:
+            raise _Halt("null-deref", "write through null pointer")
+        kind = addr[0]
+        if kind == "g":
+            if addr[1] not in world.globals:
+                raise _Halt("bad-addr", f"write to unknown global '{addr[1]}'")
+            world.globals[addr[1]] = value
+            return
+        if kind == "l":
+            _, fid, name = addr
+            frame = frames.get(fid)
+            if frame is None or name not in frame.locals:
+                raise _Halt("dangling", f"write through dangling pointer to local '{name}'")
+            frame.locals[name] = value
+            return
+        if kind == "f":
+            _, cid, fname = addr
+            if cid not in world.heap:
+                raise _Halt("dangling", f"write to freed/unknown cell {cid}")
+            sname, fields = world.heap[cid]
+            if fname not in fields:
+                raise _Halt("bad-addr", f"struct {sname} has no field '{fname}'")
+            fields[fname] = value
+            return
+        raise _Halt("bad-addr", f"write through malformed address {addr!r}")
+
+    @staticmethod
+    def _field_addr(base: _Ptr, fname: str) -> Tuple:
+        if base.addr is None:
+            raise _Halt("null-deref", f"field access ->{fname} through null pointer")
+        if base.addr[0] != "c":
+            raise _Halt("bad-addr", f"field access ->{fname} on non-struct pointer")
+        return ("f", base.addr[1], fname)
+
+    @staticmethod
+    def _expect_ptr(v: Any) -> None:
+        if not isinstance(v, _Ptr):
+            raise _Halt("bad-addr", f"pointer operation on non-pointer value {v!r}")
+
+    def _malloc(self, world: _World, struct_name: str) -> _Ptr:
+        if struct_name not in self.prog.structs:
+            raise _Unsupported(f"malloc of unknown struct '{struct_name}'")
+        decl = self.prog.structs[struct_name]
+        cid = world.alloc
+        world.alloc += 1
+        world.heap[cid] = (struct_name, {f: _default(t) for f, t in decl.fields.items()})
+        return _Ptr(("c", cid))
+
+    # -- primitive execution ----------------------------------------------
+
+    def _binop(self, e: Binary, frame: _Frame, world: _World) -> Any:
+        a = self._eval_atom(e.left, frame, world)
+        b = self._eval_atom(e.right, frame, world)
+        return _apply_binop(e.op, a, b)
+
+    def _exec_assign(self, stmt, frame: _Frame, world: _World,
+                     frames: Dict[int, _Frame]) -> None:
+        lhs, rhs = stmt.lhs, stmt.rhs
+        if isinstance(lhs, Unary) and lhs.op == "*":
+            ptr = self._eval_atom(lhs.operand, frame, world)
+            self._expect_ptr(ptr)
+            value = self._eval_atom(rhs, frame, world)
+            self._write(ptr.addr, value, world, frames)
+            return
+        if isinstance(lhs, Field):
+            base = self._eval_atom(lhs.base, frame, world)
+            self._expect_ptr(base)
+            addr = self._field_addr(base, lhs.name)
+            value = self._eval_atom(rhs, frame, world)
+            self._write(addr, value, world, frames)
+            return
+        name = lhs.name
+        if isinstance(rhs, Unary) and rhs.op == "&":
+            target = rhs.operand
+            if isinstance(target, Var):
+                addr = self._addr_of_var(target.name, frame)
+            else:
+                base = self._eval_atom(target.base, frame, world)
+                self._expect_ptr(base)
+                addr = self._field_addr(base, target.name)
+            self._write_var(name, _Ptr(addr), frame, world)
+            return
+        if isinstance(rhs, Unary) and rhs.op == "*":
+            ptr = self._eval_atom(rhs.operand, frame, world)
+            self._expect_ptr(ptr)
+            self._write_var(name, self._read(ptr.addr, world, frames), frame, world)
+            return
+        if isinstance(rhs, Unary):
+            v = self._eval_atom(rhs.operand, frame, world)
+            if rhs.op == "-":
+                self._write_var(name, -v, frame, world)
+            elif rhs.op == "!":
+                self._write_var(name, not v, frame, world)
+            else:
+                raise _Unsupported(f"unary operator {rhs.op}")
+            return
+        if isinstance(rhs, Binary):
+            self._write_var(name, self._binop(rhs, frame, world), frame, world)
+            return
+        if isinstance(rhs, Field):
+            base = self._eval_atom(rhs.base, frame, world)
+            self._expect_ptr(base)
+            self._write_var(name, self._read(self._field_addr(base, rhs.name), world, frames),
+                            frame, world)
+            return
+        self._write_var(name, self._eval_atom(rhs, frame, world), frame, world)
+
+    def _exec_simple(self, node: Node, frame: _Frame, world: _World,
+                     frames: Dict[int, _Frame]) -> bool:
+        kind = node.kind
+        if kind == "skip":
+            return True
+        stmt = node.stmt
+        if kind == "assume":
+            return bool(self._eval_atom(stmt.cond, frame, world))
+        if kind == "assert":
+            if not self._eval_atom(stmt.cond, frame, world):
+                raise _Halt("assert", f"assertion failed: {stmt}")
+            return True
+        if kind == "malloc":
+            ptr = self._malloc(world, stmt.struct_name)
+            self._write_var(stmt.lhs.name, ptr, frame, world)
+            return True
+        if kind == "assign":
+            self._exec_assign(stmt, frame, world, frames)
+            return True
+        raise _Unsupported(f"cannot execute node kind {kind}")
+
+    # -- atomic regions ----------------------------------------------------
+
+    def _run_atomic(self, world: _World, node: Node) -> List[_World]:
+        sub = node.sub
+        if sub is None:
+            raise _Unsupported("atomic node without a sub-CFG")
+        results: List[_World] = []
+        seen: Set[Tuple] = set()
+        work: List[Tuple[_World, int]] = [(world.clone(), sub.entry)]
+        steps = 0
+        while work:
+            w, pc = work.pop()
+            steps += 1
+            if steps > self.MAX_ATOMIC_STEPS:
+                raise _Unsupported("atomic region exceeded step budget")
+            key = (pc, _freeze(w))
+            if key in seen:
+                continue
+            seen.add(key)
+            sub_node = sub.node(pc)
+            if sub_node.kind in ("call", "async", "return"):
+                raise _Unsupported(f"{sub_node.kind} inside atomic")
+            w2 = w.clone()
+            frame2 = w2.stacks[0][-1]
+            ok = self._exec_simple(sub_node, frame2, w2, w2.frames())
+            if not ok:
+                continue
+            if not sub_node.succs:
+                results.append(w2)
+            else:
+                for s in sub_node.succs:
+                    work.append((w2.clone() if len(sub_node.succs) > 1 else w2, s))
+        return results
+
+    # -- calls and returns -------------------------------------------------
+
+    def _fresh_frame(self, func_name: str, args: List[Any], world: _World) -> _Frame:
+        decl = self.prog.functions.get(func_name)
+        if decl is None:
+            raise _Halt("undef-call", f"call of unknown function '{func_name}'")
+        if len(args) != len(decl.params):
+            raise _Halt("arity", f"call of {func_name} with {len(args)} args")
+        locals_: Dict[str, Any] = {}
+        for p, a in zip(decl.params, args):
+            locals_[p.name] = a
+        for name, typ in decl.locals.items():
+            locals_[name] = _default(typ)
+        fid = world.next_fid
+        world.next_fid += 1
+        return _Frame(func_name, self.pcfg.cfg(func_name).entry, locals_, fid)
+
+    def _resolve_callee(self, name: str, frame: _Frame, world: _World) -> str:
+        if name in frame.locals or name in world.globals:
+            v = frame.locals.get(name, world.globals.get(name))
+            if not isinstance(v, _Fn):
+                raise _Halt("bad-call", f"call through non-function value {v!r}")
+            if v.name not in self.prog.functions:
+                raise _Halt("undef-call", f"call of undefined function value {v.name}")
+            return v.name
+        if name in self.prog.functions:
+            return name
+        raise _Halt("undef-call", f"call of unknown function '{name}'")
+
+    def _exec_return(self, world: _World, node: Node) -> List[_World]:
+        w = world.clone()
+        stack = w.stacks[0]
+        frame = stack[-1]
+        stmt = node.stmt
+        decl = self.prog.functions[frame.func]
+        if stmt.value is not None:
+            value = self._eval_atom(stmt.value, frame, w)
+        elif decl.ret is not None:
+            value = _default(decl.ret)
+        else:
+            value = None
+        stack.pop()
+        if not stack:
+            return [w]  # entry returned: terminal safe leaf
+        caller = stack[-1]
+        call_node = self.pcfg.cfg(caller.func).node(caller.node)
+        if call_node.kind != "call":
+            raise _Unsupported("return into a non-call continuation")
+        call_stmt = call_node.stmt
+        if call_stmt.lhs is not None:
+            if value is None:
+                raise _Halt("void-result", f"void result of {frame.func} used as a value")
+            self._write_var(call_stmt.lhs.name, value, caller, w)
+        out = []
+        for succ_id in call_node.succs:
+            w2 = w.clone() if len(call_node.succs) > 1 else w
+            w2.stacks[0][-1].node = succ_id
+            out.append(w2)
+        return out
+
+    # -- the transition relation -------------------------------------------
+
+    def initial_world(self) -> _World:
+        """The program's initial configuration (globals at their declared
+        initializers, one frame for the parameterless entry function)."""
+        globals_: Dict[str, Any] = {}
+        for name, g in self.prog.globals.items():
+            globals_[name] = (_const_value(g.init, self.prog)
+                              if g.init is not None else _default(g.type))
+        entry = self.prog.functions[self.prog.entry]
+        if entry.params:
+            raise _Unsupported(f"entry function '{entry.name}' takes parameters")
+        world = _World(globals_, {}, [[]], 0, 0)
+        world.stacks[0].append(self._fresh_frame(entry.name, [], world))
+        return world
+
+    def successors(self, world: _World) -> List[_World]:
+        """All configurations one observable transition away (an empty
+        list for terminated programs and failed assumes)."""
+        stack = world.stacks[0]
+        if not stack:
+            return []
+        frame = stack[-1]
+        node = self.pcfg.cfg(frame.func).node(frame.node)
+        kind = node.kind
+
+        if kind == "async":
+            raise _Unsupported("async statement in a sequential witness program")
+        if kind == "return":
+            return self._exec_return(world, node)
+        if kind == "call":
+            stmt = node.stmt
+            w = world.clone()
+            f = w.stacks[0][-1]
+            callee = self._resolve_callee(stmt.func.name, f, w)
+            args = [self._eval_atom(a, f, w) for a in stmt.args]
+            w.stacks[0].append(self._fresh_frame(callee, args, w))
+            return [w]
+        if kind == "atomic":
+            out: List[_World] = []
+            for w in self._run_atomic(world, node):
+                for succ_id in node.succs:
+                    w2 = w.clone() if len(node.succs) > 1 else w
+                    w2.stacks[0][-1].node = succ_id
+                    out.append(w2)
+            return out
+
+        # simple nodes: skip / assign / malloc / assert / assume
+        w = world.clone()
+        f = w.stacks[0][-1]
+        ok = self._exec_simple(node, f, w, w.frames())
+        if not ok:
+            return []
+        out = []
+        for succ_id in node.succs:
+            w2 = w.clone() if len(node.succs) > 1 else w
+            w2.stacks[0][-1].node = succ_id
+            out.append(w2)
+        return out
+
+
+def _apply_binop(op: str, a: Any, b: Any) -> Any:
+    """Arithmetic/comparison with the checker's C-truncation division."""
+    if op == "+":
+        return a + b
+    if op == "-":
+        return a - b
+    if op == "*":
+        return a * b
+    if op == "/":
+        if b == 0:
+            raise _Halt("div-zero", "division by zero")
+        q = abs(a) // abs(b)
+        return q if (a >= 0) == (b >= 0) else -q
+    if op == "%":
+        if b == 0:
+            raise _Halt("div-zero", "modulo by zero")
+        return a - b * _apply_binop("/", a, b)
+    if op == "==":
+        return a == b
+    if op == "!=":
+        return a != b
+    if op == "<":
+        return a < b
+    if op == "<=":
+        return a <= b
+    if op == ">":
+        return a > b
+    if op == ">=":
+        return a >= b
+    raise _Unsupported(f"binary operator {op}")
+
+
+def _const_value(e: Expr, prog: Program) -> Any:
+    """Evaluate a global initializer (constants and unary ops only)."""
+    if isinstance(e, IntLit):
+        return e.value
+    if isinstance(e, BoolLit):
+        return e.value
+    if isinstance(e, NullLit):
+        return _NULL
+    if isinstance(e, Unary) and e.op == "-":
+        return -_const_value(e.operand, prog)
+    if isinstance(e, Unary) and e.op == "!":
+        return not _const_value(e.operand, prog)
+    if isinstance(e, Var) and e.name in prog.functions:
+        return _Fn(e.name)
+    raise _Unsupported(f"non-constant global initializer {e}")
+
+
+# ---------------------------------------------------------------------------
+# Judgment: reached-set witnesses
+# ---------------------------------------------------------------------------
+
+
+def _loc_of(world: _World, pcfg: ProgramCfg) -> str:
+    """Human-readable location of a configuration's next transition."""
+    stack = world.stacks[0]
+    if not stack:
+        return "terminal"
+    frame = stack[-1]
+    node = pcfg.cfg(frame.func).node(frame.node)
+    text = node.origin.text if node.origin and node.origin.text else node.kind
+    return f"{frame.func}:{frame.node} ({text})"
+
+
+def _validate_reached(doc: dict, prog: Program, pcfg: ProgramCfg,
+                      max_transitions: int) -> ValidationReport:
+    """Initiation + inductiveness + safety for a reached-set witness."""
+    stepper = _Stepper(prog, pcfg)
+    members: List[Tuple] = []
+    invariant: Set[Tuple] = set()
+    for state_doc in doc["invariant"]["states"]:
+        frozen = decode_state(state_doc)
+        members.append(frozen)
+        invariant.add(frozen)
+
+    init = stepper.initial_world()
+    init_key = _freeze(init)
+    if init_key not in invariant:
+        raise _Refuted("initiation", _loc_of(init, pcfg),
+                       "the initial configuration is not covered by the invariant",
+                       missing=encode_state(init_key))
+
+    transitions = 0
+    for frozen in members:
+        world = _materialize(frozen, prog, pcfg)
+        if _freeze(world) != frozen:
+            raise _Refuted("integrity", "",
+                           "state does not round-trip through canonical freezing")
+        loc = _loc_of(world, pcfg)
+        try:
+            succs = stepper.successors(world)
+        except _Halt as exc:
+            raise _Refuted("safety", loc,
+                           f"a covered configuration violates safety — "
+                           f"{exc.kind}: {exc}") from None
+        for succ in succs:
+            transitions += 1
+            if transitions > max_transitions:
+                raise _Unsupported(f"transition budget of {max_transitions} exceeded")
+            succ_key = _freeze(succ)
+            if succ_key not in invariant:
+                raise _Refuted("inductiveness", loc,
+                               "a single-step successor of a covered configuration "
+                               "is not covered",
+                               missing=encode_state(succ_key))
+    return ValidationReport("certified", states_checked=len(members),
+                            transitions_checked=transitions)
+
+
+# ---------------------------------------------------------------------------
+# Judgment: predicate-invariant witnesses
+# ---------------------------------------------------------------------------
+
+
+def _eval_pred(e: Expr, frame: _Frame, world: _World) -> bool:
+    """Recursive concrete evaluation of a predicate expression over the
+    globals and the top frame's locals."""
+    if isinstance(e, IntLit):
+        return e.value  # type: ignore[return-value]
+    if isinstance(e, BoolLit):
+        return e.value
+    if isinstance(e, NullLit):
+        return _NULL  # type: ignore[return-value]
+    if isinstance(e, Var):
+        if e.name in frame.locals:
+            return frame.locals[e.name]
+        if e.name in world.globals:
+            return world.globals[e.name]
+        raise _Unsupported(f"predicate reads unknown variable '{e.name}'")
+    if isinstance(e, Unary):
+        v = _eval_pred(e.operand, frame, world)
+        if e.op == "-":
+            return -v  # type: ignore[return-value]
+        if e.op == "!":
+            return not v
+        raise _Unsupported(f"predicate unary operator {e.op}")
+    if isinstance(e, Binary):
+        if e.op == "&&":
+            return bool(_eval_pred(e.left, frame, world)) and \
+                bool(_eval_pred(e.right, frame, world))
+        if e.op == "||":
+            return bool(_eval_pred(e.left, frame, world)) or \
+                bool(_eval_pred(e.right, frame, world))
+        a = _eval_pred(e.left, frame, world)
+        b = _eval_pred(e.right, frame, world)
+        try:
+            return _apply_binop(e.op, a, b)
+        except _Halt as exc:
+            raise _Unsupported(f"predicate evaluation failed: {exc}") from None
+    raise _Unsupported(f"unsupported predicate expression {e}")
+
+
+def _ordinal_map(prog: Program) -> Dict[int, Tuple[str, int]]:
+    """Map ``id(stmt)`` to ``(func, pre-order ordinal within func.body)``
+    — the location key shared with the emitter (both sides compute it
+    over a parse of the same embedded text, so ordinals agree)."""
+    out: Dict[int, Tuple[str, int]] = {}
+    for fname, decl in prog.functions.items():
+        for i, s in enumerate(walk_stmts(decl.body)):
+            out[id(s)] = (fname, i)
+    return out
+
+
+def _validate_predicates(doc: dict, prog: Program, pcfg: ProgramCfg,
+                         max_states: int) -> ValidationReport:
+    """Exhaustive concrete exploration + per-location conformance against
+    the certified cube sets (see docs/WITNESSES.md for the argument)."""
+    inv = doc["invariant"]
+    global_preds = [decode_expr(p) for p in inv["predicates"]["global"]]
+    local_preds = {f: [decode_expr(p) for p in ps]
+                   for f, ps in inv["predicates"]["local"].items()}
+    locations: Dict[Tuple[str, int], Set[Tuple[bool, ...]]] = {}
+    loc_stmt: Dict[Tuple[str, int], str] = {}
+    for loc in inv["locations"]:
+        key = (loc["func"], loc["ordinal"])
+        width = len(global_preds) + len(local_preds.get(loc["func"], []))
+        cubes = set()
+        for cube in loc["cubes"]:
+            if len(cube) != width or not all(isinstance(b, bool) for b in cube):
+                raise _Refuted("integrity", f"{key[0]}:{key[1]}",
+                               f"cube width {len(cube)} does not match the "
+                               f"{width} predicates in scope")
+            cubes.add(tuple(cube))
+        locations[key] = cubes
+        loc_stmt[key] = loc["stmt"]
+
+    ordinals = _ordinal_map(prog)
+    stepper = _Stepper(prog, pcfg)
+    init = stepper.initial_world()
+    seen: Set[Tuple] = set()
+    queue: List[_World] = [init]
+    seen.add(_freeze(init))
+    states = 0
+    transitions = 0
+    qi = 0
+    while qi < len(queue):
+        world = queue[qi]
+        qi += 1
+        states += 1
+        if states > max_states:
+            raise _Unsupported(f"state budget of {max_states} exceeded")
+        stack = world.stacks[0]
+        if stack:
+            frame = stack[-1]
+            node = pcfg.cfg(frame.func).node(frame.node)
+            stmt = node.stmt
+            key = ordinals.get(id(stmt)) if stmt is not None else None
+            if key is not None and key in locations:
+                scope = global_preds + local_preds.get(frame.func, [])
+                vector = tuple(bool(_eval_pred(p, frame, world)) for p in scope)
+                if vector not in locations[key]:
+                    raise _Refuted(
+                        "inductiveness", f"{key[0]}:{key[1]} ({loc_stmt[key]})",
+                        f"reachable predicate valuation {list(vector)} is not "
+                        f"covered by the certified cubes")
+        loc = _loc_of(world, pcfg)
+        try:
+            succs = stepper.successors(world)
+        except _Halt as exc:
+            raise _Refuted("safety", loc,
+                           f"a reachable configuration violates safety — "
+                           f"{exc.kind}: {exc}") from None
+        for succ in succs:
+            transitions += 1
+            k = _freeze(succ)
+            if k not in seen:
+                seen.add(k)
+                queue.append(succ)
+    return ValidationReport("certified", states_checked=states,
+                            transitions_checked=transitions)
+
+
+# ---------------------------------------------------------------------------
+# Entry points
+# ---------------------------------------------------------------------------
+
+
+def validate_witness_doc(doc: dict, max_transitions: int = DEFAULT_MAX_TRANSITIONS,
+                         max_states: int = DEFAULT_MAX_STATES) -> ValidationReport:
+    """Validate one ``kiss-witness/1`` document; never raises — every
+    outcome (including malformed documents and internal surprises) is
+    folded into a :class:`ValidationReport`."""
+    try:
+        validate_witness(doc)
+    except SchemaError as exc:
+        return ValidationReport("refuted", judgment="schema", detail=str(exc))
+    digest = hashlib.sha256(doc["program"].encode()).hexdigest()
+    if digest != doc["program_sha256"]:
+        return ValidationReport("refuted", judgment="integrity",
+                                detail="program text does not match program_sha256")
+    try:
+        prog = parse_core(doc["program"])
+        pcfg = build_program_cfg(prog)
+    except Exception as exc:  # lex/parse/type errors on the embedded text
+        return ValidationReport("refuted", judgment="integrity",
+                                detail=f"embedded program does not parse: {exc}")
+    if prog.entry != doc["entry"] or prog.entry not in prog.functions:
+        return ValidationReport("refuted", judgment="integrity",
+                                detail=f"entry '{doc['entry']}' does not match program")
+    try:
+        if doc["kind"] == "reached-set":
+            return _validate_reached(doc, prog, pcfg, max_transitions)
+        return _validate_predicates(doc, prog, pcfg, max_states)
+    except _Refuted as exc:
+        return ValidationReport("refuted", judgment=exc.judgment,
+                                location=exc.location, detail=exc.detail,
+                                missing_state=exc.missing)
+    except (_Unsupported, EncodeError) as exc:
+        return ValidationReport("unsupported", judgment="abstained", detail=str(exc))
+    except RecursionError as exc:  # pathological embedded programs
+        return ValidationReport("unsupported", judgment="abstained", detail=str(exc))
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """``python -m repro.witness.validate cert.json`` — the standalone
+    checker (exit 0 certified, 1 refuted, 2 unsupported, 3 usage)."""
+    ap = argparse.ArgumentParser(
+        prog="python -m repro.witness.validate",
+        description="Independently validate a kiss-witness/1 certificate.")
+    ap.add_argument("file", help="path to a kiss-witness/1 JSON document")
+    ap.add_argument("--json", action="store_true", help="emit the report as JSON")
+    args = ap.parse_args(argv)
+    try:
+        with open(args.file, "r", encoding="utf-8") as fh:
+            doc = json.load(fh)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 3
+    report = validate_witness_doc(doc)
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(report)
+    return {"certified": 0, "refuted": 1, "unsupported": 2}[report.status]
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess in CI
+    sys.exit(main())

@@ -108,3 +108,39 @@ def test_backend_wall_clock_accounted(name):
     for row in r.metrics["phases"]:
         if row["name"] != "check":
             assert row["wall_s"] <= check["wall_s"] + 1e-6, row
+
+
+SAFE_PROGRAMS = sorted(n for n, (_, _, v) in PROGRAMS.items() if v == "safe")
+
+
+@pytest.mark.parametrize("name", SAFE_PROGRAMS)
+def test_backends_emit_cross_validated_witnesses(name):
+    """The witness column of the parity table: both backends certify the
+    same safe programs, each in its own certificate kind, and both
+    certificates pass the independent validator."""
+    from repro.witness.validate import validate_witness_doc
+
+    source, max_ts, _ = _program(name)
+    kinds = {}
+    for backend in sorted(REQUIRED):
+        r = Kiss(max_ts=max_ts, backend=backend, witness=True).check_assertions(
+            parse(source))
+        assert r.verdict == "safe", f"{name}/{backend}: {r.verdict}"
+        assert r.witness is not None, f"{name}/{backend}: safe without witness"
+        report = validate_witness_doc(r.witness)
+        assert report.status == "certified", f"{name}/{backend}: {report}"
+        kinds[backend] = r.witness["kind"]
+    assert kinds == {"cegar": "predicate-invariant", "explicit": "reached-set"}
+
+
+@pytest.mark.parametrize("name", sorted(PROGRAMS))
+def test_witness_emission_leaves_verdict_and_metrics_intact(name):
+    """witness=True is an execution option: the verdict (and for error
+    programs, the trace) must match the plain run exactly."""
+    source, max_ts, expected = _program(name)
+    plain = Kiss(max_ts=max_ts).check_assertions(parse(source))
+    with_w = Kiss(max_ts=max_ts, witness=True).check_assertions(parse(source))
+    assert plain.verdict == with_w.verdict == expected
+    assert plain.error_kind == with_w.error_kind
+    if expected != "safe":
+        assert with_w.witness is None

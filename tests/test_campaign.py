@@ -238,6 +238,24 @@ def test_cache_hit_survives_execution_option_change(tmp_path):
     assert warm.verdict == cold.verdict
 
 
+def test_cache_hit_survives_witness_option_change(tmp_path):
+    """witness is an execution option like map_traces: flipping it must
+    not fork the cache key, and a certificate captured on the cold run
+    rides along in the cached entry."""
+    d = str(tmp_path / "cache")
+    safe = job(target="EXT.b", witness=True)  # EXT.b is the safe field
+    assert cache_key(safe) == cache_key(job(target="EXT.b"))
+    cold = CampaignScheduler(CampaignConfig(cache_dir=d)).run([safe])[0]
+    assert not cold.cache_hit and cold.verdict == "safe"
+    assert cold.witness is not None
+    assert cold.witness["schema"] == "kiss-witness/1"
+    # warm hit with the flag off still serves the cached result
+    warm = CampaignScheduler(CampaignConfig(cache_dir=d)).run(
+        [job(target="EXT.b")])[0]
+    assert warm.cache_hit and warm.verdict == "safe"
+    assert warm.witness == cold.witness
+
+
 def test_timeout_on_first_job_of_pool_batch():
     """The very first job submitted to the pool timing out must degrade
     just that job — the rest of the batch completes normally and input

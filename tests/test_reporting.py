@@ -178,3 +178,18 @@ def test_end_to_end_record_for_smallest_driver():
     run = check_driver(spec)
     rec = table1_record([run], PAPER_TABLE1)
     assert rec.matches == 1
+
+
+def test_job_result_witness_roundtrip():
+    """A certificate attached to a JobResult survives the persistence
+    round-trip (this is what the campaign cache and --witness-dir rely
+    on), and results without one serialize exactly as before."""
+    doc = {"schema": "kiss-witness/1", "kind": "reached-set",
+           "program_sha256": "ab" * 32}
+    r = _job("imca", "safe")
+    r.witness = doc
+    back = JobResult.from_dict(r.to_dict())
+    assert back.witness == doc
+    plain = _job("imca", "safe")
+    assert "witness" not in plain.to_dict()
+    assert JobResult.from_dict(plain.to_dict()).witness is None
