@@ -16,6 +16,9 @@ __all__ = [
     "LocksetAnalyzer",
     "LocksetReport",
     "lockset_check",
+    "SharedAccessInfo",
+    "analyze_shared_access",
+    "shared_globals",
 ]
 
 _LAZY = {
@@ -25,6 +28,9 @@ _LAZY = {
     "LocksetAnalyzer": "lockset",
     "LocksetReport": "lockset",
     "lockset_check": "lockset",
+    "SharedAccessInfo": "sharedaccess",
+    "analyze_shared_access": "sharedaccess",
+    "shared_globals": "sharedaccess",
 }
 
 

@@ -17,7 +17,9 @@ orchestration layer over that matrix:
   JSONL under ``.kiss-cache/``;
 * :mod:`telemetry` — structured JSONL event stream and the Table 1
   shaped end-of-run summary;
-* :mod:`corpus` — campaigns over the bundled 18-driver corpus.
+* :mod:`corpus` — campaigns over the bundled 18-driver corpus;
+* :mod:`swarm` — one program fanned out into N schedule tiles of the
+  lazy sequentialization, aggregated back to a single verdict.
 
 The runtime is chaos-hardened (docs/ROBUSTNESS.md): per-worker memory
 ceilings, a campaign deadline, graceful SIGINT/SIGTERM draining with a
@@ -32,6 +34,14 @@ from .corpus import corpus_jobs, results_to_driver_runs, run_corpus_campaign
 from .jobs import CheckJob, JobResult, parse_target
 from .runtime import DEFAULT_CACHE_DIR, CampaignConfig, CampaignRuntime, default_jobs
 from .scheduler import CampaignScheduler, run_jobs
+from .swarm import (
+    SwarmReport,
+    TilePlan,
+    aggregate,
+    plan_tiles,
+    run_swarm_campaign,
+    swarm_jobs,
+)
 from .telemetry import (
     SUMMARY_SCHEMA,
     Telemetry,
@@ -63,4 +73,10 @@ __all__ = [
     "results_to_driver_runs",
     "run_corpus_campaign",
     "execute_job",
+    "TilePlan",
+    "SwarmReport",
+    "aggregate",
+    "plan_tiles",
+    "swarm_jobs",
+    "run_swarm_campaign",
 ]

@@ -4,12 +4,12 @@ The key of a job is the SHA-256 over (a) the pretty-printed *lowered*
 program — so formatting/comment changes in the surface source do not
 invalidate results, but any semantic edit does — and (b) the
 verdict-relevant configuration: property, target, transformer knobs
-(``max_ts``, alias pruning), and backend budget (``backend``,
-``max_states``, ``cegar_rounds``).  See
+(``max_ts``, alias pruning, ``strategy``/``rounds``/``por``/``cs_tile``),
+and backend budget (``backend``, ``max_states``, ``cegar_rounds``).  See
 :meth:`~repro.campaign.jobs.CheckJob.verdict_config`.
 
 Results persist as JSONL under ``.kiss-cache/`` (one object per line:
-``{"schema": "kiss-cache/2", "key": ..., "result": {...}}``), appended
+``{"schema": "kiss-cache/3", "key": ..., "result": {...}}``), appended
 as jobs finish, so a re-run of the same campaign only checks drivers
 whose programs or configurations changed.  Appends go through an
 exclusive ``flock`` (:func:`repro.ioutil.locked_append`), so two
@@ -45,7 +45,8 @@ CACHE_FILE = "results.jsonl"
 #: Entry-format tag.  Bump when the key derivation or the result shape
 #: changes incompatibly; loaders skip entries with any other tag.
 #: ``/2``: added ``strategy``/``rounds`` to the verdict configuration.
-SCHEMA = "kiss-cache/2"
+#: ``/3``: added ``por``/``cs_tile`` (lazy strategy, swarm tiling).
+SCHEMA = "kiss-cache/3"
 
 #: Degraded-outcome detail prefixes that must never be cached: a re-run
 #: with more headroom (longer timeout, higher memory ceiling, no

@@ -34,6 +34,8 @@ KISS_DEFAULTS: Dict[str, Any] = {
     "inline": False,
     "strategy": "kiss",
     "rounds": 2,
+    "por": False,
+    "cs_tile": None,
     "map_traces": False,
     "validate_traces": False,
     "observe": False,
@@ -52,6 +54,8 @@ VERDICT_KEYS = (
     "inline",
     "strategy",
     "rounds",
+    "por",
+    "cs_tile",
 )
 
 

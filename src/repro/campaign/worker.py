@@ -167,6 +167,7 @@ def _fuzz_outcome(job: CheckJob, prog: Program, outcome):
             race_global=job.config.get("fuzz_race"),
             strategy=kw["strategy"],
             rounds=kw["rounds"],
+            por=kw["por"],
             witness=bool(job.config.get("fuzz_witness", False)),
         )
     if v.diverged:

@@ -5,6 +5,8 @@ Usage (after ``pip install -e .``)::
     python -m repro check file.kp                 # assertion checking
     python -m repro check file.kp --max-ts 1
     python -m repro rounds file.kp --rounds 3     # K-round sequentialization
+    python -m repro lazy file.kp --rounds 3       # lazy pc-guarded K rounds
+    python -m repro campaign --swarm file.kp      # N-tile swarm of one program
     python -m repro race file.kp --target g       # race on global g
     python -m repro race file.kp --target S.field # race on a struct field
     python -m repro race file.kp --all-fields S   # the per-field loop
@@ -43,6 +45,7 @@ from repro.lang.lexer import LexError
 from repro.lang.parser import ParseError
 from repro.lang.pretty import pretty_program
 from repro.lang.types import KissTypeError
+from repro.schemas import STRATEGIES
 
 EXIT_SAFE = 0
 EXIT_ERROR = 1
@@ -66,6 +69,7 @@ def _kiss(args) -> Kiss:
         inline=getattr(args, "inline", False),
         strategy=getattr(args, "strategy", "kiss"),
         rounds=getattr(args, "rounds", 2),
+        por=getattr(args, "por", False),
         witness=getattr(args, "witness", False) or bool(getattr(args, "witness_out", None)),
     )
 
@@ -124,6 +128,20 @@ def cmd_rounds(args) -> int:
     return _report(_kiss(args).check_assertions(prog), args)
 
 
+def cmd_lazy(args) -> int:
+    """The `lazy` subcommand: assertion checking through the lazy
+    pc-guarded K-round sequentialization (see docs/SEQUENTIALIZATION.md).
+
+    Unlike eager ``rounds`` there are no snapshot guesses to get wrong —
+    the driver interprets one thread segment at a time over the single
+    shared store, so every reported error is a real K-round execution by
+    construction.  ``--por`` prunes context-switch candidates at
+    statements that touch no shared global.
+    """
+    prog = _load(args.file)
+    return _report(_kiss(args).check_assertions(prog), args)
+
+
 def cmd_race(args) -> int:
     """The `race` subcommand: race checking (Figure 5), one target or per-field.
 
@@ -161,12 +179,19 @@ def cmd_campaign(args) -> int:
     campaign, SIGINT/SIGTERM drain gracefully (exit 130, partial but
     schema-valid `--summary-json`, cache intact for the re-run), and
     `--inject` runs a deterministic fault plan for chaos testing.
+
+    `--swarm FILE.kp` switches to swarm mode (docs/SWARM.md): one
+    program expanded into `--tiles` schedule tiles of the lazy
+    sequentialization, each an ordinary cached job, aggregated back to
+    one verdict with a replay-validated trace on error.
     """
     from repro.campaign import CampaignConfig, DEFAULT_CACHE_DIR, default_jobs, run_corpus_campaign
     from repro.drivers import DRIVER_SPECS, spec_by_name
     from repro.faults import FaultPlan
     from repro.ioutil import atomic_write_json
 
+    if args.swarm:
+        return _swarm(args)
     if args.list_drivers:
         for s in DRIVER_SPECS:
             print(f"{s.name}  ({len(s.fields)} fields)")
@@ -233,6 +258,50 @@ def cmd_campaign(args) -> int:
     return EXIT_SAFE
 
 
+def _swarm(args) -> int:
+    """`campaign --swarm`: the N-tile swarm mode over one program."""
+    from repro.campaign import CampaignConfig, DEFAULT_CACHE_DIR, default_jobs, run_swarm_campaign
+    from repro.faults import FaultPlan
+
+    try:
+        plan = FaultPlan.parse(args.inject, seed=args.inject_seed) if args.inject else None
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_USAGE
+    cache_dir = None if args.no_cache else (args.cache_dir or DEFAULT_CACHE_DIR)
+    config = CampaignConfig(
+        jobs=args.jobs if args.jobs is not None else default_jobs(),
+        timeout=args.timeout,
+        retries=args.retries,
+        cache_dir=cache_dir,
+        telemetry_path=args.telemetry,
+        deadline=args.deadline,
+        memory_limit=args.memory_limit,
+        fault_plan=plan,
+    )
+    with open(args.swarm) as f:
+        source = f.read()
+    report = run_swarm_campaign(
+        source,
+        tiles=args.tiles,
+        rounds=args.swarm_rounds,
+        seed=args.swarm_seed,
+        por=args.por,
+        max_states=args.max_states,
+        campaign_config=config,
+    )
+    print(report.summary())
+    if report.interrupted is not None:
+        print(f"swarm interrupted ({report.interrupted}); completed tiles are "
+              f"cached — re-run to resume", file=sys.stderr)
+        return EXIT_INTERRUPTED
+    if report.is_error:
+        return EXIT_ERROR
+    if report.verdict == "resource-bound":
+        return EXIT_BOUND
+    return EXIT_SAFE
+
+
 def cmd_fuzz(args) -> int:
     """The `fuzz` subcommand: differential fuzzing of the KISS pipeline
     against the balanced-interleaving oracle (see docs/FUZZING.md).
@@ -257,8 +326,9 @@ def cmd_fuzz(args) -> int:
         cache_dir=args.cache_dir,
         telemetry_path=args.telemetry,
     )
-    if args.strategy == "rounds" and args.race:
-        print("fuzz: --race is not available with --strategy rounds", file=sys.stderr)
+    if args.strategy != "kiss" and args.race:
+        print(f"fuzz: --race is not available with --strategy {args.strategy}",
+              file=sys.stderr)
         return EXIT_USAGE
     report = run_fuzz_campaign(
         count=args.count,
@@ -269,6 +339,7 @@ def cmd_fuzz(args) -> int:
         race=args.race,
         strategy=args.strategy,
         rounds=args.rounds,
+        por=args.por,
         witness=args.witness,
         do_shrink=not args.no_shrink,
     )
@@ -613,6 +684,9 @@ def build_parser() -> argparse.ArgumentParser:
                         help="emit a kiss-witness/1 safety certificate on a safe verdict")
         sp.add_argument("--witness-out", metavar="PATH",
                         help="write the certificate to PATH (implies --witness)")
+        sp.add_argument("--por", action="store_true",
+                        help="shared-access partial-order reduction: drop schedule "
+                             "points at statements touching no shared global")
         if race:
             sp.add_argument("--no-alias", action="store_true",
                             help="disable alias-analysis check pruning")
@@ -628,6 +702,15 @@ def build_parser() -> argparse.ArgumentParser:
     sp.add_argument("--rounds", type=int, default=2,
                     help="round budget K (default 2; K=1 is purely sequential)")
     sp.set_defaults(func=cmd_rounds, strategy="rounds")
+
+    sp = sub.add_parser(
+        "lazy",
+        help="check assertions through the lazy pc-guarded K-round sequentialization",
+    )
+    common(sp)
+    sp.add_argument("--rounds", type=int, default=2,
+                    help="round budget K (default 2; K=1 is purely sequential)")
+    sp.set_defaults(func=cmd_lazy, strategy="lazy")
 
     sp = sub.add_parser("race", help="check for races (Figure 5)")
     common(sp, race=True)
@@ -683,6 +766,17 @@ def build_parser() -> argparse.ArgumentParser:
                          "docs/ROBUSTNESS.md)")
     sp.add_argument("--inject-seed", type=int, default=0,
                     help="seed for probabilistic (p=) fault rules (default 0)")
+    sp.add_argument("--swarm", metavar="FILE.kp", default=None,
+                    help="swarm mode: tile FILE's lazy schedule space into "
+                         "--tiles jobs instead of sweeping the driver corpus")
+    sp.add_argument("--tiles", type=int, default=8,
+                    help="tile count for --swarm (default 8)")
+    sp.add_argument("--swarm-rounds", type=int, default=3,
+                    help="lazy round budget K for --swarm (default 3)")
+    sp.add_argument("--swarm-seed", type=int, default=0,
+                    help="tiling shuffle seed for --swarm (default 0)")
+    sp.add_argument("--por", action="store_true",
+                    help="shared-access partial-order reduction inside each tile")
     sp.set_defaults(func=cmd_campaign)
 
     sp = sub.add_parser(
@@ -708,12 +802,16 @@ def build_parser() -> argparse.ArgumentParser:
     sp.add_argument("--race", action="store_true",
                     help="also run the race pipeline on the distinguished location "
                          "with trace replay (false-race detection; KISS strategy only)")
-    sp.add_argument("--strategy", choices=("kiss", "rounds"), default="kiss",
+    sp.add_argument("--strategy", choices=STRATEGIES, default="kiss",
                     help="sequentialization under test: the Figure 4 pipeline "
-                         "against balanced interleavings, or the K-round transform "
-                         "against all interleavings (default kiss)")
+                         "against balanced interleavings, or a K-round transform "
+                         "(eager 'rounds' or pc-guarded 'lazy') against all "
+                         "interleavings (default kiss)")
     sp.add_argument("--rounds", type=int, default=2,
-                    help="round budget K for --strategy rounds (default 2)")
+                    help="round budget K for --strategy rounds/lazy (default 2)")
+    sp.add_argument("--por", action="store_true",
+                    help="shared-access partial-order reduction on the "
+                         "sequential side (any strategy)")
     sp.add_argument("--witness", action="store_true",
                     help="third cross-check: every safe agreement must emit a "
                          "certificate the independent validator certifies "
@@ -801,10 +899,10 @@ def build_parser() -> argparse.ArgumentParser:
                      help="validate an existing kiss-witness/1 JSON document instead")
     wsp.add_argument("--backend", choices=("explicit", "cegar"), default="explicit",
                      help="backend for FILE mode (default explicit)")
-    wsp.add_argument("--strategy", choices=("kiss", "rounds"), default="kiss",
+    wsp.add_argument("--strategy", choices=STRATEGIES, default="kiss",
                      help="sequentialization for FILE mode (default kiss)")
     wsp.add_argument("--rounds", type=int, default=2,
-                     help="round budget K for --strategy rounds (default 2)")
+                     help="round budget K for --strategy rounds/lazy (default 2)")
     wsp.add_argument("--max-ts", type=int, default=0, help="ts bound (default 0)")
     wsp.add_argument("--max-states", type=int, default=500_000, help="state budget")
     wsp.add_argument("--out", metavar="PATH",

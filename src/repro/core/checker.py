@@ -16,6 +16,7 @@ from repro.cfg.build import build_program_cfg
 from repro.cfg.graph import ProgramCfg
 from repro.lang.ast import Program
 from repro.lang.lower import is_core_program, lower_program
+from repro.schemas import STRATEGIES
 from repro.seqcheck.explicit import SequentialChecker
 from repro.seqcheck.trace import CheckResult, CheckStatus
 
@@ -38,8 +39,10 @@ class KissResult:
     assertion, or the backend's violation kind for memory errors.
 
     ``strategy``/``rounds``: which sequentialization produced the
-    verdict — ``"kiss"`` (Figure 4, ``rounds`` is None) or ``"rounds"``
-    (the K-round transform of :mod:`repro.rounds`, ``rounds`` = K).
+    verdict — ``"kiss"`` (Figure 4, ``rounds`` is None), ``"rounds"``
+    (the eager K-round transform of :mod:`repro.rounds`, ``rounds`` = K),
+    or ``"lazy"`` (the pc-guarded lazy transform of :mod:`repro.lazy`,
+    ``rounds`` = K).
     """
 
     verdict: str
@@ -81,7 +84,7 @@ class KissResult:
 
     def summary(self) -> str:
         what = f" on {self.target.describe()}" if self.target else ""
-        budget = f" [rounds K={self.rounds}]" if self.strategy == "rounds" else ""
+        budget = f" [{self.strategy} K={self.rounds}]" if self.rounds is not None else ""
         if self.is_error:
             return f"{self.error_kind}{what}: {self.backend_result.message}{budget}"
         return f"{self.verdict}{what}{budget}"
@@ -138,13 +141,26 @@ class Kiss:
         safe check; it never changes the verdict.
     strategy:
         Which sequentialization to use for assertion checking:
-        ``"kiss"`` (default, Figure 4) or ``"rounds"`` (the K-round
-        round-robin transform of :mod:`repro.rounds`; see
-        ``docs/SEQUENTIALIZATION.md``).  Race checking (Figure 5) is
-        KISS-only.
+        ``"kiss"`` (default, Figure 4), ``"rounds"`` (the eager K-round
+        round-robin transform of :mod:`repro.rounds`), or ``"lazy"``
+        (the pc-guarded lazy round-robin transform of
+        :mod:`repro.lazy`; see ``docs/SEQUENTIALIZATION.md``).  Race
+        checking (Figure 5) is KISS-only.
     rounds:
-        The round budget K for ``strategy="rounds"`` (ignored
-        otherwise).  K=2 subsumes KISS's coverage for two threads.
+        The round budget K for ``strategy="rounds"``/``"lazy"``
+        (ignored for ``"kiss"``).  K=2 subsumes KISS's coverage for two
+        threads.
+    por:
+        Opt-in shared-access partial-order reduction
+        (:mod:`repro.analysis.sharedaccess`): schedule/switch points in
+        front of purely thread-local statements are pruned (counted by
+        the ``por_schedule_points_pruned`` obs counter).  Verdicts are
+        unaffected; the sequential state space shrinks.
+    cs_tile:
+        ``strategy="lazy"`` only: restrict context-switch points to the
+        given ``"<instance>:<pc>"`` list — one tile of a swarm campaign
+        (see :mod:`repro.campaign.swarm`).  Coverage-only: a tile's
+        verdict is sound but bounded by its enabled points.
     """
 
     def __init__(
@@ -161,15 +177,21 @@ class Kiss:
         strategy: str = "kiss",
         rounds: int = 2,
         witness: bool = False,
+        por: bool = False,
+        cs_tile: Optional[List[str]] = None,
     ):
         if backend not in ("explicit", "cegar"):
             raise ValueError(f"unknown backend {backend!r}")
-        if strategy not in ("kiss", "rounds"):
+        if strategy not in STRATEGIES:
             raise ValueError(f"unknown strategy {strategy!r}")
         if rounds < 1:
             raise ValueError("rounds must be >= 1")
+        if cs_tile is not None and strategy != "lazy":
+            raise ValueError("cs_tile requires strategy='lazy'")
         self.strategy = strategy
         self.rounds = rounds
+        self.por = por
+        self.cs_tile = list(cs_tile) if cs_tile is not None else None
         self.max_ts = max_ts
         self.max_states = max_states
         self.use_alias_analysis = use_alias_analysis
@@ -206,8 +228,14 @@ class Kiss:
         if self.strategy == "rounds":
             from repro.rounds import RoundRobinTransformer
 
-            return RoundRobinTransformer(rounds=self.rounds, max_ts=self.max_ts)
-        return KissTransformer(max_ts=self.max_ts)
+            return RoundRobinTransformer(rounds=self.rounds, max_ts=self.max_ts, por=self.por)
+        if self.strategy == "lazy":
+            from repro.lazy import LazyTransformer
+
+            return LazyTransformer(
+                rounds=self.rounds, max_ts=self.max_ts, por=self.por, cs_tile=self.cs_tile
+            )
+        return KissTransformer(max_ts=self.max_ts, por=self.por)
 
     def sequentialize(self, prog: Program) -> Program:
         """The sequentialization only (Figure 4 or the K-round
@@ -272,10 +300,14 @@ class Kiss:
         ctrace = None
         if self.map_traces and result.is_error:
             with obs.span("trace-map"):
-                if self.strategy == "rounds":
+                if target is None and self.strategy == "rounds":
                     from repro.rounds.tracemap import map_result as rounds_map_result
 
                     ctrace = rounds_map_result(pcfg, result)
+                elif target is None and self.strategy == "lazy":
+                    from repro.lazy.tracemap import map_result as lazy_map_result
+
+                    ctrace = lazy_map_result(pcfg, result)
                 else:
                     ctrace = map_result(pcfg, result)
         validated: Optional[bool] = None
@@ -295,7 +327,7 @@ class Kiss:
                     transformed,
                     backend=self.backend,
                     strategy=strategy,
-                    rounds=self.rounds if strategy == "rounds" else None,
+                    rounds=self.rounds if strategy in ("rounds", "lazy") else None,
                     max_states=self.max_states,
                     cegar_rounds=self.cegar_rounds,
                     target=target.describe() if target is not None else None,
@@ -304,7 +336,7 @@ class Kiss:
             verdict=verdict,
             error_kind=error_kind,
             strategy=self.strategy if target is None else "kiss",
-            rounds=self.rounds if self.strategy == "rounds" and target is None else None,
+            rounds=self.rounds if self.strategy in ("rounds", "lazy") and target is None else None,
             target=target,
             backend_result=result,
             transformed=transformed,
@@ -400,6 +432,7 @@ class Kiss:
             "backend": self.backend,
             "cegar_rounds": self.cegar_rounds,
             "inline": False,  # _as_core already inlined
+            "por": False,  # the race instrumentation never prunes switch points
             "map_traces": self.map_traces,
             "validate_traces": self.validate_traces,
             "observe": self.observe,

@@ -65,3 +65,33 @@ def ts_slot_fn(slot: int) -> str:
 def transformed_temp(n: int) -> str:
     """The n-th instrumentation temporary of a function."""
     return f"{PREFIX}t{n}"
+
+
+# Lazy pc-guarded sequentialization (repro.lazy)
+
+
+def lz_step(t: int) -> str:
+    """Step function of thread instance ``t``: executes the one node the
+    instance's saved pc points at."""
+    return f"{PREFIX}lz_step{t}"
+
+
+def lz_at(t: int, pc: int) -> str:
+    """One-hot saved-pc flag: instance ``t`` is stopped at node ``pc``."""
+    return f"{PREFIX}lz_at{t}_{pc}"
+
+
+def lz_done(t: int) -> str:
+    """Instance ``t`` ran to completion."""
+    return f"{PREFIX}lz_done{t}"
+
+
+def lz_off(t: int) -> str:
+    """Instance ``t`` has not been spawned yet (main starts false)."""
+    return f"{PREFIX}lz_off{t}"
+
+
+def lz_local(t: int, name: str) -> str:
+    """Promoted per-instance copy of local/param ``name`` (locals must
+    survive across segment boundaries, so they become globals)."""
+    return f"{PREFIX}lz{t}_{name}"

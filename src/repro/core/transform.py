@@ -52,6 +52,7 @@ from repro.lang.ast import (
     Call,
     Choice,
     Expr,
+    Field,
     FuncDecl,
     FuncType,
     GlobalDecl,
@@ -69,6 +70,8 @@ from repro.lang.ast import (
     Type,
     Unary,
     Var,
+    stmt_exprs,
+    walk_exprs,
     walk_stmts,
 )
 from repro import obs
@@ -192,14 +195,21 @@ class KissTransformer:
     which overrides the two hook methods.
     """
 
-    def __init__(self, max_ts: int = 0):
+    def __init__(self, max_ts: int = 0, por: bool = False):
         if max_ts < 0:
             raise ValueError("max_ts must be >= 0")
         self.max_ts = max_ts
+        #: shared-access POR (:mod:`repro.analysis.sharedaccess`): drop
+        #: the ``schedule(); choice{skip [] RAISE}`` prefix before purely
+        #: thread-local statements — preempting (or dispatching) there
+        #: commutes with doing so at the next shared/blocking point, so
+        #: the simulated execution set is unchanged.
+        self.por = por
         # Populated by transform():
         self.prog: Optional[Program] = None
         self.families: List[SpawnFamily] = []
         self.emit_schedule = False
+        self._por_shared: Optional[set] = None
 
     # -- hooks for the race subclass ----------------------------------------------
 
@@ -238,6 +248,10 @@ class KissTransformer:
         self.prog = out
         self.families = spawn_families(out)
         self.emit_schedule = self.max_ts > 0 and bool(self.families)
+        if self.por:
+            from repro.analysis.sharedaccess import analyze_shared_access
+
+            self._por_shared = analyze_shared_access(out).shared
 
         for func in list(out.functions.values()):
             self._transform_function(func)
@@ -343,15 +357,48 @@ class KissTransformer:
 
     def _full_prefix(self, fctx: _FnCtx, stmt: Stmt) -> List[Stmt]:
         """``schedule(); choice{skip [] <checks> [] RAISE}``."""
-        out = self._schedule_prefix()
         pre: List[Stmt] = []
         check_branches = self.access_check_branches(fctx, stmt, pre)
+        if self.por and not check_branches and self._por_prunable(fctx, stmt):
+            obs.inc("por_schedule_points_pruned")
+            return []
+        out = self._schedule_prefix()
         out.extend(pre)
         branches = [Block([_tag(Skip())])]
         branches.extend(check_branches)
         branches.append(Block(self._raise_stmts(fctx)))
         out.append(_tag(Choice(branches)))
         return out
+
+    def _por_prunable(self, fctx: _FnCtx, stmt: Stmt) -> bool:
+        """Thread-invisible and non-blocking: other threads cannot
+        observe (or be blocked by) this statement, so the preemption /
+        dispatch / raise opportunity in front of it commutes forward to
+        the next kept point.  ``assume`` is never prunable — a blocked
+        run must be able to stop right before it — and neither is any
+        heap access (heap cells can be shared)."""
+        if isinstance(stmt, Skip):
+            return True
+        if not isinstance(stmt, (Assign, Assert, Atomic)):
+            return False
+        shared = self._por_shared or set()
+        shadowed = set(fctx.decl.locals) | {p.name for p in fctx.decl.params}
+        for inner in walk_stmts(stmt):
+            if isinstance(inner, Assume):
+                return False
+            for e in stmt_exprs(inner):
+                for sub in walk_exprs(e):
+                    if isinstance(sub, Field):
+                        return False
+                    if isinstance(sub, Unary) and sub.op in ("*", "&"):
+                        return False
+                    if (
+                        isinstance(sub, Var)
+                        and sub.name in shared
+                        and sub.name not in shadowed
+                    ):
+                        return False
+        return True
 
     def _raise_stmts(self, fctx: _FnCtx) -> List[Stmt]:
         return [

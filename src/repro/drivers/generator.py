@@ -178,7 +178,9 @@ class DriverGenerator:
         return "\n".join(funcs)
 
     def spec_safe_name(self) -> str:
-        return self.spec.name.replace("/", "_").replace("-", "_")
+        name = self.spec.name.replace("/", "_").replace("-", "_")
+        # "1394diag" etc. would otherwise yield an illegal identifier
+        return name if not name[:1].isdigit() else f"drv{name}"
 
 
 def generate_driver(spec: DriverSpec, refined_harness: bool = False, loc_scale: int = 6) -> Program:

@@ -46,6 +46,12 @@ without any concurrent witness still is (:data:`UNSOUND`): the
 consistency epilogue claims every reported error is a real round-robin
 execution.
 
+``strategy="lazy"`` cross-checks the pc-guarded lazy sequentialization
+(:mod:`repro.lazy`) the same way: all interleavings on the concurrent
+side, with a concurrent-only error recorded as a *coverage gap* of the
+K-round schedule bound.  Unlike eager rounds there is no guess domain —
+a lazy coverage gap always means K was too small.
+
 In KISS mode, every :data:`INCOMPLETE` divergence is additionally
 probed with the rounds transform at ``K = 3``: Figure 4 covers two
 context switches, so a balanced error that KISS misses but three rounds
@@ -63,7 +69,9 @@ from repro.cfg.build import build_program_cfg
 from repro.concheck import check_concurrent
 from repro.core.race import RaceTarget
 from repro.core.transform import KissTransformer
+from repro.lazy import LazyTransformer
 from repro.rounds import RoundRobinTransformer
+from repro.schemas import STRATEGIES
 from repro.lang import parse, parse_core
 from repro.lang.ast import Program
 from repro.lang.lower import clone_program, is_core_program, lower_program
@@ -158,6 +166,7 @@ def differential_check(
     race_global: Optional[str] = None,
     strategy: str = "kiss",
     rounds: int = 2,
+    por: bool = False,
     witness: bool = False,
 ) -> OracleVerdict:
     """Cross-check one program (source text, surface AST, or core AST).
@@ -166,7 +175,11 @@ def differential_check(
     coverage direction to be meaningful (the generator supplies this as
     :attr:`~repro.fuzz.gen.GeneratedProgram.n_forks`).  ``race_global``
     additionally runs the race pipeline on that global with trace
-    replay (KISS strategy only — the rounds pipeline has no race mode).
+    replay (KISS strategy only — the bounded-round pipelines have no
+    race mode).  ``por`` enables the shared-access partial-order
+    reduction in whichever transformer the strategy selects; POR is a
+    verdict-preserving pruning, so it rides along on the sequential side
+    without changing what counts as a divergence.
 
     ``witness`` adds a third cross-check on conclusive safe agreement:
     emit a ``kiss-witness/1`` certificate for the sequentialized program
@@ -176,10 +189,10 @@ def differential_check(
     A declined emission or an ``unsupported`` validation is recorded in
     ``witness_status`` but is not a divergence (honest budget outcomes).
     """
-    if strategy not in ("kiss", "rounds"):
+    if strategy not in STRATEGIES:
         raise ValueError(f"unknown strategy {strategy!r}")
-    if strategy == "rounds" and race_global is not None:
-        raise ValueError("race checking is not available under strategy='rounds'")
+    if strategy != "kiss" and race_global is not None:
+        raise ValueError(f"race checking is not available under strategy={strategy!r}")
     core = _as_core(prog)
 
     with obs.span("oracle-concurrent", max_ts=max_ts):
@@ -191,9 +204,11 @@ def differential_check(
         if transformer_factory is not None:
             factory = transformer_factory
         elif strategy == "rounds":
-            factory = lambda ts: RoundRobinTransformer(rounds=rounds, max_ts=ts)
+            factory = lambda ts: RoundRobinTransformer(rounds=rounds, max_ts=ts, por=por)
+        elif strategy == "lazy":
+            factory = lambda ts: LazyTransformer(rounds=rounds, max_ts=ts, por=por)
         else:
-            factory = lambda ts: KissTransformer(max_ts=ts)
+            factory = lambda ts: KissTransformer(max_ts=ts, por=por)
         transformed = factory(max_ts).transform(core)
         seq = SequentialChecker(build_program_cfg(transformed), max_states=max_states).check()
     obs.inc("oracle_runs")
@@ -213,15 +228,17 @@ def differential_check(
                 f"({seq.message}) but no {witness} goes wrong"
             )
         elif v.concurrent == "error" and v.sequential == "safe":
-            if strategy == "rounds":
-                # Expected incompleteness: the round budget or the finite
-                # guess domain missed the erroneous interleaving.
+            if strategy in ("rounds", "lazy"):
+                # Expected incompleteness: the round budget (and, for
+                # eager rounds, the finite guess domain) missed the
+                # erroneous interleaving.
                 v.coverage_gap = True
+                what = "round-robin" if strategy == "rounds" else "lazy round-robin"
                 v.detail = (
                     f"concurrent execution reported '{con.violation_kind}' "
-                    f"({con.message}) outside the K={rounds} round-robin coverage"
+                    f"({con.message}) outside the K={rounds} {what} coverage"
                 )
-                obs.inc("rounds_coverage_gaps")
+                obs.inc(f"{strategy}_coverage_gaps")
             else:
                 v.divergence = INCOMPLETE
                 v.detail = (
@@ -251,7 +268,7 @@ def _witness_check(
             transformed,
             backend="explicit",
             strategy=strategy,
-            rounds=rounds if strategy == "rounds" else None,
+            rounds=rounds if strategy in ("rounds", "lazy") else None,
             max_states=max_states,
         )
         if doc is None:
@@ -310,6 +327,7 @@ def differential_check_source(
     race_global: Optional[str] = None,
     strategy: str = "kiss",
     rounds: int = 2,
+    por: bool = False,
     witness: bool = False,
 ) -> OracleVerdict:
     """Worker-friendly entry point: parse surface source, then check.
@@ -321,5 +339,6 @@ def differential_check_source(
         race_global=race_global,
         strategy=strategy,
         rounds=rounds,
+        por=por,
         witness=witness,
     )

@@ -93,6 +93,7 @@ def fuzz_jobs(
     race: bool = False,
     strategy: str = "kiss",
     rounds: int = 2,
+    por: bool = False,
     witness: bool = False,
 ) -> List[CheckJob]:
     """One differential-checking job per generated program.
@@ -100,15 +101,16 @@ def fuzz_jobs(
     Each job's ``max_ts`` equals the program's fork count, making the
     Theorem 1 comparison exact; ``fuzz_race`` (when ``race`` is set)
     additionally enables the false-race replay check on the generator's
-    distinguished location.  ``strategy="rounds"`` cross-checks the
-    K-round sequentialization against *all* interleavings instead (no
-    race mode there).  ``fuzz_witness`` (when ``witness`` is set) adds
-    the certificate cross-check on safe agreements (see
-    :data:`repro.fuzz.oracle.UNCERTIFIED`).  All of these knobs
-    participate in the cache key.
+    distinguished location.  ``strategy="rounds"`` / ``"lazy"``
+    cross-check the K-round sequentializations against *all*
+    interleavings instead (no race mode there).  ``por`` turns on the
+    shared-access reduction in the sequential pipeline.  ``fuzz_witness``
+    (when ``witness`` is set) adds the certificate cross-check on safe
+    agreements (see :data:`repro.fuzz.oracle.UNCERTIFIED`).  All of
+    these knobs participate in the cache key.
     """
-    if strategy == "rounds" and race:
-        raise ValueError("race checking is not available under strategy='rounds'")
+    if strategy != "kiss" and race:
+        raise ValueError(f"race checking is not available under strategy={strategy!r}")
     cfg = gen_config or GenConfig()
     gen = ProgramGenerator(cfg)
     jobs = []
@@ -118,6 +120,7 @@ def fuzz_jobs(
             "max_states": max_states,
             "strategy": strategy,
             "rounds": rounds,
+            "por": por,
         }
         if race:
             config["fuzz_race"] = cfg.race_global
@@ -151,6 +154,7 @@ def run_fuzz_campaign(
     race: bool = False,
     strategy: str = "kiss",
     rounds: int = 2,
+    por: bool = False,
     witness: bool = False,
     do_shrink: bool = True,
     shrink_max_checks: int = 2_000,
@@ -159,7 +163,7 @@ def run_fuzz_campaign(
     and shrink any divergences.  Returns the full report."""
     jobs = fuzz_jobs(
         count, seed, gen_config, max_states=max_states, race=race,
-        strategy=strategy, rounds=rounds, witness=witness,
+        strategy=strategy, rounds=rounds, por=por, witness=witness,
     )
     scheduler = CampaignScheduler(campaign_config or CampaignConfig())
     results = scheduler.run(jobs)
@@ -176,8 +180,8 @@ def run_fuzz_campaign(
         else:
             report.divergences.append(
                 _minimize(
-                    job, result, max_states, race_global, strategy, rounds, witness,
-                    do_shrink, shrink_max_checks,
+                    job, result, max_states, race_global, strategy, rounds, por,
+                    witness, do_shrink, shrink_max_checks,
                 )
             )
     return report
@@ -190,6 +194,7 @@ def _minimize(
     race_global: Optional[str],
     strategy: str,
     rounds: int,
+    por: bool,
     witness: bool,
     do_shrink: bool,
     shrink_max_checks: int,
@@ -199,7 +204,7 @@ def _minimize(
     def oracle(src: str):
         return differential_check_source(
             src, max_ts=max_ts, max_states=max_states, race_global=race_global,
-            strategy=strategy, rounds=rounds, witness=witness,
+            strategy=strategy, rounds=rounds, por=por, witness=witness,
         )
 
     def still_diverges(src: str) -> bool:

@@ -1,0 +1,557 @@
+"""The lazy pc-guarded round-robin sequentialization (Lazy-CSeq style).
+
+Where :mod:`repro.rounds` is *eager* — each thread runs all of its K
+rounds contiguously against nondeterministically guessed round-entry
+snapshots, validated by a consistency epilogue — this transform is
+*lazy*: the emitted sequential program executes the round-robin schedule
+in its real order, so the shared globals always hold their true values
+and no guessing (and no finite guess domain, the eager transform's
+documented coverage hole) is needed.
+
+The encoding is a CFG interpreter with one-hot boolean pc flags:
+
+* the static *thread instances* are enumerated up front — the entry
+  function is instance 0, and every ``async`` site adds one instance of
+  its (direct) target, breadth-first, so a parent's index is always
+  smaller than its children's;
+* each instance's body is flattened into *nodes*: one per simple
+  statement (``skip``/assign/``assert``/``assume``/``atomic``), one per
+  ``choice``/``iter`` head (no payload, several successors), one per
+  ``async`` site (the spawn arms the child's entry flag);
+* instance ``t`` gets a step function ``__kiss_lz_step<t>()``: a single
+  ``choice`` with one branch per node — ``assume`` the node's pc flag,
+  clear it, run the payload, set a successor flag (``__kiss_lz_done<t>``
+  past the last statement).  Locals and parameters are promoted to
+  per-instance globals (``__kiss_lz<t>_x``) so they survive across
+  segment boundaries;
+* the driver ``__kiss_check`` unrolls ``K`` rounds; in each round every
+  instance in spawn order runs ``iter { __kiss_lz_step<t>(); }`` — zero
+  or more consecutive nodes.  An instance that is unspawned, finished,
+  or blocked at an unsatisfied ``assume`` simply takes the
+  zero-iteration path and retries next round.
+
+Every execution of the emitted program *is* a K-round round-robin
+execution of the input, so asserts fail on the spot, there is no
+deferred error flag, and the trace mapper (:mod:`repro.lazy.tracemap`)
+is a transliteration: payload nodes in sequential execution order are
+the concurrent interleaving.
+
+Two optional restrictions narrow where a segment may *end* (both only
+restrict coverage, never soundness — every surviving execution is still
+a real round-robin prefix):
+
+* ``por=True`` runs :func:`repro.analysis.sharedaccess.analyze_shared_access`
+  and, after each non-final segment, constrains the instance to have
+  stopped at a node whose payload touches a shared global, can block
+  (any ``assume``), or spawns — purely thread-local suffixes commute
+  forward into the next segment, so nothing is lost;
+* ``cs_tile`` (a list of ``"<instance>:<pc>"`` strings, see
+  :mod:`repro.campaign.swarm`) keeps only the listed context-switch
+  points enabled; tiles jointly covering all candidate points recover
+  the full schedule set by a pigeonhole argument (an execution stops at
+  most ``(K-1) * instances`` times, so some tile of any covering family
+  with more tiles than that contains all of its stop points).
+
+Stopping "at entry" (spawned but no step taken), ``off`` (never
+spawned) and ``done`` are always allowed — they encode "this instance
+was not scheduled (further)", which every schedule may do.
+
+The transform supports the scalar call-free fragment: no ``call``
+statements (synchronous calls would need a promoted stack; inline
+first — though note the inliner's argument binds would break trace
+mapping, so lazy drivers are written call-free), no heap
+(``malloc``/pointers/fields), ``int``/``bool`` variables only, direct
+``async`` targets only, no ``async`` under ``iter`` or inside
+``atomic`` (instances are static), and no spawn cycles.  Division *is*
+allowed — there are no unvalidated guesses to make it spurious.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass, field as dc_field
+from typing import Dict, List, Optional, Sequence, Set
+
+from repro import obs
+from repro.lang.ast import (
+    Assert,
+    Assign,
+    Assume,
+    AsyncCall,
+    Atomic,
+    BOOL,
+    Binary,
+    Block,
+    BoolLit,
+    BoolType,
+    Call,
+    Choice,
+    Expr,
+    Field,
+    FuncDecl,
+    GlobalDecl,
+    IntLit,
+    IntType,
+    Iter,
+    Malloc,
+    Program,
+    Return,
+    Skip,
+    Stmt,
+    Type,
+    Unary,
+    Var,
+    stmt_exprs,
+    walk_exprs,
+    walk_stmts,
+)
+from repro.analysis.sharedaccess import analyze_shared_access
+from repro.core import names
+from repro.core.transform import KissTransformer, TransformError, _tag
+from repro.lang.lower import clone_program, is_core_program
+
+TAG_LZ_SPAWN = "lz-spawn"  # skip marker at a spawn node (carries the async sid)
+
+#: Sentinel pc: the instance ran past its last statement.
+DONE = -1
+
+
+def _default_init(typ: Type) -> Expr:
+    if isinstance(typ, IntType):
+        return IntLit(0)
+    if isinstance(typ, BoolType):
+        return BoolLit(False)
+    raise TransformError(f"lazy: cannot default-initialize type {typ}")
+
+
+@dataclass
+class _Node:
+    """One flattened CFG node of an instance."""
+
+    pc: int
+    payload: Optional[Stmt] = None  # a simple core statement, or None
+    spawn: Optional[AsyncCall] = None  # set instead of payload at async sites
+    succs: List[int] = dc_field(default_factory=list)  # pcs (DONE allowed)
+
+
+@dataclass
+class _Instance:
+    """One static thread instance (the entry, or one async site's target)."""
+
+    index: int
+    func: str  # original function name (for diagnostics)
+    decl: FuncDecl  # per-instance deep copy; locals renamed in place
+    chain: tuple  # ancestor function names, for spawn-cycle detection
+    entry: int = DONE
+    nodes: List[_Node] = dc_field(default_factory=list)
+
+
+class LazyTransformer(KissTransformer):
+    """``transform(P)`` emits an ordinary sequential core program whose
+    executions are exactly the K-round round-robin executions of ``P``.
+
+    Parameters
+    ----------
+    rounds:
+        The round budget ``K >= 1``: every instance is preempted at most
+        ``K - 1`` times.
+    max_ts:
+        Accepted for constructor uniformity with the other strategies
+        and ignored — the instance tree is static, so no parked-thread
+        multiset exists.
+    por:
+        Restrict segment ends to shared-access/blocking/spawn nodes
+        (see the module docstring).
+    cs_tile:
+        Optional list of enabled context-switch points as
+        ``"<instance>:<pc>"`` strings; ``None`` enables all of them.
+    """
+
+    def __init__(
+        self,
+        rounds: int = 2,
+        max_ts: int = 0,
+        por: bool = False,
+        cs_tile: Optional[Sequence[str]] = None,
+    ):
+        super().__init__(max_ts=max_ts)
+        if rounds < 1:
+            raise ValueError("rounds must be >= 1")
+        self.rounds = rounds
+        self.por = por
+        self.cs_tile = list(cs_tile) if cs_tile is not None else None
+        # Populated by transform():
+        self.instances: List[_Instance] = []
+        #: every context-switch candidate as ``"<instance>:<pc>"`` — the
+        #: universe :mod:`repro.campaign.swarm` partitions into tiles.
+        self.cs_points: List[str] = []
+
+    # -- public API -------------------------------------------------------------------
+
+    def transform(self, prog: Program) -> Program:
+        with obs.span(
+            "transform",
+            transformer=type(self).__name__,
+            rounds=self.rounds,
+            por=self.por,
+        ):
+            return self._transform(prog)
+
+    # -- orchestration ----------------------------------------------------------------
+
+    def _transform(self, prog: Program) -> Program:
+        if not is_core_program(prog):
+            raise TransformError("input must be a core program (run repro.lang.lower first)")
+        self._check_no_reserved(prog)
+        self._check_globals(prog)
+        out = clone_program(prog)
+        self.prog = out
+
+        self._spawn_child: Dict[int, int] = {}  # id(AsyncCall) -> child instance
+        self.instances = self._build_instances(prog)
+        for inst in self.instances:
+            self._check_instance(inst)
+            self._rename_locals(inst)
+            self._flatten(inst)
+
+        shared: Optional[Set[str]] = None
+        if self.por:
+            shared = analyze_shared_access(prog).shared
+        allowed = self._allowed_stops(shared)
+
+        out.functions = {}
+        for inst in self.instances:
+            out.functions[names.lz_step(inst.index)] = self._make_step(inst)
+        # The driver takes over the original entry's name: the source
+        # functions are gone from the output, and reusing the name keeps
+        # the pretty-print/reparse round trip canonical (witness emission
+        # re-parses the text, and parsing fixes the entry to ``main``).
+        out.functions[prog.entry] = self._make_driver(allowed, name=prog.entry)
+        out.entry = prog.entry
+        self._add_lazy_globals(out)
+
+        self.cs_points = [
+            f"{inst.index}:{n.pc}"
+            for inst in self.instances
+            for n in inst.nodes
+            if n.pc != inst.entry
+        ]
+        obs.inc("lazy_instances", len(self.instances))
+        obs.inc("lazy_nodes", sum(len(i.nodes) for i in self.instances))
+        obs.inc("lazy_cs_candidates", len(self.cs_points))
+        return out
+
+    # -- instance tree ----------------------------------------------------------------
+
+    def _build_instances(self, prog: Program) -> List[_Instance]:
+        try:
+            entry_decl = prog.functions[prog.entry]
+        except KeyError:
+            raise TransformError(f"unknown entry function '{prog.entry}'") from None
+        if entry_decl.params:
+            raise TransformError("lazy: entry function with parameters is unsupported")
+        instances = [
+            _Instance(0, prog.entry, copy.deepcopy(entry_decl), chain=(prog.entry,))
+        ]
+        i = 0
+        while i < len(instances):
+            inst = instances[i]
+            for s in walk_stmts(inst.decl.body):
+                if not isinstance(s, AsyncCall):
+                    continue
+                target = s.func.name
+                local_names = set(inst.decl.locals) | {p.name for p in inst.decl.params}
+                if target not in prog.functions or target in local_names or target in prog.globals:
+                    raise TransformError(
+                        f"lazy: async target '{target}' is not a direct function name"
+                    )
+                if target in inst.chain:
+                    raise TransformError(
+                        f"lazy: spawn cycle through '{target}' "
+                        f"(instance tree must be finite): {' -> '.join(inst.chain)}"
+                    )
+                child = _Instance(
+                    len(instances),
+                    target,
+                    copy.deepcopy(prog.functions[target]),
+                    chain=inst.chain + (target,),
+                )
+                self._spawn_child[id(s)] = child.index
+                instances.append(child)
+            i += 1
+        return instances
+
+    # -- restrictions -----------------------------------------------------------------
+
+    @staticmethod
+    def _check_globals(prog: Program) -> None:
+        for g in prog.globals.values():
+            if not isinstance(g.type, (IntType, BoolType)):
+                raise TransformError(
+                    f"lazy: global '{g.name}' has unsupported type {g.type} "
+                    "(int/bool scalar fragment only)"
+                )
+
+    def _check_instance(self, inst: _Instance) -> None:
+        decl = inst.decl
+        for p in decl.params:
+            if not isinstance(p.type, (IntType, BoolType)):
+                raise TransformError(
+                    f"lazy: parameter '{p.name}' of '{inst.func}' has unsupported type {p.type}"
+                )
+        for name, typ in decl.locals.items():
+            if not isinstance(typ, (IntType, BoolType)):
+                raise TransformError(
+                    f"lazy: local '{name}' of '{inst.func}' has unsupported type {typ}"
+                )
+        for s in walk_stmts(decl.body):
+            if isinstance(s, Call):
+                raise TransformError(
+                    f"lazy: call statement in '{inst.func}' is unsupported "
+                    "(the lazy fragment is call-free; inline by hand)"
+                )
+            if isinstance(s, Malloc):
+                raise TransformError(f"lazy: malloc in '{inst.func}' is unsupported (no heap)")
+            if isinstance(s, (Iter, Atomic)):
+                for inner in walk_stmts(s.body):
+                    if isinstance(inner, AsyncCall):
+                        where = "iter" if isinstance(s, Iter) else "atomic"
+                        raise TransformError(
+                            f"lazy: async under {where} in '{inst.func}' is unsupported "
+                            "(thread instances must be static)"
+                        )
+            for e in stmt_exprs(s):
+                for sub in walk_exprs(e):
+                    if isinstance(sub, Field):
+                        raise TransformError(
+                            f"lazy: field access in '{inst.func}' is unsupported (no heap)"
+                        )
+                    if isinstance(sub, Unary) and sub.op in ("*", "&"):
+                        raise TransformError(
+                            f"lazy: pointer operation in '{inst.func}' is unsupported (no heap)"
+                        )
+
+    # -- local promotion --------------------------------------------------------------
+
+    def _rename_locals(self, inst: _Instance) -> None:
+        mapping = {n: names.lz_local(inst.index, n) for n in inst.decl.locals}
+        mapping.update({p.name: names.lz_local(inst.index, p.name) for p in inst.decl.params})
+        if not mapping:
+            return
+
+        def ren(e: Expr) -> Expr:
+            if isinstance(e, Var):
+                return Var(mapping[e.name]) if e.name in mapping else e
+            if isinstance(e, Unary):
+                return Unary(e.op, ren(e.operand))
+            if isinstance(e, Binary):
+                return Binary(e.op, ren(e.left), ren(e.right))
+            return e
+
+        for s in walk_stmts(inst.decl.body):
+            if isinstance(s, Assign):
+                s.lhs = ren(s.lhs)
+                s.rhs = ren(s.rhs)
+            elif isinstance(s, (Assert, Assume)):
+                s.cond = ren(s.cond)
+            elif isinstance(s, AsyncCall):
+                s.args = [ren(a) for a in s.args]
+            elif isinstance(s, Return):
+                if s.value is not None:
+                    s.value = ren(s.value)
+
+    # -- flattening -------------------------------------------------------------------
+
+    def _flatten(self, inst: _Instance) -> None:
+        self._cur = inst
+        inst.entry = self._flat_seq(inst.decl.body.stmts, DONE)
+        del self._cur
+
+    def _new_node(self) -> _Node:
+        node = _Node(pc=len(self._cur.nodes))
+        self._cur.nodes.append(node)
+        return node
+
+    def _flat_seq(self, stmts: Sequence[Stmt], follow: int) -> int:
+        entry = follow
+        for s in reversed(stmts):
+            entry = self._flat_stmt(s, entry)
+        return entry
+
+    def _flat_stmt(self, s: Stmt, follow: int) -> int:
+        if isinstance(s, Block):
+            return self._flat_seq(s.stmts, follow)
+        if isinstance(s, Choice):
+            node = self._new_node()
+            node.succs = [self._flat_seq(b.stmts, follow) for b in s.branches]
+            return node.pc
+        if isinstance(s, Iter):
+            # Head first, so the body's fall-through can loop back to it.
+            head = self._new_node()
+            body_entry = self._flat_seq(s.body.stmts, head.pc)
+            head.succs = [body_entry, follow]
+            return head.pc
+        if isinstance(s, Return):
+            return DONE  # no node: returning is not an observable step
+        if isinstance(s, AsyncCall):
+            node = self._new_node()
+            node.spawn = s
+            node.succs = [follow]
+            return node.pc
+        if isinstance(s, (Skip, Assign, Assert, Assume, Atomic)):
+            node = self._new_node()
+            node.payload = s
+            node.succs = [follow]
+            return node.pc
+        raise TransformError(f"lazy: cannot flatten statement {type(s).__name__}")
+
+    # -- step functions ---------------------------------------------------------------
+
+    def _goto(self, t: int, pc: int) -> Stmt:
+        flag = names.lz_done(t) if pc == DONE else names.lz_at(t, pc)
+        return _tag(Assign(Var(flag), BoolLit(True)))
+
+    def _spawn_stmts(self, inst: _Instance, node: _Node) -> List[Stmt]:
+        s = node.spawn
+        child = self.instances[self._spawn_child[id(s)]]
+        out: List[Stmt] = []
+        for p, arg in zip(child.decl.params, s.args):
+            out.append(_tag(Assign(Var(names.lz_local(child.index, p.name)), arg)))
+        out.append(_tag(Assign(Var(names.lz_off(child.index)), BoolLit(False))))
+        out.append(self._goto(child.index, child.entry))
+        out.append(_tag(Skip(), TAG_LZ_SPAWN, spawn=str(child.index), sid=s.sid))
+        return out
+
+    def _make_step(self, inst: _Instance) -> FuncDecl:
+        t = inst.index
+        branches: List[Block] = []
+        for node in inst.nodes:
+            stmts: List[Stmt] = [
+                _tag(Assume(Var(names.lz_at(t, node.pc)))),
+                _tag(Assign(Var(names.lz_at(t, node.pc)), BoolLit(False))),
+            ]
+            if node.spawn is not None:
+                stmts.extend(self._spawn_stmts(inst, node))
+            elif node.payload is not None:
+                stmts.append(node.payload)  # keeps its sid, untagged: the user step
+            if len(node.succs) == 1:
+                stmts.append(self._goto(t, node.succs[0]))
+            else:
+                stmts.append(
+                    _tag(Choice([Block([self._goto(t, pc)]) for pc in node.succs]))
+                )
+            branches.append(Block(stmts))
+        body = Block([_tag(Choice(branches))]) if branches else Block([])
+        return FuncDecl(names.lz_step(t), [], None, body)
+
+    # -- segment-end constraints ------------------------------------------------------
+
+    def _node_is_stop_relevant(self, node: _Node, shared: Set[str]) -> bool:
+        """POR: may a schedule need to *stop* here?  Yes when the node's
+        payload touches a shared global (the preemption is observable),
+        can block (``assume`` — a blocked run legitimately halts at it),
+        or spawns (conservatively kept).  Purely-local nodes commute
+        forward into the next segment."""
+        if node.spawn is not None:
+            return True
+        s = node.payload
+        if s is None:
+            return False  # choice/iter heads: no effect, always commute
+        for inner in walk_stmts(s):
+            if isinstance(inner, Assume):
+                return True
+            for e in stmt_exprs(inner):
+                for sub in walk_exprs(e):
+                    if isinstance(sub, Var) and sub.name in shared:
+                        return True
+        return False
+
+    def _allowed_stops(self, shared: Optional[Set[str]]) -> Dict[int, Optional[Set[int]]]:
+        """Per instance: the set of candidate pcs a non-final segment may
+        stop at, or ``None`` when unconstrained (no check emitted)."""
+        tile: Optional[Dict[int, Set[int]]] = None
+        if self.cs_tile is not None:
+            tile = {}
+            for point in self.cs_tile:
+                try:
+                    t_str, pc_str = point.split(":")
+                    tile.setdefault(int(t_str), set()).add(int(pc_str))
+                except ValueError:
+                    raise TransformError(f"lazy: malformed cs_tile point {point!r}") from None
+
+        out: Dict[int, Optional[Set[int]]] = {}
+        pruned = 0
+        for inst in self.instances:
+            candidates = {n.pc for n in inst.nodes if n.pc != inst.entry}
+            allowed = set(candidates)
+            if shared is not None:
+                by_pc = {n.pc: n for n in inst.nodes}
+                allowed &= {pc for pc in allowed if self._node_is_stop_relevant(by_pc[pc], shared)}
+            if tile is not None:
+                allowed &= tile.get(inst.index, set())
+            pruned += len(candidates) - len(allowed)
+            out[inst.index] = None if allowed == candidates else allowed
+        if self.por:
+            obs.inc("por_schedule_points_pruned", pruned)
+        return out
+
+    # -- the driver -------------------------------------------------------------------
+
+    def _make_driver(
+        self, allowed: Dict[int, Optional[Set[int]]], name: str = "main"
+    ) -> FuncDecl:
+        stmts: List[Stmt] = []
+        for k in range(self.rounds):
+            last_round = k == self.rounds - 1
+            for inst in self.instances:
+                if not inst.nodes:
+                    continue  # the instance can take no step; nothing to run
+                seg = _tag(Iter(Block([_tag(Call(None, Var(names.lz_step(inst.index)), []))])))
+                stmts.append(seg)
+                stops = allowed[inst.index]
+                if last_round or stops is None:
+                    continue
+                branches = [
+                    Block([_tag(Assume(Var(names.lz_off(inst.index))))]),
+                    Block([_tag(Assume(Var(names.lz_done(inst.index))))]),
+                ]
+                if inst.entry != DONE:
+                    branches.append(
+                        Block([_tag(Assume(Var(names.lz_at(inst.index, inst.entry))))])
+                    )
+                for pc in sorted(stops):
+                    branches.append(Block([_tag(Assume(Var(names.lz_at(inst.index, pc))))]))
+                stmts.append(_tag(Choice(branches)))
+        return FuncDecl(name, [], None, Block(stmts))
+
+    # -- globals ----------------------------------------------------------------------
+
+    def _add_lazy_globals(self, out: Program) -> None:
+        for inst in self.instances:
+            t = inst.index
+            is_main = t == 0
+            out.globals[names.lz_off(t)] = GlobalDecl(names.lz_off(t), BOOL, BoolLit(not is_main))
+            out.globals[names.lz_done(t)] = GlobalDecl(
+                names.lz_done(t), BOOL, BoolLit(is_main and inst.entry == DONE)
+            )
+            for node in inst.nodes:
+                flag = names.lz_at(t, node.pc)
+                out.globals[flag] = GlobalDecl(
+                    flag, BOOL, BoolLit(is_main and node.pc == inst.entry)
+                )
+            for p in inst.decl.params:
+                pname = names.lz_local(t, p.name)
+                out.globals[pname] = GlobalDecl(pname, p.type, _default_init(p.type))
+            for lname, typ in inst.decl.locals.items():
+                gname = names.lz_local(t, lname)
+                out.globals[gname] = GlobalDecl(gname, typ, _default_init(typ))
+
+
+def lazy_transform(
+    prog: Program,
+    rounds: int = 2,
+    por: bool = False,
+    cs_tile: Optional[Sequence[str]] = None,
+) -> Program:
+    """Sequentialize a concurrent core program with the lazy K-round schema."""
+    return LazyTransformer(rounds=rounds, por=por, cs_tile=cs_tile).transform(prog)

@@ -148,10 +148,21 @@ class RoundRobinTransformer(KissTransformer):
         Optional override of the integer snapshot-guess domain (a list
         of ints used for every int-typed global).  The default harvests
         the program's int literals, the globals' initial values and 0.
+    por:
+        Shared-access POR (:mod:`repro.analysis.sharedaccess`): written
+        globals the analysis proves single-threaded are left *unversioned*
+        — no snapshot copies, no guesses, no advance points in front of
+        their accesses (counted by ``por_schedule_points_pruned``).
     """
 
-    def __init__(self, rounds: int = 2, max_ts: int = 0, guess_values: Optional[List[int]] = None):
-        super().__init__(max_ts=max_ts)
+    def __init__(
+        self,
+        rounds: int = 2,
+        max_ts: int = 0,
+        guess_values: Optional[List[int]] = None,
+        por: bool = False,
+    ):
+        super().__init__(max_ts=max_ts, por=por)
         if rounds < 1:
             raise ValueError("rounds must be >= 1")
         self.rounds = rounds
@@ -160,6 +171,7 @@ class RoundRobinTransformer(KissTransformer):
         self.versioned: List[str] = []
         self.domains: Dict[str, List[Expr]] = {}
         self.advance_points = 0
+        self._por_excluded: Set[str] = set()
 
     # -- public API -------------------------------------------------------------------
 
@@ -288,6 +300,13 @@ class RoundRobinTransformer(KissTransformer):
         self.families = spawn_families(out)
         self.emit_schedule = self.max_ts > 0 and bool(self.families)
         self.versioned = self._written_globals(out) if self.rounds > 1 else []
+        self._por_excluded = set()
+        if self.por and self.versioned:
+            from repro.analysis.sharedaccess import analyze_shared_access
+
+            self._por_shared = analyze_shared_access(out).shared
+            self._por_excluded = {g for g in self.versioned if g not in self._por_shared}
+            self.versioned = [g for g in self.versioned if g in self._por_shared]
         self._check_restrictions(out)
         self.domains = self._guess_domains(out)
         self.advance_points = 0
@@ -386,8 +405,25 @@ class RoundRobinTransformer(KissTransformer):
             isinstance(s, Atomic) and any(isinstance(x, Assume) for x in walk_stmts(s.body))
         )
         if not blocking and not self._accesses_versioned(fctx, s):
+            if self._por_excluded and self._accesses_excluded(fctx, s):
+                obs.inc("por_schedule_points_pruned")
             return []
         return self._advance_prefix(fctx) + self._full_prefix(fctx, s)
+
+    def _accesses_excluded(self, fctx: _RoundsCtx, s: Stmt) -> bool:
+        """Does ``s`` touch a written global that POR left unversioned?
+        (These are the accesses that would have carried an advance/raise
+        point without the reduction — the honest prune count.)"""
+        for inner in walk_stmts(s):
+            for e in stmt_exprs(inner):
+                for sub in walk_exprs(e):
+                    if (
+                        isinstance(sub, Var)
+                        and sub.name in self._por_excluded
+                        and sub.name not in fctx.shadowed
+                    ):
+                        return True
+        return False
 
     def _read_atom(self, fctx: _RoundsCtx, e: Expr, out: List[Stmt]) -> Expr:
         """Redirect a versioned-global read through the current round's

@@ -61,6 +61,14 @@ SERVE_CACHE_STATES = ("hit", "miss", "dedup", "off")
 #: (:class:`repro.core.checker.KissResult` and everything built on it).
 VERDICTS = ("safe", "error", "resource-bound")
 
+#: The sequentialization strategies every layer agrees on: ``kiss``
+#: (Figure 4, two context switches), ``rounds`` (the eager K-round
+#: transform of :mod:`repro.rounds`), and ``lazy`` (the pc-guarded lazy
+#: round-robin transform of :mod:`repro.lazy`).  Consumed by the CLI's
+#: ``choices=``, :class:`repro.core.checker.Kiss`, the fuzz oracle, and
+#: the campaign cache key — adding a strategy is a one-line change here.
+STRATEGIES = ("kiss", "rounds", "lazy")
+
 
 class SchemaError(ValueError):
     """A document does not match its documented schema."""

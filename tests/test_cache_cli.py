@@ -6,6 +6,7 @@ import time
 import pytest
 
 from repro.campaign import CampaignConfig, CampaignScheduler, ResultCache, cache_key
+from repro.campaign.cache import SCHEMA
 from repro.cli import main
 from tests.test_runtime_parity import corpus_batch
 
@@ -24,7 +25,7 @@ def test_entries_carry_timestamps(warm_cache):
     now = time.time()
     for line in open(cache.path):
         obj = json.loads(line)
-        assert obj["schema"] == "kiss-cache/2"
+        assert obj["schema"] == SCHEMA
         assert now - 3600 < obj["t"] <= now + 1
     assert cache.stats()["oldest_t"] > 0
 
