@@ -19,7 +19,10 @@ orchestration layer over that matrix:
   shaped end-of-run summary;
 * :mod:`corpus` — campaigns over the bundled 18-driver corpus;
 * :mod:`swarm` — one program fanned out into N schedule tiles of the
-  lazy sequentialization, aggregated back to a single verdict.
+  lazy sequentialization, aggregated back to a single verdict;
+* :mod:`journal` — the ``kiss-journal/1`` write-ahead job journal:
+  crash-recoverable admission/terminal lifecycle records and the
+  :func:`~repro.campaign.journal.replay` recovery plan.
 
 The runtime is chaos-hardened (docs/ROBUSTNESS.md): per-worker memory
 ceilings, a campaign deadline, graceful SIGINT/SIGTERM draining with a
@@ -32,6 +35,7 @@ CLI: ``python -m repro campaign --jobs 8``.
 from .cache import ResultCache, cache_key, canonical_program_text
 from .corpus import corpus_jobs, results_to_driver_runs, run_corpus_campaign
 from .jobs import CheckJob, JobResult, parse_target
+from .journal import JobJournal, RecoveryPlan, replay as replay_journal
 from .runtime import DEFAULT_CACHE_DIR, CampaignConfig, CampaignRuntime, default_jobs
 from .scheduler import CampaignScheduler, run_jobs
 from .swarm import (
@@ -62,6 +66,9 @@ __all__ = [
     "default_jobs",
     "run_jobs",
     "ResultCache",
+    "JobJournal",
+    "RecoveryPlan",
+    "replay_journal",
     "cache_key",
     "canonical_program_text",
     "SUMMARY_SCHEMA",

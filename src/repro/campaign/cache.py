@@ -50,8 +50,10 @@ SCHEMA = "kiss-cache/3"
 
 #: Degraded-outcome detail prefixes that must never be cached: a re-run
 #: with more headroom (longer timeout, higher memory ceiling, no
-#: interrupt) should try again.
-UNCACHED_DETAIL_PREFIXES = ("timeout", "crash", "memory", "interrupted", "deadline")
+#: interrupt or cancellation) should try again.
+UNCACHED_DETAIL_PREFIXES = (
+    "timeout", "crash", "memory", "interrupted", "deadline", "cancelled",
+)
 
 
 class _LRU:

@@ -112,16 +112,41 @@ class CheckJob:
         out.update({k: v for k, v in self.config.items() if k.startswith("fuzz_")})
         return out
 
+    # -- (de)serialization for the write-ahead journal ---------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "job_id": self.job_id,
+            "driver": self.driver,
+            "source": self.source,
+            "prop": self.prop,
+            "target": self.target,
+            "config": dict(self.config),
+        }
+
+    @staticmethod
+    def from_dict(d: Dict[str, Any]) -> "CheckJob":
+        return CheckJob(
+            job_id=d["job_id"],
+            driver=d["driver"],
+            source=d["source"],
+            prop=d.get("prop", "race"),
+            target=d.get("target"),
+            config=dict(d.get("config") or {}),
+        )
+
 
 @dataclass
 class JobResult:
     """The outcome of one job, slim enough to cache and pickle.
 
     ``verdict`` uses the :class:`~repro.core.checker.KissResult`
-    vocabulary (``"safe"`` / ``"error"`` / ``"resource-bound"``);
-    ``table_verdict`` maps it to the Table 1 vocabulary.  ``detail``
-    carries the backend message, or the timeout/crash note for degraded
-    verdicts.
+    vocabulary (``"safe"`` / ``"error"`` / ``"resource-bound"``), plus
+    the campaign-only ``"cancelled"`` for jobs cooperatively cancelled
+    mid-flight (never cached, never a verdict — see
+    :mod:`repro.cancel`); ``table_verdict`` maps it to the Table 1
+    vocabulary.  ``detail`` carries the backend message, or the
+    timeout/crash/cancellation note for degraded verdicts.
     """
 
     job_id: str
@@ -151,7 +176,7 @@ class JobResult:
         """Table 1 vocabulary: ``race`` / ``no-race`` / ``unresolved``
         (any error reached through the harness counts as a race, as in
         :func:`repro.drivers.corpus.check_driver`)."""
-        if self.verdict == "resource-bound":
+        if self.verdict in ("resource-bound", "cancelled"):
             return "unresolved"
         if self.verdict == "error":
             return "race" if self.prop == "race" else "error"
@@ -168,6 +193,9 @@ class JobResult:
             "safe": CheckStatus.SAFE,
             "error": CheckStatus.ERROR,
             "resource-bound": CheckStatus.EXHAUSTED,
+            # a cancelled check proved nothing: same API posture as an
+            # exhausted budget (no verdict, no witness)
+            "cancelled": CheckStatus.EXHAUSTED,
         }[self.verdict]
         violation = None
         if self.verdict == "error":

@@ -4,8 +4,10 @@
 jobs — the content-addressed result cache, the worker-pool lifecycle
 (lazy creation, rebuild after ``BrokenProcessPool``), windowed
 incremental submission, the bounded retry/degrade state machine, fault
-points, and per-job telemetry.  It deliberately owns **no policy about
-where jobs come from or when to stop**: those belong to the frontends.
+points, per-job telemetry, the write-ahead job journal, cooperative
+cancellation, and hedged retries.  It deliberately owns **no policy
+about where jobs come from or when to stop**: those belong to the
+frontends.
 
 Three frontends drive it:
 
@@ -24,14 +26,38 @@ frontend policy):
 
 1. :meth:`lookup` resolves a job against the cache (the global dedupe
    layer) — a hit never reaches the pool;
-2. :meth:`submit` queues a miss;
+2. :meth:`submit` queues a miss (and write-ahead journals it when a
+   journal is configured);
 3. :meth:`pump` runs one engine step — (re)fill the bounded in-flight
-   window, wait briefly, collect completions, retry or degrade — and
-   returns the jobs that finished during the step;
+   window, hedge stragglers, wait briefly, collect completions, retry
+   or degrade — and returns the jobs that finished during the step;
 4. :meth:`record` persists a finished job (cache append + ``job_end``
-   telemetry);
+   telemetry + the journal's terminal record);
 5. :meth:`drain_pending` degrades the not-yet-submitted backlog when
    the frontend decides to stop early.
+
+**Durability** (``CampaignConfig.journal_path``): every miss is
+journaled ``admitted`` before it can run, ``started`` per attempt, and
+exactly one terminal record (``done`` / ``cancelled`` / ``abandoned``)
+when it settles — see :mod:`repro.campaign.journal`.  :meth:`close`
+stamps ``abandoned`` on anything still owed, so even a fatal engine
+error leaves no record dangling; a kill -9 leaves ``started`` records
+that replay as incomplete.
+
+**Cancellation** (:mod:`repro.cancel`): every dispatched attempt gets a
+sentinel-file :class:`~repro.cancel.CancelToken` the worker polls at
+backend iteration boundaries.  :meth:`request_cancel` targets one job
+(serve ``DELETE /v1/jobs/{id}``); :meth:`cancel_outstanding` sweeps
+everything (deadline, swarm first-error).  Cancelled jobs settle with
+verdict ``"cancelled"`` — never cached, never retried, counted as
+interrupted.
+
+**Hedging** (``CampaignConfig.hedge``): the runtime keeps a bounded
+per-driver latency sample; when a primary attempt outlives the
+configured quantile of its driver's history, one duplicate is launched.
+First finisher wins and the twin is cancelled via its token; the settled
+bookkeeping guarantees a single recorded result and a single cache
+entry per job no matter which copy wins.
 
 ``jobs <= 1`` runs in-process (one job per :meth:`pump` call),
 preserving rich :class:`~repro.core.checker.KissResult` objects for API
@@ -41,19 +67,23 @@ callers; otherwise jobs go through a ``ProcessPoolExecutor``.
 from __future__ import annotations
 
 import os
+import shutil
+import tempfile
 import time
 from collections import deque
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures import FIRST_COMPLETED, CancelledError, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Deque, Dict, List, Optional, Tuple
 
 from repro import faults, obs
+from repro.cancel import CancelToken
 from repro.core.checker import KissResult
 from repro.faults import FaultPlan, InjectedFault
 
 from .cache import ResultCache, cache_key
 from .jobs import CheckJob, JobResult
+from .journal import JobJournal
 from .telemetry import Telemetry
 
 DEFAULT_CACHE_DIR = ".kiss-cache"
@@ -62,6 +92,17 @@ DEFAULT_CACHE_DIR = ".kiss-cache"
 #: before control returns to the frontend (signals and drain requests
 #: set flags; they must not have to race a long-blocking wait).
 POLL_S = 0.25
+
+#: Hedging needs this many completed samples for a driver before its
+#: latency quantile means anything.
+HEDGE_MIN_SAMPLES = 5
+
+#: Never hedge before a job has run at least this long — sub-50ms jobs
+#: finish before the duplicate could even start.
+HEDGE_MIN_CUTOFF_S = 0.05
+
+#: Bound on the per-driver latency sample (newest wins).
+HEDGE_SAMPLE_CAP = 64
 
 
 def default_jobs() -> int:
@@ -81,13 +122,18 @@ class CampaignConfig:
     ``telemetry_path``: JSONL event stream destination (None = in-memory
     only).
     ``deadline``: campaign-wide wall-clock budget in seconds; past it
-    the remainder degrades to ``"resource-bound"`` (detail
-    ``deadline:``).  Batch-frontend policy — the service ignores it.
+    in-flight jobs are cancelled and the remainder degrades to
+    ``"resource-bound"`` (detail ``deadline:``).  Batch-frontend policy
+    — the service ignores it.
     ``memory_limit``: per-worker ``RLIMIT_AS`` soft ceiling in MB; an
     over-budget job degrades to ``"resource-bound"`` (detail
     ``memory:``) instead of taking the pool down.
     ``fault_plan``: a :class:`~repro.faults.FaultPlan` for chaos runs
     (None = no injection, zero overhead).
+    ``journal_path``: write-ahead job journal destination (None
+    disables durability — see :mod:`repro.campaign.journal`).
+    ``hedge``: latency quantile in (0, 1) past which a straggler gets
+    one duplicate attempt (None disables hedging; pool mode only).
     """
 
     jobs: int = 1
@@ -98,6 +144,8 @@ class CampaignConfig:
     deadline: Optional[float] = None
     memory_limit: Optional[int] = None
     fault_plan: Optional[FaultPlan] = None
+    journal_path: Optional[str] = None
+    hedge: Optional[float] = None
 
 
 #: One finished job as handed back by :meth:`CampaignRuntime.pump` /
@@ -105,23 +153,55 @@ class CampaignConfig:
 Finished = Tuple[CheckJob, str, JobResult]
 
 
+@dataclass
+class _Flight:
+    """One dispatched pool attempt (primary or hedge duplicate)."""
+
+    job: CheckJob
+    key: str
+    attempt: int
+    token: CancelToken
+    started: float
+    hedge: bool = False
+
+
 class CampaignRuntime:
     """The engine under every frontend (see module doc).
 
     Not thread-safe by itself: exactly one thread may call
     :meth:`pump` / :meth:`submit` / :meth:`drain_pending` (the
-    scheduler's run loop, or the service's engine thread).  The cache is
+    scheduler's run loop, or the service's engine thread).  The one
+    cross-thread exception is :meth:`request_cancel`, which only
+    performs GIL-atomic flag writes and sentinel-file touches — serve's
+    HTTP threads call it while the engine thread pumps.  The cache is
     process-shared state guarded by its own ``flock`` at the file layer.
     """
 
     def __init__(self, config: Optional[CampaignConfig] = None):
         self.config = config or CampaignConfig()
         self.cache = ResultCache(self.config.cache_dir)
+        self.journal = JobJournal(self.config.journal_path)
+        #: which frontend admitted the jobs (journal provenance).
+        self.origin = "campaign"
         #: job_id -> rich KissResult for in-process runs (jobs <= 1).
         self.rich_results: Dict[str, KissResult] = {}
         self._pool: Optional[ProcessPoolExecutor] = None
         self._pending: Deque[Tuple[CheckJob, str, int]] = deque()
-        self._futures: Dict[object, Tuple[CheckJob, str, int]] = {}
+        self._futures: Dict[object, _Flight] = {}
+        #: job_id -> live futures for that job (1 normally, 2 hedged).
+        self._job_futs: Dict[str, List[object]] = {}
+        #: job_id -> live cancel tokens (cross-thread read-only).
+        self._tokens: Dict[str, List[CancelToken]] = {}
+        #: job_id -> reason, for jobs cancelled before their next dispatch.
+        self._cancel_asap: Dict[str, str] = {}
+        #: job_id -> in-flight copies still to drain after the job settled
+        #: (hedge losers, late duplicate completions) — their outcomes
+        #: are discarded so exactly one result is ever recorded.
+        self._settled: Dict[str, int] = {}
+        #: driver -> recent wall_s samples for the hedge quantile.
+        self._latency: Dict[str, Deque[float]] = {}
+        self._cancel_dir: Optional[str] = None
+        self._token_seq = 0
 
     # -- queue state -------------------------------------------------------------
 
@@ -136,7 +216,7 @@ class CampaignRuntime:
 
     @property
     def inflight(self) -> int:
-        """Jobs currently running in pool workers."""
+        """Attempt copies currently running in pool workers."""
         return len(self._futures)
 
     @property
@@ -152,20 +232,34 @@ class CampaignRuntime:
     def lookup(self, job: CheckJob, tel: Telemetry) -> Tuple[str, Optional[JobResult]]:
         """Resolve ``job`` against the content-addressed cache.  Returns
         ``(key, hit)``; a hit is already re-labelled for this job and
-        logged as a zero-cost ``job_end`` — it must not be submitted."""
+        logged as a zero-cost ``job_end`` — it must not be submitted.
+
+        A hit for a job the journal still carries as open (a resumed
+        run answering recovered work from the cache) writes the ``done``
+        terminal record, so a second resume finds nothing owed."""
         key = cache_key(job)
         hit = self.cache.get(key)
         if hit is not None:
             hit.job_id = job.job_id  # same content may appear under a new id
             hit.driver = job.driver
             obs.inc("cache_hits")
+            self.journal.done(job.job_id, hit.verdict)
             self._emit_job_end(tel, job, hit, wall_s=0.0, cache="hit", attempts=0)
         return key, hit
 
     def record(self, tel: Telemetry, job: CheckJob, key: str, result: JobResult) -> None:
         """Persist one finished job: cache append (degraded outcomes are
-        filtered by the cache's own policy) plus the ``job_end`` event."""
+        filtered by the cache's own policy), the journal's terminal
+        record, plus the ``job_end`` event."""
         self.cache.put(key, result)
+        if result.verdict == "cancelled":
+            self.journal.cancelled(job.job_id, reason=result.detail[:200])
+        elif result.detail.startswith(("interrupted", "deadline")):
+            # a drained remainder never ran: the journal owes it to the
+            # next resume, not to the cache
+            self.journal.abandoned(job.job_id, reason=result.detail[:200])
+        else:
+            self.journal.done(job.job_id, result.verdict)
         self._emit_job_end(
             tel, job, result, wall_s=round(result.wall_s, 6),
             cache="miss" if self.cache.enabled else "off",
@@ -174,10 +268,15 @@ class CampaignRuntime:
 
     # -- submission and the engine step ------------------------------------------
 
-    def submit(self, job: CheckJob, key: Optional[str] = None) -> None:
+    def submit(self, job: CheckJob, key: Optional[str] = None,
+               tenant: Optional[str] = None) -> None:
         """Queue a job (first attempt).  ``key`` avoids re-deriving the
-        cache key when :meth:`lookup` already did."""
-        self._pending.append((job, key if key is not None else cache_key(job), 1))
+        cache key when :meth:`lookup` already did.  The write-ahead
+        ``admitted`` record (with ``tenant``/origin provenance) lands
+        here, before the job can possibly run."""
+        key = key if key is not None else cache_key(job)
+        self.journal.admit(job, key, tenant=tenant, origin=self.origin)
+        self._pending.append((job, key, 1))
 
     def pump(self, tel: Telemetry, submit: bool = True, poll_s: float = POLL_S) -> List[Finished]:
         """One engine step; returns the jobs that finished during it.
@@ -186,9 +285,10 @@ class CampaignRuntime:
         whole retry loop — one job per call, so the frontend regains
         control between jobs).  Pool mode tops up the bounded in-flight
         window (unless ``submit`` is False — a draining frontend stops
-        feeding the pool but keeps collecting), then waits up to
-        ``poll_s`` for completions and applies the retry/degrade policy,
-        rebuilding the pool when a worker death breaks it.
+        feeding the pool but keeps collecting), hedges stragglers, then
+        waits up to ``poll_s`` for completions and applies the
+        retry/degrade policy, rebuilding the pool when a worker death
+        breaks it.
         """
         if not self.pooled:
             return self._pump_serial(tel)
@@ -204,8 +304,88 @@ class CampaignRuntime:
             out.append((job, key, self._skipped_result(job, detail)))
         return out
 
+    # -- cancellation ------------------------------------------------------------
+
+    def request_cancel(self, job_id: str, reason: str = "") -> bool:
+        """Cancel one job cooperatively: flag it for the next dispatch
+        and touch every live token so an in-flight attempt notices at
+        its next backend poll.  Safe to call from another thread (serve
+        HTTP handlers) — only GIL-atomic writes and sentinel-file
+        touches happen here.  Returns True when the job was pending or
+        in flight."""
+        tokens = list(self._tokens.get(job_id, ()))
+        queued = any(j.job_id == job_id for j, _, _ in list(self._pending))
+        if not tokens and not queued:
+            return False
+        self._cancel_asap[job_id] = reason
+        for tok in tokens:
+            tok.cancel(reason)
+        return True
+
+    def cancel_outstanding(self, reason: str = "",
+                           include_pending: bool = True) -> List[Finished]:
+        """Cancel everything the runtime still owes: touch every
+        in-flight token, and (by default) convert the pending backlog
+        into immediate ``cancelled`` results.  Returns those synthesized
+        results; in-flight jobs surface as ``cancelled`` through the
+        following :meth:`pump` calls."""
+        out: List[Finished] = []
+        if include_pending:
+            while self._pending:
+                job, key, attempt = self._pending.popleft()
+                out.append((job, key, self._cancelled_result(
+                    job, reason, attempts=max(0, attempt - 1))))
+        for job_id, tokens in list(self._tokens.items()):
+            self._cancel_asap[job_id] = reason
+            for tok in list(tokens):
+                tok.cancel(reason)
+        return out
+
+    def _new_token(self, job_id: str) -> CancelToken:
+        if self._cancel_dir is None:
+            self._cancel_dir = tempfile.mkdtemp(prefix="kiss-cancel-")
+        self._token_seq += 1
+        token = CancelToken(os.path.join(self._cancel_dir, f"{self._token_seq}.cancel"))
+        self._tokens.setdefault(job_id, []).append(token)
+        return token
+
+    def _drop_token(self, job_id: str, token: CancelToken) -> None:
+        tokens = self._tokens.get(job_id)
+        if tokens is not None:
+            try:
+                tokens.remove(token)
+            except ValueError:
+                pass
+            if not tokens:
+                self._tokens.pop(job_id, None)
+        token.clear()
+
+    # -- shutdown ----------------------------------------------------------------
+
     def close(self) -> None:
-        """Tear down the worker pool (queued work stays queued)."""
+        """Tear down the engine.  Anything still owed — in-flight
+        attempts, the queued backlog — gets an ``abandoned`` terminal
+        record first, so even a fatal-error exit leaves no journal entry
+        dangling as ``started`` (a later ``--resume`` re-enqueues
+        exactly these jobs)."""
+        if self.journal.enabled:
+            seen = set()
+            for flight in list(self._futures.values()):
+                if flight.job.job_id not in seen:
+                    seen.add(flight.job.job_id)
+                    self.journal.abandoned(flight.job.job_id, reason="shutdown")
+            for job, _, _ in list(self._pending):
+                if job.job_id not in seen:
+                    seen.add(job.job_id)
+                    self.journal.abandoned(job.job_id, reason="shutdown")
+        self._teardown_pool()
+        if self._cancel_dir is not None:
+            shutil.rmtree(self._cancel_dir, ignore_errors=True)
+            self._cancel_dir = None
+
+    def _teardown_pool(self) -> None:
+        """Drop the worker pool only (queued work stays queued, journal
+        untouched) — the ``BrokenProcessPool`` rebuild path."""
         if self._pool is not None:
             self._pool.shutdown(wait=False, cancel_futures=True)
             self._pool = None
@@ -249,6 +429,17 @@ class CampaignRuntime:
             verdict="resource-bound", attempts=0, detail=detail,
         )
 
+    def _cancelled_result(self, job: CheckJob, reason: str,
+                          attempts: int = 0) -> JobResult:
+        """A cooperatively cancelled job: verdict ``cancelled``, detail
+        prefix ``cancelled`` (never cached), counted as interrupted."""
+        obs.inc("jobs_cancelled")
+        detail = f"cancelled: {reason}" if reason else "cancelled"
+        return JobResult(
+            job_id=job.job_id, driver=job.driver, prop=job.prop, target=job.target,
+            verdict="cancelled", attempts=attempts, detail=detail,
+        )
+
     @staticmethod
     def _retryable(outcome: dict) -> bool:
         return outcome["verdict"] == "crash" or outcome["detail"].startswith("timeout")
@@ -274,6 +465,69 @@ class CampaignRuntime:
                  error_kind=result.error_kind, wall_s=wall_s, states=result.states,
                  cache=cache, attempts=attempts, **extra)
 
+    # -- hedging -----------------------------------------------------------------
+
+    def _note_latency(self, driver: str, result: JobResult) -> None:
+        if result.attempts < 1 or result.verdict == "cancelled":
+            return
+        samples = self._latency.get(driver)
+        if samples is None:
+            samples = self._latency[driver] = deque(maxlen=HEDGE_SAMPLE_CAP)
+        samples.append(result.wall_s)
+
+    def _hedge_cutoff(self, driver: str) -> Optional[float]:
+        """The straggler threshold for ``driver``: the configured
+        quantile of its recent completion latencies, or None while the
+        sample is too thin to trust."""
+        quantile = self.config.hedge
+        samples = self._latency.get(driver)
+        if quantile is None or samples is None or len(samples) < HEDGE_MIN_SAMPLES:
+            return None
+        ordered = sorted(samples)
+        idx = min(len(ordered) - 1, int(quantile * len(ordered)))
+        return max(ordered[idx], HEDGE_MIN_CUTOFF_S)
+
+    def _maybe_hedge(self, tel: Telemetry) -> None:
+        """Launch at most one duplicate per straggling primary attempt
+        (window capacity permitting).  The duplicate reuses the same
+        attempt number — it is the same logical attempt racing two
+        workers, not a retry."""
+        if self.config.hedge is None:
+            return
+        from .worker import pool_entry
+
+        window = self.config.jobs * 2
+        now = time.monotonic()
+        for fut, flight in list(self._futures.items()):
+            if len(self._futures) >= window:
+                break
+            job_id = flight.job.job_id
+            if flight.hedge or job_id in self._settled:
+                continue
+            if len(self._job_futs.get(job_id, ())) != 1:
+                continue  # already hedged
+            cutoff = self._hedge_cutoff(flight.job.driver)
+            if cutoff is None or (now - flight.started) < cutoff:
+                continue
+            token = self._new_token(job_id)
+            try:
+                hfut = self._ensure_pool().submit(
+                    pool_entry, flight.job, self.config.timeout,
+                    flight.attempt, token.path,
+                )
+            except Exception:
+                self._drop_token(job_id, token)
+                continue
+            self._futures[hfut] = _Flight(
+                job=flight.job, key=flight.key, attempt=flight.attempt,
+                token=token, started=now, hedge=True,
+            )
+            self._job_futs.setdefault(job_id, []).append(hfut)
+            obs.inc("jobs_hedged")
+            tel.emit("job_hedge", job=job_id, driver=flight.job.driver,
+                     elapsed_s=round(now - flight.started, 3),
+                     cutoff_s=round(cutoff, 3))
+
     # -- in-process execution (jobs <= 1) ----------------------------------------
 
     def _pump_serial(self, tel: Telemetry) -> List[Finished]:
@@ -282,21 +536,35 @@ class CampaignRuntime:
         if not self._pending:
             return []
         job, key, _ = self._pending.popleft()
+        reason = self._cancel_asap.pop(job.job_id, None)
+        if reason is not None:
+            return [(job, key, self._cancelled_result(job, reason))]
+        token = self._new_token(job.job_id)
         attempts = 0
-        while True:
-            attempts += 1
-            tel.emit("job_start", job=job.job_id, driver=job.driver, attempt=attempts)
-            outcome, rich = execute_job(
-                job, self.config.timeout, attempt=attempts,
-                memory_limit=self.config.memory_limit,
-            )
-            if not self._retryable(outcome) or attempts > self.config.retries:
-                break
-            tel.emit("job_retry", job=job.job_id, attempt=attempts,
-                     reason=outcome["detail"][:200])
+        try:
+            while True:
+                attempts += 1
+                tel.emit("job_start", job=job.job_id, driver=job.driver, attempt=attempts)
+                self.journal.started(job.job_id, attempts)
+                outcome, rich = execute_job(
+                    job, self.config.timeout, attempt=attempts,
+                    memory_limit=self.config.memory_limit,
+                    cancel_path=token.path,
+                )
+                if outcome["verdict"] == "cancelled":
+                    break
+                if not self._retryable(outcome) or attempts > self.config.retries:
+                    break
+                tel.emit("job_retry", job=job.job_id, attempt=attempts,
+                         reason=outcome["detail"][:200])
+        finally:
+            self._drop_token(job.job_id, token)
+            self._cancel_asap.pop(job.job_id, None)
         if rich is not None:
             self.rich_results[job.job_id] = rich
-        return [(job, key, self._result_from(job, self._degrade(outcome), attempts))]
+        result = self._result_from(job, self._degrade(outcome), attempts)
+        self._note_latency(job.driver, result)
+        return [(job, key, result)]
 
     # -- pool execution (jobs > 1) -----------------------------------------------
 
@@ -311,7 +579,8 @@ class CampaignRuntime:
             )
         return self._pool
 
-    def _submit_attempt(self, tel: Telemetry, job: CheckJob, attempt: int):
+    def _submit_attempt(self, tel: Telemetry, job: CheckJob, attempt: int,
+                        cancel_path: Optional[str] = None):
         """Submit one attempt (the ``pool_submit`` fault point lives
         here); returns the future, or None when an injected fault made
         the submission fail — the caller treats that as a crash
@@ -319,14 +588,42 @@ class CampaignRuntime:
         from .worker import pool_entry
 
         tel.emit("job_start", job=job.job_id, driver=job.driver, attempt=attempt)
+        self.journal.started(job.job_id, attempt)
         try:
             # submission happens on behalf of a job: give job-pinned
             # fault rules a context to match against
             with faults.job_context(job_id=job.job_id, attempt=attempt):
                 faults.fire("pool_submit")
-            return self._ensure_pool().submit(pool_entry, job, self.config.timeout, attempt)
+            return self._ensure_pool().submit(
+                pool_entry, job, self.config.timeout, attempt, cancel_path)
         except InjectedFault:
             return None
+
+    def _unregister(self, fut, flight: _Flight) -> None:
+        futs = self._job_futs.get(flight.job.job_id)
+        if futs is not None:
+            try:
+                futs.remove(fut)
+            except ValueError:
+                pass
+            if not futs:
+                self._job_futs.pop(flight.job.job_id, None)
+        self._drop_token(flight.job.job_id, flight.token)
+
+    def _settle_twins(self, tel: Telemetry, job_id: str) -> None:
+        """The job just settled with copies still in flight (a hedge
+        twin, or a doubly-cancelled pair): cancel them and arrange for
+        their eventual outcomes to be discarded."""
+        twins = self._job_futs.get(job_id, [])
+        if not twins:
+            return
+        self._settled[job_id] = len(twins)
+        for tfut in list(twins):
+            tflight = self._futures.get(tfut)
+            if tflight is not None:
+                tflight.token.cancel("hedge-loser")
+            tfut.cancel()
+            tel.emit("job_cancelled", job=job_id, reason="hedge-loser")
 
     def _pump_pool(self, tel: Telemetry, submit: bool, poll_s: float) -> List[Finished]:
         finished: List[Finished] = []
@@ -334,8 +631,15 @@ class CampaignRuntime:
             window = self.config.jobs * 2  # bounded in-flight set: stop requests stay cheap
             while self._pending and len(self._futures) < window:
                 job, key, attempt = self._pending.popleft()
-                fut = self._submit_attempt(tel, job, attempt)
+                reason = self._cancel_asap.pop(job.job_id, None)
+                if reason is not None:
+                    finished.append((job, key, self._cancelled_result(
+                        job, reason, attempts=max(0, attempt - 1))))
+                    continue
+                token = self._new_token(job.job_id)
+                fut = self._submit_attempt(tel, job, attempt, token.path)
                 if fut is None:
+                    self._drop_token(job.job_id, token)
                     crash = self._crash_outcome("crash: pool submission failed")
                     if attempt <= self.config.retries:
                         tel.emit("job_retry", job=job.job_id, attempt=attempt,
@@ -346,38 +650,78 @@ class CampaignRuntime:
                             (job, key, self._result_from(job, self._degrade(crash), attempt))
                         )
                     continue
-                self._futures[fut] = (job, key, attempt)
+                self._futures[fut] = _Flight(job=job, key=key, attempt=attempt,
+                                             token=token, started=time.monotonic())
+                self._job_futs.setdefault(job.job_id, []).append(fut)
+            self._maybe_hedge(tel)
         if not self._futures:
             return finished
         done, _ = wait(list(self._futures), return_when=FIRST_COMPLETED, timeout=poll_s)
         for fut in done:
-            meta = self._futures.pop(fut, None)
-            if meta is None:  # discarded when the pool broke mid-step
+            flight = self._futures.pop(fut, None)
+            if flight is None:  # discarded when the pool broke mid-step
                 continue
-            job, key, attempt = meta
+            job, key, attempt = flight.job, flight.key, flight.attempt
+            self._unregister(fut, flight)
             try:
                 outcome = fut.result()
             except BrokenProcessPool:
                 # The pool is dead: rebuild it, count the loss as an
-                # attempt for every in-flight job.
-                lost = [(job, key, attempt)] + list(self._futures.values())
+                # attempt for every in-flight job (hedged twins requeue
+                # once, settled jobs owe nothing).
+                lost = [flight] + list(self._futures.values())
                 self._futures.clear()
-                self.close()
-                for j, k, a in lost:
+                self._job_futs.clear()
+                for f in lost:
+                    self._drop_token(f.job.job_id, f.token)
+                self._teardown_pool()
+                unique: Dict[str, _Flight] = {}
+                for f in lost:
+                    if f.job.job_id in self._settled:
+                        self._settled.pop(f.job.job_id, None)
+                        continue
+                    unique.setdefault(f.job.job_id, f)
+                for f in unique.values():
                     crash = self._crash_outcome("crash: worker process died")
-                    if a > self.config.retries:
-                        finished.append((j, k, self._result_from(j, self._degrade(crash), a)))
+                    if f.attempt > self.config.retries:
+                        finished.append(
+                            (f.job, f.key, self._result_from(f.job, self._degrade(crash), f.attempt)))
                     else:
-                        tel.emit("job_retry", job=j.job_id, attempt=a,
+                        tel.emit("job_retry", job=f.job.job_id, attempt=f.attempt,
                                  reason="worker process died")
-                        self._pending.appendleft((j, k, a + 1))
+                        self._pending.appendleft((f.job, f.key, f.attempt + 1))
                 break  # the futures set changed wholesale
+            except CancelledError:
+                # fut.cancel() won before the copy ever started
+                outcome = {"verdict": "cancelled", "error_kind": None,
+                           "wall_s": 0.0, "detail": "cancelled: hedge-loser"}
             except Exception as exc:  # pickling failures etc.
                 outcome = self._crash_outcome(f"crash: {exc!r}")
+            job_id = job.job_id
+            if job_id in self._settled:
+                # late copy of an already-settled job: outcome discarded
+                left = self._settled[job_id] - 1
+                if left <= 0:
+                    self._settled.pop(job_id, None)
+                else:
+                    self._settled[job_id] = left
+                continue
+            if outcome["verdict"] == "cancelled":
+                self._cancel_asap.pop(job_id, None)
+                finished.append((job, key, self._result_from(job, outcome, attempt)))
+                self._settle_twins(tel, job_id)
+                continue
             if self._retryable(outcome) and attempt <= self.config.retries:
+                if self._job_futs.get(job_id):
+                    # the hedge twin is still racing: it *is* the retry
+                    continue
                 tel.emit("job_retry", job=job.job_id, attempt=attempt,
                          reason=outcome["detail"][:200])
                 self._pending.appendleft((job, key, attempt + 1))
                 continue
-            finished.append((job, key, self._result_from(job, self._degrade(outcome), attempt)))
+            self._cancel_asap.pop(job_id, None)
+            result = self._result_from(job, self._degrade(outcome), attempt)
+            self._note_latency(job.driver, result)
+            finished.append((job, key, result))
+            self._settle_twins(tel, job_id)
         return finished

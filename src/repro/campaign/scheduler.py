@@ -9,12 +9,21 @@ retry/degrade policy — and adds the *batch* policy on top:
    front (cache-warm re-runs skip straight to the summary),
 2. pump the engine until the batch is done, checking the stop
    conditions between engine steps,
-3. on SIGINT/SIGTERM or a campaign ``deadline``, stop submitting, drain
-   the in-flight jobs, and degrade the remainder to ``resource-bound``
-   (details ``interrupted:`` / ``deadline:``) — the summary stays
-   schema-valid and an immediate re-run resumes where the stop landed,
+3. on SIGINT/SIGTERM, stop submitting, drain the in-flight jobs, and
+   degrade the remainder to ``resource-bound`` (detail
+   ``interrupted:``); on a campaign ``deadline``, additionally *cancel*
+   the in-flight jobs cooperatively (they settle as ``cancelled``
+   within one backend poll instead of running to completion) — either
+   way the summary stays schema-valid and an immediate re-run resumes
+   where the stop landed,
 4. return results in input order and render the end-of-run summary in
    the shape of the paper's Table 1.
+
+A frontend riding on the scheduler can also stop a batch early from a
+result callback: ``run(jobs, on_result=...)`` invokes the callback
+after every recorded result, and :meth:`request_cancel` makes the next
+engine step cancel everything still outstanding — the swarm
+first-error path (see :mod:`repro.campaign.swarm`).
 
 Per-job behavior — in-worker timeouts, bounded retries before
 degradation, broken-pool rebuild, memory ceilings, fault injection —
@@ -32,7 +41,7 @@ from __future__ import annotations
 import signal
 import threading
 import time
-from typing import Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence
 
 from repro import faults
 
@@ -63,6 +72,8 @@ class CampaignScheduler:
         self._stop_detail: Optional[str] = None
         self._interrupt_signal: Optional[int] = None
         self._deadline_at: Optional[float] = None
+        self._cancel_reason: Optional[str] = None
+        self._cancel_applied = False
 
     @property
     def cache(self):
@@ -76,26 +87,40 @@ class CampaignScheduler:
 
     # -- execution ---------------------------------------------------------------
 
-    def run(self, jobs: Sequence[CheckJob], telemetry: Optional[Telemetry] = None) -> List[JobResult]:
+    def run(self, jobs: Sequence[CheckJob], telemetry: Optional[Telemetry] = None,
+            on_result: Optional[Callable[[JobResult], None]] = None) -> List[JobResult]:
         """Execute a campaign; returns one :class:`JobResult` per job, in
         input order.  A telemetry stream the scheduler creates itself is
         closed on exit (even on error); a caller-supplied one stays open
-        (the caller owns its lifetime)."""
+        (the caller owns its lifetime).  ``on_result`` is invoked after
+        every recorded result (cache hits included) and may call
+        :meth:`request_cancel` to stop the batch early."""
         tel = telemetry or Telemetry(self.config.telemetry_path)
         try:
             with faults.plan_context(self.config.fault_plan):
-                return self._run(jobs, tel)
+                return self._run(jobs, tel, on_result)
         finally:
             self.last_telemetry = tel
             if telemetry is None:
                 tel.close()
 
-    def _run(self, jobs: Sequence[CheckJob], tel: Telemetry) -> List[JobResult]:
+    def request_cancel(self, reason: str = "") -> None:
+        """Ask the running batch to cancel everything still outstanding
+        (pending jobs settle immediately, in-flight jobs within one
+        backend poll).  Intended to be called from an ``on_result``
+        callback; sticky for the rest of the run."""
+        if self._cancel_reason is None:
+            self._cancel_reason = reason
+
+    def _run(self, jobs: Sequence[CheckJob], tel: Telemetry,
+             on_result: Optional[Callable[[JobResult], None]] = None) -> List[JobResult]:
         rt = self.runtime
         self.interrupted = None
         self.deadline_hit = False
         self._stop_detail = None
         self._interrupt_signal = None
+        self._cancel_reason = None
+        self._cancel_applied = False
         self._deadline_at = (
             time.monotonic() + self.config.deadline
             if self.config.deadline is not None
@@ -114,6 +139,8 @@ class CampaignScheduler:
             key, hit = rt.lookup(job, tel)
             if hit is not None:
                 results[job.job_id] = hit
+                if on_result is not None:
+                    on_result(hit)
             else:
                 rt.submit(job, key)
 
@@ -121,6 +148,7 @@ class CampaignScheduler:
             prev_handlers = self._install_signal_handlers()
             try:
                 while not rt.idle:
+                    faults.fire("engine_crash")
                     stop = self._check_stop(tel, remaining=rt.outstanding)
                     if stop is not None and rt.inflight == 0:
                         # Drained: degrade the never-submitted remainder.
@@ -128,9 +156,21 @@ class CampaignScheduler:
                             rt.record(tel, job, key, result)
                             results[job.job_id] = result
                         break
-                    for job, key, result in rt.pump(tel, submit=stop is None):
+                    if self._cancel_reason is not None and not self._cancel_applied:
+                        # A first-error (or other frontend) cancellation:
+                        # pending jobs settle right now, in-flight tokens
+                        # are touched and surface through later pumps.
+                        self._cancel_applied = True
+                        for job, key, result in rt.cancel_outstanding(self._cancel_reason):
+                            rt.record(tel, job, key, result)
+                            results[job.job_id] = result
+                        continue
+                    submitting = stop is None and self._cancel_reason is None
+                    for job, key, result in rt.pump(tel, submit=submitting):
                         rt.record(tel, job, key, result)
                         results[job.job_id] = result
+                        if on_result is not None:
+                            on_result(result)
             finally:
                 self._restore_signal_handlers(prev_handlers)
                 rt.close()
@@ -192,6 +232,11 @@ class CampaignScheduler:
             self._stop_detail = f"deadline: exceeded {self.config.deadline}s"
             tel.emit("campaign_deadline", deadline=self.config.deadline,
                      remaining=remaining)
+            # Past the deadline the in-flight jobs are *cancelled*
+            # (settling within one backend poll) instead of running to
+            # completion; the never-submitted remainder still degrades
+            # with the ``deadline:`` detail at drain time.
+            self.runtime.cancel_outstanding("deadline", include_pending=False)
         return self._stop_detail
 
     # -- summaries ---------------------------------------------------------------

@@ -31,7 +31,19 @@ witnessing tile's program is re-checked in process with trace mapping
 and concurrent replay on, so the swarm error comes with the same
 replay-validated trace a monolithic run would produce.  All tiles safe
 is *safe at the tiling bound* (and at the round bound K, like any lazy
-verdict).  Otherwise the swarm is ``"resource-bound"``.
+verdict).  Otherwise the swarm is ``"resource-bound"`` — a cancelled
+tile counts as inconclusive exactly like a resource-bound one (tiles
+only restrict schedules, so skipping one never invents an error).
+
+**First-error cancellation** (``run_swarm_campaign(first_error=True)``,
+CLI ``--first-error``): the moment any tile reports an error, the
+remaining sibling tiles are cooperatively cancelled through the
+runtime (:meth:`~repro.campaign.scheduler.CampaignScheduler.request_cancel`)
+— the error is already definitive, so their wall time is pure waste.
+The aggregate still re-checks the witnessing tile and replay-validates
+the trace; cancelled siblings appear as ``cancelled`` results (and
+``cancelled`` journal/telemetry records) in the report.  Off by
+default: an exhaustive swarm's ``safe`` verdict needs every tile.
 
 CLI: ``python -m repro campaign --swarm FILE.kp --tiles 8``.
 """
@@ -206,7 +218,9 @@ def aggregate(
     the lowest-indexed erring tile is re-checked in process with trace
     mapping and replay on, so the report carries a concrete validated
     interleaving.  All safe ⇒ safe at the tiling bound; any leftover
-    ``resource-bound`` tile makes the swarm inconclusive.
+    ``resource-bound`` or ``cancelled`` tile makes the swarm
+    inconclusive (a first-error run's cancelled siblings never dilute
+    the error verdict — the error branch wins first).
     """
     report = SwarmReport(verdict="safe", plan=plan, results=list(results))
     erring = [i for i, r in enumerate(results) if r.verdict == "error"]
@@ -216,7 +230,7 @@ def aggregate(
         if validate:
             _witness_rerun(source, plan, report, max_states, por)
         return report
-    if any(r.verdict == "resource-bound" for r in results):
+    if any(r.verdict in ("resource-bound", "cancelled") for r in results):
         report.verdict = "resource-bound"
     return report
 
@@ -252,15 +266,25 @@ def run_swarm_campaign(
     max_states: int = 300_000,
     campaign_config: Optional[CampaignConfig] = None,
     name: str = "swarm",
+    first_error: bool = False,
 ) -> SwarmReport:
     """Plan, run, and aggregate one swarm campaign.  The scheduler is the
     ordinary batch frontend, so caching, timeouts, chaos injection, and
     graceful SIGINT draining all behave exactly as in a corpus run — an
-    interrupted swarm resumes from the cache on the next invocation."""
+    interrupted swarm resumes from the cache on the next invocation.
+
+    ``first_error=True`` cancels the sibling tiles through the runtime
+    the moment any tile errs (the error is definitive; see module doc).
+    """
     plan = plan_tiles(source, tiles=tiles, rounds=rounds, seed=seed)
     jobs = swarm_jobs(source, plan, max_states=max_states, por=por, name=name)
     scheduler = CampaignScheduler(campaign_config or CampaignConfig())
-    results = scheduler.run(jobs)
+
+    def on_result(result: JobResult) -> None:
+        if first_error and result.verdict == "error":
+            scheduler.request_cancel("first-error")
+
+    results = scheduler.run(jobs, on_result=on_result)
     report = aggregate(source, plan, results, max_states=max_states, por=por)
     report.interrupted = scheduler.interrupted
     return report

@@ -46,8 +46,9 @@ from .jobs import JobResult
 SUMMARY_SCHEMA = CAMPAIGN_SCHEMA
 
 #: Detail prefixes marking a job the campaign never ran to completion
-#: (graceful-interrupt or deadline remainders).
-INTERRUPTED_DETAIL_PREFIXES = ("interrupted", "deadline")
+#: (graceful-interrupt or deadline remainders, cooperative
+#: cancellations).
+INTERRUPTED_DETAIL_PREFIXES = ("interrupted", "deadline", "cancelled")
 
 
 class Telemetry:
@@ -167,9 +168,11 @@ def summary_document(
 
     Always complete and schema-valid, even when the campaign was
     interrupted: remainder jobs (detail ``interrupted:``/``deadline:``)
-    are counted under ``interrupted_jobs`` and still appear in the
-    verdict tallies as ``resource-bound``/``unresolved``, so
-    ``jobs == completed + interrupted_jobs`` holds by construction.
+    and cooperatively cancelled jobs (detail ``cancelled``) are counted
+    under ``interrupted_jobs`` and still appear in the verdict tallies
+    (as ``resource-bound`` or ``cancelled``, both ``unresolved`` in the
+    table vocabulary), so ``jobs == completed + interrupted_jobs``
+    holds by construction.
     """
     verdicts: Dict[str, int] = {}
     table: Dict[str, int] = {}

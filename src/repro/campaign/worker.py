@@ -22,6 +22,13 @@ worker (which would cost the whole pool a rebuild).  Pool workers arm
 the ceiling once at startup (:func:`pool_init`); serial runs arm and
 restore it around each job.
 
+Cancellation is cooperative (:mod:`repro.cancel`): when the runtime
+hands the job a sentinel-file token path, the worker installs it as the
+ambient token for the job's duration; the checking backends poll it at
+iteration boundaries and raise :class:`repro.cancel.Cancelled`, which
+degrades the job to the ``"cancelled"`` outcome (detail ``cancelled[:
+reason]`` — never cached, never a verdict).
+
 Fault points for chaos testing (:mod:`repro.faults`): ``worker_start``
 on entry, ``mid_check`` between parse and the pipeline.
 """
@@ -39,7 +46,7 @@ try:
 except ImportError:  # pragma: no cover - non-POSIX
     resource = None
 
-from repro import faults, obs
+from repro import cancel, faults, obs
 from repro.core.checker import Kiss, KissResult
 from repro.lang import parse
 from repro.lang.ast import Program
@@ -188,6 +195,7 @@ def execute_job(
     attempt: int = 1,
     memory_limit: Optional[int] = None,
     pooled: bool = False,
+    cancel_path: Optional[str] = None,
 ) -> Tuple[dict, Optional[KissResult]]:
     """Run one job to a verdict.  Returns ``(outcome dict, KissResult)``;
     the rich result is for in-process callers (it holds ASTs and traces
@@ -196,8 +204,10 @@ def execute_job(
     Outcomes never raise: timeouts become the ``"resource-bound"``
     graceful-degradation verdict, a ``MemoryError`` (the per-worker
     ceiling, or a genuine exhaustion) becomes ``"resource-bound"`` with
-    a ``memory:`` detail, and any other exception becomes a ``"crash"``
-    outcome for the scheduler's retry logic.
+    a ``memory:`` detail, a delivered cancellation (``cancel_path``
+    sentinel) becomes the ``"cancelled"`` outcome, and any other
+    exception becomes a ``"crash"`` outcome for the scheduler's retry
+    logic.
     """
     start = time.monotonic()
 
@@ -219,11 +229,13 @@ def execute_job(
             rich,
         )
 
+    token = cancel.CancelToken(cancel_path) if cancel_path else None
     try:
         with faults.job_context(job_id=job.job_id, attempt=attempt, timeout=timeout,
                                 pooled=pooled), \
                 _memory_ceiling(None if pooled else memory_limit), \
-                _deadline(timeout):
+                _deadline(timeout), cancel.scope(token):
+            cancel.poll()
             faults.fire("worker_start")
             prog = _parse(job.source)
             faults.fire("mid_check")
@@ -245,6 +257,9 @@ def execute_job(
             metrics=r.metrics,
             witness=r.witness,
         )
+    except cancel.Cancelled as exc:
+        reason = str(exc)
+        return outcome("cancelled", detail=f"cancelled: {reason}" if reason else "cancelled")
     except JobTimeout:
         _parse_memo.pop(job.source, None)  # a partial parse never lands here, but be safe
         return outcome("resource-bound", detail=f"timeout after {timeout}s")
@@ -256,7 +271,9 @@ def execute_job(
         return outcome("crash", detail="crash: " + traceback.format_exc(limit=8))
 
 
-def pool_entry(job: CheckJob, timeout: Optional[float], attempt: int = 1) -> dict:
+def pool_entry(job: CheckJob, timeout: Optional[float], attempt: int = 1,
+               cancel_path: Optional[str] = None) -> dict:
     """Pool-side entry point: like :func:`execute_job` but drops the
     unpicklable rich result."""
-    return execute_job(job, timeout, attempt=attempt, pooled=True)[0]
+    return execute_job(job, timeout, attempt=attempt, pooled=True,
+                       cancel_path=cancel_path)[0]

@@ -1,0 +1,128 @@
+"""Cooperative cancellation for in-flight checks.
+
+A :class:`CancelToken` is a sentinel *file*: cancelling touches the
+file, polling stats it.  A file (rather than a ``multiprocessing.Event``)
+survives ``ProcessPoolExecutor`` pickling, works identically for the
+in-process serve engine thread and for pool workers, and needs no
+cleanup protocol beyond ``unlink`` — the same shared-nothing shape as
+the flock-guarded cache appends.
+
+Like :mod:`repro.faults` and :mod:`repro.obs`, the token is *ambient*
+inside a worker: :func:`scope` installs it for the duration of one job,
+and the checking backends call the module-level :func:`poll` at their
+iteration boundaries (explicit-state expansion, CEGAR refinement
+rounds, per-``ts`` sweep steps).  When no token is installed — every
+non-campaign caller — ``poll()`` is a global load and a ``None`` test,
+so the hot loops pay nothing for the hook.
+
+``poll()`` raises :class:`Cancelled` once the sentinel appears; the
+worker catches it and reports verdict ``"cancelled"`` with detail
+``cancelled[: reason]``.  Cancelled outcomes are never cached and never
+count as verdicts (see ``docs/ROBUSTNESS.md``).
+
+The ``stat`` itself is throttled: a token only touches the filesystem
+every :data:`POLL_EVERY` polls, and caches a positive answer forever
+(cancellation is one-way).  Delivery fires the ``cancel_deliver`` fault
+point so chaos tests can drop or delay cancellations deterministically.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Iterator, Optional
+
+from contextlib import contextmanager
+
+from repro import faults
+
+#: Filesystem stats per token are amortized over this many polls.  At
+#: explicit-state expansion rates (~1e5 states/s) this bounds delivery
+#: latency to a few milliseconds while keeping the stat off the hot path.
+POLL_EVERY = 64
+
+
+class Cancelled(Exception):
+    """Raised by :func:`poll` inside a cancelled job.  The message is
+    the cancellation reason (may be empty)."""
+
+
+class CancelToken:
+    """A one-way cancellation flag backed by a sentinel file."""
+
+    __slots__ = ("path", "_set", "_countdown")
+
+    def __init__(self, path: str):
+        self.path = path
+        self._set = False
+        self._countdown = 0
+
+    def cancel(self, reason: str = "") -> None:
+        """Deliver the cancellation: write ``reason`` to the sentinel.
+        Idempotent; safe to call from any thread or process."""
+        faults.fire("cancel_deliver")
+        tmp = f"{self.path}.tmp.{os.getpid()}"
+        try:
+            with open(tmp, "w") as f:
+                f.write(reason)
+            os.replace(tmp, self.path)
+        except OSError:
+            # last resort: a bare touch still delivers (reason lost)
+            try:
+                with open(self.path, "w"):
+                    pass
+            except OSError:
+                pass
+        self._set = True
+
+    def is_set(self) -> bool:
+        """True once cancelled.  Throttled: only stats the sentinel every
+        :data:`POLL_EVERY` calls, and a positive answer is cached."""
+        if self._set:
+            return True
+        if self._countdown > 0:
+            self._countdown -= 1
+            return False
+        self._countdown = POLL_EVERY - 1
+        if os.path.exists(self.path):
+            self._set = True
+        return self._set
+
+    def reason(self) -> str:
+        """The reason written by :meth:`cancel` ('' when none)."""
+        try:
+            with open(self.path) as f:
+                return f.read().strip()
+        except OSError:
+            return ""
+
+    def clear(self) -> None:
+        """Remove the sentinel (owner-side cleanup)."""
+        try:
+            os.unlink(self.path)
+        except OSError:
+            pass
+
+
+#: the ambient token for the current job, installed by :func:`scope`.
+_token: Optional[CancelToken] = None
+
+
+@contextmanager
+def scope(token: Optional[CancelToken]) -> Iterator[None]:
+    """Install ``token`` as the ambient cancellation flag for the
+    duration of one job.  ``scope(None)`` is a no-op context."""
+    global _token
+    prev = _token
+    _token = token
+    try:
+        yield
+    finally:
+        _token = prev
+
+
+def poll() -> None:
+    """Raise :class:`Cancelled` if the ambient token is set.  Called at
+    backend iteration boundaries; near-free when no token is installed."""
+    t = _token
+    if t is not None and t.is_set():
+        raise Cancelled(t.reason())

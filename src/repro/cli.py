@@ -22,6 +22,10 @@ Usage (after ``pip install -e .``)::
     python -m repro serve --port 8731             # the checking service (HTTP)
     python -m repro cache stats                   # result-cache shape
     python -m repro cache prune --older-than 7d   # drop old entries, compact
+    python -m repro campaign --journal j.jsonl    # write-ahead job journal
+    python -m repro campaign --journal j.jsonl --resume   # crash recovery
+    python -m repro journal stats j.jsonl         # journal shape
+    python -m repro journal replay j.jsonl        # what a resume would re-run
     python -m repro --version                     # print the package version
 
 The input language is the paper's parallel language with C-like syntax
@@ -170,20 +174,62 @@ def cmd_race(args) -> int:
     return _report(kiss.check_race(prog, _parse_target(args.target)), args)
 
 
+def _parse_hedge(text: Optional[str]) -> Optional[float]:
+    """``"p95"``/``"p99"``/``"0.9"`` → a latency quantile in (0, 1)."""
+    if text is None:
+        return None
+    raw = text[1:] if text.startswith("p") else None
+    q = (float(raw) / 100.0) if raw is not None else float(text)
+    if not (0.0 < q < 1.0):
+        raise ValueError(f"hedge quantile must be in (0, 1): {text!r}")
+    return q
+
+
+def _resume_journal(config) -> None:
+    """``--resume``: replay the write-ahead journal and run the jobs a
+    crashed run still owed *before* the main campaign.  Settled work
+    answers from the result cache; the re-run writes fresh terminal
+    records, so a second resume finds nothing left."""
+    import dataclasses
+
+    from repro.campaign import CampaignScheduler
+    from repro.campaign.journal import replay as journal_replay
+
+    plan = journal_replay(config.journal_path)
+    print(plan.summary())
+    if not plan.jobs:
+        return
+    # The recovery pass keeps the journal but not the main run's
+    # telemetry stream (Telemetry opens its path with "w").
+    sched = CampaignScheduler(dataclasses.replace(config, telemetry_path=None))
+    results = sched.run(plan.jobs)
+    hits = sum(1 for r in results if r.cache_hit)
+    print(f"recovery: re-ran {len(results)} incomplete jobs "
+          f"({hits} answered from cache)")
+
+
 def cmd_campaign(args) -> int:
     """The `campaign` subcommand: the Table 1 job matrix through the
     campaign engine (parallel workers, result cache, telemetry).
 
     Robustness knobs (docs/ROBUSTNESS.md): `--memory-limit` arms a
     per-worker RLIMIT_AS ceiling, `--deadline` bounds the whole
-    campaign, SIGINT/SIGTERM drain gracefully (exit 130, partial but
+    campaign (past it, in-flight jobs are cooperatively cancelled),
+    SIGINT/SIGTERM drain gracefully (exit 130, partial but
     schema-valid `--summary-json`, cache intact for the re-run), and
     `--inject` runs a deterministic fault plan for chaos testing.
+
+    Durability (docs/ROBUSTNESS.md): `--journal PATH` records every
+    job's admitted/started/terminal lifecycle write-ahead; after a
+    crash (even kill -9), `--resume` replays the journal and re-runs
+    exactly the jobs still owed.  `--hedge p95` duplicates stragglers
+    past the per-driver latency quantile (first finisher wins).
 
     `--swarm FILE.kp` switches to swarm mode (docs/SWARM.md): one
     program expanded into `--tiles` schedule tiles of the lazy
     sequentialization, each an ordinary cached job, aggregated back to
-    one verdict with a replay-validated trace on error.
+    one verdict with a replay-validated trace on error.  `--first-error`
+    cancels sibling tiles the moment any tile errs.
     """
     from repro.campaign import CampaignConfig, DEFAULT_CACHE_DIR, default_jobs, run_corpus_campaign
     from repro.drivers import DRIVER_SPECS, spec_by_name
@@ -207,8 +253,12 @@ def cmd_campaign(args) -> int:
         return EXIT_USAGE
     try:
         plan = FaultPlan.parse(args.inject, seed=args.inject_seed) if args.inject else None
+        hedge = _parse_hedge(args.hedge)
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
+        return EXIT_USAGE
+    if args.resume and not args.journal:
+        print("error: --resume needs --journal PATH", file=sys.stderr)
         return EXIT_USAGE
     cache_dir = None if args.no_cache else (args.cache_dir or DEFAULT_CACHE_DIR)
     config = CampaignConfig(
@@ -220,7 +270,11 @@ def cmd_campaign(args) -> int:
         deadline=args.deadline,
         memory_limit=args.memory_limit,
         fault_plan=plan,
+        journal_path=args.journal,
+        hedge=hedge,
     )
+    if args.resume:
+        _resume_journal(config)
     _, results, scheduler = run_corpus_campaign(
         specs,
         config,
@@ -265,8 +319,12 @@ def _swarm(args) -> int:
 
     try:
         plan = FaultPlan.parse(args.inject, seed=args.inject_seed) if args.inject else None
+        hedge = _parse_hedge(args.hedge)
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
+        return EXIT_USAGE
+    if args.resume and not args.journal:
+        print("error: --resume needs --journal PATH", file=sys.stderr)
         return EXIT_USAGE
     cache_dir = None if args.no_cache else (args.cache_dir or DEFAULT_CACHE_DIR)
     config = CampaignConfig(
@@ -278,7 +336,11 @@ def _swarm(args) -> int:
         deadline=args.deadline,
         memory_limit=args.memory_limit,
         fault_plan=plan,
+        journal_path=args.journal,
+        hedge=hedge,
     )
+    if args.resume:
+        _resume_journal(config)
     with open(args.swarm) as f:
         source = f.read()
     report = run_swarm_campaign(
@@ -289,6 +351,7 @@ def _swarm(args) -> int:
         por=args.por,
         max_states=args.max_states,
         campaign_config=config,
+        first_error=args.first_error,
     )
     print(report.summary())
     if report.interrupted is not None:
@@ -432,8 +495,12 @@ def cmd_serve(args) -> int:
 
     try:
         plan = FaultPlan.parse(args.inject, seed=args.inject_seed) if args.inject else None
+        hedge = _parse_hedge(args.hedge)
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
+        return EXIT_USAGE
+    if args.resume and not args.journal:
+        print("error: --resume needs --journal PATH", file=sys.stderr)
         return EXIT_USAGE
     cache_dir = None if args.no_cache else (args.cache_dir or DEFAULT_CACHE_DIR)
     config = ServeConfig(
@@ -447,6 +514,9 @@ def cmd_serve(args) -> int:
         quota_rate=args.quota_rate,
         quota_burst=args.quota_burst,
         max_queue=args.max_queue,
+        journal_path=args.journal,
+        resume=args.resume,
+        hedge=hedge,
     )
     # An ambient recorder so /stats surfaces the obs counters
     # (serve_submissions, cache hits, jobs_interrupted, ...).
@@ -500,6 +570,45 @@ def cmd_cache(args) -> int:
         return EXIT_USAGE
     kept, dropped = cache.prune(age_s)
     print(f"pruned {dropped} entries older than {args.older_than}; kept {kept}")
+    return EXIT_SAFE
+
+
+def cmd_journal(args) -> int:
+    """The `journal` subcommand: inspect the write-ahead job journal.
+
+    ``stats`` prints the recovery shape a resume would see (admitted /
+    done / cancelled / abandoned / incomplete tallies); ``replay`` also
+    lists the incomplete jobs — exactly the set ``campaign --resume``
+    would re-run.  Neither runs any checking.
+    """
+    import json as _json
+    import os
+
+    from repro.campaign.journal import replay as journal_replay
+
+    if not os.path.exists(args.path):
+        print(f"error: no journal at {args.path}", file=sys.stderr)
+        return EXIT_USAGE
+    plan = journal_replay(args.path)
+    if args.json:
+        doc = plan.summary_doc()
+        doc["path"] = args.path
+        if args.journal_command == "replay":
+            doc["jobs"] = [
+                {"job": j.job_id, "driver": j.driver, "prop": j.prop,
+                 "key": plan.keys.get(j.job_id),
+                 "tenant": plan.tenants.get(j.job_id)}
+                for j in plan.jobs
+            ]
+        print(_json.dumps(doc, indent=2))
+        return EXIT_SAFE
+    print(f"journal: {args.path}")
+    print(plan.summary())
+    if args.journal_command == "replay":
+        for j in plan.jobs:
+            tenant = plan.tenants.get(j.job_id)
+            suffix = f"  [{tenant}]" if tenant else ""
+            print(f"  {j.job_id}  ({j.driver}, {j.prop}){suffix}")
     return EXIT_SAFE
 
 
@@ -766,6 +875,16 @@ def build_parser() -> argparse.ArgumentParser:
                          "docs/ROBUSTNESS.md)")
     sp.add_argument("--inject-seed", type=int, default=0,
                     help="seed for probabilistic (p=) fault rules (default 0)")
+    sp.add_argument("--journal", metavar="PATH", default=None,
+                    help="write-ahead job journal (kiss-journal/1 JSONL): every "
+                         "job's admitted/started/terminal lifecycle, crash-safe")
+    sp.add_argument("--resume", action="store_true",
+                    help="replay --journal first and re-run the jobs a crashed "
+                         "run left incomplete (settled work answers from cache)")
+    sp.add_argument("--hedge", metavar="Q", default=None,
+                    help="hedged retries: duplicate a job stuck past this "
+                         "per-driver latency quantile (p95, p99, or 0.9); "
+                         "first finisher wins, the twin is cancelled")
     sp.add_argument("--swarm", metavar="FILE.kp", default=None,
                     help="swarm mode: tile FILE's lazy schedule space into "
                          "--tiles jobs instead of sweeping the driver corpus")
@@ -777,6 +896,9 @@ def build_parser() -> argparse.ArgumentParser:
                     help="tiling shuffle seed for --swarm (default 0)")
     sp.add_argument("--por", action="store_true",
                     help="shared-access partial-order reduction inside each tile")
+    sp.add_argument("--first-error", action="store_true",
+                    help="for --swarm: cancel sibling tiles the moment any tile "
+                         "finds an error (the aggregate verdict is unchanged)")
     sp.set_defaults(func=cmd_campaign)
 
     sp = sub.add_parser(
@@ -868,6 +990,14 @@ def build_parser() -> argparse.ArgumentParser:
                          "plan applies to served traffic (docs/ROBUSTNESS.md)")
     sp.add_argument("--inject-seed", type=int, default=0,
                     help="seed for probabilistic (p=) fault rules (default 0)")
+    sp.add_argument("--journal", metavar="PATH", default=None,
+                    help="write-ahead job journal for served jobs (kiss-journal/1)")
+    sp.add_argument("--resume", action="store_true",
+                    help="on startup, replay --journal: answer settled work from "
+                         "cache, re-enqueue the jobs a crash left incomplete")
+    sp.add_argument("--hedge", metavar="Q", default=None,
+                    help="hedged retries past this per-driver latency quantile "
+                         "(p95, p99, or 0.9)")
     sp.set_defaults(func=cmd_serve)
 
     sp = sub.add_parser("cache", help="inspect and maintain the result cache")
@@ -885,6 +1015,19 @@ def build_parser() -> argparse.ArgumentParser:
     csp.add_argument("--cache-dir", default=None, metavar="DIR",
                      help="result-cache directory (default .kiss-cache)")
     csp.set_defaults(func=cmd_cache)
+
+    sp = sub.add_parser("journal", help="inspect the write-ahead job journal")
+    journal_sub = sp.add_subparsers(dest="journal_command", required=True)
+    jsp = journal_sub.add_parser("stats", help="print the recovery shape")
+    jsp.add_argument("path", help="kiss-journal/1 JSONL file")
+    jsp.add_argument("--json", action="store_true", help="machine-readable output")
+    jsp.set_defaults(func=cmd_journal)
+    jsp = journal_sub.add_parser(
+        "replay", help="list the incomplete jobs a --resume would re-run"
+    )
+    jsp.add_argument("path", help="kiss-journal/1 JSONL file")
+    jsp.add_argument("--json", action="store_true", help="machine-readable output")
+    jsp.set_defaults(func=cmd_journal)
 
     sp = sub.add_parser(
         "witness", help="emit and independently validate kiss-witness/1 certificates"

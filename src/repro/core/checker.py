@@ -11,7 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
-from repro import obs
+from repro import cancel, obs
 from repro.cfg.build import build_program_cfg
 from repro.cfg.graph import ProgramCfg
 from repro.lang.ast import Program
@@ -488,6 +488,7 @@ def sweep_ts(
     prev_hash: Optional[str] = None
     prev: Optional[KissResult] = None
     for bound in range(max_bound + 1):
+        cancel.poll()
         kiss = Kiss(max_ts=bound, **kiss_kwargs)
         if core is None:
             core = kiss._as_core(prog)

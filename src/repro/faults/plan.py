@@ -21,6 +21,9 @@ Fault points (where the hooks live):
 ``cache_append``          :meth:`repro.campaign.cache.ResultCache.put`
 ``telemetry_emit``        :meth:`repro.campaign.telemetry.Telemetry.emit`
 ``pool_submit``           scheduler-side, before each pool submission
+``journal_append``        :meth:`repro.campaign.journal.JobJournal._append`
+``cancel_deliver``        :meth:`repro.cancel.CancelToken.cancel`
+``engine_crash``          scheduler/serve engine loop, once per iteration
 ========================  =====================================================
 
 Fault kinds (what the injection does):
@@ -33,6 +36,9 @@ Fault kinds (what the injection does):
 ``torn-write``  truncate a JSONL line mid-write (via :func:`corrupt`)
 ``pool-break``  ``SIGKILL`` the current pool worker so the parent sees
                 ``BrokenProcessPool``; outside a pool it degrades to ``crash``
+``kill``        ``SIGKILL`` the *current* process unconditionally — a hard
+                crash (kill -9, OOM-killer, power loss) for durability tests;
+                degrades to ``crash`` where ``SIGKILL`` does not exist
 ==============  ==============================================================
 """
 
@@ -54,9 +60,12 @@ FAULT_POINTS = (
     "cache_append",
     "telemetry_emit",
     "pool_submit",
+    "journal_append",
+    "cancel_deliver",
+    "engine_crash",
 )
 
-FAULT_KINDS = ("crash", "hang", "oom", "torn-write", "pool-break")
+FAULT_KINDS = ("crash", "hang", "oom", "torn-write", "pool-break", "kill")
 
 #: oom allocation chunk; small enough to trip a ceiling promptly.
 _OOM_CHUNK_MB = 8
@@ -219,6 +228,10 @@ class FaultPlan:
             if _ctx.pooled and hasattr(signal, "SIGKILL"):
                 os.kill(os.getpid(), signal.SIGKILL)
             raise InjectedFault(f"injected pool-break at {point} (hit {hit}, not pooled)")
+        if rule.kind == "kill":
+            if hasattr(signal, "SIGKILL"):
+                os.kill(os.getpid(), signal.SIGKILL)
+            raise InjectedFault(f"injected kill at {point} (hit {hit}, no SIGKILL)")
 
     def _corrupt(self, point: str, text: str) -> str:
         hit = self.write_hits.get(point, 0) + 1

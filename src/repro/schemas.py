@@ -9,6 +9,8 @@ shape and revision:
 ``kiss-campaign/1`` the end-of-campaign summary document
 ``kiss-serve/1``    one result event streamed by ``python -m repro serve``
 ``kiss-witness/1``  a safety certificate (:mod:`repro.witness`)
+``kiss-journal/1``  one write-ahead job-journal record
+                    (:mod:`repro.campaign.journal`)
 ==================  =======================================================
 
 The validators here are deliberately hand-rolled (zero dependencies, no
@@ -49,13 +51,24 @@ WITNESS_KINDS = ("reached-set", "predicate-invariant")
 WITNESS_STATUSES = ("certified", "refuted", "unsupported")
 
 #: The event vocabulary of a ``kiss-serve/1`` stream, in lifecycle
-#: order: admission, first attempt, bounded retries, the final verdict.
-SERVE_EVENTS = ("queued", "started", "retry", "done")
+#: order: admission, first attempt, bounded retries, then exactly one
+#: terminal event — ``done`` (a verdict) or ``cancelled`` (no verdict).
+SERVE_EVENTS = ("queued", "started", "retry", "done", "cancelled")
+
+#: Schema tag of write-ahead job-journal records
+#: (:mod:`repro.campaign.journal`).
+JOURNAL_SCHEMA = "kiss-journal/1"
+
+#: Journal record vocabulary: admission (with the full job spec), the
+#: attempts, then exactly one terminal record.  Replay precedence is
+#: ``done > cancelled > abandoned``.
+JOURNAL_EVENTS = ("admitted", "started", "done", "cancelled", "abandoned")
 
 #: Where a served verdict came from: the content-addressed cache, a
-#: fresh check, piggybacked on an identical in-flight submission, or a
-#: run with caching disabled.
-SERVE_CACHE_STATES = ("hit", "miss", "dedup", "off")
+#: fresh check, piggybacked on an identical in-flight submission, a run
+#: with caching disabled, or a server-side swarm aggregation (the tile
+#: results each carry their own cache state).
+SERVE_CACHE_STATES = ("hit", "miss", "dedup", "off", "aggregate")
 
 #: The verdict vocabulary shared by every layer
 #: (:class:`repro.core.checker.KissResult` and everything built on it).
@@ -208,7 +221,8 @@ def validate_serve_event(doc: Dict[str, Any]) -> Dict[str, Any]:
     :data:`SERVE_EVENTS`, a monotonic-relative timestamp ``t``, and the
     server-assigned ``job`` id.  ``queued`` adds the admission facts
     (tenant, cache key, dedupe flag); ``done`` adds the verdict and its
-    provenance — and a ``done`` event is the only way a stream ends.
+    provenance — and a ``done`` or ``cancelled`` event is the only way
+    a stream ends (``cancelled`` carries a reason, never a verdict).
     """
     doc = _require_object(doc, SERVE_SCHEMA, "serve event")
     _require_keys(doc, "serve event", (("event", str), ("t", (int, float)),
@@ -228,6 +242,8 @@ def validate_serve_event(doc: Dict[str, Any]) -> Dict[str, Any]:
             raise SchemaError(f"started attempt must be >= 1: {doc['attempt']!r}")
     elif doc["event"] == "retry":
         _require_keys(doc, "retry event", (("attempt", int), ("reason", str)))
+    elif doc["event"] == "cancelled":
+        _require_keys(doc, "cancelled event", (("reason", str),))
     elif doc["event"] == "done":
         _require_keys(doc, "done event", (("verdict", str), ("attempts", int),
                                           ("cache", str), ("wall_s", (int, float)),
@@ -246,6 +262,57 @@ def validate_serve_event(doc: Dict[str, Any]) -> Dict[str, Any]:
                                                     ("program_sha256", str)))
             if w["kind"] not in WITNESS_KINDS:
                 raise SchemaError(f"unknown witness kind {w['kind']!r}")
+    return doc
+
+
+# ---------------------------------------------------------------------------
+# kiss-journal/1 (repro.campaign.journal)
+# ---------------------------------------------------------------------------
+
+
+def validate_journal_record(doc: Dict[str, Any]) -> Dict[str, Any]:
+    """Check one write-ahead journal record against the
+    ``kiss-journal/1`` schema; returns ``doc`` or raises
+    :class:`SchemaError`.
+
+    Every record carries the schema tag, an ``event`` from
+    :data:`JOURNAL_EVENTS`, a unix timestamp ``t``, and the ``job`` id.
+    ``admitted`` additionally carries the content-addressed cache
+    ``key``, the ``origin`` frontend, an optional ``tenant``, and the
+    full job ``spec`` — enough to re-enqueue the job from the journal
+    alone.  ``started`` carries the attempt number; ``done`` the
+    verdict; ``cancelled``/``abandoned`` a reason string.
+    """
+    doc = _require_object(doc, JOURNAL_SCHEMA, "journal record")
+    _require_keys(doc, "journal record", (("event", str), ("t", (int, float)),
+                                          ("job", str)))
+    if doc["event"] not in JOURNAL_EVENTS:
+        raise SchemaError(f"unknown journal event {doc['event']!r}")
+    if doc["t"] < 0:
+        raise SchemaError(f"journal record t must be non-negative: {doc['t']!r}")
+    if not doc["job"]:
+        raise SchemaError("journal record job id is empty")
+    if doc["event"] == "admitted":
+        _require_keys(doc, "admitted record", (("key", str), ("origin", str),
+                                               ("spec", dict)))
+        if len(doc["key"]) != 64:
+            raise SchemaError("admitted key must be a sha256 hex digest")
+        if doc.get("tenant") is not None and not isinstance(doc["tenant"], str):
+            raise SchemaError("admitted tenant must be null or a string")
+        _require_keys(doc["spec"], "admitted spec", (("job_id", str),
+                                                     ("driver", str),
+                                                     ("source", str),
+                                                     ("prop", str)))
+    elif doc["event"] == "started":
+        _require_keys(doc, "started record", (("attempt", int),))
+        if doc["attempt"] < 1:
+            raise SchemaError(f"started attempt must be >= 1: {doc['attempt']!r}")
+    elif doc["event"] == "done":
+        _require_keys(doc, "done record", (("verdict", str),))
+        if doc["verdict"] not in VERDICTS:
+            raise SchemaError(f"unknown journal verdict {doc['verdict']!r}")
+    else:  # cancelled | abandoned
+        _require_keys(doc, f"{doc['event']} record", (("reason", str),))
     return doc
 
 

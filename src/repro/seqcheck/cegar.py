@@ -22,7 +22,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
-from repro import obs
+from repro import cancel, obs
 from repro.lang.ast import (
     Assert,
     Assign,
@@ -95,6 +95,7 @@ class CegarChecker:
         for p in self.seed_predicates:
             preds.add(self.prog, self.prog.entry, p)
         for round_no in range(1, self.max_rounds + 1):
+            cancel.poll()
             obs.inc("cegar_iterations")
             try:
                 with obs.span("abstract", round=round_no, predicates=preds.count()):

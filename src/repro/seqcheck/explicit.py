@@ -18,7 +18,7 @@ from __future__ import annotations
 from collections import deque
 from typing import Dict, List, Optional, Tuple
 
-from repro import obs
+from repro import cancel, obs
 from repro.cfg.build import build_program_cfg
 from repro.cfg.graph import Node, ProgramCfg
 from repro.lang.ast import Program
@@ -89,6 +89,7 @@ class SequentialChecker:
         queue = deque([(init, init_key, 0)])
         stats.states = 1
         while queue:
+            cancel.poll()
             world, key, depth = queue.popleft()
             stats.max_depth = max(stats.max_depth, depth)
             if depth >= self.max_depth:

@@ -13,8 +13,9 @@ Layers:
   bounded queue with 429 backpressure, cache/in-flight dedupe), the
   engine thread, the drain ladder, and the per-job ``kiss-serve/1``
   event records;
-* :mod:`http` — the asyncio HTTP frontage (``/v1/jobs``, ``/healthz``,
-  ``/stats``, NDJSON event streams) and :func:`run_server` /
+* :mod:`http` — the asyncio HTTP frontage (``/v1/jobs``,
+  ``/v1/swarm``, ``/healthz``, ``/stats``, NDJSON event streams,
+  ``DELETE`` cancellation) and :func:`run_server` /
   :class:`ServerThread`;
 * :mod:`client` — the stdlib client used by tests and CI.
 
@@ -30,13 +31,21 @@ from repro.schemas import (  # noqa: F401  (re-exported API)
 
 from .client import ServeClient, ServeError
 from .http import ServerThread, run_server
-from .service import AdmissionError, CheckService, JobRecord, ServeConfig, TokenBucket
+from .service import (
+    AdmissionError,
+    CheckService,
+    JobRecord,
+    ServeConfig,
+    SwarmRecord,
+    TokenBucket,
+)
 
 __all__ = [
     "AdmissionError",
     "CheckService",
     "JobRecord",
     "ServeConfig",
+    "SwarmRecord",
     "ServeClient",
     "ServeError",
     "ServerThread",

@@ -121,15 +121,22 @@ class ServeClient:
         return doc
 
     def wait(self, job_id: str, timeout: float = DEFAULT_TIMEOUT_S) -> dict:
-        """Long-poll one job to completion; returns the final status
-        document (raises :class:`ServeError` on timeout)."""
+        """Long-poll one job to a terminal state (``done`` or
+        ``cancelled``); returns the final status document (raises
+        :class:`ServeError` on timeout)."""
         path = self._job_path(job_id) + f"?wait={timeout:g}"
         http_status, doc = self._request("GET", path, timeout=timeout + 10.0)
         if http_status != 200:
             raise ServeError(http_status, doc.get("error", "wait failed"), doc)
-        if doc.get("state") != "done":
+        if doc.get("state") not in ("done", "cancelled"):
             raise ServeError(200, f"job {job_id} not done after {timeout}s", doc)
         return doc
+
+    def cancel(self, job_id: str) -> Tuple[int, dict]:
+        """Cooperatively cancel one job (``DELETE``); returns
+        ``(http_status, body)`` verbatim — 200 settled immediately,
+        202 cancelling in flight, 404 unknown, 409 already finished."""
+        return self._request("DELETE", self._job_path(job_id))
 
     def events(self, job_id: str, timeout: float = DEFAULT_TIMEOUT_S) -> Iterator[dict]:
         """Iterate the job's NDJSON event stream until the server closes
@@ -152,6 +159,69 @@ class ServeClient:
                     yield json.loads(line.decode("utf-8"))
         finally:
             conn.close()
+
+    # -- swarms ------------------------------------------------------------------
+
+    @staticmethod
+    def _swarm_path(swarm_id: str, suffix: str = "") -> str:
+        return "/v1/swarm/" + quote(swarm_id, safe="") + suffix
+
+    def submit_swarm(self, program: str, tiles: int = 8, rounds: int = 3,
+                     seed: int = 0, por: bool = False,
+                     max_states: int = 300_000,
+                     first_error: bool = False) -> Tuple[int, dict]:
+        """Submit one server-side swarm; returns ``(http_status, body)``
+        verbatim (202 = admitted, body is the swarm status document)."""
+        payload: Dict[str, Any] = {
+            "program": program, "tiles": tiles, "rounds": rounds, "seed": seed,
+            "por": por, "max_states": max_states, "first_error": first_error,
+        }
+        if self.tenant:
+            payload["tenant"] = self.tenant
+        return self._request("POST", "/v1/swarm", payload)
+
+    def swarm_status(self, swarm_id: str) -> dict:
+        status, doc = self._request("GET", self._swarm_path(swarm_id))
+        if status != 200:
+            raise ServeError(status, doc.get("error", "swarm status failed"), doc)
+        return doc
+
+    def swarm_wait(self, swarm_id: str, timeout: float = DEFAULT_TIMEOUT_S) -> dict:
+        """Long-poll one swarm to its aggregate verdict."""
+        path = self._swarm_path(swarm_id) + f"?wait={timeout:g}"
+        status, doc = self._request("GET", path, timeout=timeout + 10.0)
+        if status != 200:
+            raise ServeError(status, doc.get("error", "swarm wait failed"), doc)
+        if doc.get("state") != "done":
+            raise ServeError(200, f"swarm {swarm_id} not done after {timeout}s", doc)
+        return doc
+
+    def swarm_events(self, swarm_id: str,
+                     timeout: float = DEFAULT_TIMEOUT_S) -> Iterator[dict]:
+        """Iterate the swarm's interleaved NDJSON stream (tile events
+        plus the final aggregate ``done``)."""
+        conn = self._connect(timeout)
+        try:
+            conn.request("GET", self._swarm_path(swarm_id, "/events"),
+                         headers={"Connection": "close"})
+            resp = conn.getresponse()
+            if resp.status != 200:
+                raw = resp.read()
+                try:
+                    doc = json.loads(raw.decode("utf-8"))
+                except (json.JSONDecodeError, UnicodeDecodeError):
+                    doc = {}
+                raise ServeError(resp.status, doc.get("error", "stream refused"), doc)
+            for line in resp:
+                line = line.strip()
+                if line:
+                    yield json.loads(line.decode("utf-8"))
+        finally:
+            conn.close()
+
+    def cancel_swarm(self, swarm_id: str) -> Tuple[int, dict]:
+        """Cancel every unsettled tile of a swarm (``DELETE``)."""
+        return self._request("DELETE", self._swarm_path(swarm_id))
 
     def check(self, program: str, prop: str = "assertion",
               target: Optional[str] = None,

@@ -8,6 +8,13 @@ NDJSON event stream simply ends when the connection does:
 POST   ``/v1/jobs``                 submit (JSON body; see ``repro.serve``)
 GET    ``/v1/jobs/<id>``            status; ``?wait=S`` long-polls completion
 GET    ``/v1/jobs/<id>/events``     the ``kiss-serve/1`` NDJSON event stream
+DELETE ``/v1/jobs/<id>``            cooperative cancel (stream ends
+                                    ``cancelled``)
+POST   ``/v1/swarm``                server-side swarm fan-out (tiles,
+                                    first-error cancellation)
+GET    ``/v1/swarm/<id>``           swarm status; ``?wait=S`` long-polls
+GET    ``/v1/swarm/<id>/events``    interleaved tile events + aggregate done
+DELETE ``/v1/swarm/<id>``           cancel every unsettled tile
 GET    ``/healthz``                 liveness / drain state
 GET    ``/stats``                   admission counters, queue, cache, obs
 ====== ============================ =========================================
@@ -154,7 +161,7 @@ class _Handler:
         if path == "/stats" and method == "GET":
             writer.write(_json_response(200, self.service.stats_doc()))
             return
-        if path == "/v1/jobs" and method == "POST":
+        if path in ("/v1/jobs", "/v1/swarm") and method == "POST":
             try:
                 payload = json.loads(body.decode("utf-8"))
             except (UnicodeDecodeError, json.JSONDecodeError):
@@ -162,18 +169,37 @@ class _Handler:
                 return
             tenant = headers.get("x-kiss-tenant") or (
                 payload.get("tenant") if isinstance(payload, dict) else None) or "anon"
+            admit = (self.service.submit if path == "/v1/jobs"
+                     else self.service.submit_swarm)
             try:
-                status, doc = await loop.run_in_executor(
-                    None, self.service.submit, tenant, payload)
+                status, doc = await loop.run_in_executor(None, admit, tenant, payload)
             except AdmissionError as exc:
                 writer.write(_error(exc.status, exc.error, exc.retry_after))
                 return
             writer.write(_json_response(status, doc))
             return
-        if path.startswith("/v1/jobs/") and method == "GET":
-            rest = path[len("/v1/jobs/"):]
+        for prefix, getter, streamer, canceller in (
+            ("/v1/jobs/", self.service.get, self.service.events_since,
+             self.service.cancel),
+            ("/v1/swarm/", self.service.get_swarm, self.service.swarm_events_since,
+             self.service.cancel_swarm),
+        ):
+            if not path.startswith(prefix):
+                continue
+            rest = path[len(prefix):]
+            if method == "DELETE":
+                got = await loop.run_in_executor(None, canceller, rest)
+                if got is None:
+                    writer.write(_error(404, f"unknown id {rest!r}"))
+                    return
+                status, doc = got
+                writer.write(_json_response(status, doc))
+                return
+            if method != "GET":
+                break
             if rest.endswith("/events"):
-                await self._stream_events(writer, rest[: -len("/events")].rstrip("/"))
+                await self._stream_events(
+                    writer, rest[: -len("/events")].rstrip("/"), streamer)
                 return
             wait_s = None
             if "wait" in query:
@@ -182,30 +208,31 @@ class _Handler:
                 except ValueError:
                     writer.write(_error(400, "bad wait parameter"))
                     return
-            doc = await loop.run_in_executor(None, self.service.get, rest, wait_s)
+            doc = await loop.run_in_executor(None, getter, rest, wait_s)
             if doc is None:
-                writer.write(_error(404, f"unknown job {rest!r}"))
+                writer.write(_error(404, f"unknown id {rest!r}"))
                 return
             writer.write(_json_response(200, doc))
             return
-        if path in ("/healthz", "/stats", "/v1/jobs") or path.startswith("/v1/jobs/"):
+        if (path in ("/healthz", "/stats", "/v1/jobs", "/v1/swarm")
+                or path.startswith(("/v1/jobs/", "/v1/swarm/"))):
             writer.write(_error(405, f"method {method} not allowed on {path}"))
             return
         writer.write(_error(404, f"no such route {path!r}"))
 
-    async def _stream_events(self, writer, job_id: str) -> None:
+    async def _stream_events(self, writer, stream_id: str, events_since) -> None:
         """The close-delimited NDJSON stream: replay the record's events
-        and follow it until its ``done`` event, then close."""
-        first = self.service.events_since(job_id, 0)
+        and follow it until its terminal event, then close."""
+        first = events_since(stream_id, 0)
         if first is None:
-            writer.write(_error(404, f"unknown job {job_id!r}"))
+            writer.write(_error(404, f"unknown id {stream_id!r}"))
             return
         writer.write(b"HTTP/1.1 200 OK\r\n"
                      b"Content-Type: application/x-ndjson\r\n"
                      b"Connection: close\r\n\r\n")
         sent = 0
         while True:
-            got = self.service.events_since(job_id, sent)
+            got = events_since(stream_id, sent)
             if got is None:  # evicted mid-stream: the stream just ends
                 return
             events, finished = got
@@ -216,7 +243,7 @@ class _Handler:
             if finished and not events:
                 return
             if finished:
-                continue  # flush any events that landed with the done
+                continue  # flush any events that landed with the terminal
             await asyncio.sleep(STREAM_POLL_S)
 
 

@@ -87,7 +87,9 @@ def check_invariants(sched, jobs, results, baseline):
         if not degraded(r):
             assert r.verdict == baseline[r.job_id], r.job_id
         else:
-            assert r.verdict == "resource-bound", r.job_id
+            # Degraded jobs settle as resource-bound (drained remainders,
+            # timeouts, crashes) or cancelled (cooperative cancellation).
+            assert r.verdict in ("resource-bound", "cancelled"), r.job_id
 
 
 # -- crash faults ------------------------------------------------------------------
@@ -366,7 +368,10 @@ def test_deadline_mid_campaign_drains_and_degrades_remainder(baseline, workers):
     results = sched.run(jobs, telemetry=tel)
     check_invariants(sched, jobs, results, baseline)
     assert sched.deadline_hit
-    skipped = [r for r in results if r.detail.startswith("deadline:")]
+    # Past the deadline, in-flight jobs are cooperatively cancelled and
+    # the never-submitted remainder drains with the deadline: detail.
+    skipped = [r for r in results
+               if r.detail.startswith(("deadline:", "cancelled"))]
     completed = [r for r in results if not degraded(r)]
     assert skipped and completed, "the deadline should land mid-campaign"
     assert len(tel.of_kind("campaign_deadline")) == 1

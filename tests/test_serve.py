@@ -374,3 +374,111 @@ def test_cli_serve_dedupes_resubmission_and_drains_on_sigterm(tmp_path):
         if proc.poll() is None:
             proc.kill()
         proc.wait(timeout=10)
+
+
+# -- server-side swarms ------------------------------------------------------------
+
+TWO_FORKS = open(os.path.join(os.path.dirname(__file__), "fuzz_corpus",
+                              "two-forks-error.kp")).read()
+
+
+def _pump_swarm(svc, swarm_id, pumps=64):
+    for _ in range(pumps):
+        doc = svc.get_swarm(swarm_id)
+        if doc["state"] == "done":
+            return doc
+        svc.pump_once()
+    return svc.get_swarm(swarm_id)
+
+
+def test_swarm_fans_out_aggregates_and_streams(tmp_path):
+    """POST /v1/swarm semantics in process: N tile jobs on the shared
+    engine, an interleaved event stream, and exactly one aggregate done
+    event carrying the replay-validated error verdict."""
+    svc = CheckService(ServeConfig(jobs=1, cache_dir=str(tmp_path / "c")),
+                       start_engine=False)
+    try:
+        status, doc = svc.submit_swarm("t", {"program": TWO_FORKS,
+                                             "tiles": 4, "rounds": 3})
+        assert status == 202 and doc["state"] == "running" and doc["tiles"] == 4
+        swarm_id = doc["swarm"]
+        final = _pump_swarm(svc, swarm_id)
+        assert final["state"] == "done" and final["verdict"] == "error"
+        assert final["witness_tile"] is not None and final["trace_validated"]
+        events, finished = svc.swarm_events_since(swarm_id, 0)
+        assert finished
+        for e in events:
+            validate_serve_event(e)
+        agg = [e for e in events if e["event"] == "done" and e["job"] == swarm_id]
+        assert len(agg) == 1 and agg[0] is events[-1]
+        assert agg[0]["cache"] == "aggregate" and agg[0]["verdict"] == "error"
+        tile_done = [e for e in events
+                     if e["event"] == "done" and e["job"] != swarm_id]
+        assert len(tile_done) == 4  # every tile's terminal interleaved
+        assert svc.counts["swarms"] == 1
+        # the tiles are ordinary cached jobs: an identical swarm re-hits
+        _, doc2 = svc.submit_swarm("t", {"program": TWO_FORKS,
+                                         "tiles": 4, "rounds": 3})
+        final2 = _pump_swarm(svc, doc2["swarm"])
+        assert final2["verdict"] == "error"
+        assert svc.counts["cache_hits"] == 4
+    finally:
+        svc.stop()
+
+
+def test_swarm_first_error_cancels_sibling_tiles(tmp_path):
+    """First-error fan-in: the moment a tile errs, its unsettled
+    siblings are cancelled; the aggregate error verdict is undiluted
+    and the cancellations are observable in the stream."""
+    svc = CheckService(ServeConfig(jobs=1, cache_dir=None), start_engine=False)
+    try:
+        _, doc = svc.submit_swarm("t", {"program": TWO_FORKS, "tiles": 6,
+                                        "rounds": 3, "first_error": True})
+        final = _pump_swarm(svc, doc["swarm"])
+        assert final["state"] == "done" and final["verdict"] == "error"
+        expected = final["tiles"] - final["witness_tile"] - 1  # serial order
+        assert final["cancelled_tiles"] == expected
+        events, _ = svc.swarm_events_since(doc["swarm"], 0)
+        cancelled = [e for e in events if e["event"] == "cancelled"]
+        assert len(cancelled) == expected
+        assert all("first-error" in e["reason"] for e in cancelled)
+        assert svc.counts["cancelled"] == expected
+    finally:
+        svc.stop()
+
+
+def test_swarm_admission_validation_and_unknown_ids(tmp_path):
+    svc = CheckService(ServeConfig(jobs=1, cache_dir=None), start_engine=False)
+    try:
+        for payload, fragment in (
+            ({}, "program"),
+            ({"program": TWO_FORKS, "tiles": 0}, "tiles"),
+            ({"program": TWO_FORKS, "rounds": 99}, "rounds"),
+            ({"program": TWO_FORKS, "first_error": "yes"}, "first_error"),
+        ):
+            with pytest.raises(AdmissionError) as err:
+                svc.submit_swarm("t", payload)
+            assert err.value.status == 400 and fragment in err.value.error
+        assert svc.get_swarm("t/swarm99") is None
+        assert svc.cancel_swarm("t/swarm99") is None
+    finally:
+        svc.stop()
+
+
+def test_http_swarm_round_trip_cancel_and_stream(server):
+    client = ServeClient("127.0.0.1", server.port, tenant="swarmer")
+    status, doc = client.submit_swarm(TWO_FORKS, tiles=4, rounds=3)
+    assert status == 202 and doc["swarm"]
+    final = client.swarm_wait(doc["swarm"], timeout=120)
+    assert final["verdict"] == "error" and final["trace_validated"]
+    events = list(client.swarm_events(doc["swarm"]))
+    for e in events:
+        validate_serve_event(e)
+    assert events[-1]["job"] == doc["swarm"] and events[-1]["cache"] == "aggregate"
+    # a finished swarm refuses cancellation; an unknown one is a 404
+    status, _ = client.cancel_swarm(doc["swarm"])
+    assert status == 409
+    status, _ = client.cancel_swarm("swarmer/swarm99")
+    assert status == 404
+    status, body = client._request("POST", "/v1/swarm", {"program": ""})
+    assert status == 400 and "program" in body["error"]
